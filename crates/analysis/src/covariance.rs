@@ -1,0 +1,341 @@
+//! Exact covariances between the zero counts `U_c`, `U_x`, `U_y`.
+//!
+//! The paper's variance analysis (Eq. 34) needs the covariances between
+//! the logarithms of the zero fractions; Eq. 35 sketches a Taylor-series
+//! route. Here we derive the *exact* covariances of the underlying zero
+//! counts from per-bit joint probabilities, then convert with the standard
+//! delta method `Cov(ln V, ln W) ≈ Cov(V, W) / (E[V]·E[W])`.
+//!
+//! ## Derivation sketch
+//!
+//! Write `U_x = Σ_j Z_j` (`Z_j` = bit `j` of `B_x` stays zero) and
+//! `U_c = Σ_i T_i` (`T_i` = bit `i` of `B_c = B_x^u | B_y` stays zero).
+//! `E[U_c U_x] = Σ_{i,j} P(T_i ∧ Z_j)` splits into the aligned case
+//! `j = i mod m_x` (where `T_i ⟹ Z_j`, contributing `q(n_c)`) and the
+//! generic case, whose per-vehicle avoidance probabilities follow from the
+//! same three-set partition as paper Eq. 9 — vehicles passing only `R_x`
+//! must avoid *two* bits of `B_x`, and a common vehicle's two picks are
+//! linked with probability `1/s` (it reuses the same logical position, so
+//! its `B_y` pick determines its `B_x` pick modulo `m_x`).
+//!
+//! All three covariances are validated against Monte-Carlo simulation in
+//! this module's tests.
+
+use crate::stats::pow_one_minus;
+use crate::{AnalysisError, PairParams};
+
+/// The second moments of the paper's Eq. 34 at both the zero-count (`U`)
+/// and log-zero-fraction (`ln V`) level: the three cross-covariances
+/// *and* the exact variances.
+///
+/// The paper models each zero count as binomial (Eqs. 19–22), but the
+/// per-bit indicators are negatively correlated (two bits cannot both be
+/// missed as easily as one), so the binomial variance substantially
+/// *overstates* `Var(U)` at moderate load factors. The exact occupancy
+/// variance adds the pairwise term
+/// `m(m−1)·[P(two distinct bits both zero) − q²]`; our Monte-Carlo tests
+/// show it is the difference between predicting the estimator noise to
+/// within a few percent and overpredicting it several-fold. See
+/// EXPERIMENTS.md ("variance model") for measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CovarianceTerms {
+    /// `Cov(U_c, U_x)`.
+    pub u_cx: f64,
+    /// `Cov(U_c, U_y)`.
+    pub u_cy: f64,
+    /// `Cov(U_x, U_y)`.
+    pub u_xy: f64,
+    /// Exact `Var(U_c)` (occupancy, not binomial).
+    pub u_cc: f64,
+    /// Exact `Var(U_x)`.
+    pub u_xx: f64,
+    /// Exact `Var(U_y)`.
+    pub u_yy: f64,
+    /// `Cov(ln V_c, ln V_x)` (the paper's `C_1`).
+    pub ln_cx: f64,
+    /// `Cov(ln V_c, ln V_y)` (the paper's `C_2`).
+    pub ln_cy: f64,
+    /// `Cov(ln V_x, ln V_y)` (the paper's `C_3`).
+    pub ln_xy: f64,
+    /// Exact `Var(ln V_c)`.
+    pub ln_cc: f64,
+    /// Exact `Var(ln V_x)`.
+    pub ln_xx: f64,
+    /// Exact `Var(ln V_y)`.
+    pub ln_yy: f64,
+}
+
+/// Computes the exact covariance terms for a parameter set.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::SizesNotNested`] unless `m_x`, `m_y` are
+/// (within floating-point tolerance) integers with `m_x | m_y` — the
+/// aligned-bit case counting requires the unfolding structure.
+pub fn covariance_terms(p: &PairParams) -> Result<CovarianceTerms, AnalysisError> {
+    let ratio = p.m_y / p.m_x;
+    let nested = (p.m_x - p.m_x.round()).abs() < 1e-9
+        && (p.m_y - p.m_y.round()).abs() < 1e-9
+        && (ratio - ratio.round()).abs() < 1e-9;
+    if !nested {
+        return Err(AnalysisError::SizesNotNested {
+            m_x: p.m_x,
+            m_y: p.m_y,
+        });
+    }
+    let m_x = p.m_x.round();
+    let m_y = p.m_y.round();
+    let r = (m_y / m_x).round();
+    let (n_x, n_y, n_c, s) = (p.n_x, p.n_y, p.n_c, p.s);
+    let a1 = 1.0 / m_x;
+    let a2 = 1.0 / m_y;
+    // `t·a2` is the common-vehicle "miss both" discount of Eq. 9.
+    let t = (s - 1.0) / s;
+
+    let q_x = pow_one_minus(a1, n_x);
+    let q_y = pow_one_minus(a2, n_y);
+    // q(n_c), paper Eq. 9.
+    let q_c = pow_one_minus(a1, n_x) * pow_one_minus(a2, n_y)
+        * ((1.0 - t * a2) / (1.0 - a2)).powf(n_c);
+
+    // ---- Cov(U_x, U_y) ------------------------------------------------
+    // Per common vehicle, P(avoid bit j of B_x and bit k of B_y):
+    //   linked pick (prob 1/s): the B_y pick determines the B_x pick, so
+    //     avoidance depends on whether k ≡ j (mod m_x);
+    //   independent pick: both misses are independent.
+    let g_eq = (1.0 / s) * (1.0 - a1) + (1.0 - 1.0 / s) * (1.0 - a1) * (1.0 - a2);
+    let g_ne = (1.0 / s) * (1.0 - a1 - a2) + (1.0 - 1.0 / s) * (1.0 - a1) * (1.0 - a2);
+    let outer_xy = pow_one_minus(a1, n_x - n_c) * pow_one_minus(a2, n_y - n_c);
+    let inner_xy = a1 * g_eq.powf(n_c) + (1.0 - a1) * g_ne.powf(n_c)
+        - (pow_one_minus(a1, n_c) * pow_one_minus(a2, n_c));
+    let u_xy = m_x * m_y * outer_xy * inner_xy;
+
+    // ---- Cov(U_c, U_x) ------------------------------------------------
+    // Aligned (j = i mod m_x): T_i implies Z_j, joint = q(n_c); m_y pairs.
+    // Generic (j ≠ i mod m_x): R_x-side vehicles must now avoid two bits
+    // of B_x; a common vehicle's linked pick avoids both automatically
+    // when its B_y residue class differs from both.
+    let p2 = pow_one_minus(2.0 * a1, n_x)
+        * pow_one_minus(a2, n_y - n_c)
+        * (1.0 - t * a2).powf(n_c);
+    let u_cx = m_y * (q_c + (m_x - 1.0) * p2 - m_x * q_c * q_x);
+
+    // ---- Cov(U_c, U_y) ------------------------------------------------
+    // Aligned (k = i): T_i implies the B_y bit stays zero; m_y pairs.
+    // Generic: split on whether k shares i's residue class mod m_x.
+    let g_a = (1.0 - a1) * ((1.0 / s) + (1.0 - 1.0 / s) * (1.0 - 2.0 * a2));
+    let g_b = (1.0 / s) * (1.0 - a1 - a2)
+        + (1.0 - 1.0 / s) * (1.0 - a1) * (1.0 - 2.0 * a2);
+    let outer_cy = pow_one_minus(a1, n_x - n_c) * pow_one_minus(2.0 * a2, n_y - n_c);
+    let term_a = outer_cy * g_a.powf(n_c);
+    let term_b = outer_cy * g_b.powf(n_c);
+    let u_cy = m_y * (q_c + (r - 1.0) * term_a + (m_y - r) * term_b - m_y * q_c * q_y);
+
+    // ---- Exact variances (occupancy, not binomial) ---------------------
+    // Var(U) = m·q(1−q) + m(m−1)·[P(two distinct bits both zero) − q²].
+    // For B_x both-zero needs every S_x vehicle to miss two bits:
+    let pair_x = pow_one_minus(2.0 * a1, n_x);
+    let u_xx = m_x * q_x * (1.0 - q_x) + m_x * (m_x - 1.0) * (pair_x - q_x * q_x);
+    let pair_y = pow_one_minus(2.0 * a2, n_y);
+    let u_yy = m_y * q_y * (1.0 - q_y) + m_y * (m_y - 1.0) * (pair_y - q_y * q_y);
+    // For B_c split the second bit l by residue class: same class as i
+    // (one B_x bit to protect) or different (two B_x bits).
+    let outer_cc = pow_one_minus(2.0 * a2, n_y - n_c);
+    let g_same = (1.0 - a1) * ((1.0 / s) + (1.0 - 1.0 / s) * (1.0 - 2.0 * a2));
+    let g_diff = (1.0 - 2.0 * a1) * ((1.0 / s) + (1.0 - 1.0 / s) * (1.0 - 2.0 * a2));
+    let pair_c_same = pow_one_minus(a1, n_x - n_c) * outer_cc * g_same.powf(n_c);
+    let pair_c_diff = pow_one_minus(2.0 * a1, n_x - n_c) * outer_cc * g_diff.powf(n_c);
+    let u_cc = m_y * q_c * (1.0 - q_c)
+        + m_y * (r - 1.0) * (pair_c_same - q_c * q_c)
+        + m_y * (m_y - r) * (pair_c_diff - q_c * q_c);
+
+    // Delta method: V_c = U_c/m_y, V_x = U_x/m_x, V_y = U_y/m_y, and
+    // Cov(ln V, ln W) ≈ Cov(V, W)/(E[V]·E[W]).
+    let ln_cx = u_cx / (m_y * m_x) / (q_c * q_x);
+    let ln_cy = u_cy / (m_y * m_y) / (q_c * q_y);
+    let ln_xy = u_xy / (m_x * m_y) / (q_x * q_y);
+    let ln_cc = u_cc / (m_y * m_y) / (q_c * q_c);
+    let ln_xx = u_xx / (m_x * m_x) / (q_x * q_x);
+    let ln_yy = u_yy / (m_y * m_y) / (q_y * q_y);
+
+    Ok(CovarianceTerms {
+        u_cx,
+        u_cy,
+        u_xy,
+        u_cc,
+        u_xx,
+        u_yy,
+        ln_cx,
+        ln_cy,
+        ln_xy,
+        ln_cc,
+        ln_xx,
+        ln_yy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_nested_sizes() {
+        let p = PairParams::new(10.0, 10.0, 2.0, 12.5, 100.0, 2.0).unwrap();
+        assert!(matches!(
+            covariance_terms(&p),
+            Err(AnalysisError::SizesNotNested { .. })
+        ));
+        let p = PairParams::new(10.0, 10.0, 2.0, 48.0, 100.0, 2.0).unwrap();
+        assert!(covariance_terms(&p).is_err());
+    }
+
+    #[test]
+    fn zero_overlap_decouples_uc_structure() {
+        // With n_c = 0 the common-vehicle terms vanish; Cov(U_x, U_y)
+        // must be exactly zero (disjoint vehicle sets, independent bits).
+        let p = PairParams::new(100.0, 400.0, 0.0, 64.0, 256.0, 2.0).unwrap();
+        let c = covariance_terms(&p).unwrap();
+        assert!(
+            c.u_xy.abs() < 1e-6,
+            "independent sets must have zero covariance, got {}",
+            c.u_xy
+        );
+        // U_c still depends on both arrays, so Cov(U_c, U_x) stays > 0.
+        assert!(c.u_cx > 0.0);
+    }
+
+    /// Simulates the bit-setting process the analysis models and returns
+    /// sampled (U_c, U_x, U_y) triples.
+    fn simulate(p: &PairParams, trials: usize, seed: u64) -> Vec<(f64, f64, f64)> {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let m_x = p.m_x as usize;
+        let m_y = p.m_y as usize;
+        let r = m_y / m_x;
+        let (n_x, n_y, n_c) = (p.n_x as usize, p.n_y as usize, p.n_c as usize);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut bx = vec![false; m_x];
+            let mut by = vec![false; m_y];
+            // Common vehicles: pick B_x bit; with prob 1/s the B_y pick is
+            // the same logical position (same residue class), else uniform.
+            for _ in 0..n_c {
+                let bxi = rng.random_range(0..m_x);
+                bx[bxi] = true;
+                let byi = if rng.random_range(0.0..1.0) < 1.0 / p.s {
+                    bxi + m_x * rng.random_range(0..r)
+                } else {
+                    rng.random_range(0..m_y)
+                };
+                by[byi] = true;
+            }
+            for _ in 0..n_x - n_c {
+                bx[rng.random_range(0..m_x)] = true;
+            }
+            for _ in 0..n_y - n_c {
+                by[rng.random_range(0..m_y)] = true;
+            }
+            let u_x = bx.iter().filter(|&&b| !b).count() as f64;
+            let u_y = by.iter().filter(|&&b| !b).count() as f64;
+            let u_c = (0..m_y)
+                .filter(|&i| !bx[i % m_x] && !by[i])
+                .count() as f64;
+            out.push((u_c, u_x, u_y));
+        }
+        out
+    }
+
+    fn sample_cov(samples: &[(f64, f64)]) -> f64 {
+        let n = samples.len() as f64;
+        let ma = samples.iter().map(|s| s.0).sum::<f64>() / n;
+        let mb = samples.iter().map(|s| s.1).sum::<f64>() / n;
+        samples.iter().map(|s| (s.0 - ma) * (s.1 - mb)).sum::<f64>() / (n - 1.0)
+    }
+
+    #[test]
+    fn exact_covariances_match_monte_carlo() {
+        let p = PairParams::new(150.0, 600.0, 40.0, 64.0, 256.0, 2.0).unwrap();
+        let c = covariance_terms(&p).unwrap();
+        let trials = 40_000;
+        let samples = simulate(&p, trials, 0xC0FFEE);
+        let cx: Vec<(f64, f64)> = samples.iter().map(|&(uc, ux, _)| (uc, ux)).collect();
+        let cy: Vec<(f64, f64)> = samples.iter().map(|&(uc, _, uy)| (uc, uy)).collect();
+        let xy: Vec<(f64, f64)> = samples.iter().map(|&(_, ux, uy)| (ux, uy)).collect();
+        let mc_cx = sample_cov(&cx);
+        let mc_cy = sample_cov(&cy);
+        let mc_xy = sample_cov(&xy);
+        // Covariances are O(10); Monte-Carlo standard error with 40k
+        // trials is well under 1.
+        assert!(
+            (c.u_cx - mc_cx).abs() < 0.15 * c.u_cx.abs().max(3.0),
+            "Cov(Uc,Ux): analytic {} vs MC {mc_cx}",
+            c.u_cx
+        );
+        assert!(
+            (c.u_cy - mc_cy).abs() < 0.15 * c.u_cy.abs().max(3.0),
+            "Cov(Uc,Uy): analytic {} vs MC {mc_cy}",
+            c.u_cy
+        );
+        assert!(
+            (c.u_xy - mc_xy).abs() < 0.15 * c.u_xy.abs().max(3.0),
+            "Cov(Ux,Uy): analytic {} vs MC {mc_xy}",
+            c.u_xy
+        );
+        // Exact occupancy variances must also match (the binomial model
+        // of Eqs. 19–22 would be several times larger here).
+        let var_of = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
+            let vals: Vec<(f64, f64)> = samples.iter().map(|s| (f(s), f(s))).collect();
+            sample_cov(&vals)
+        };
+        let mc_cc = var_of(&|s| s.0);
+        let mc_xx = var_of(&|s| s.1);
+        let mc_yy = var_of(&|s| s.2);
+        assert!(
+            (c.u_cc - mc_cc).abs() < 0.1 * mc_cc,
+            "Var(Uc): analytic {} vs MC {mc_cc}",
+            c.u_cc
+        );
+        assert!(
+            (c.u_xx - mc_xx).abs() < 0.1 * mc_xx,
+            "Var(Ux): analytic {} vs MC {mc_xx}",
+            c.u_xx
+        );
+        assert!(
+            (c.u_yy - mc_yy).abs() < 0.1 * mc_yy,
+            "Var(Uy): analytic {} vs MC {mc_yy}",
+            c.u_yy
+        );
+    }
+
+    #[test]
+    fn exact_covariances_match_monte_carlo_larger_s() {
+        let p = PairParams::new(200.0, 200.0, 60.0, 128.0, 128.0, 5.0).unwrap();
+        let c = covariance_terms(&p).unwrap();
+        let samples = simulate(&p, 40_000, 42);
+        let mc_cx =
+            sample_cov(&samples.iter().map(|&(uc, ux, _)| (uc, ux)).collect::<Vec<_>>());
+        let mc_xy =
+            sample_cov(&samples.iter().map(|&(_, ux, uy)| (ux, uy)).collect::<Vec<_>>());
+        assert!(
+            (c.u_cx - mc_cx).abs() < 0.15 * c.u_cx.abs().max(3.0),
+            "Cov(Uc,Ux): analytic {} vs MC {mc_cx}",
+            c.u_cx
+        );
+        assert!(
+            (c.u_xy - mc_xy).abs() < 0.2 * c.u_xy.abs().max(3.0),
+            "Cov(Ux,Uy): analytic {} vs MC {mc_xy}",
+            c.u_xy
+        );
+    }
+
+    #[test]
+    fn ln_level_terms_scale_u_level_terms() {
+        let p = PairParams::new(150.0, 600.0, 40.0, 64.0, 256.0, 2.0).unwrap();
+        let c = covariance_terms(&p).unwrap();
+        // Same sign, scaled by positive factors.
+        assert_eq!(c.ln_cx > 0.0, c.u_cx > 0.0);
+        assert_eq!(c.ln_cy > 0.0, c.u_cy > 0.0);
+        assert_eq!(c.ln_xy > 0.0, c.u_xy > 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by analysis parameter validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A parameter was NaN or infinite.
+    NonFinite {
+        /// Parameter name (paper notation, e.g. `n_x`).
+        name: &'static str,
+    },
+    /// A parameter violated its valid range.
+    OutOfRange {
+        /// Parameter name (paper notation).
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be > 1"`.
+        constraint: &'static str,
+    },
+    /// The pair overlap exceeded one of the point volumes
+    /// (`n_c > min(n_x, n_y)` is impossible: `S_x ∩ S_y ⊆ S_x`).
+    OverlapExceedsVolume {
+        /// The overlap `n_c`.
+        n_c: f64,
+        /// The smaller point volume.
+        min_volume: f64,
+    },
+    /// An operation required integral array sizes with `m_x | m_y`
+    /// (exact covariance computations), but got something else.
+    SizesNotNested {
+        /// Smaller array size.
+        m_x: f64,
+        /// Larger array size.
+        m_y: f64,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AnalysisError::NonFinite { name } => {
+                write!(f, "parameter {name} must be finite")
+            }
+            AnalysisError::OutOfRange {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} {constraint}"),
+            AnalysisError::OverlapExceedsVolume { n_c, min_volume } => write!(
+                f,
+                "overlap n_c = {n_c} exceeds the smaller point volume {min_volume}"
+            ),
+            AnalysisError::SizesNotNested { m_x, m_y } => write!(
+                f,
+                "exact covariances need integral sizes with m_x | m_y, got m_x = {m_x}, m_y = {m_y}"
+            ),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AnalysisError::OutOfRange {
+            name: "s",
+            value: 0.5,
+            constraint: "must be >= 1",
+        };
+        assert!(e.to_string().contains("s = 0.5"));
+        let e = AnalysisError::OverlapExceedsVolume {
+            n_c: 10.0,
+            min_volume: 5.0,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisError>();
+    }
+}

@@ -1,0 +1,204 @@
+//! Fisher information and the Cramér–Rao lower bound for the MLE.
+//!
+//! The paper derives `n̂_c` as the maximizer of the likelihood of
+//! observing `U_c` zero bits in `B_c` (Eqs. 15–18) but stops short of the
+//! information-theoretic floor. Completing the derivation: with
+//! `U_c ~ B(m_y, q(n_c))` and `q'(n_c) = q·ln R` (Eq. 17, where
+//! `R = (1 − (s−1)/(s·m_y))/(1 − 1/m_y)`), the Fisher information is
+//!
+//! ```text
+//! I(n_c) = m_y · q'(n_c)² / (q·(1 − q)) = m_y · q · ln²R / (1 − q)
+//! ```
+//!
+//! so under that model no unbiased estimator of `n_c` (with `V_x`, `V_y`
+//! known) can beat `Var ≥ (1 − q)/(m_y · q · ln²R)`.
+//!
+//! **Model caveat.** These are information quantities of the paper's
+//! *binomial observation model* (independent bits). The real zero count
+//! is an occupancy quantity whose per-bit indicators are negatively
+//! correlated, and the three arrays are cross-correlated, so the actual
+//! process carries *more* information than `I(n_c)`: our exact variance
+//! model (Monte-Carlo validated, see [`crate::covariance`]) sits *below*
+//! this "bound" at typical load factors. That gap is the same
+//! binomial-vs-occupancy discrepancy documented in EXPERIMENTS.md, seen
+//! from the information side.
+
+use crate::accuracy::{denominator, q_c};
+use crate::stats::pow_one_minus;
+use crate::{AnalysisError, PairParams};
+
+/// The Fisher information `I(n_c)` carried by the combined array's zero
+/// count about the overlap (conditional on the per-RSU zero fractions).
+#[must_use]
+pub fn fisher_information(p: &PairParams) -> f64 {
+    let q = q_c(p);
+    if q <= 0.0 || q >= 1.0 {
+        return 0.0;
+    }
+    let ln_r = denominator(p);
+    p.m_y * q * ln_r * ln_r / (1.0 - q)
+}
+
+/// The Cramér–Rao lower bound on `Var(n̂_c)` (conditional on `V_x`,
+/// `V_y`); `inf` when the combined array carries no information (fully
+/// saturated or fully empty in expectation).
+#[must_use]
+pub fn crlb(p: &PairParams) -> f64 {
+    let info = fisher_information(p);
+    if info > 0.0 {
+        1.0 / info
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Model-level efficiency of the paper's estimator: `CRLB / Var(n̂_c)`
+/// with *both* quantities computed under the binomial observation model
+/// (variance via [`crate::accuracy::CovarianceMethod::Ignore`]), in
+/// `(0, 1]`. Values below 1 measure the price of estimating `V_x`,
+/// `V_y` from the same arrays instead of knowing them — within the
+/// model the comparison is apples-to-apples.
+///
+/// # Errors
+///
+/// Currently infallible; returns `Result` for parity with the exact
+/// variance APIs.
+pub fn efficiency(p: &PairParams) -> Result<f64, AnalysisError> {
+    let model_var = crate::accuracy::estimator_variance(
+        p,
+        crate::accuracy::CovarianceMethod::Ignore,
+    )?;
+    if model_var <= 0.0 {
+        return Ok(1.0);
+    }
+    Ok((crlb(p) / model_var).clamp(0.0, 1.0))
+}
+
+/// The overlap fraction at which the combined array is most informative
+/// per bit, holding everything else fixed: sweeps `n_c ∈ [0, min(n_x,
+/// n_y)]` and returns `(n_c, I(n_c))` at the maximum of `I`.
+///
+/// Useful for sizing studies: it shows the regime where the scheme
+/// extracts the most signal (lightly loaded combined arrays carry more
+/// information per bit).
+#[must_use]
+pub fn most_informative_overlap(p: &PairParams, points: usize) -> (f64, f64) {
+    assert!(points >= 2, "need at least two sweep points");
+    let max_nc = p.n_x.min(p.n_y);
+    let mut best = (0.0, 0.0);
+    for i in 0..points {
+        let n_c = max_nc * i as f64 / (points - 1) as f64;
+        if let Ok(q) = p.with_overlap(n_c) {
+            let info = fisher_information(&q);
+            if info > best.1 {
+                best = (n_c, info);
+            }
+        }
+    }
+    best
+}
+
+/// Expected zero fraction of the *combined* array when the overlap is at
+/// its maximum (`n_c = min(n_x, n_y)`) — a quick saturation check used
+/// by sizing heuristics: if even the maximal-overlap case keeps a healthy
+/// zero fraction, every real workload will.
+#[must_use]
+pub fn min_expected_zero_fraction(p: &PairParams) -> f64 {
+    // q(n_c) is increasing in n_c (common vehicles set fewer distinct
+    // bits), so the minimum over n_c is at n_c = 0, where
+    // q = q(n_x)·q(n_y).
+    pow_one_minus(1.0 / p.m_x, p.n_x) * pow_one_minus(1.0 / p.m_y, p.n_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::{estimator_variance, CovarianceMethod};
+
+    fn params() -> PairParams {
+        PairParams::new(10_000.0, 100_000.0, 1_000.0, 32_768.0, 262_144.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn information_is_positive_and_grows_with_my() {
+        let small = params();
+        let large =
+            PairParams::new(10_000.0, 100_000.0, 1_000.0, 131_072.0, 1_048_576.0, 2.0)
+                .unwrap();
+        assert!(fisher_information(&small) > 0.0);
+        assert!(
+            fisher_information(&large) > fisher_information(&small),
+            "more bits, more information"
+        );
+    }
+
+    #[test]
+    fn crlb_bounds_the_binomial_model_variance() {
+        // Within the paper's binomial observation model the MLE cannot
+        // beat the CRLB; the model variance additionally pays for the
+        // noisy V_x, V_y, so the inequality is strict.
+        for (n_x, n_y, n_c) in [
+            (10_000.0, 100_000.0, 1_000.0),
+            (5_000.0, 5_000.0, 2_000.0),
+            (1_000.0, 50_000.0, 500.0),
+        ] {
+            let m_x = 2f64.powf((n_x * 4.0f64).log2().ceil());
+            let m_y = 2f64.powf((n_y * 4.0f64).log2().ceil());
+            let p = PairParams::new(n_x, n_y, n_c, m_x, m_y, 2.0).unwrap();
+            let bound = crlb(&p);
+            let model = estimator_variance(&p, CovarianceMethod::Ignore).unwrap();
+            assert!(
+                model >= bound,
+                "model variance {model} below CRLB {bound} at n_x={n_x}"
+            );
+        }
+    }
+
+    #[test]
+    fn true_process_beats_the_binomial_information_bound() {
+        // The documented caveat, asserted: the exact (occupancy +
+        // cross-covariance) variance sits BELOW the binomial-model CRLB —
+        // the real observation carries more information than the paper's
+        // model credits.
+        let p = params();
+        let bound = crlb(&p);
+        let exact = estimator_variance(&p, CovarianceMethod::Exact).unwrap();
+        assert!(
+            exact < bound,
+            "exact {exact} should undercut the binomial CRLB {bound}"
+        );
+    }
+
+    #[test]
+    fn efficiency_is_a_fraction() {
+        let e = efficiency(&params()).unwrap();
+        assert!((0.0..=1.0).contains(&e), "efficiency {e}");
+        assert!(e > 0.05, "the estimator is not hopeless: {e}");
+    }
+
+    #[test]
+    fn degenerate_information_is_zero() {
+        // Saturated in expectation: q ≈ 0.
+        let p = PairParams::new(1e6, 1e6, 0.0, 16.0, 16.0, 2.0).unwrap();
+        assert_eq!(fisher_information(&p), 0.0);
+        assert_eq!(crlb(&p), f64::INFINITY);
+    }
+
+    #[test]
+    fn most_informative_overlap_is_interior_or_maximal() {
+        let p = params();
+        let (n_c, info) = most_informative_overlap(&p, 64);
+        assert!(info > 0.0);
+        assert!((0.0..=p.n_x.min(p.n_y)).contains(&n_c));
+        // I(n_c) grows with q when q < 1/2... at these loads q > 1/2, so
+        // the maximum sits at the largest overlap.
+        assert!(n_c > 0.0);
+    }
+
+    #[test]
+    fn min_zero_fraction_matches_zero_overlap_q() {
+        let p = params().with_overlap(0.0).unwrap();
+        let direct = crate::accuracy::q_c(&p);
+        assert!((min_expected_zero_fraction(&p) - direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,60 @@
+//! Closed-form accuracy and privacy analysis for bit-array traffic
+//! measurement schemes.
+//!
+//! This crate implements Sections V ("Analysis on Measurement Accuracy")
+//! and VI ("Analysis on Preserved Privacy") of the ICDCS 2015 paper as
+//! plain, numerically careful functions of the measurement parameters
+//! `(n_x, n_y, n_c, m_x, m_y, s)`:
+//!
+//! * [`accuracy`] — the zero-bit probabilities (Eqs. 9–11), the moments of
+//!   the zero fractions and their logarithms (Eqs. 12–31), the estimator's
+//!   expected value and bias (Eqs. 32–33), and its standard deviation
+//!   (Eqs. 34–36) with selectable covariance treatment.
+//! * [`covariance`] — exact per-bit joint-probability derivations of
+//!   `Cov(U_c, U_x)`, `Cov(U_c, U_y)`, `Cov(U_x, U_y)` (the paper sketches
+//!   these in Eq. 35; we derive them fully and Monte-Carlo-validate them).
+//! * [`privacy`] — the preserved-privacy probability `p = P(E|A)`
+//!   (Eqs. 37–43), via both the paper's closed form (Eq. 40) and the direct
+//!   binomial summation (Eqs. 37–39), plus load-factor solvers used to pick
+//!   scheme parameters ("guarantee a minimum privacy of at least 0.5",
+//!   §VII).
+//! * [`stats`] — shared numeric substrate: `ln(1-x)`-stable probability
+//!   powers, online mean/variance, binomial iteration.
+//!
+//! Array sizes are `f64` here: the paper's numerical analysis sweeps the
+//! load factor continuously (`m = f·n`, Fig. 2), and every formula only
+//! uses `1/m`. Power-of-two constraints are enforced by `vcps-core`, not
+//! by the analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use vcps_analysis::{PairParams, accuracy, privacy};
+//!
+//! # fn main() -> Result<(), vcps_analysis::AnalysisError> {
+//! // Two RSUs with a 10x traffic skew, sized at load factor f̄ = 3.
+//! let p = PairParams::new(10_000.0, 100_000.0, 1_000.0, 30_000.0, 300_000.0, 5.0)?;
+//! let bias = accuracy::bias_ratio(&p);
+//! assert!(bias.abs() < 0.01, "estimator is nearly unbiased: {bias}");
+//!
+//! let priv_p = privacy::preserved_privacy(&p);
+//! assert!(priv_p > 0.85, "variable-length sizing preserves privacy: {priv_p}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod covariance;
+mod error;
+pub mod fisher;
+mod params;
+pub mod privacy;
+mod profile;
+pub mod stats;
+
+pub use error::AnalysisError;
+pub use params::PairParams;
+pub use profile::{Profile, Regime};

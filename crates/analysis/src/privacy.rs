@@ -1,0 +1,494 @@
+//! Preserved-privacy analysis: paper Section VI (Eqs. 37–43).
+//!
+//! Privacy is the conditional probability `p = P(E|A)` that a bit observed
+//! set in *both* RSU arrays does **not** witness a common vehicle: `A` is
+//! "bit `b` is 1 in both `B_x^u` and `B_y`", `E` is "both 1-bits were
+//! produced solely by non-common vehicles". Larger `p` means a tracker
+//! watching both arrays learns less about shared traffic.
+//!
+//! Two independent evaluation routes are provided — the paper's closed
+//! form (Eq. 40, derived via the binomial moment generating function) and
+//! the direct summation over the shared-logical-bit count `n_s ~ B(n_c,
+//! 1/s)` (Eqs. 37–39) — and they are property-tested against each other.
+//!
+//! The load-factor solvers at the bottom implement the parameter policy
+//! used throughout the paper's evaluation: "f̄ and m are chosen to
+//! guarantee a minimum privacy of at least 0.5" (§VII).
+
+use crate::stats::{binomial_pmf, pow_one_minus};
+use crate::PairParams;
+
+/// `P(Ā)` — probability that an arbitrary bit is **not** set in both
+/// `B_x^u` and `B_y` (paper Eq. 40, closed form).
+#[must_use]
+pub fn prob_not_both_set(p: &PairParams) -> f64 {
+    let a1 = 1.0 / p.m_x;
+    let a2 = 1.0 / p.m_y;
+    let q_x = pow_one_minus(a1, p.n_x);
+    let q_y = pow_one_minus(a2, p.n_y);
+    // C_4 = (1/s)·(1−1/m_y)/(1−1/m_x) + (1−1/s)
+    // C_5 = (1/s)·1/(1−1/m_x) + (1−1/s)
+    let c4 = (1.0 / p.s) * ((1.0 - a2) / (1.0 - a1)) + (1.0 - 1.0 / p.s);
+    let c5 = (1.0 / p.s) / (1.0 - a1) + (1.0 - 1.0 / p.s);
+    q_x * c4.powf(p.n_c) + q_y - q_x * q_y * c5.powf(p.n_c)
+}
+
+/// `P(A) = 1 − P(Ā)` — probability that a bit is set in both arrays.
+#[must_use]
+pub fn prob_both_set(p: &PairParams) -> f64 {
+    (1.0 - prob_not_both_set(p)).clamp(0.0, 1.0)
+}
+
+/// `P(Ā)` computed by direct summation over the number `n_s` of common
+/// vehicles that reuse the same logical bit at both RSUs (paper
+/// Eqs. 37–39). `n_c` is rounded to the nearest integer for the binomial.
+///
+/// O(`n_c`) work — used to cross-validate the closed form and in tests;
+/// prefer [`prob_not_both_set`] elsewhere.
+#[must_use]
+pub fn prob_not_both_set_direct(p: &PairParams) -> f64 {
+    let n_c = p.n_c.round().max(0.0) as u64;
+    let a1 = 1.0 / p.m_x;
+    let a2 = 1.0 / p.m_y;
+    binomial_pmf(n_c, 1.0 / p.s)
+        .enumerate()
+        .map(|(z, mass)| {
+            let z = z as f64;
+            // Eq. 38: none of the n_s linked vehicles hit bit b.
+            let q4 = pow_one_minus(a2, z);
+            // Eq. 39: at least one side's non-linked vehicles miss.
+            let miss_x = pow_one_minus(a1, p.n_x - z);
+            let miss_y = pow_one_minus(a2, p.n_y - z);
+            let q5 = 1.0 - (1.0 - miss_x) * (1.0 - miss_y);
+            mass * q4 * q5
+        })
+        .sum()
+}
+
+/// `P(E_x)` — bit `b mod m_x` of `B_x` is set, but only by vehicles that
+/// passed only `R_x` (paper Eq. 41). Equals
+/// `(1−1/m_x)^{n_c} − (1−1/m_x)^{n_x}`.
+#[must_use]
+pub fn prob_e_x(p: &PairParams) -> f64 {
+    pow_one_minus(1.0 / p.m_x, p.n_c) - pow_one_minus(1.0 / p.m_x, p.n_x)
+}
+
+/// `P(E_y)` — bit `b` of `B_y` is set, but only by vehicles that passed
+/// only `R_y` (paper Eq. 42).
+#[must_use]
+pub fn prob_e_y(p: &PairParams) -> f64 {
+    pow_one_minus(1.0 / p.m_y, p.n_c) - pow_one_minus(1.0 / p.m_y, p.n_y)
+}
+
+/// The preserved privacy `p = P(E|A) = P(E_x)·P(E_y)/P(A)` (paper
+/// Eq. 43), using the closed-form `P(A)`.
+///
+/// Clamped to `[0, 1]`: Eq. 43 multiplies `P(E_x)·P(E_y)` as if
+/// independent, which can exceed the exact `P(E ∧ A)` by a sliver when
+/// `P(A)` is tiny.
+///
+/// Setting `m_x = m_y` recovers the fixed-length scheme's privacy — the
+/// paper notes \[9\] is the special case.
+#[must_use]
+pub fn preserved_privacy(p: &PairParams) -> f64 {
+    let pa = prob_both_set(p);
+    if pa <= f64::EPSILON {
+        // No bit is ever set in both arrays — nothing for a tracker to
+        // correlate; the trace is perfectly hidden.
+        return 1.0;
+    }
+    (prob_e_x(p) * prob_e_y(p) / pa).clamp(0.0, 1.0)
+}
+
+/// [`preserved_privacy`] evaluated with the direct-summation `P(A)`
+/// (Eqs. 37–39 route). O(`n_c`); for validation.
+#[must_use]
+pub fn preserved_privacy_direct(p: &PairParams) -> f64 {
+    let pa = (1.0 - prob_not_both_set_direct(p)).clamp(0.0, 1.0);
+    if pa <= f64::EPSILON {
+        return 1.0;
+    }
+    (prob_e_x(p) * prob_e_y(p) / pa).clamp(0.0, 1.0)
+}
+
+/// A point on a privacy-vs-load-factor curve (Fig. 2's axes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyPoint {
+    /// Load factor `f = m/n` applied at both RSUs.
+    pub load_factor: f64,
+    /// Preserved privacy `p` at this load factor.
+    pub privacy: f64,
+}
+
+/// Evaluates the privacy of the variable-length scheme at load factor `f`
+/// for a pair with volumes `n_x`, `n_y` and overlap `n_c =
+/// overlap_frac·min(n_x, n_y)` — the configuration of Fig. 2
+/// (`m_x = f·n_x`, `m_y = f·n_y`).
+///
+/// Returns `None` if the parameters are degenerate (e.g. `f·n ≤ 1`).
+#[must_use]
+pub fn privacy_at_load_factor(
+    f: f64,
+    n_x: f64,
+    n_y: f64,
+    overlap_frac: f64,
+    s: f64,
+) -> Option<f64> {
+    let n_c = overlap_frac * n_x.min(n_y);
+    let p = PairParams::from_load_factor(f, n_x, n_y, n_c, s).ok()?;
+    Some(preserved_privacy(&p))
+}
+
+/// Sweeps the load factor over `[lo, hi]` (log-spaced, `points` samples),
+/// reproducing one curve of Fig. 2.
+#[must_use]
+pub fn privacy_curve(
+    lo: f64,
+    hi: f64,
+    points: usize,
+    n_x: f64,
+    n_y: f64,
+    overlap_frac: f64,
+    s: f64,
+) -> Vec<PrivacyPoint> {
+    assert!(points >= 2, "a curve needs at least two points");
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    let ln_lo = lo.ln();
+    let step = (hi.ln() - ln_lo) / (points - 1) as f64;
+    (0..points)
+        .filter_map(|i| {
+            let f = (ln_lo + step * i as f64).exp();
+            privacy_at_load_factor(f, n_x, n_y, overlap_frac, s).map(|privacy| PrivacyPoint {
+                load_factor: f,
+                privacy,
+            })
+        })
+        .collect()
+}
+
+/// Finds the load factor `f* ∈ [lo, hi]` that maximizes privacy (the
+/// paper observes `f* ≈ 2–4`). Golden-section search after a coarse grid
+/// scan (the curve is unimodal in `f`).
+#[must_use]
+pub fn optimal_load_factor(
+    n_x: f64,
+    n_y: f64,
+    overlap_frac: f64,
+    s: f64,
+) -> Option<PrivacyPoint> {
+    let (lo, hi) = (0.1, 50.0);
+    let eval = |f: f64| privacy_at_load_factor(f, n_x, n_y, overlap_frac, s).unwrap_or(0.0);
+    // Coarse scan to bracket the peak.
+    let grid = privacy_curve(lo, hi, 64, n_x, n_y, overlap_frac, s);
+    let best = grid
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.privacy.total_cmp(&b.1.privacy))?;
+    let i = best.0;
+    let mut a = grid[i.saturating_sub(1)].load_factor;
+    let mut b = grid[(i + 1).min(grid.len() - 1)].load_factor;
+    // Golden-section refinement.
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    for _ in 0..60 {
+        let c = b - PHI * (b - a);
+        let d = a + PHI * (b - a);
+        if eval(c) < eval(d) {
+            a = c;
+        } else {
+            b = d;
+        }
+    }
+    let f = 0.5 * (a + b);
+    Some(PrivacyPoint {
+        load_factor: f,
+        privacy: eval(f),
+    })
+}
+
+/// The largest load factor `f ≤ 50` whose privacy still meets `target`
+/// (larger `f` means larger arrays, hence better accuracy — the paper's
+/// parameter policy picks accuracy subject to a privacy floor).
+///
+/// Returns `None` if even the optimum falls short of `target`.
+#[must_use]
+pub fn max_load_factor_for_privacy(
+    target: f64,
+    n_x: f64,
+    n_y: f64,
+    overlap_frac: f64,
+    s: f64,
+) -> Option<f64> {
+    let peak = optimal_load_factor(n_x, n_y, overlap_frac, s)?;
+    if peak.privacy < target {
+        return None;
+    }
+    let eval = |f: f64| privacy_at_load_factor(f, n_x, n_y, overlap_frac, s).unwrap_or(0.0);
+    let hi = 50.0;
+    if eval(hi) >= target {
+        return Some(hi);
+    }
+    // Privacy decreases beyond the peak: bisect [f*, 50] for the crossing.
+    let (mut lo, mut hi) = (peak.load_factor, hi);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if eval(mid) >= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// For the **fixed-length baseline** of \[9\]: the largest single array size
+/// `m` such that *every* RSU pair drawn from `volumes` (with overlap
+/// `n_c = overlap_frac·min`) keeps privacy ≥ `target`.
+///
+/// The binding constraint is the lightest-traffic pair — exactly the
+/// plummeting-privacy phenomenon of the paper's §VI-B ("m should be no
+/// larger than 15·n_min to guarantee a minimum privacy of 0.5 when
+/// s = 2").
+///
+/// Returns `None` if `volumes` is empty or no size in `[2, 50·n_max]`
+/// meets the target.
+#[must_use]
+pub fn max_fixed_size_for_privacy(
+    target: f64,
+    volumes: &[f64],
+    overlap_frac: f64,
+    s: f64,
+) -> Option<f64> {
+    let n_min = volumes.iter().copied().fold(f64::INFINITY, f64::min);
+    let n_max = volumes.iter().copied().fold(0.0f64, f64::max);
+    if !n_min.is_finite() || n_max <= 0.0 {
+        return None;
+    }
+    let worst_privacy = |m: f64| -> f64 {
+        let mut worst = 1.0f64;
+        for (i, &a) in volumes.iter().enumerate() {
+            for &b in &volumes[i..] {
+                let n_c = overlap_frac * a.min(b);
+                if let Ok(p) = PairParams::fixed_size(m, a, b, n_c, s) {
+                    worst = worst.min(preserved_privacy(&p));
+                }
+            }
+        }
+        worst
+    };
+    // The worst-pair privacy rises then falls in m (same unimodal shape
+    // as the load-factor curve at the lightest RSU). Scan for a feasible
+    // bracket, then bisect the upper crossing.
+    let lo_m = 2.0f64;
+    let hi_m = 50.0 * n_max;
+    let points = 128;
+    let ln_lo = lo_m.ln();
+    let step = (hi_m.ln() - ln_lo) / (points - 1) as f64;
+    let mut best_feasible: Option<f64> = None;
+    let mut first_infeasible_after: Option<f64> = None;
+    for i in 0..points {
+        let m = (ln_lo + step * i as f64).exp();
+        if worst_privacy(m) >= target {
+            best_feasible = Some(m);
+            first_infeasible_after = None;
+        } else if best_feasible.is_some() && first_infeasible_after.is_none() {
+            first_infeasible_after = Some(m);
+        }
+    }
+    let lo = best_feasible?;
+    let Some(hi) = first_infeasible_after else {
+        return Some(hi_m);
+    };
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if worst_privacy(mid) >= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_params(f: f64, ratio: f64, s: f64) -> PairParams {
+        let n_x = 10_000.0;
+        let n_y = ratio * n_x;
+        PairParams::from_load_factor(f, n_x, n_y, 0.1 * n_x, s).unwrap()
+    }
+
+    #[test]
+    fn closed_form_matches_direct_summation() {
+        // Eq. 40 must equal the Eq. 37–39 summation it was derived from.
+        for &(f, ratio, s) in &[
+            (1.0, 1.0, 2.0),
+            (3.0, 1.0, 5.0),
+            (3.0, 10.0, 5.0),
+            (0.5, 50.0, 2.0),
+            (20.0, 10.0, 10.0),
+        ] {
+            let p = fig2_params(f, ratio, s);
+            let closed = prob_not_both_set(&p);
+            let direct = prob_not_both_set_direct(&p);
+            assert!(
+                (closed - direct).abs() < 1e-9,
+                "f={f} ratio={ratio} s={s}: closed {closed} vs direct {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn privacy_spot_value_equal_traffic() {
+        // Paper §VI-B: "when s = 5, the privacy of the cars passing
+        // comparable-traffic RSUs will be more than 0.75" at f = f*.
+        let p = fig2_params(3.0, 1.0, 5.0);
+        let privacy = preserved_privacy(&p);
+        assert!(
+            (privacy - 0.75).abs() < 0.02,
+            "expected ≈ 0.75, got {privacy}"
+        );
+    }
+
+    #[test]
+    fn privacy_spot_value_10x_skew() {
+        // Paper: "given f̄ = 3 when s = 5, the optimal privacy is 0.89
+        // for n_y = 10·n_x".
+        let p = fig2_params(3.0, 10.0, 5.0);
+        let privacy = preserved_privacy(&p);
+        assert!(
+            (privacy - 0.89).abs() < 0.02,
+            "expected ≈ 0.89, got {privacy}"
+        );
+    }
+
+    #[test]
+    fn privacy_spot_value_50x_skew() {
+        // Paper: "0.91 for n_y = 50·n_x" (same f̄ = 3, s = 5).
+        let p = fig2_params(3.0, 50.0, 5.0);
+        let privacy = preserved_privacy(&p);
+        assert!(
+            (privacy - 0.91).abs() < 0.025,
+            "expected ≈ 0.91, got {privacy}"
+        );
+    }
+
+    #[test]
+    fn fixed_scheme_privacy_collapses_at_high_load_factor() {
+        // Paper: at effective load factor 50 with s = 2, "the privacy is
+        // only about 0.2" — the plummeting-privacy phenomenon.
+        let p = fig2_params(50.0, 1.0, 2.0);
+        let privacy = preserved_privacy(&p);
+        assert!(
+            (privacy - 0.2).abs() < 0.05,
+            "expected ≈ 0.2, got {privacy}"
+        );
+    }
+
+    #[test]
+    fn skewed_traffic_improves_privacy_under_variable_sizing() {
+        // §VI-B: variable-length arrays give *better* optimal privacy when
+        // volumes differ (the unfolding adds masking 1-bits).
+        for s in [2.0, 5.0, 10.0] {
+            let equal = preserved_privacy(&fig2_params(3.0, 1.0, s));
+            let skewed10 = preserved_privacy(&fig2_params(3.0, 10.0, s));
+            let skewed50 = preserved_privacy(&fig2_params(3.0, 50.0, s));
+            assert!(skewed10 > equal, "s={s}: {skewed10} <= {equal}");
+            assert!(skewed50 > equal, "s={s}: {skewed50} <= {equal}");
+        }
+    }
+
+    #[test]
+    fn privacy_curve_is_unimodal_with_peak_near_2_to_4() {
+        let curve = privacy_curve(0.1, 50.0, 100, 10_000.0, 10_000.0, 0.1, 5.0);
+        let peak = curve
+            .iter()
+            .max_by(|a, b| a.privacy.total_cmp(&b.privacy))
+            .unwrap();
+        assert!(
+            (2.0..=4.0).contains(&peak.load_factor),
+            "peak at f = {}",
+            peak.load_factor
+        );
+        // Monotone up before the peak, monotone down after (tolerant check).
+        let peak_idx = curve
+            .iter()
+            .position(|p| p.load_factor == peak.load_factor)
+            .unwrap();
+        for w in curve[..peak_idx].windows(2) {
+            assert!(w[0].privacy <= w[1].privacy + 1e-9);
+        }
+        for w in curve[peak_idx..].windows(2) {
+            assert!(w[0].privacy + 1e-9 >= w[1].privacy);
+        }
+    }
+
+    #[test]
+    fn optimal_load_factor_matches_curve_peak() {
+        let opt = optimal_load_factor(10_000.0, 10_000.0, 0.1, 5.0).unwrap();
+        assert!((2.0..=4.0).contains(&opt.load_factor));
+        assert!((opt.privacy - 0.75).abs() < 0.03);
+    }
+
+    #[test]
+    fn max_load_factor_respects_target() {
+        let f = max_load_factor_for_privacy(0.5, 10_000.0, 10_000.0, 0.1, 2.0).unwrap();
+        let at_f = privacy_at_load_factor(f, 10_000.0, 10_000.0, 0.1, 2.0).unwrap();
+        assert!((at_f - 0.5).abs() < 0.01, "privacy at f = {f} is {at_f}");
+        // Slightly beyond the returned f the privacy drops below target.
+        let beyond = privacy_at_load_factor(f * 1.1, 10_000.0, 10_000.0, 0.1, 2.0).unwrap();
+        assert!(beyond < 0.5);
+    }
+
+    #[test]
+    fn max_load_factor_none_when_unreachable() {
+        assert!(max_load_factor_for_privacy(0.999, 10_000.0, 10_000.0, 0.1, 2.0).is_none());
+    }
+
+    #[test]
+    fn fixed_size_cap_is_about_15_n_min_for_s2() {
+        // Paper §VI-B: "m should be no larger than 15·n_min to guarantee a
+        // minimum privacy of 0.5 when s = 2".
+        let n_min = 20_000.0;
+        let volumes = [n_min, 500_000.0];
+        let m = max_fixed_size_for_privacy(0.5, &volumes, 0.1, 2.0).unwrap();
+        let ratio = m / n_min;
+        assert!(
+            (10.0..=20.0).contains(&ratio),
+            "cap should be ≈ 15·n_min, got {ratio}·n_min"
+        );
+    }
+
+    #[test]
+    fn equal_sizes_reduce_to_baseline_formula() {
+        // With m_x = m_y Eq. 43 is \[9\]'s formula; C_4 = 1 exactly.
+        let p = PairParams::fixed_size(30_000.0, 10_000.0, 10_000.0, 1_000.0, 2.0).unwrap();
+        let a1 = 1.0 / p.m_x;
+        let q = pow_one_minus(a1, p.n_x);
+        // Hand-evaluated Eq. 40 for the symmetric case.
+        let c5 = (1.0 / p.s) / (1.0 - a1) + (1.0 - 1.0 / p.s);
+        let expected_pa = 2.0 * q - q * q * c5.powf(p.n_c);
+        assert!((prob_not_both_set(&p) - expected_pa).abs() < 1e-12);
+    }
+
+    #[test]
+    fn privacy_is_one_when_nothing_collides() {
+        // Huge arrays, no overlap: P(A) ≈ 0, privacy defaults to 1.
+        let p = PairParams::new(2.0, 2.0, 0.0, 1e12, 1e12, 2.0).unwrap();
+        assert_eq!(preserved_privacy(&p), 1.0);
+    }
+
+    #[test]
+    fn privacy_bounds() {
+        for f in [0.1, 0.5, 1.0, 3.0, 10.0, 50.0] {
+            for ratio in [1.0, 10.0, 50.0] {
+                for s in [2.0, 5.0, 10.0] {
+                    let privacy = preserved_privacy(&fig2_params(f, ratio, s));
+                    assert!((0.0..=1.0).contains(&privacy));
+                }
+            }
+        }
+    }
+}

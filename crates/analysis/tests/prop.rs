@@ -1,0 +1,143 @@
+//! Property tests for the analysis formulas.
+
+use proptest::prelude::*;
+
+use vcps_analysis::accuracy::{self, CovarianceMethod};
+use vcps_analysis::{covariance, fisher, privacy, stats, PairParams};
+
+/// Strategy: a well-posed parameter set with nested power-of-two sizes,
+/// constrained to load factors where the zero fractions don't underflow
+/// (the scheme's operating regime; fully saturated arrays are covered by
+/// dedicated unit tests).
+fn nested_params() -> impl Strategy<Value = PairParams> {
+    (
+        10.0f64..5_000.0, // n_x
+        1.0f64..40.0,     // skew
+        0.0f64..0.9,      // overlap fraction of n_x
+        0.05f64..60.0,    // load factor
+        2.0f64..10.0,     // s
+    )
+        .prop_map(|(n_x, skew, overlap, f, s)| {
+            let n_y = n_x * skew;
+            let n_c = (overlap * n_x.min(n_y)).floor();
+            let pow2 = |t: f64| 2f64.powf(t.log2().ceil()).max(4.0);
+            let m_x = pow2(n_x * f);
+            let m_y = pow2(n_y * f);
+            PairParams::new(n_x, n_y, n_c, m_x, m_y, s).expect("valid by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn privacy_routes_agree_and_bound(p in nested_params()) {
+        let closed = privacy::prob_not_both_set(&p);
+        let direct = privacy::prob_not_both_set_direct(&p);
+        prop_assert!((closed - direct).abs() < 1e-7, "closed {} direct {}", closed, direct);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&closed));
+        let priv_p = privacy::preserved_privacy(&p);
+        let priv_d = privacy::preserved_privacy_direct(&p);
+        prop_assert!((priv_p - priv_d).abs() < 1e-5);
+        prop_assert!((0.0..=1.0).contains(&priv_p));
+    }
+
+    #[test]
+    fn q_c_within_bounds_and_monotone(p in nested_params()) {
+        let q = accuracy::q_c(&p);
+        prop_assert!((0.0..=1.0).contains(&q));
+        // Lower bound: zero overlap; upper bound shifts up with n_c.
+        let base = p.with_overlap(0.0).unwrap();
+        prop_assert!(q >= accuracy::q_c(&base) - 1e-12);
+    }
+
+    #[test]
+    fn exact_variances_are_nonnegative(p in nested_params()) {
+        let t = covariance::covariance_terms(&p).unwrap();
+        prop_assert!(t.u_cc >= -1e-6, "Var(Uc) {}", t.u_cc);
+        prop_assert!(t.u_xx >= -1e-6, "Var(Ux) {}", t.u_xx);
+        prop_assert!(t.u_yy >= -1e-6, "Var(Uy) {}", t.u_yy);
+        // Cauchy–Schwarz for each covariance.
+        let cs = |cov: f64, va: f64, vb: f64| cov * cov <= va * vb * (1.0 + 1e-6) + 1e-6;
+        prop_assert!(cs(t.u_cx, t.u_cc, t.u_xx));
+        prop_assert!(cs(t.u_cy, t.u_cc, t.u_yy));
+        prop_assert!(cs(t.u_xy, t.u_xx, t.u_yy));
+    }
+
+    #[test]
+    fn estimator_variance_positive_under_all_methods(p in nested_params()) {
+        for method in [
+            CovarianceMethod::Ignore,
+            CovarianceMethod::PaperEq35,
+            CovarianceMethod::Exact,
+        ] {
+            let var = accuracy::estimator_variance(&p, method).unwrap();
+            prop_assert!(var >= -1e-6, "{method:?}: {var}");
+        }
+    }
+
+    #[test]
+    fn exact_variance_never_exceeds_binomial_model(p in nested_params()) {
+        // The binomial model ignores the negative per-bit correlations
+        // and the cancellation between the three arrays; it should be an
+        // upper bound (up to numerical slack).
+        let exact = accuracy::estimator_variance(&p, CovarianceMethod::Exact).unwrap();
+        let model = accuracy::estimator_variance(&p, CovarianceMethod::Ignore).unwrap();
+        prop_assert!(exact <= model * 1.05 + 1e-9, "exact {} model {}", exact, model);
+    }
+
+    #[test]
+    fn crlb_bounds_model_variance(p in nested_params()) {
+        let bound = fisher::crlb(&p);
+        if bound.is_finite() {
+            let model = accuracy::estimator_variance(&p, CovarianceMethod::Ignore).unwrap();
+            prop_assert!(model >= bound * (1.0 - 1e-9), "model {} bound {}", model, bound);
+            let eff = fisher::efficiency(&p).unwrap();
+            prop_assert!((0.0..=1.0).contains(&eff));
+        }
+    }
+
+    #[test]
+    fn confidence_intervals_nest(p in nested_params()) {
+        let (lo90, hi90) =
+            accuracy::confidence_interval(&p, 0.90, CovarianceMethod::Ignore).unwrap();
+        let (lo99, hi99) =
+            accuracy::confidence_interval(&p, 0.99, CovarianceMethod::Ignore).unwrap();
+        prop_assert!(lo99 <= lo90 && hi99 >= hi90);
+    }
+
+    #[test]
+    fn normal_quantile_is_odd_and_monotone(p in 0.001f64..0.999) {
+        let q = stats::normal_quantile(p);
+        let q_sym = stats::normal_quantile(1.0 - p);
+        prop_assert!((q + q_sym).abs() < 1e-7, "odd symmetry: {} vs {}", q, q_sym);
+        let q_up = stats::normal_quantile((p + 0.0005).min(0.9995));
+        prop_assert!(q_up >= q - 1e-12);
+    }
+
+    #[test]
+    fn online_stats_merge_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..60),
+        ys in prop::collection::vec(-1e3f64..1e3, 1..60),
+        zs in prop::collection::vec(-1e3f64..1e3, 1..60),
+    ) {
+        let s = |v: &[f64]| v.iter().copied().collect::<stats::OnlineStats>();
+        let mut left = s(&xs);
+        left.merge(&s(&ys));
+        left.merge(&s(&zs));
+        let mut right = s(&ys);
+        right.merge(&s(&zs));
+        let mut outer = s(&xs);
+        outer.merge(&right);
+        prop_assert!((left.mean() - outer.mean()).abs() < 1e-8);
+        prop_assert!((left.sample_variance() - outer.sample_variance()).abs() < 1e-6);
+        prop_assert_eq!(left.count(), outer.count());
+    }
+
+    #[test]
+    fn pow_one_minus_is_monotone_in_n(frac in 0.0001f64..0.9999, n in 0.0f64..1e5) {
+        let a = stats::pow_one_minus(frac, n);
+        let b = stats::pow_one_minus(frac, n + 1.0);
+        prop_assert!(b <= a + 1e-15);
+    }
+}

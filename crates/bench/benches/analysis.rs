@@ -1,0 +1,70 @@
+//! Analysis-formula costs, including the closed-form vs direct-summation
+//! ablation for the privacy probability (DESIGN.md §6.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vcps_analysis::accuracy::{self, CovarianceMethod};
+use vcps_analysis::{covariance, privacy, PairParams};
+
+fn params(n_c: f64) -> PairParams {
+    PairParams::new(10_000.0, 100_000.0, n_c, 32_768.0, 262_144.0, 2.0).unwrap()
+}
+
+fn bench_privacy_closed_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/privacy");
+    for n_c in [100.0, 1_000.0, 10_000.0] {
+        let p = params(n_c);
+        group.bench_with_input(
+            BenchmarkId::new("closed_form_eq40", n_c as u64),
+            &p,
+            |b, p| b.iter(|| black_box(privacy::preserved_privacy(p))),
+        );
+        // O(n_c) summation — the cost the closed form avoids.
+        group.bench_with_input(
+            BenchmarkId::new("direct_sum_eq37", n_c as u64),
+            &p,
+            |b, p| b.iter(|| black_box(privacy::preserved_privacy_direct(p))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_accuracy_formulas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/accuracy");
+    let p = params(1_000.0);
+    group.bench_function("bias_ratio_eq33", |b| {
+        b.iter(|| black_box(accuracy::bias_ratio(&p)))
+    });
+    group.bench_function("std_dev_exact_eq34", |b| {
+        b.iter(|| black_box(accuracy::std_dev_ratio(&p, CovarianceMethod::Exact).unwrap()))
+    });
+    group.bench_function("covariance_terms", |b| {
+        b.iter(|| black_box(covariance::covariance_terms(&p).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_parameter_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/solvers");
+    group.sample_size(20);
+    group.bench_function("optimal_load_factor", |b| {
+        b.iter(|| black_box(privacy::optimal_load_factor(10_000.0, 10_000.0, 0.1, 2.0)))
+    });
+    group.bench_function("max_load_factor_for_privacy", |b| {
+        b.iter(|| {
+            black_box(privacy::max_load_factor_for_privacy(
+                0.5, 10_000.0, 10_000.0, 0.1, 2.0,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_privacy_closed_vs_direct,
+    bench_accuracy_formulas,
+    bench_parameter_solvers
+);
+criterion_main!(benches);

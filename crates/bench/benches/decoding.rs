@@ -1,0 +1,39 @@
+//! Server decode cost (paper §IV-E): O(m_y) per pair. The per-element
+//! throughput should stay flat as m_y grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use vcps_bench::filled_sketch;
+use vcps_core::estimator::estimate_pair;
+
+fn bench_decode_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decoding/estimate_pair_vs_my");
+    for k in [12u32, 14, 16, 18, 20] {
+        let m_y = 1usize << k;
+        let m_x = m_y / 8;
+        let x = filled_sketch(1, m_x, 0.3);
+        let y = filled_sketch(2, m_y, 0.3);
+        group.throughput(Throughput::Elements(m_y as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m_y), &(x, y), |b, (x, y)| {
+            b.iter(|| black_box(estimate_pair(x, y, 2).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_equal_sizes(c: &mut Criterion) {
+    // The baseline's decode (m_x = m_y): same asymptotics, no unfolding.
+    let mut group = c.benchmark_group("decoding/estimate_pair_equal_m");
+    let m = 1usize << 18;
+    let x = filled_sketch(1, m, 0.3);
+    let y = filled_sketch(2, m, 0.3);
+    group.throughput(Throughput::Elements(m as u64));
+    group.bench_function("fixed_baseline", |b| {
+        b.iter(|| black_box(estimate_pair(&x, &y, 2).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode_scaling, bench_decode_equal_sizes);
+criterion_main!(benches);

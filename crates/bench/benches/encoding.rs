@@ -1,0 +1,45 @@
+//! Online-coding costs (paper §IV-E): O(1) per vehicle per query and
+//! O(1) per RSU per report, independent of the array size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vcps_core::{RsuId, RsuSketch, Scheme, VehicleIdentity};
+
+fn bench_vehicle_report_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding/vehicle_report_index");
+    let scheme = Scheme::variable(2, 3.0, 7).unwrap();
+    let vehicle = VehicleIdentity::from_raw(42, 43);
+    // The claim: cost does not grow with m_x.
+    for k in [10u32, 16, 22] {
+        let m_x = 1usize << k;
+        let m_o = 1usize << 22;
+        let mut r = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(m_x), &m_x, |b, &m_x| {
+            b.iter(|| {
+                r = r.wrapping_add(1);
+                black_box(scheme.report_index(&vehicle, RsuId(r % 256), m_x, m_o))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rsu_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding/rsu_record");
+    for k in [10u32, 16, 22] {
+        let m = 1usize << k;
+        let mut sketch = RsuSketch::new(RsuId(1), m).unwrap();
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                i = (i + 8191) % m;
+                sketch.record(black_box(i)).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vehicle_report_index, bench_rsu_record);
+criterion_main!(benches);

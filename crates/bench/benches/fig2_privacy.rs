@@ -1,0 +1,37 @@
+//! Fig. 2 regeneration cost: the full privacy-vs-load-factor curves for
+//! all three traffic ratios and s ∈ {2, 5, 10}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vcps_analysis::privacy;
+
+fn bench_fig2_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/privacy_curves");
+    let n_x = 10_000.0;
+    for ratio in [1.0, 10.0, 50.0] {
+        group.bench_with_input(
+            BenchmarkId::new("plot", format!("{ratio}x")),
+            &ratio,
+            |b, &ratio| {
+                b.iter(|| {
+                    for s in [2.0, 5.0, 10.0] {
+                        black_box(privacy::privacy_curve(
+                            0.1,
+                            50.0,
+                            60,
+                            n_x,
+                            ratio * n_x,
+                            0.1,
+                            s,
+                        ));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_curves);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 4/5 regeneration cost: one accuracy point per traffic skew for
+//! both schemes, at 1/10 scale (n_x = 1,000).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vcps_core::{RsuId, Scheme};
+use vcps_sim::synthetic::SyntheticPair;
+use vcps_sim::PairRunner;
+
+fn bench_accuracy_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_fig5/point");
+    group.sample_size(10);
+    let n_x = 1_000u64;
+    for ratio in [1u64, 10, 50] {
+        let workload = SyntheticPair::generate(n_x, ratio * n_x, n_x / 5, 0xF45);
+        for (name, scheme) in [
+            ("fig5_novel", Scheme::variable(2, 13.0, 9).unwrap()),
+            ("fig4_baseline", Scheme::fixed(2, 13_000, 9).unwrap()),
+        ] {
+            let runner = PairRunner::new(scheme, RsuId(1), RsuId(2));
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{ratio}x")),
+                &runner,
+                |b, r| b.iter(|| black_box(r.run(&workload).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy_points);
+criterion_main!(benches);

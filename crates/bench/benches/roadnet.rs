@@ -1,0 +1,46 @@
+//! Road-network substrate costs on the Sioux Falls instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vcps_roadnet::assignment::{all_or_nothing, msa_equilibrium, point_volumes};
+use vcps_roadnet::{shortest_path, sioux_falls};
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let net = sioux_falls::network();
+    let costs = net.free_flow_times();
+    c.bench_function("roadnet/dijkstra_single_origin", |b| {
+        let mut origin = 0usize;
+        b.iter(|| {
+            origin = (origin + 1) % net.node_count();
+            black_box(shortest_path(&net, origin, &costs).unwrap())
+        })
+    });
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let net = sioux_falls::network();
+    let trips = sioux_falls::trip_table();
+    let costs = net.free_flow_times();
+    c.bench_function("roadnet/all_or_nothing", |b| {
+        b.iter(|| black_box(all_or_nothing(&net, &trips, &costs)))
+    });
+    c.bench_function("roadnet/point_volumes", |b| {
+        let a = all_or_nothing(&net, &trips, &costs);
+        b.iter(|| black_box(point_volumes(&a, &trips, net.node_count())))
+    });
+}
+
+fn bench_equilibrium(c: &mut Criterion) {
+    let net = sioux_falls::network();
+    let trips = sioux_falls::trip_table();
+    let mut group = c.benchmark_group("roadnet/msa_equilibrium");
+    group.sample_size(10);
+    group.bench_function("50_iterations", |b| {
+        b.iter(|| black_box(msa_equilibrium(&net, &trips, 50)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra, bench_assignment, bench_equilibrium);
+criterion_main!(benches);

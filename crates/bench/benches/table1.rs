@@ -1,0 +1,46 @@
+//! Table I regeneration cost: one Sioux Falls pair end-to-end (online
+//! coding + wire round-trip + decode), both schemes, at 1/10 scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vcps_core::{RsuId, Scheme};
+use vcps_sim::synthetic::SyntheticPair;
+use vcps_sim::PairRunner;
+
+fn bench_table1_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/row_d16");
+    group.sample_size(10);
+    // Column (R_x = 3): n_x = 28k, n_y = 451k, n_c = 3k, scaled by 10.
+    let workload = SyntheticPair::generate(2_800, 45_100, 300, 0xBE);
+    for (name, scheme) in [
+        ("novel_f13", Scheme::variable(2, 13.0, 9).unwrap()),
+        ("baseline_m37k", Scheme::fixed(2, 36_669, 9).unwrap()),
+    ] {
+        let runner = PairRunner::new(scheme, RsuId(1), RsuId(2));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &runner, |b, r| {
+            b.iter(|| black_box(r.run(&workload).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table1_assignment(c: &mut Criterion) {
+    // The workload generator: Sioux Falls all-or-nothing assignment and
+    // ground-truth pair volumes.
+    use vcps_roadnet::assignment::{all_or_nothing, pair_volumes};
+    use vcps_roadnet::sioux_falls;
+    let net = sioux_falls::network();
+    let trips = sioux_falls::trip_table();
+    let mut group = c.benchmark_group("table1/workload");
+    group.bench_function("aon_plus_pair_volumes", |b| {
+        b.iter(|| {
+            let a = all_or_nothing(&net, &trips, &net.free_flow_times());
+            black_box(pair_volumes(&a, &trips, net.node_count()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_row, bench_table1_assignment);
+criterion_main!(benches);

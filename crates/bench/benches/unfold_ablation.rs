@@ -1,0 +1,37 @@
+//! Ablation (DESIGN.md §6.1): streaming combined zero count vs
+//! materializing the unfolded array then OR-ing and counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use vcps_bitarray::{combined_zero_count, combined_zero_count_naive, BitArray};
+
+fn arrays(ratio: usize) -> (BitArray, BitArray) {
+    let m_x = 1usize << 14;
+    let m_y = m_x * ratio;
+    let x = BitArray::from_indices(m_x, (0..m_x / 3).map(|i| (i * 7) % m_x)).unwrap();
+    let y = BitArray::from_indices(m_y, (0..m_y / 3).map(|i| (i * 13) % m_y)).unwrap();
+    (x, y)
+}
+
+fn bench_streaming_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unfold_ablation");
+    for ratio in [1usize, 8, 64] {
+        let (x, y) = arrays(ratio);
+        group.throughput(Throughput::Elements(y.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("streaming", ratio),
+            &(&x, &y),
+            |b, (x, y)| b.iter(|| black_box(combined_zero_count(x, y).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("materialized", ratio),
+            &(&x, &y),
+            |b, (x, y)| b.iter(|| black_box(combined_zero_count_naive(x, y).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_vs_naive);
+criterion_main!(benches);

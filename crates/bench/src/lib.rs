@@ -1,0 +1,65 @@
+//! Benchmark support for the VCPS workspace.
+//!
+//! The actual benchmarks live in `benches/` (Criterion harnesses, one per
+//! paper artifact or ablation — see DESIGN.md §3/§6):
+//!
+//! * `bitarray` — substrate micro-benchmarks (set/count/or/unfold).
+//! * `encoding` — vehicle-side and RSU-side O(1) costs (paper §IV-E).
+//! * `decoding` — server decode vs `m_y`, the O(m_y) claim (§IV-E).
+//! * `unfold_ablation` — streaming combined zero count vs materializing
+//!   the unfolded array (DESIGN.md ablation 1).
+//! * `analysis` — closed-form privacy (Eq. 40) vs direct summation
+//!   (Eqs. 37–39) and the exact moment computations.
+//! * `fig2_privacy` — cost of regenerating the Fig. 2 curves.
+//! * `table1` — one Table I row end-to-end, both schemes (scaled).
+//! * `fig4_fig5_accuracy` — one accuracy point per skew, both schemes
+//!   (scaled).
+//! * `roadnet` — Dijkstra / all-or-nothing / MSA on Sioux Falls.
+//!
+//! This library only exports small workload builders shared by those
+//! benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vcps_core::RsuSketch;
+use vcps_hash::RsuId;
+
+/// Builds a sketch of size `m` with roughly `fill` fraction of distinct
+/// bits set, deterministically.
+///
+/// # Panics
+///
+/// Panics if `m < 2` or `fill` is not in `[0, 1]`.
+#[must_use]
+pub fn filled_sketch(id: u64, m: usize, fill: f64) -> RsuSketch {
+    assert!((0.0..=1.0).contains(&fill), "fill must be a fraction");
+    let mut sketch = RsuSketch::new(RsuId(id), m).expect("valid size");
+    let target = (m as f64 * fill) as usize;
+    // A coprime stride visits distinct indices.
+    let stride = (m / 2 + 1) | 1;
+    let mut idx = 0usize;
+    for _ in 0..target {
+        idx = (idx + stride) % m;
+        sketch.record(idx).expect("in range");
+    }
+    sketch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_sketch_hits_target_fill() {
+        let s = filled_sketch(1, 1 << 12, 0.25);
+        let ones = s.bits().count_ones() as f64 / (1 << 12) as f64;
+        assert!((ones - 0.25).abs() < 0.05, "fill {ones}");
+    }
+
+    #[test]
+    fn zero_fill_is_empty() {
+        let s = filled_sketch(1, 64, 0.0);
+        assert_eq!(s.bits().count_ones(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by bit-array construction and combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BitArrayError {
+    /// A bit array must contain at least one bit.
+    EmptyArray,
+    /// Two arrays had different lengths where equal lengths were required.
+    LengthMismatch {
+        /// Length of the left-hand array.
+        left: usize,
+        /// Length of the right-hand array.
+        right: usize,
+    },
+    /// An unfold target was not a positive multiple of the source length.
+    NotAMultiple {
+        /// Source array length.
+        source: usize,
+        /// Requested target length.
+        target: usize,
+    },
+    /// A length that must be a power of two was not.
+    NotPowerOfTwo {
+        /// The offending value.
+        value: usize,
+    },
+    /// A bit index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The array length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for BitArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BitArrayError::EmptyArray => write!(f, "bit array length must be at least 1"),
+            BitArrayError::LengthMismatch { left, right } => {
+                write!(f, "bit array lengths differ: {left} vs {right}")
+            }
+            BitArrayError::NotAMultiple { source, target } => write!(
+                f,
+                "unfold target {target} is not a positive multiple of source length {source}"
+            ),
+            BitArrayError::NotPowerOfTwo { value } => {
+                write!(f, "{value} is not a power of two")
+            }
+            BitArrayError::IndexOutOfBounds { index, len } => {
+                write!(f, "bit index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl Error for BitArrayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(BitArrayError, &str)> = vec![
+            (BitArrayError::EmptyArray, "at least 1"),
+            (
+                BitArrayError::LengthMismatch { left: 8, right: 16 },
+                "8 vs 16",
+            ),
+            (
+                BitArrayError::NotAMultiple {
+                    source: 8,
+                    target: 12,
+                },
+                "not a positive multiple",
+            ),
+            (BitArrayError::NotPowerOfTwo { value: 12 }, "power of two"),
+            (
+                BitArrayError::IndexOutOfBounds { index: 9, len: 8 },
+                "out of bounds",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(
+                !msg.chars().next().unwrap().is_uppercase(),
+                "{msg:?} should not start with an uppercase letter"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BitArrayError>();
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the bit-array substrate.
+
+use proptest::prelude::*;
+
+use vcps_bitarray::{
+    combined_zero_count, combined_zero_count_naive, BitArray, Pow2, SparseBits,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn set_clear_get_agree_with_model(
+        len in 1usize..600,
+        ops in prop::collection::vec((any::<u32>(), any::<bool>()), 0..200),
+    ) {
+        // Model: a Vec<bool> mutated in lockstep.
+        let mut array = BitArray::new(len);
+        let mut model = vec![false; len];
+        for (raw, set) in ops {
+            let i = raw as usize % len;
+            if set {
+                array.set(i);
+                model[i] = true;
+            } else {
+                array.clear(i);
+                model[i] = false;
+            }
+        }
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(array.get(i), m);
+        }
+        prop_assert_eq!(array.count_ones(), model.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn or_and_de_morgan_ish(
+        len in 1usize..300,
+        xs in prop::collection::vec(any::<u32>(), 0..64),
+        ys in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let a = BitArray::from_indices(len, xs.iter().map(|&v| v as usize % len)).unwrap();
+        let b = BitArray::from_indices(len, ys.iter().map(|&v| v as usize % len)).unwrap();
+        let or = a.or(&b).unwrap();
+        let and = a.and(&b).unwrap();
+        // |A| + |B| = |A∪B| + |A∩B|
+        prop_assert_eq!(
+            a.count_ones() + b.count_ones(),
+            or.count_ones() + and.count_ones()
+        );
+    }
+
+    #[test]
+    fn unfold_is_associative_in_stages(
+        k in 0u32..6, r1 in 0u32..4, r2 in 0u32..4,
+        xs in prop::collection::vec(any::<u32>(), 0..32),
+    ) {
+        // unfold(unfold(B, m·2^r1), m·2^(r1+r2)) == unfold(B, m·2^(r1+r2)).
+        let m = 1usize << k;
+        let a = BitArray::from_indices(m, xs.iter().map(|&v| v as usize % m)).unwrap();
+        let staged = a
+            .unfold(m << r1)
+            .unwrap()
+            .unfold(m << (r1 + r2))
+            .unwrap();
+        let direct = a.unfold(m << (r1 + r2)).unwrap();
+        prop_assert_eq!(staged, direct);
+    }
+
+    #[test]
+    fn combined_count_symmetric_under_equal_lengths(
+        k in 0u32..8,
+        xs in prop::collection::vec(any::<u32>(), 0..64),
+        ys in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let m = 1usize << k;
+        let a = BitArray::from_indices(m, xs.iter().map(|&v| v as usize % m)).unwrap();
+        let b = BitArray::from_indices(m, ys.iter().map(|&v| v as usize % m)).unwrap();
+        prop_assert_eq!(
+            combined_zero_count(&a, &b).unwrap(),
+            combined_zero_count(&b, &a).unwrap()
+        );
+    }
+
+    #[test]
+    fn combined_count_bounds(
+        kx in 0u32..8, extra in 0u32..4,
+        xs in prop::collection::vec(any::<u32>(), 0..64),
+        ys in prop::collection::vec(any::<u32>(), 0..256),
+    ) {
+        let m_x = 1usize << kx;
+        let m_y = m_x << extra;
+        let x = BitArray::from_indices(m_x, xs.iter().map(|&v| v as usize % m_x)).unwrap();
+        let y = BitArray::from_indices(m_y, ys.iter().map(|&v| v as usize % m_y)).unwrap();
+        let u_c = combined_zero_count(&x, &y).unwrap();
+        // U_c cannot exceed either array's zero share scaled to m_y.
+        let ratio = m_y / m_x;
+        prop_assert!(u_c <= x.count_zeros() * ratio);
+        prop_assert!(u_c <= y.count_zeros());
+        prop_assert_eq!(u_c, combined_zero_count_naive(&x, &y).unwrap());
+    }
+
+    #[test]
+    fn sparse_roundtrip_any_array(
+        len in 1usize..2_000,
+        xs in prop::collection::vec(any::<u32>(), 0..256),
+    ) {
+        let bits = BitArray::from_indices(len, xs.iter().map(|&v| v as usize % len)).unwrap();
+        let encoded = SparseBits::encode(&bits);
+        prop_assert_eq!(encoded.decode().unwrap(), bits);
+    }
+
+    #[test]
+    fn sparse_picks_the_smaller_payload(
+        len in 64usize..2_000,
+        xs in prop::collection::vec(any::<u32>(), 0..256),
+    ) {
+        let bits = BitArray::from_indices(len, xs.iter().map(|&v| v as usize % len)).unwrap();
+        let encoded = SparseBits::encode(&bits);
+        let dense_bytes = bits.as_words().len() * 8;
+        let sparse_bytes = bits.count_ones() * 8;
+        let expected = if bits.count_ones() < bits.as_words().len() {
+            sparse_bytes
+        } else {
+            dense_bytes
+        };
+        prop_assert_eq!(encoded.payload_bytes(), expected);
+        prop_assert!(encoded.payload_bytes() <= dense_bytes.max(sparse_bytes));
+    }
+
+    #[test]
+    fn pow2_ceil_monotone(a in 1.0f64..1e9, b in 1.0f64..1e9) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let pa = Pow2::ceil_from(lo).unwrap();
+        let pb = Pow2::ceil_from(hi).unwrap();
+        prop_assert!(pa.get() <= pb.get());
+    }
+
+    #[test]
+    fn reset_restores_fresh_state(
+        len in 1usize..500,
+        xs in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let mut bits =
+            BitArray::from_indices(len, xs.iter().map(|&v| v as usize % len)).unwrap();
+        bits.reset();
+        prop_assert_eq!(bits, BitArray::new(len));
+    }
+}

@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+use vcps_bitarray::BitArrayError;
+use vcps_hash::RsuId;
+
+/// Errors produced by scheme configuration, recording, and decoding.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Invalid scheme configuration.
+    InvalidConfig {
+        /// Which parameter is invalid.
+        parameter: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// An RSU id was not part of the deployment.
+    UnknownRsu {
+        /// The offending id.
+        rsu: RsuId,
+    },
+    /// Two RSU ids collided or a pair query used the same id twice.
+    DuplicateRsu {
+        /// The offending id.
+        rsu: RsuId,
+    },
+    /// A bit array is fully saturated (no zero bits), so the estimator's
+    /// logarithms are undefined. The paper's formula silently assumes
+    /// `V > 0`; we surface the failure. Use
+    /// [`estimate_pair_or_clamp`](crate::estimator::estimate_pair_or_clamp)
+    /// to force a (biased) value anyway.
+    Saturated {
+        /// Which array saturated: `"B_x"`, `"B_y"`, or `"B_c"`.
+        which: &'static str,
+    },
+    /// An underlying bit-array operation failed (size mismatch etc.).
+    BitArray(BitArrayError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration: {parameter} {reason}")
+            }
+            CoreError::UnknownRsu { rsu } => write!(f, "unknown RSU {rsu}"),
+            CoreError::DuplicateRsu { rsu } => write!(f, "duplicate RSU {rsu}"),
+            CoreError::Saturated { which } => {
+                write!(f, "bit array {which} is saturated (no zero bits)")
+            }
+            CoreError::BitArray(e) => write!(f, "bit array operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::BitArray(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BitArrayError> for CoreError {
+    fn from(e: BitArrayError) -> Self {
+        CoreError::BitArray(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InvalidConfig {
+            parameter: "s",
+            reason: "must be at least 2".into(),
+        };
+        assert!(e.to_string().contains("s must be at least 2"));
+        assert!(CoreError::UnknownRsu { rsu: RsuId(7) }
+            .to_string()
+            .contains("R7"));
+        assert!(CoreError::Saturated { which: "B_x" }
+            .to_string()
+            .contains("B_x"));
+    }
+
+    #[test]
+    fn source_chains_bitarray_errors() {
+        let e = CoreError::from(BitArrayError::EmptyArray);
+        assert!(e.source().is_some());
+        assert!(CoreError::Saturated { which: "B_c" }.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the core scheme.
+
+use proptest::prelude::*;
+
+use vcps_core::estimator::{denominator, estimate_pair, estimate_pair_or_clamp};
+use vcps_core::{RsuId, RsuSketch, Scheme, Sizing, VehicleIdentity};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sizing_rule_is_tight_power_of_two(volume in 0.0f64..1e9, f in 0.1f64..64.0) {
+        let sizing = Sizing::LoadFactor(f);
+        let m = sizing.size_for(volume).unwrap();
+        prop_assert!(m.is_power_of_two());
+        prop_assert!(m >= 2);
+        let target = volume * f;
+        prop_assert!(m as f64 >= target.min(2.0));
+        if m > 2 {
+            // Tight: half the size would undershoot the target.
+            prop_assert!(((m / 2) as f64) < target);
+        }
+    }
+
+    #[test]
+    fn deployment_record_estimate_roundtrip(
+        seed in any::<u64>(),
+        n_common in 1u64..400,
+        n_only in 0u64..400,
+    ) {
+        // Structural invariants on a live deployment: counters add up,
+        // estimates are finite, all-pairs output is consistent with the
+        // pairwise API.
+        let scheme = Scheme::variable(2, 4.0, seed).unwrap();
+        let mut d = scheme
+            .deploy(&[(RsuId(1), n_common as f64 + n_only as f64), (RsuId(2), n_common as f64)])
+            .unwrap();
+        for i in 0..n_common {
+            let v = VehicleIdentity::from_raw(i, vcps_hash::splitmix64(seed ^ i));
+            d.record(&v, RsuId(1)).unwrap();
+            d.record(&v, RsuId(2)).unwrap();
+        }
+        for i in n_common..n_common + n_only {
+            let v = VehicleIdentity::from_raw(i, vcps_hash::splitmix64(seed ^ i));
+            d.record(&v, RsuId(1)).unwrap();
+        }
+        prop_assert_eq!(d.sketch(RsuId(1)).unwrap().count(), n_common + n_only);
+        prop_assert_eq!(d.sketch(RsuId(2)).unwrap().count(), n_common);
+        let pair = d.estimate_pair_or_clamp(RsuId(1), RsuId(2)).unwrap();
+        prop_assert!(pair.n_c.is_finite());
+        let all = d.estimate_all_pairs().unwrap();
+        prop_assert_eq!(all.len(), 1);
+        prop_assert_eq!(all[0].2, pair);
+    }
+
+    #[test]
+    fn denominator_monotonics(k in 4u32..24, s in 2usize..32) {
+        let m_y = 1usize << k;
+        let d = denominator(m_y, s);
+        prop_assert!(d > 0.0);
+        // Larger arrays and larger s both shrink the per-vehicle signal.
+        prop_assert!(denominator(m_y * 2, s) < d);
+        prop_assert!(denominator(m_y, s + 1) < d);
+    }
+
+    #[test]
+    fn merge_commutes(
+        seed in any::<u64>(),
+        xs in prop::collection::vec(any::<u32>(), 0..64),
+        ys in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let m = 256usize;
+        let build = |indices: &[u32]| {
+            let mut s = RsuSketch::new(RsuId(seed % 7), m).unwrap();
+            for &i in indices {
+                s.record(i as usize % m).unwrap();
+            }
+            s
+        };
+        let mut ab = build(&xs);
+        ab.merge(&build(&ys)).unwrap();
+        let mut ba = build(&ys);
+        ba.merge(&build(&xs)).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn clamped_estimate_always_finite(
+        kx in 1u32..8, extra in 0u32..4,
+        xs in prop::collection::vec(any::<u32>(), 0..600),
+        ys in prop::collection::vec(any::<u32>(), 0..600),
+        s in 2usize..10,
+    ) {
+        // Even adversarially saturated sketches decode to a finite value
+        // through the clamped path, and the strict path agrees whenever
+        // it succeeds.
+        let m_x = 1usize << kx;
+        let m_y = m_x << extra;
+        let mut a = RsuSketch::new(RsuId(1), m_x).unwrap();
+        for &v in &xs { a.record(v as usize % m_x).unwrap(); }
+        let mut b = RsuSketch::new(RsuId(2), m_y).unwrap();
+        for &v in &ys { b.record(v as usize % m_y).unwrap(); }
+        let clamped = estimate_pair_or_clamp(&a, &b, s).unwrap();
+        prop_assert!(clamped.n_c.is_finite());
+        if let Ok(strict) = estimate_pair(&a, &b, s) {
+            prop_assert_eq!(strict, clamped);
+            prop_assert!(!strict.clamped);
+        } else {
+            prop_assert!(clamped.clamped);
+        }
+    }
+
+    #[test]
+    fn scheme_report_index_stable_across_clones(
+        seed in any::<u64>(), id in any::<u64>(), key in any::<u64>(), rsu in any::<u64>(),
+    ) {
+        let scheme = Scheme::variable(3, 2.0, seed).unwrap();
+        let clone = scheme.clone();
+        let v = VehicleIdentity::from_raw(id, key);
+        prop_assert_eq!(
+            scheme.report_index(&v, RsuId(rsu), 1 << 10, 1 << 14),
+            clone.report_index(&v, RsuId(rsu), 1 << 10, 1 << 14)
+        );
+    }
+}

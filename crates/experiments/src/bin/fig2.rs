@@ -1,0 +1,88 @@
+//! Fig. 2 — preserved privacy vs load factor.
+//!
+//! Three plots: equal traffic (`n_y = n_x`, where both schemes coincide),
+//! `n_y = 10·n_x`, and `n_y = 50·n_x`; each with `s ∈ {2, 5, 10}` and
+//! `f ∈ [0.1, 50]`. Also prints the paper's quoted spot values for a
+//! direct comparison.
+//!
+//! Usage: `cargo run -p vcps-experiments --bin fig2 [--points N]`
+
+use vcps_analysis::privacy;
+use vcps_experiments::{arg_value, log_grid, text_table, OVERLAP_FRACTION};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let points: usize = arg_value(&args, "--points")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let n_x = 10_000.0;
+    let s_values = [2.0, 5.0, 10.0];
+
+    for (plot, ratio) in [(1, 1.0), (2, 10.0), (3, 50.0)] {
+        println!("== Fig. 2, plot {plot}: n_y = {ratio}·n_x (n_x = {n_x}) ==");
+        println!("(privacy p vs load factor f; n_c = {OVERLAP_FRACTION}·n_x)\n");
+        let grid = log_grid(0.1, 50.0, points);
+        let rows: Vec<Vec<String>> = grid
+            .iter()
+            .map(|&f| {
+                let mut row = vec![format!("{f:.3}")];
+                for &s in &s_values {
+                    let p = privacy::privacy_at_load_factor(
+                        f,
+                        n_x,
+                        ratio * n_x,
+                        OVERLAP_FRACTION,
+                        s,
+                    )
+                    .unwrap_or(f64::NAN);
+                    row.push(format!("{p:.4}"));
+                }
+                row
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(&["f", "p (s=2)", "p (s=5)", "p (s=10)"], &rows)
+        );
+
+        for &s in &s_values {
+            if let Some(opt) =
+                privacy::optimal_load_factor(n_x, ratio * n_x, OVERLAP_FRACTION, s)
+            {
+                println!(
+                    "optimal for s={s}: f* = {:.2}, p = {:.3}",
+                    opt.load_factor, opt.privacy
+                );
+            }
+        }
+        println!();
+    }
+
+    println!("== Paper spot values vs this implementation ==\n");
+    let spot = |f: f64, ratio: f64, s: f64| {
+        privacy::privacy_at_load_factor(f, n_x, ratio * n_x, OVERLAP_FRACTION, s).unwrap()
+    };
+    let rows = vec![
+        vec![
+            "p(f=3, s=5, n_y=n_x)".to_string(),
+            "0.75".to_string(),
+            format!("{:.3}", spot(3.0, 1.0, 5.0)),
+        ],
+        vec![
+            "p(f=3, s=5, n_y=10n_x)".to_string(),
+            "0.89".to_string(),
+            format!("{:.3}", spot(3.0, 10.0, 5.0)),
+        ],
+        vec![
+            "p(f=3, s=5, n_y=50n_x)".to_string(),
+            "0.91".to_string(),
+            format!("{:.3}", spot(3.0, 50.0, 5.0)),
+        ],
+        vec![
+            "p(f=50, s=2, n_y=n_x)".to_string(),
+            "~0.2".to_string(),
+            format!("{:.3}", spot(50.0, 1.0, 2.0)),
+        ],
+    ];
+    println!("{}", text_table(&["quantity", "paper", "ours"], &rows));
+}

@@ -1,0 +1,285 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md §3 for the index).
+//!
+//! Each binary prints the same rows/series the paper reports, as plain
+//! text tables (pipe to a file or a plotting tool of your choice):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig1` | Fig. 1 — unfolding and bitwise-OR example |
+//! | `fig2` | Fig. 2 — preserved privacy vs load factor (3 plots) |
+//! | `fig3` | Fig. 3 — the Sioux Falls network |
+//! | `table1` | Table I — Sioux Falls accuracy, both schemes |
+//! | `fig4` | Fig. 4 — baseline \[9\] accuracy scatter (3 plots) |
+//! | `fig5` | Fig. 5 — novel scheme accuracy scatter (3 plots) |
+//! | `overhead` | §IV-E — computation overhead measurements |
+//! | `analysis_validation` | extension — theory vs Monte Carlo |
+//!
+//! The parameter policy follows §VII: `s ∈ {2, 5, 10}`, and "f̄ and m are
+//! chosen to guarantee a minimum privacy of at least 0.5"
+//! ([`choose_novel_load_factor`] / [`choose_baseline_size`]). The privacy
+//! evaluation uses overlap fraction `n_c = 0.1·min(n_x, n_y)`, which
+//! reproduces the paper's quoted spot values (see `vcps-analysis`
+//! privacy tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use vcps_analysis::privacy;
+use vcps_core::{RsuId, Scheme};
+use vcps_sim::synthetic::SyntheticPair;
+use vcps_sim::{PairOutcome, PairRunner, SimError};
+
+/// The overlap fraction `n_c / min(n_x, n_y)` used in privacy
+/// evaluations (calibrated against the paper's quoted Fig. 2 values).
+pub const OVERLAP_FRACTION: f64 = 0.1;
+
+/// The minimum-privacy floor of §VII.
+pub const PRIVACY_TARGET: f64 = 0.5;
+
+/// Picks the largest load factor `f̄` whose worst-case (equal-traffic)
+/// privacy still meets `target` for the given `s` — the novel scheme's
+/// parameter policy. Falls back to the privacy-optimal `f*` if the
+/// target is unreachable.
+///
+/// Implementation finding (not discussed in the paper): the sizing rule
+/// rounds `n̄·f̄` up to a power of two, so the *effective* load factor
+/// varies in `[f̄, 2f̄)` depending on `n̄`. A privacy floor must
+/// therefore hold at `2f̄`, not `f̄` — this function returns half the
+/// raw solver value whenever that value lies past the privacy optimum
+/// (on the falling branch, halving can only increase privacy).
+#[must_use]
+pub fn choose_novel_load_factor(s: usize, target: f64) -> f64 {
+    let n = 10_000.0; // the curve is volume-insensitive at this scale
+    let raw = privacy::max_load_factor_for_privacy(target, n, n, OVERLAP_FRACTION, s as f64);
+    let peak = privacy::optimal_load_factor(n, n, OVERLAP_FRACTION, s as f64);
+    match (raw, peak) {
+        (Some(f), Some(p)) => {
+            // Guard the worst-case power-of-two rounding.
+            let safe = f / 2.0;
+            if safe >= p.load_factor {
+                safe
+            } else {
+                // Halving would cross to the rising branch; the peak
+                // itself satisfies the target (raw did).
+                p.load_factor
+            }
+        }
+        (None, Some(p)) => p.load_factor,
+        _ => 3.0,
+    }
+}
+
+/// Picks the fixed array size `m` for the baseline scheme: the largest
+/// `m` keeping the *lightest* RSU pair's privacy at `target` — §VI-B's
+/// "m should be no larger than 15·n_min to guarantee a minimum privacy
+/// of 0.5 when s = 2". (With heavily skewed volumes no single `m`
+/// satisfies every pair simultaneously — that impossibility is the
+/// paper's motivation; see
+/// [`vcps_analysis::privacy::max_fixed_size_for_privacy`] for the strict
+/// all-pairs solver.)
+#[must_use]
+pub fn choose_baseline_size(volumes: &[f64], s: usize, target: f64) -> usize {
+    let n_min = volumes.iter().copied().fold(f64::INFINITY, f64::min);
+    if !n_min.is_finite() {
+        return 2;
+    }
+    let f = privacy::max_load_factor_for_privacy(target, n_min, n_min, OVERLAP_FRACTION, s as f64)
+        .or_else(|| {
+            privacy::optimal_load_factor(n_min, n_min, OVERLAP_FRACTION, s as f64)
+                .map(|p| p.load_factor)
+        })
+        .unwrap_or(3.0);
+    ((f * n_min).round() as usize).max(2)
+}
+
+/// Runs one simulated measurement point and returns the outcome.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_accuracy_point(
+    scheme: &Scheme,
+    n_x: u64,
+    n_y: u64,
+    n_c: u64,
+    seed: u64,
+) -> Result<PairOutcome, SimError> {
+    let workload = SyntheticPair::generate(n_x, n_y, n_c, seed);
+    PairRunner::new(scheme.clone(), RsuId(1), RsuId(2)).run(&workload)
+}
+
+/// Maps `f` over `items` on `crossbeam` scoped threads, preserving input
+/// order. Used by the sweep-heavy binaries (Figs. 4–5).
+pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let n = items.len();
+    let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads.max(1));
+    if chunk == 0 {
+        return Vec::new();
+    }
+    crossbeam::thread::scope(|scope| {
+        for (items_chunk, results_chunk) in
+            items.chunks(chunk).zip(results.chunks_mut(chunk))
+        {
+            scope.spawn(|_| {
+                for (item, slot) in items_chunk.iter().zip(results_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// A logarithmically spaced grid over `[lo, hi]`.
+#[must_use]
+pub fn log_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2 && lo > 0.0 && hi > lo, "need 0 < lo < hi, ≥2 points");
+    let ln_lo = lo.ln();
+    let step = (hi.ln() - ln_lo) / (points - 1) as f64;
+    (0..points).map(|i| (ln_lo + step * i as f64).exp()).collect()
+}
+
+/// Renders rows as an aligned plain-text table.
+#[must_use]
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match headers");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+        }
+        out.push('\n');
+    };
+    write_row(
+        &mut out,
+        &headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Simple `--flag value` argument lookup for the experiment binaries.
+#[must_use]
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// `true` when `--flag` is present.
+#[must_use]
+pub fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn novel_load_factor_meets_target_even_after_pow2_rounding() {
+        for s in [2usize, 5, 10] {
+            let f = choose_novel_load_factor(s, PRIVACY_TARGET);
+            // The effective load factor after power-of-two rounding is
+            // anywhere in [f, 2f); the floor must hold across the range.
+            for factor in [1.0, 1.5, 1.99] {
+                let p = privacy::privacy_at_load_factor(
+                    f * factor,
+                    10_000.0,
+                    10_000.0,
+                    OVERLAP_FRACTION,
+                    s as f64,
+                )
+                .unwrap();
+                assert!(
+                    p >= PRIVACY_TARGET - 0.01,
+                    "s={s}: privacy {p} at effective f={}",
+                    f * factor
+                );
+            }
+            assert!(f > 1.0, "s={s}: f={f} should allow decent accuracy");
+        }
+    }
+
+    #[test]
+    fn baseline_size_binds_at_lightest_rsu() {
+        let m = choose_baseline_size(&[10_000.0, 500_000.0], 2, PRIVACY_TARGET);
+        // ≈ 15·n_min for s = 2 (paper §VI-B).
+        assert!((100_000..=220_000).contains(&m), "m = {m}");
+    }
+
+    #[test]
+    fn accuracy_point_runs() {
+        let scheme = Scheme::variable(2, 3.0, 1).unwrap();
+        let out = run_accuracy_point(&scheme, 1_000, 1_000, 300, 5).unwrap();
+        assert!(out.estimate.n_c.is_finite());
+        assert_eq!(out.true_n_c, 300);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(items, 4, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_thread_and_empty() {
+        assert_eq!(parallel_map(vec![1, 2, 3], 1, |&x| x + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map(Vec::<u64>::new(), 4, |&x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn log_grid_endpoints() {
+        let g = log_grid(0.1, 50.0, 10);
+        assert_eq!(g.len(), 10);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[9] - 50.0).abs() < 1e-9);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn text_table_aligns() {
+        let t = text_table(
+            &["a", "long_header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(t.contains("long_header"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn arg_helpers() {
+        let args: Vec<String> = ["--points", "50", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--points"), Some("50".into()));
+        assert_eq!(arg_value(&args, "--seed"), None);
+        assert!(arg_flag(&args, "--full"));
+        assert!(!arg_flag(&args, "--quick"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Statistical diagnostics for the hash family.
+//!
+//! The paper's analysis rests on `H` behaving like a uniform random
+//! function (§IV-D derives every probability from that assumption).
+//! These diagnostics quantify how close a [`HashFamily`] comes:
+//! avalanche behaviour (an input bit flip flips each output bit with
+//! probability ≈ 1/2) and bucket uniformity (chi-squared statistic over
+//! a power-of-two range reduction). They back the substitution argument
+//! in DESIGN.md §4 and are runnable by downstream users against any
+//! seed.
+
+use crate::HashFamily;
+
+/// Avalanche measurement over `samples` random-ish inputs: for each of
+/// the 64 input bit positions, the mean fraction of output bits flipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvalancheReport {
+    /// `flip_fraction[i]` = mean fraction of output bits that flip when
+    /// input bit `i` flips (ideal: 0.5).
+    pub flip_fraction: [f64; 64],
+}
+
+impl AvalancheReport {
+    /// The worst (furthest from 0.5) per-input-bit flip fraction.
+    #[must_use]
+    pub fn worst_deviation(&self) -> f64 {
+        self.flip_fraction
+            .iter()
+            .map(|&f| (f - 0.5).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The mean flip fraction across all input bits (ideal: 0.5).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.flip_fraction.iter().sum::<f64>() / 64.0
+    }
+}
+
+/// Measures avalanche behaviour of `family` over `samples` inputs.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+#[must_use]
+pub fn avalanche(family: &HashFamily, samples: u32) -> AvalancheReport {
+    assert!(samples > 0, "need at least one sample");
+    let mut flip_fraction = [0.0f64; 64];
+    for s in 0..u64::from(samples) {
+        // Spread the sample points across the input space.
+        let x = s.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (s << 7);
+        let base = family.hash(x);
+        for (bit, acc) in flip_fraction.iter_mut().enumerate() {
+            let flipped = family.hash(x ^ (1u64 << bit));
+            *acc += f64::from((base ^ flipped).count_ones()) / 64.0;
+        }
+    }
+    for acc in &mut flip_fraction {
+        *acc /= f64::from(samples);
+    }
+    AvalancheReport { flip_fraction }
+}
+
+/// Chi-squared statistic of `samples` sequential inputs reduced to `m`
+/// buckets. For a uniform hash the expected value is ≈ `m − 1`; values
+/// wildly above indicate bias. Returns `(statistic, degrees_of_freedom)`.
+///
+/// # Panics
+///
+/// Panics if `m < 2` or `samples == 0`.
+#[must_use]
+pub fn chi_squared_uniformity(family: &HashFamily, m: usize, samples: u32) -> (f64, usize) {
+    assert!(m >= 2, "need at least two buckets");
+    assert!(samples > 0, "need at least one sample");
+    let mut counts = vec![0u32; m];
+    for s in 0..u64::from(samples) {
+        counts[family.hash_mod(s, m)] += 1;
+    }
+    let expected = f64::from(samples) / m as f64;
+    let statistic = counts
+        .iter()
+        .map(|&c| {
+            let d = f64::from(c) - expected;
+            d * d / expected
+        })
+        .sum();
+    (statistic, m - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avalanche_is_near_half_for_every_input_bit() {
+        let report = avalanche(&HashFamily::new(7), 256);
+        assert!(
+            report.worst_deviation() < 0.08,
+            "worst deviation {}",
+            report.worst_deviation()
+        );
+        assert!((report.mean() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn chi_squared_is_near_degrees_of_freedom() {
+        let (stat, dof) = chi_squared_uniformity(&HashFamily::new(11), 64, 64_000);
+        // For 63 dof the 99.9th percentile is ≈ 107; far looser here.
+        assert!(
+            stat < 2.0 * dof as f64,
+            "chi-squared {stat} for {dof} dof"
+        );
+    }
+
+    #[test]
+    fn diagnostics_distinguish_a_broken_family() {
+        // A degenerate "hash" (identity-like via tiny seed space) would
+        // fail chi-squared badly; emulate by hashing into 2 buckets with
+        // sequential inputs and checking our real family does NOT fail.
+        let (stat, _) = chi_squared_uniformity(&HashFamily::new(1), 2, 10_000);
+        assert!(stat < 10.0, "binary bucket split should be balanced: {stat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn avalanche_needs_samples() {
+        let _ = avalanche(&HashFamily::new(1), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Keyed hash family and logical bit arrays for de-identified vehicle
+//! reporting.
+//!
+//! In the ICDCS 2015 scheme a vehicle `v` never transmits an identifier.
+//! Instead it owns a *logical bit array* `LB_v` of `s` positions drawn
+//! pseudo-randomly from the largest physical array `B_o` via a keyed hash:
+//! the `i`-th logical position is `H(v ⊕ K_v ⊕ X[i]) mod m_o`, where `K_v`
+//! is the vehicle's private key and `X` is a global array of `s` salt
+//! constants (paper §IV-B). When queried by RSU `R_x`, the vehicle picks
+//! *one* logical position and reports `b_x = b mod m_x` — a single integer
+//! that looks uniformly random to any observer.
+//!
+//! This crate implements:
+//!
+//! * [`HashFamily`] — the hash `H`, built on a seeded splitmix64 mix (no
+//!   external hashing dependencies).
+//! * [`Salts`] — the global constant array `X[0..s)`; `s = salts.len()` is
+//!   the size of every vehicle's logical bit array.
+//! * [`VehicleId`], [`PrivateKey`], [`RsuId`] — identity newtypes.
+//! * [`VehicleIdentity`] — computes logical positions and per-query report
+//!   indices, under either [`SelectionRule`].
+//!
+//! # Which logical bit does a vehicle pick? ([`SelectionRule`])
+//!
+//! The paper's literal formula selects the salt index as `H(R_x) mod s` —
+//! a function of the RSU alone, so *every* vehicle at a given RSU pair
+//! either picks the same logical slot at both RSUs or none do. Its own
+//! analysis (Eq. 37) instead models each vehicle *independently* keeping
+//! the same slot with probability `1/s`, which requires the salt index to
+//! depend on the vehicle too. We default to the analysis-consistent rule
+//! ([`SelectionRule::PerVehicle`]) and keep the literal rule
+//! ([`SelectionRule::PerRsuLiteral`]) for comparison experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use vcps_hash::{HashFamily, Salts, SelectionRule, VehicleIdentity};
+//!
+//! let family = HashFamily::new(7);
+//! let salts = Salts::generate(5, 42); // s = 5 logical bits per vehicle
+//! let vehicle = VehicleIdentity::from_raw(1001, 0xDEAD_BEEF);
+//!
+//! // The vehicle's logical bit array inside a 2^20-bit largest array:
+//! let lb = vehicle.logical_positions(&family, &salts, 1 << 20);
+//! assert_eq!(lb.len(), 5);
+//!
+//! // Index reported to RSU 3 whose bit array has 2^14 bits:
+//! let idx = vehicle.report_index(
+//!     &family, &salts, 3.into(), 1 << 14, 1 << 20, SelectionRule::PerVehicle);
+//! assert!(idx < (1 << 14));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+mod family;
+mod identity;
+mod salts;
+mod splitmix;
+
+pub use family::HashFamily;
+pub use identity::{PrivateKey, RsuId, SelectionRule, VehicleId, VehicleIdentity};
+pub use salts::Salts;
+pub use splitmix::{splitmix64, SplitMix64};

@@ -1,0 +1,118 @@
+//! Property tests for the hash family and logical bit arrays.
+
+use proptest::prelude::*;
+
+use vcps_hash::{splitmix64, HashFamily, RsuId, Salts, SelectionRule, VehicleIdentity};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn splitmix_is_injective_on_samples(a in any::<u64>(), b in any::<u64>()) {
+        // splitmix64 is a bijection; distinct inputs give distinct
+        // outputs.
+        if a != b {
+            prop_assert_ne!(splitmix64(a), splitmix64(b));
+        }
+    }
+
+    #[test]
+    fn hash_mod_respects_pow2_nesting(
+        seed in any::<u64>(), x in any::<u64>(), k_small in 0u32..16, extra in 0u32..16,
+    ) {
+        // (H mod m_o) mod m_x == H mod m_x when m_x | m_o — the identity
+        // that lets vehicles transmit only the reduced index.
+        let h = HashFamily::new(seed);
+        let m_x = 1usize << k_small;
+        let m_o = m_x << extra;
+        prop_assert_eq!(h.hash_mod(x, m_o) % m_x, h.hash_mod(x, m_x));
+    }
+
+    #[test]
+    fn report_equals_logical_position_reduced(
+        seed in any::<u64>(), id in any::<u64>(), key in any::<u64>(), rsu in any::<u64>(),
+        s in 1usize..16, k in 1u32..14, extra in 0u32..6,
+    ) {
+        let family = HashFamily::new(seed);
+        let salts = Salts::generate(s, seed ^ 0xA5);
+        let v = VehicleIdentity::from_raw(id, key);
+        let m_x = 1usize << k;
+        let m_o = m_x << extra;
+        let idx = v.report_index(&family, &salts, RsuId(rsu), m_x, m_o, SelectionRule::PerVehicle);
+        let positions = v.logical_positions(&family, &salts, m_o);
+        prop_assert!(positions.iter().any(|&b| b % m_x == idx));
+        // And the salt index the vehicle used is stable.
+        let i = v.salt_index(&family, &salts, RsuId(rsu), SelectionRule::PerVehicle);
+        prop_assert_eq!(positions[i] % m_x, idx);
+    }
+
+    #[test]
+    fn different_rsus_reuse_only_logical_positions(
+        seed in any::<u64>(), id in any::<u64>(), key in any::<u64>(),
+        rsus in prop::collection::vec(any::<u64>(), 1..20),
+    ) {
+        // Across arbitrarily many RSUs a vehicle only ever exposes its s
+        // logical positions (reduced) — the privacy cap on information
+        // leakage.
+        let family = HashFamily::new(seed);
+        let salts = Salts::generate(4, seed ^ 0xB6);
+        let v = VehicleIdentity::from_raw(id, key);
+        let m_o = 1usize << 16;
+        let m_x = 1usize << 10;
+        let allowed: Vec<usize> = v
+            .logical_positions(&family, &salts, m_o)
+            .iter()
+            .map(|&b| b % m_x)
+            .collect();
+        for rsu in rsus {
+            let idx = v.report_index(&family, &salts, RsuId(rsu), m_x, m_o, SelectionRule::PerVehicle);
+            prop_assert!(allowed.contains(&idx));
+        }
+    }
+
+    #[test]
+    fn literal_rule_is_vehicle_independent(
+        seed in any::<u64>(), rsu in any::<u64>(),
+        ids in prop::collection::vec((any::<u64>(), any::<u64>()), 2..20),
+    ) {
+        let family = HashFamily::new(seed);
+        let salts = Salts::generate(5, seed ^ 0xC7);
+        let first = VehicleIdentity::from_raw(ids[0].0, ids[0].1)
+            .salt_index(&family, &salts, RsuId(rsu), SelectionRule::PerRsuLiteral);
+        for &(id, key) in &ids[1..] {
+            let idx = VehicleIdentity::from_raw(id, key)
+                .salt_index(&family, &salts, RsuId(rsu), SelectionRule::PerRsuLiteral);
+            prop_assert_eq!(idx, first);
+        }
+    }
+
+    #[test]
+    fn salt_indices_in_range(
+        seed in any::<u64>(), id in any::<u64>(), key in any::<u64>(),
+        rsu in any::<u64>(), s in 1usize..64,
+    ) {
+        let family = HashFamily::new(seed);
+        let salts = Salts::generate(s, seed);
+        let v = VehicleIdentity::from_raw(id, key);
+        for rule in [SelectionRule::PerVehicle, SelectionRule::PerRsuLiteral] {
+            prop_assert!(v.salt_index(&family, &salts, RsuId(rsu), rule) < s);
+        }
+    }
+
+    #[test]
+    fn xor_masking_collapses_correlated_keys(
+        seed in any::<u64>(), c in any::<u64>(), ids in prop::collection::vec(any::<u64>(), 2..8),
+    ) {
+        // The documented footgun, as a property: id ^ key constant =>
+        // identical logical arrays for every vehicle.
+        let family = HashFamily::new(seed);
+        let salts = Salts::generate(3, seed ^ 1);
+        let m_o = 1usize << 12;
+        let reference =
+            VehicleIdentity::from_raw(ids[0], ids[0] ^ c).logical_positions(&family, &salts, m_o);
+        for &id in &ids[1..] {
+            let lb = VehicleIdentity::from_raw(id, id ^ c).logical_positions(&family, &salts, m_o);
+            prop_assert_eq!(&lb, &reference);
+        }
+    }
+}

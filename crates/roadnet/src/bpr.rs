@@ -1,0 +1,96 @@
+//! The Bureau of Public Roads (BPR) link performance function.
+//!
+//! `t(v) = t_0 · (1 + α·(v/c)^β)` with the standard `α = 0.15`, `β = 4`
+//! — the latency model used with the Sioux Falls network since LeBlanc
+//! (1975). Congestion-aware assignment ([`crate::assignment`]) iterates
+//! between these latencies and shortest-path flows.
+
+use crate::RoadNetwork;
+
+/// Standard BPR coefficient α.
+pub const ALPHA: f64 = 0.15;
+/// Standard BPR exponent β.
+pub const BETA: f64 = 4.0;
+
+/// Travel time on a link with free-flow time `t0` and capacity `c` when
+/// carrying flow `v`.
+///
+/// # Example
+///
+/// ```
+/// use vcps_roadnet::bpr::travel_time;
+///
+/// let t0 = 10.0;
+/// assert_eq!(travel_time(t0, 100.0, 0.0), 10.0); // free flow
+/// assert!((travel_time(t0, 100.0, 100.0) - 11.5).abs() < 1e-12); // at capacity: +15%
+/// ```
+#[must_use]
+pub fn travel_time(t0: f64, capacity: f64, flow: f64) -> f64 {
+    let ratio = (flow / capacity).max(0.0);
+    t0 * (1.0 + ALPHA * ratio.powf(BETA))
+}
+
+/// Travel times for every link of `net` under the given `flows`
+/// (indexed by link index).
+///
+/// # Panics
+///
+/// Panics if `flows.len() != net.link_count()`.
+#[must_use]
+pub fn link_times(net: &RoadNetwork, flows: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        flows.len(),
+        net.link_count(),
+        "one flow per link required"
+    );
+    net.links()
+        .iter()
+        .zip(flows)
+        .map(|(l, &v)| travel_time(l.free_flow_time, l.capacity, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Link;
+
+    #[test]
+    fn free_flow_recovers_t0() {
+        assert_eq!(travel_time(5.0, 50.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn time_is_monotone_in_flow() {
+        let mut last = 0.0;
+        for v in 0..10 {
+            let t = travel_time(3.0, 100.0, v as f64 * 40.0);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn negative_flow_is_clamped() {
+        assert_eq!(travel_time(3.0, 100.0, -5.0), 3.0);
+    }
+
+    #[test]
+    fn link_times_vectorizes() {
+        let net = RoadNetwork::new(
+            2,
+            vec![Link::new(0, 1, 100.0, 2.0), Link::new(1, 0, 50.0, 4.0)],
+        )
+        .unwrap();
+        let times = link_times(&net, &[100.0, 0.0]);
+        assert!((times[0] - 2.3).abs() < 1e-12);
+        assert_eq!(times[1], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one flow per link")]
+    fn link_times_checks_length() {
+        let net = RoadNetwork::new(2, vec![Link::new(0, 1, 1.0, 1.0)]).unwrap();
+        let _ = link_times(&net, &[]);
+    }
+}

@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by road-network construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RoadNetError {
+    /// A link referenced a node index `>= node_count`.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// The network's node count.
+        node_count: usize,
+    },
+    /// A link had a non-positive capacity or free-flow time.
+    InvalidLink {
+        /// Index of the offending link in the input.
+        index: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A trip table's dimensions did not match the network.
+    DimensionMismatch {
+        /// Expected node count.
+        expected: usize,
+        /// Provided dimension.
+        got: usize,
+    },
+    /// No path exists between the requested nodes.
+    Unreachable {
+        /// Origin node index.
+        from: usize,
+        /// Destination node index.
+        to: usize,
+    },
+}
+
+impl fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RoadNetError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds for {node_count}-node network")
+            }
+            RoadNetError::InvalidLink { index, reason } => {
+                write!(f, "link {index} is invalid: {reason}")
+            }
+            RoadNetError::DimensionMismatch { expected, got } => {
+                write!(f, "trip table dimension {got} does not match {expected} nodes")
+            }
+            RoadNetError::Unreachable { from, to } => {
+                write!(f, "no path from node {from} to node {to}")
+            }
+        }
+    }
+}
+
+impl Error for RoadNetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RoadNetError::NodeOutOfBounds {
+            node: 30,
+            node_count: 24
+        }
+        .to_string()
+        .contains("30"));
+        assert!(RoadNetError::Unreachable { from: 1, to: 2 }
+            .to_string()
+            .contains("no path"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RoadNetError>();
+    }
+}

@@ -1,0 +1,212 @@
+//! Synthetic road-network and trip-table generators.
+//!
+//! The paper's second study (§VII-B) uses "a larger network where the
+//! traffic is randomly generated". These generators build reproducible
+//! grid networks and gravity-model trip tables from a seed, so
+//! experiments can scale beyond the 24-node Sioux Falls instance without
+//! external data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Link, RoadNetwork, TripTable};
+
+/// Deterministic generator state (splitmix64-style; self-contained so
+/// this crate stays free of runtime dependencies).
+#[derive(Debug, Clone, Copy)]
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Parameters for [`grid_network`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Grid width (columns of nodes).
+    pub width: usize,
+    /// Grid height (rows of nodes).
+    pub height: usize,
+    /// Capacity range (uniform per link, both directions equal).
+    pub capacity: (f64, f64),
+    /// Free-flow time range (uniform per link).
+    pub free_flow_time: (f64, f64),
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        Self {
+            width: 8,
+            height: 8,
+            capacity: (3_000.0, 20_000.0),
+            free_flow_time: (2.0, 8.0),
+        }
+    }
+}
+
+/// Generates a `width × height` grid with bidirectional links between
+/// 4-neighbors, attributes drawn uniformly from the spec's ranges.
+///
+/// # Panics
+///
+/// Panics if the grid has fewer than 2 nodes or a range is invalid.
+#[must_use]
+pub fn grid_network(spec: &GridSpec, seed: u64) -> RoadNetwork {
+    assert!(spec.width * spec.height >= 2, "grid needs at least 2 nodes");
+    assert!(
+        spec.capacity.0 > 0.0 && spec.capacity.1 >= spec.capacity.0,
+        "invalid capacity range"
+    );
+    assert!(
+        spec.free_flow_time.0 > 0.0 && spec.free_flow_time.1 >= spec.free_flow_time.0,
+        "invalid free-flow range"
+    );
+    let mut gen = Gen(seed ^ 0x6E1D_0000);
+    let node = |x: usize, y: usize| y * spec.width + x;
+    let mut links = Vec::new();
+    let mut both_ways = |a: usize, b: usize, gen: &mut Gen| {
+        let capacity = gen.uniform(spec.capacity.0, spec.capacity.1);
+        let fft = gen.uniform(spec.free_flow_time.0, spec.free_flow_time.1);
+        links.push(Link::new(a, b, capacity, fft));
+        links.push(Link::new(b, a, capacity, fft));
+    };
+    for y in 0..spec.height {
+        for x in 0..spec.width {
+            if x + 1 < spec.width {
+                both_ways(node(x, y), node(x + 1, y), &mut gen);
+            }
+            if y + 1 < spec.height {
+                both_ways(node(x, y), node(x, y + 1), &mut gen);
+            }
+        }
+    }
+    RoadNetwork::new(spec.width * spec.height, links).expect("generated grid is valid")
+}
+
+/// Generates a gravity-model trip table: demand between `o` and `d` is
+/// proportional to `weight_o · weight_d` with per-node weights drawn
+/// log-uniformly over `weight_range`, scaled so the table totals
+/// `total_trips`. Heavier nodes emerge naturally — the volume skew the
+/// variable-length scheme exists for.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `total_trips <= 0`, or the weight range is
+/// invalid.
+#[must_use]
+pub fn gravity_trips(n: usize, total_trips: f64, weight_range: (f64, f64), seed: u64) -> TripTable {
+    assert!(n >= 2, "need at least two zones");
+    assert!(total_trips > 0.0, "need positive demand");
+    assert!(
+        weight_range.0 > 0.0 && weight_range.1 >= weight_range.0,
+        "invalid weight range"
+    );
+    let mut gen = Gen(seed ^ 0x7121_5000);
+    let weights: Vec<f64> = (0..n)
+        .map(|_| {
+            let ln = gen.uniform(weight_range.0.ln(), weight_range.1.ln());
+            ln.exp()
+        })
+        .collect();
+    let mut table = TripTable::zeros(n);
+    let mut raw_total = 0.0;
+    for o in 0..n {
+        for d in 0..n {
+            if o != d {
+                raw_total += weights[o] * weights[d];
+            }
+        }
+    }
+    let scale = total_trips / raw_total;
+    for o in 0..n {
+        for d in 0..n {
+            if o != d {
+                table.set(o, d, (weights[o] * weights[d] * scale).round());
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{all_or_nothing, point_volumes};
+    use crate::shortest_path;
+
+    #[test]
+    fn grid_has_expected_dimensions() {
+        let spec = GridSpec {
+            width: 5,
+            height: 4,
+            ..GridSpec::default()
+        };
+        let net = grid_network(&spec, 1);
+        assert_eq!(net.node_count(), 20);
+        // Horizontal: 4·4 per row ·2 dirs; vertical: 5·3 ·2 dirs.
+        assert_eq!(net.link_count(), 2 * (4 * 4 + 5 * 3));
+    }
+
+    #[test]
+    fn grid_is_strongly_connected() {
+        let net = grid_network(&GridSpec::default(), 7);
+        let sp = shortest_path(&net, 0, &net.free_flow_times()).unwrap();
+        for node in 0..net.node_count() {
+            assert!(sp.cost_to(node).is_finite(), "node {node} unreachable");
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible_and_seed_sensitive() {
+        let spec = GridSpec::default();
+        assert_eq!(grid_network(&spec, 3), grid_network(&spec, 3));
+        assert_ne!(grid_network(&spec, 3), grid_network(&spec, 4));
+    }
+
+    #[test]
+    fn gravity_trips_total_and_skew() {
+        let trips = gravity_trips(16, 100_000.0, (1.0, 100.0), 5);
+        let total = trips.total();
+        assert!((total - 100_000.0).abs() / 100_000.0 < 0.01, "total {total}");
+        // Log-uniform weights over two decades produce strong skew.
+        let rows: Vec<f64> = (0..16).map(|o| trips.row_total(o)).collect();
+        let max = rows.iter().copied().fold(0.0f64, f64::max);
+        let min = rows.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min.max(1.0) > 5.0, "skew {max}/{min}");
+    }
+
+    #[test]
+    fn generated_city_produces_skewed_point_volumes() {
+        // End-to-end: generated network + gravity demand gives RSU
+        // volumes spanning an order of magnitude, the paper's premise.
+        let spec = GridSpec {
+            width: 6,
+            height: 6,
+            ..GridSpec::default()
+        };
+        let net = grid_network(&spec, 11);
+        let trips = gravity_trips(net.node_count(), 200_000.0, (1.0, 50.0), 11);
+        let a = all_or_nothing(&net, &trips, &net.free_flow_times());
+        assert_eq!(a.unrouted_demand, 0.0);
+        let volumes = point_volumes(&a, &trips, net.node_count());
+        let max = volumes.iter().copied().fold(0.0f64, f64::max);
+        let min = volumes.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 3.0, "volume skew {max}/{min}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two zones")]
+    fn gravity_needs_two_zones() {
+        let _ = gravity_trips(1, 10.0, (1.0, 2.0), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Road network substrate: directed graphs, shortest paths, BPR link
+//! latencies, traffic assignment, trip tables, and the classic Sioux Falls
+//! test network.
+//!
+//! The paper's first simulation study (§VII-A, Table I) runs on "a real
+//! Sioux Falls road network with known vehicle trip tables" (LeBlanc,
+//! Morlok & Pierskalla 1975): 24 nodes (RSU sites) and 76 arcs. This crate
+//! rebuilds that substrate from scratch:
+//!
+//! * [`RoadNetwork`] — a directed graph with per-link capacity and
+//!   free-flow travel time.
+//! * [`shortest_path`] — Dijkstra with path recovery.
+//! * [`bpr`] — the Bureau of Public Roads latency function used for
+//!   congestion-aware assignment.
+//! * [`assignment`] — all-or-nothing and MSA user-equilibrium assignment,
+//!   plus node *point volumes* (vehicles passing a node) and node-pair
+//!   *point-to-point volumes* (vehicles passing both nodes — the ground
+//!   truth `n_c` the measurement scheme estimates).
+//! * [`TripTable`] — origin–destination demand.
+//! * [`sioux_falls`] — the embedded 24-node/76-arc network and trip
+//!   table (values reconstructed from the standard TNTP distribution; see
+//!   DESIGN.md for the substitution note).
+//! * [`VehicleTrip`] — per-vehicle routes expanded from an assignment,
+//!   ready to feed the measurement simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use vcps_roadnet::{sioux_falls, assignment};
+//!
+//! let net = sioux_falls::network();
+//! let trips = sioux_falls::trip_table();
+//! assert_eq!(net.node_count(), 24);
+//! assert_eq!(net.link_count(), 76);
+//!
+//! // Free-flow all-or-nothing assignment and the resulting point volumes.
+//! let paths = assignment::all_or_nothing(&net, &trips, &net.free_flow_times());
+//! let volumes = assignment::point_volumes(&paths, &trips, net.node_count());
+//! // Node 10 (index 9) is the busiest — the paper picks it as R_y.
+//! let busiest = volumes
+//!     .iter()
+//!     .enumerate()
+//!     .max_by(|a, b| a.1.total_cmp(b.1))
+//!     .unwrap()
+//!     .0;
+//! assert_eq!(busiest, 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod bpr;
+mod error;
+pub mod frank_wolfe;
+pub mod generate;
+mod graph;
+pub mod sioux_falls;
+mod shortest_path;
+pub mod tntp;
+mod trips;
+mod vehicle;
+
+pub use error::RoadNetError;
+pub use frank_wolfe::{frank_wolfe, FrankWolfeResult};
+pub use generate::{gravity_trips, grid_network, GridSpec};
+pub use graph::{Link, RoadNetwork};
+pub use shortest_path::{shortest_path, ShortestPaths};
+pub use trips::TripTable;
+pub use vehicle::{expand_vehicle_trips, VehicleTrip};

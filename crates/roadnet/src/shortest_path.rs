@@ -1,0 +1,244 @@
+//! Dijkstra shortest paths with path recovery.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{RoadNetError, RoadNetwork};
+
+/// A min-heap entry ordered by total cost (ties broken by node index for
+/// determinism).
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on cost.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// All shortest paths from one origin, as produced by [`shortest_path`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPaths {
+    origin: usize,
+    /// Cost to each node (`inf` if unreachable).
+    dist: Vec<f64>,
+    /// Predecessor link index on the shortest path tree (`usize::MAX` =
+    /// none).
+    pred_link: Vec<usize>,
+}
+
+impl ShortestPaths {
+    /// The origin node.
+    #[must_use]
+    pub fn origin(&self) -> usize {
+        self.origin
+    }
+
+    /// Cost from the origin to `node` (`inf` if unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn cost_to(&self, node: usize) -> f64 {
+        self.dist[node]
+    }
+
+    /// The node sequence of the shortest path to `to` (origin first,
+    /// destination last).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadNetError::Unreachable`] if no path exists.
+    pub fn path_to(&self, net: &RoadNetwork, to: usize) -> Result<Vec<usize>, RoadNetError> {
+        if to >= self.dist.len() || self.dist[to].is_infinite() {
+            return Err(RoadNetError::Unreachable {
+                from: self.origin,
+                to,
+            });
+        }
+        let mut nodes = vec![to];
+        let mut current = to;
+        while current != self.origin {
+            let link = self.pred_link[current];
+            debug_assert_ne!(link, usize::MAX);
+            current = net.link(link).from;
+            nodes.push(current);
+        }
+        nodes.reverse();
+        Ok(nodes)
+    }
+
+    /// The link-index sequence of the shortest path to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadNetError::Unreachable`] if no path exists.
+    pub fn links_to(&self, net: &RoadNetwork, to: usize) -> Result<Vec<usize>, RoadNetError> {
+        if to >= self.dist.len() || self.dist[to].is_infinite() {
+            return Err(RoadNetError::Unreachable {
+                from: self.origin,
+                to,
+            });
+        }
+        let mut links = Vec::new();
+        let mut current = to;
+        while current != self.origin {
+            let link = self.pred_link[current];
+            links.push(link);
+            current = net.link(link).from;
+        }
+        links.reverse();
+        Ok(links)
+    }
+}
+
+/// Dijkstra from `origin` under per-link `costs` (indexed by link index).
+///
+/// # Errors
+///
+/// Returns [`RoadNetError::NodeOutOfBounds`] if `origin` is out of
+/// bounds.
+///
+/// # Panics
+///
+/// Panics if `costs.len() != net.link_count()` or any cost is negative.
+pub fn shortest_path(
+    net: &RoadNetwork,
+    origin: usize,
+    costs: &[f64],
+) -> Result<ShortestPaths, RoadNetError> {
+    if origin >= net.node_count() {
+        return Err(RoadNetError::NodeOutOfBounds {
+            node: origin,
+            node_count: net.node_count(),
+        });
+    }
+    assert_eq!(costs.len(), net.link_count(), "one cost per link required");
+    assert!(
+        costs.iter().all(|&c| c >= 0.0),
+        "Dijkstra requires non-negative costs"
+    );
+
+    let n = net.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred_link = vec![usize::MAX; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[origin] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: origin,
+    });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if settled[node] {
+            continue;
+        }
+        settled[node] = true;
+        for link_idx in net.outgoing(node) {
+            let link = net.link(link_idx);
+            let next = cost + costs[link_idx];
+            if next < dist[link.to] {
+                dist[link.to] = next;
+                pred_link[link.to] = link_idx;
+                heap.push(HeapEntry {
+                    cost: next,
+                    node: link.to,
+                });
+            }
+        }
+    }
+
+    Ok(ShortestPaths {
+        origin,
+        dist,
+        pred_link,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Link;
+
+    /// 0 → 1 → 2 with a slow direct 0 → 2 alternative.
+    fn diamond() -> RoadNetwork {
+        RoadNetwork::new(
+            4,
+            vec![
+                Link::new(0, 1, 1.0, 1.0), // 0
+                Link::new(1, 2, 1.0, 1.0), // 1
+                Link::new(0, 2, 1.0, 5.0), // 2
+                Link::new(2, 3, 1.0, 1.0), // 3
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn picks_cheapest_route() {
+        let net = diamond();
+        let sp = shortest_path(&net, 0, &net.free_flow_times()).unwrap();
+        assert_eq!(sp.cost_to(2), 2.0);
+        assert_eq!(sp.path_to(&net, 2).unwrap(), vec![0, 1, 2]);
+        assert_eq!(sp.links_to(&net, 2).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn costs_change_routes() {
+        let net = diamond();
+        // Make the two-hop route expensive: direct link wins.
+        let sp = shortest_path(&net, 0, &[10.0, 10.0, 5.0, 1.0]).unwrap();
+        assert_eq!(sp.path_to(&net, 2).unwrap(), vec![0, 2]);
+        assert_eq!(sp.cost_to(3), 6.0);
+    }
+
+    #[test]
+    fn unreachable_nodes_error() {
+        let net = RoadNetwork::new(3, vec![Link::new(0, 1, 1.0, 1.0)]).unwrap();
+        let sp = shortest_path(&net, 0, &net.free_flow_times()).unwrap();
+        assert!(sp.cost_to(2).is_infinite());
+        assert!(matches!(
+            sp.path_to(&net, 2),
+            Err(RoadNetError::Unreachable { from: 0, to: 2 })
+        ));
+    }
+
+    #[test]
+    fn origin_path_is_trivial() {
+        let net = diamond();
+        let sp = shortest_path(&net, 1, &net.free_flow_times()).unwrap();
+        assert_eq!(sp.path_to(&net, 1).unwrap(), vec![1]);
+        assert_eq!(sp.cost_to(1), 0.0);
+        assert_eq!(sp.origin(), 1);
+    }
+
+    #[test]
+    fn bad_origin_errors() {
+        let net = diamond();
+        assert!(shortest_path(&net, 9, &net.free_flow_times()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_costs_panic() {
+        let net = RoadNetwork::new(2, vec![Link::new(0, 1, 1.0, 1.0)]).unwrap();
+        let _ = shortest_path(&net, 0, &[-1.0]);
+    }
+}

@@ -1,0 +1,301 @@
+//! The classic Sioux Falls test network (LeBlanc, Morlok & Pierskalla
+//! 1975): 24 nodes, 76 directed arcs, and the standard trip table.
+//!
+//! This is the workload of the paper's Table I. Link attributes and
+//! demands follow the standard TNTP distribution of the instance
+//! (reconstructed; a handful of entries may differ slightly from the
+//! archival file — see DESIGN.md §4 — which shifts absolute volumes a
+//! little but preserves the structure the experiment depends on: node 10
+//! is the heaviest RSU and traffic-difference ratios span ~2–16×).
+//!
+//! Nodes are 0-indexed here; the literature's node `k` is index `k − 1`
+//! ([`node_label`] converts back).
+
+use crate::{Link, RoadNetwork, TripTable};
+
+/// `(from, to, capacity, free_flow_time)` — 1-based node labels as in the
+/// published instance.
+const LINKS: [(usize, usize, f64, f64); 76] = [
+    (1, 2, 25_900.2, 6.0),
+    (1, 3, 23_403.47, 4.0),
+    (2, 1, 25_900.2, 6.0),
+    (2, 6, 4_958.18, 5.0),
+    (3, 1, 23_403.47, 4.0),
+    (3, 4, 17_110.52, 4.0),
+    (3, 12, 23_403.47, 4.0),
+    (4, 3, 17_110.52, 4.0),
+    (4, 5, 17_782.79, 2.0),
+    (4, 11, 4_908.83, 6.0),
+    (5, 4, 17_782.79, 2.0),
+    (5, 6, 4_947.99, 4.0),
+    (5, 9, 10_000.0, 5.0),
+    (6, 2, 4_958.18, 5.0),
+    (6, 5, 4_947.99, 4.0),
+    (6, 8, 4_898.59, 2.0),
+    (7, 8, 7_841.81, 3.0),
+    (7, 18, 23_403.47, 2.0),
+    (8, 6, 4_898.59, 2.0),
+    (8, 7, 7_841.81, 3.0),
+    (8, 9, 5_050.19, 10.0),
+    (8, 16, 5_045.82, 5.0),
+    (9, 5, 10_000.0, 5.0),
+    (9, 8, 5_050.19, 10.0),
+    (9, 10, 13_915.79, 3.0),
+    (10, 9, 13_915.79, 3.0),
+    (10, 11, 10_000.0, 5.0),
+    (10, 15, 13_512.0, 6.0),
+    (10, 16, 4_854.92, 4.0),
+    (10, 17, 4_993.51, 8.0),
+    (11, 4, 4_908.83, 6.0),
+    (11, 10, 10_000.0, 5.0),
+    (11, 12, 4_908.83, 6.0),
+    (11, 14, 4_876.51, 4.0),
+    (12, 3, 23_403.47, 4.0),
+    (12, 11, 4_908.83, 6.0),
+    (12, 13, 25_900.2, 3.0),
+    (13, 12, 25_900.2, 3.0),
+    (13, 24, 5_091.26, 4.0),
+    (14, 11, 4_876.51, 4.0),
+    (14, 15, 5_127.53, 5.0),
+    (14, 23, 4_924.79, 4.0),
+    (15, 10, 13_512.0, 6.0),
+    (15, 14, 5_127.53, 5.0),
+    (15, 19, 14_564.75, 3.0),
+    (15, 22, 9_599.18, 3.0),
+    (16, 8, 5_045.82, 5.0),
+    (16, 10, 4_854.92, 4.0),
+    (16, 17, 5_229.91, 2.0),
+    (16, 18, 19_679.9, 3.0),
+    (17, 10, 4_993.51, 8.0),
+    (17, 16, 5_229.91, 2.0),
+    (17, 19, 4_823.95, 2.0),
+    (18, 7, 23_403.47, 2.0),
+    (18, 16, 19_679.9, 3.0),
+    (18, 20, 23_403.47, 4.0),
+    (19, 15, 14_564.75, 3.0),
+    (19, 17, 4_823.95, 2.0),
+    (19, 20, 5_002.61, 4.0),
+    (20, 18, 23_403.47, 4.0),
+    (20, 19, 5_002.61, 4.0),
+    (20, 21, 5_059.91, 6.0),
+    (20, 22, 5_075.7, 5.0),
+    (21, 20, 5_059.91, 6.0),
+    (21, 22, 5_229.91, 2.0),
+    (21, 24, 4_885.36, 3.0),
+    (22, 15, 9_599.18, 3.0),
+    (22, 20, 5_075.7, 5.0),
+    (22, 21, 5_229.91, 2.0),
+    (22, 23, 5_000.0, 4.0),
+    (23, 14, 4_924.79, 4.0),
+    (23, 22, 5_000.0, 4.0),
+    (23, 24, 5_078.51, 2.0),
+    (24, 13, 5_091.26, 4.0),
+    (24, 21, 4_885.36, 3.0),
+    (24, 23, 5_078.51, 2.0),
+];
+
+/// The standard trip table, in hundreds of vehicles/day, row-major with
+/// 1-based node order (row `o`, column `d`).
+#[rustfmt::skip]
+const TRIPS_HUNDREDS: [[f64; 24]; 24] = [
+    [0.0, 1.0, 1.0, 5.0, 2.0, 3.0, 5.0, 8.0, 5.0, 13.0, 5.0, 2.0, 5.0, 3.0, 5.0, 5.0, 4.0, 1.0, 3.0, 3.0, 1.0, 4.0, 3.0, 1.0],
+    [1.0, 0.0, 1.0, 2.0, 1.0, 4.0, 2.0, 4.0, 2.0, 6.0, 2.0, 1.0, 3.0, 1.0, 1.0, 4.0, 2.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0],
+    [1.0, 1.0, 0.0, 2.0, 1.0, 3.0, 1.0, 2.0, 1.0, 3.0, 3.0, 2.0, 1.0, 1.0, 1.0, 2.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0],
+    [5.0, 2.0, 2.0, 0.0, 5.0, 4.0, 4.0, 7.0, 7.0, 12.0, 14.0, 6.0, 6.0, 5.0, 5.0, 8.0, 5.0, 1.0, 2.0, 3.0, 2.0, 4.0, 5.0, 2.0],
+    [2.0, 1.0, 1.0, 5.0, 0.0, 2.0, 2.0, 5.0, 8.0, 10.0, 5.0, 2.0, 2.0, 1.0, 2.0, 5.0, 2.0, 0.0, 1.0, 1.0, 1.0, 2.0, 1.0, 0.0],
+    [3.0, 4.0, 3.0, 4.0, 2.0, 0.0, 4.0, 8.0, 4.0, 8.0, 4.0, 2.0, 2.0, 1.0, 2.0, 9.0, 5.0, 1.0, 2.0, 3.0, 1.0, 2.0, 1.0, 1.0],
+    [5.0, 2.0, 1.0, 4.0, 2.0, 4.0, 0.0, 10.0, 6.0, 19.0, 5.0, 7.0, 4.0, 2.0, 5.0, 14.0, 10.0, 2.0, 4.0, 5.0, 2.0, 5.0, 2.0, 1.0],
+    [8.0, 4.0, 2.0, 7.0, 5.0, 8.0, 10.0, 0.0, 8.0, 16.0, 8.0, 6.0, 6.0, 4.0, 6.0, 22.0, 14.0, 3.0, 7.0, 9.0, 4.0, 5.0, 3.0, 2.0],
+    [5.0, 2.0, 1.0, 7.0, 8.0, 4.0, 6.0, 8.0, 0.0, 28.0, 14.0, 6.0, 6.0, 6.0, 9.0, 14.0, 9.0, 2.0, 4.0, 6.0, 3.0, 7.0, 5.0, 2.0],
+    [13.0, 6.0, 3.0, 12.0, 10.0, 8.0, 19.0, 16.0, 28.0, 0.0, 40.0, 20.0, 19.0, 21.0, 40.0, 44.0, 39.0, 7.0, 18.0, 25.0, 12.0, 26.0, 18.0, 8.0],
+    [5.0, 2.0, 3.0, 15.0, 5.0, 4.0, 5.0, 8.0, 14.0, 39.0, 0.0, 14.0, 10.0, 16.0, 14.0, 14.0, 10.0, 1.0, 4.0, 6.0, 4.0, 11.0, 13.0, 6.0],
+    [2.0, 1.0, 2.0, 6.0, 2.0, 2.0, 7.0, 6.0, 6.0, 20.0, 14.0, 0.0, 13.0, 7.0, 7.0, 7.0, 6.0, 2.0, 3.0, 4.0, 3.0, 7.0, 7.0, 5.0],
+    [5.0, 3.0, 1.0, 6.0, 2.0, 2.0, 4.0, 6.0, 6.0, 19.0, 10.0, 13.0, 0.0, 6.0, 7.0, 6.0, 5.0, 1.0, 3.0, 6.0, 6.0, 13.0, 8.0, 8.0],
+    [3.0, 1.0, 1.0, 5.0, 1.0, 1.0, 2.0, 4.0, 6.0, 21.0, 16.0, 7.0, 6.0, 0.0, 13.0, 7.0, 7.0, 1.0, 3.0, 5.0, 4.0, 12.0, 11.0, 4.0],
+    [5.0, 1.0, 1.0, 5.0, 2.0, 2.0, 5.0, 6.0, 10.0, 40.0, 14.0, 7.0, 7.0, 13.0, 0.0, 12.0, 15.0, 2.0, 8.0, 11.0, 8.0, 26.0, 10.0, 4.0],
+    [5.0, 4.0, 2.0, 8.0, 5.0, 9.0, 14.0, 22.0, 14.0, 44.0, 14.0, 7.0, 6.0, 7.0, 12.0, 0.0, 28.0, 5.0, 13.0, 16.0, 6.0, 12.0, 5.0, 3.0],
+    [4.0, 2.0, 1.0, 5.0, 2.0, 5.0, 10.0, 14.0, 9.0, 39.0, 10.0, 6.0, 5.0, 7.0, 15.0, 28.0, 0.0, 6.0, 17.0, 17.0, 6.0, 17.0, 6.0, 3.0],
+    [1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 2.0, 3.0, 2.0, 7.0, 2.0, 2.0, 1.0, 1.0, 2.0, 5.0, 6.0, 0.0, 3.0, 4.0, 1.0, 3.0, 1.0, 0.0],
+    [3.0, 1.0, 0.0, 2.0, 1.0, 2.0, 4.0, 7.0, 4.0, 18.0, 4.0, 3.0, 3.0, 3.0, 8.0, 13.0, 17.0, 3.0, 0.0, 12.0, 4.0, 12.0, 3.0, 1.0],
+    [3.0, 1.0, 0.0, 3.0, 1.0, 3.0, 5.0, 9.0, 6.0, 25.0, 6.0, 5.0, 6.0, 5.0, 11.0, 16.0, 17.0, 4.0, 12.0, 0.0, 12.0, 24.0, 7.0, 4.0],
+    [1.0, 0.0, 0.0, 2.0, 1.0, 1.0, 2.0, 4.0, 3.0, 12.0, 4.0, 3.0, 6.0, 4.0, 8.0, 6.0, 6.0, 1.0, 4.0, 12.0, 0.0, 18.0, 7.0, 5.0],
+    [4.0, 1.0, 1.0, 4.0, 2.0, 2.0, 5.0, 5.0, 7.0, 26.0, 11.0, 7.0, 13.0, 12.0, 26.0, 12.0, 17.0, 3.0, 12.0, 24.0, 18.0, 0.0, 21.0, 11.0],
+    [3.0, 0.0, 1.0, 5.0, 1.0, 1.0, 2.0, 3.0, 5.0, 18.0, 13.0, 7.0, 8.0, 11.0, 10.0, 5.0, 6.0, 1.0, 3.0, 7.0, 7.0, 21.0, 0.0, 7.0],
+    [1.0, 0.0, 0.0, 2.0, 0.0, 1.0, 1.0, 2.0, 2.0, 8.0, 6.0, 5.0, 8.0, 4.0, 4.0, 3.0, 3.0, 0.0, 1.0, 4.0, 5.0, 11.0, 7.0, 0.0],
+];
+
+/// The number of nodes (RSU sites) in the instance.
+pub const NODE_COUNT: usize = 24;
+
+/// Builds the 24-node, 76-arc Sioux Falls network.
+///
+/// # Example
+///
+/// ```
+/// let net = vcps_roadnet::sioux_falls::network();
+/// assert_eq!(net.node_count(), 24);
+/// assert_eq!(net.link_count(), 76);
+/// ```
+#[must_use]
+pub fn network() -> RoadNetwork {
+    let links = LINKS
+        .iter()
+        .map(|&(from, to, capacity, fft)| Link::new(from - 1, to - 1, capacity, fft))
+        .collect();
+    RoadNetwork::new(NODE_COUNT, links).expect("embedded network data is valid")
+}
+
+/// The standard trip table in vehicles/day.
+#[must_use]
+pub fn trip_table() -> TripTable {
+    let mut values = Vec::with_capacity(NODE_COUNT * NODE_COUNT);
+    for row in &TRIPS_HUNDREDS {
+        for &d in row {
+            values.push(d * 100.0);
+        }
+    }
+    TripTable::from_rows(NODE_COUNT, values).expect("embedded trip table is square")
+}
+
+/// Converts a 0-based node index to the literature's 1-based label.
+#[must_use]
+pub fn node_label(index: usize) -> usize {
+    index + 1
+}
+
+/// Converts a 1-based literature label to a 0-based node index.
+///
+/// # Panics
+///
+/// Panics if `label` is 0 or greater than [`NODE_COUNT`].
+#[must_use]
+pub fn node_index(label: usize) -> usize {
+    assert!(
+        (1..=NODE_COUNT).contains(&label),
+        "Sioux Falls labels are 1..=24, got {label}"
+    );
+    label - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{all_or_nothing, pair_volumes, point_volumes};
+
+    #[test]
+    fn network_has_published_dimensions() {
+        let net = network();
+        assert_eq!(net.node_count(), 24);
+        assert_eq!(net.link_count(), 76);
+    }
+
+    #[test]
+    fn every_link_has_a_reverse() {
+        // The published instance is symmetric: each arc appears both ways.
+        let net = network();
+        for link in net.links() {
+            assert!(
+                net.links()
+                    .iter()
+                    .any(|l| l.from == link.to && l.to == link.from),
+                "missing reverse of {} -> {}",
+                link.from,
+                link.to
+            );
+        }
+    }
+
+    #[test]
+    fn network_is_strongly_connected() {
+        let net = network();
+        let costs = net.free_flow_times();
+        for origin in 0..net.node_count() {
+            let sp = crate::shortest_path(&net, origin, &costs).unwrap();
+            for dest in 0..net.node_count() {
+                assert!(
+                    sp.cost_to(dest).is_finite(),
+                    "node {dest} unreachable from {origin}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trip_table_matches_published_total() {
+        // The standard instance totals 360,600 trips/day.
+        let trips = trip_table();
+        assert_eq!(trips.node_count(), 24);
+        let total = trips.total();
+        assert!(
+            (355_000.0..=366_000.0).contains(&total),
+            "total demand {total} should be ≈ 360,600"
+        );
+        // Zero diagonal.
+        for i in 0..24 {
+            assert_eq!(trips.demand(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn node_10_is_the_heaviest_rsu() {
+        // The paper picks node 10 as R_y because it has the largest point
+        // volume.
+        let net = network();
+        let trips = trip_table();
+        let a = all_or_nothing(&net, &trips, &net.free_flow_times());
+        assert_eq!(a.unrouted_demand, 0.0);
+        let volumes = point_volumes(&a, &trips, NODE_COUNT);
+        let busiest = volumes
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.total_cmp(y.1))
+            .unwrap();
+        assert_eq!(node_label(busiest.0), 10);
+    }
+
+    #[test]
+    fn traffic_ratios_span_an_order_of_magnitude() {
+        // Table I's d = n_y/n_x ranges ≈ 2–16: volumes must be far from
+        // uniform.
+        let net = network();
+        let trips = trip_table();
+        let a = all_or_nothing(&net, &trips, &net.free_flow_times());
+        let volumes = point_volumes(&a, &trips, NODE_COUNT);
+        let max = volumes.iter().copied().fold(0.0f64, f64::max);
+        let min = volumes.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min > 5.0,
+            "volume skew {max}/{min} should exceed 5x"
+        );
+    }
+
+    #[test]
+    fn pair_volumes_are_positive_for_listed_table1_pairs() {
+        // The Table I pairs (R_x, R_y = 10) all have n_c > 0.
+        let net = network();
+        let trips = trip_table();
+        let a = all_or_nothing(&net, &trips, &net.free_flow_times());
+        let pairs = pair_volumes(&a, &trips, NODE_COUNT);
+        let y = node_index(10);
+        for x_label in [15, 12, 7, 24, 6, 18, 2, 3] {
+            let x = node_index(x_label);
+            assert!(
+                pairs[x * NODE_COUNT + y] > 0.0,
+                "pair ({x_label}, 10) should share traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        assert_eq!(node_label(node_index(10)), 10);
+        assert_eq!(node_index(1), 0);
+        assert_eq!(node_label(23), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels are 1..=24")]
+    fn bad_label_panics() {
+        let _ = node_index(0);
+    }
+}

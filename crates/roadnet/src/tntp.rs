@@ -1,0 +1,333 @@
+//! TNTP text-format support.
+//!
+//! The transportation research community distributes benchmark instances
+//! (including the canonical Sioux Falls files) in the TNTP format of the
+//! *Transportation Networks for Research* repository: a `_net.tntp` file
+//! with a metadata header and one row per link, and a `_trips.tntp` file
+//! with per-origin demand blocks. This module parses both and serializes
+//! networks back, so downstream users can run the measurement scheme on
+//! their own instances.
+//!
+//! Only the fields this crate models are read (tail, head, capacity,
+//! free-flow time); extra TNTP columns (B, power, speed, toll, type) are
+//! accepted and ignored on input and emitted with standard defaults on
+//! output.
+
+use std::fmt::Write as _;
+
+use crate::{Link, RoadNetError, RoadNetwork, TripTable};
+
+/// Parses a TNTP network file.
+///
+/// Node numbers in TNTP are 1-based; they become 0-based indices here.
+///
+/// # Errors
+///
+/// Returns [`RoadNetError::InvalidLink`] (with the offending line index)
+/// for malformed rows, or the underlying construction error for
+/// out-of-range nodes and bad attributes.
+pub fn parse_network(text: &str) -> Result<RoadNetwork, RoadNetError> {
+    let mut node_count = 0usize;
+    let mut declared_links = None;
+    let mut links = Vec::new();
+    let mut in_body = false;
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('<') {
+            // Metadata tag, e.g. <NUMBER OF NODES> 24
+            let Some((tag, value)) = rest.split_once('>') else {
+                continue;
+            };
+            let value = value.trim();
+            match tag.trim().to_ascii_uppercase().as_str() {
+                "NUMBER OF NODES" => {
+                    node_count = value.parse().map_err(|_| RoadNetError::InvalidLink {
+                        index: line_no,
+                        reason: "unparseable node count",
+                    })?;
+                }
+                "NUMBER OF LINKS" => {
+                    declared_links = value.parse::<usize>().ok();
+                }
+                "END OF METADATA" => in_body = true,
+                _ => {}
+            }
+            continue;
+        }
+        if !in_body {
+            // Tolerate files without an explicit end-of-metadata tag.
+            in_body = true;
+        }
+        // Body row: init_node term_node capacity length fft ...
+        let fields: Vec<&str> = line
+            .trim_end_matches(';')
+            .split_whitespace()
+            .collect();
+        if fields.len() < 5 {
+            return Err(RoadNetError::InvalidLink {
+                index: line_no,
+                reason: "link row needs at least 5 fields",
+            });
+        }
+        let parse_num = |s: &str| -> Result<f64, RoadNetError> {
+            s.parse().map_err(|_| RoadNetError::InvalidLink {
+                index: line_no,
+                reason: "unparseable numeric field",
+            })
+        };
+        let from = parse_num(fields[0])? as usize;
+        let to = parse_num(fields[1])? as usize;
+        if from == 0 || to == 0 {
+            return Err(RoadNetError::InvalidLink {
+                index: line_no,
+                reason: "TNTP nodes are 1-based",
+            });
+        }
+        let capacity = parse_num(fields[2])?;
+        let free_flow_time = parse_num(fields[4])?;
+        links.push(Link::new(from - 1, to - 1, capacity, free_flow_time));
+    }
+    if let Some(declared) = declared_links {
+        if declared != links.len() {
+            return Err(RoadNetError::DimensionMismatch {
+                expected: declared,
+                got: links.len(),
+            });
+        }
+    }
+    RoadNetwork::new(node_count, links)
+}
+
+/// Parses a TNTP trips file into a [`TripTable`].
+///
+/// # Errors
+///
+/// Returns [`RoadNetError::DimensionMismatch`] if the declared zone
+/// count disagrees with the origins seen, or [`RoadNetError::InvalidLink`]
+/// for malformed entries (with the line index).
+pub fn parse_trips(text: &str) -> Result<TripTable, RoadNetError> {
+    let mut zones = 0usize;
+    // First pass for the zone count.
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim();
+        if let Some(rest) = line.strip_prefix('<') {
+            if let Some((tag, value)) = rest.split_once('>') {
+                if tag.trim().eq_ignore_ascii_case("NUMBER OF ZONES") {
+                    zones = value.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+    }
+    if zones == 0 {
+        return Err(RoadNetError::DimensionMismatch {
+            expected: 1,
+            got: 0,
+        });
+    }
+    let mut table = TripTable::zeros(zones);
+    let mut origin: Option<usize> = None;
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() || line.starts_with('<') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("Origin") {
+            let o: usize = rest.trim().parse().map_err(|_| RoadNetError::InvalidLink {
+                index: line_no,
+                reason: "unparseable origin number",
+            })?;
+            if o == 0 || o > zones {
+                return Err(RoadNetError::NodeOutOfBounds {
+                    node: o,
+                    node_count: zones,
+                });
+            }
+            origin = Some(o - 1);
+            continue;
+        }
+        let Some(o) = origin else {
+            return Err(RoadNetError::InvalidLink {
+                index: line_no,
+                reason: "demand entry before any Origin header",
+            });
+        };
+        // Entries: "dest : demand ; dest : demand ;"
+        for entry in line.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let Some((dest, demand)) = entry.split_once(':') else {
+                return Err(RoadNetError::InvalidLink {
+                    index: line_no,
+                    reason: "demand entry needs dest : value",
+                });
+            };
+            let d: usize = dest.trim().parse().map_err(|_| RoadNetError::InvalidLink {
+                index: line_no,
+                reason: "unparseable destination",
+            })?;
+            if d == 0 || d > zones {
+                return Err(RoadNetError::NodeOutOfBounds {
+                    node: d,
+                    node_count: zones,
+                });
+            }
+            let value: f64 = demand.trim().parse().map_err(|_| RoadNetError::InvalidLink {
+                index: line_no,
+                reason: "unparseable demand",
+            })?;
+            if o != d - 1 {
+                table.set(o, d - 1, value);
+            }
+        }
+    }
+    Ok(table)
+}
+
+/// Serializes a network to TNTP text (standard column defaults for the
+/// fields this crate does not model).
+#[must_use]
+pub fn write_network(net: &RoadNetwork) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<NUMBER OF ZONES> {}", net.node_count());
+    let _ = writeln!(out, "<NUMBER OF NODES> {}", net.node_count());
+    let _ = writeln!(out, "<FIRST THRU NODE> 1");
+    let _ = writeln!(out, "<NUMBER OF LINKS> {}", net.link_count());
+    let _ = writeln!(out, "<END OF METADATA>");
+    let _ = writeln!(
+        out,
+        "~\tinit_node\tterm_node\tcapacity\tlength\tfree_flow_time\tb\tpower\tspeed\ttoll\tlink_type\t;"
+    );
+    for link in net.links() {
+        let _ = writeln!(
+            out,
+            "\t{}\t{}\t{}\t{}\t{}\t0.15\t4\t0\t0\t1\t;",
+            link.from + 1,
+            link.to + 1,
+            link.capacity,
+            link.free_flow_time,
+            link.free_flow_time,
+        );
+    }
+    out
+}
+
+/// Serializes a trip table to TNTP text.
+#[must_use]
+pub fn write_trips(trips: &TripTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<NUMBER OF ZONES> {}", trips.node_count());
+    let _ = writeln!(out, "<TOTAL OD FLOW> {}", trips.total());
+    let _ = writeln!(out, "<END OF METADATA>");
+    for origin in 0..trips.node_count() {
+        if trips.row_total(origin) == 0.0 {
+            continue;
+        }
+        let _ = writeln!(out, "Origin {}", origin + 1);
+        let mut entries = Vec::new();
+        for dest in 0..trips.node_count() {
+            let demand = trips.demand(origin, dest);
+            if demand > 0.0 {
+                entries.push(format!("{} : {};", dest + 1, demand));
+            }
+        }
+        for chunk in entries.chunks(5) {
+            let _ = writeln!(out, "    {}", chunk.join("    "));
+        }
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('~') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sioux_falls;
+
+    #[test]
+    fn network_roundtrip_through_tntp() {
+        let net = sioux_falls::network();
+        let text = write_network(&net);
+        let parsed = parse_network(&text).unwrap();
+        assert_eq!(parsed, net);
+    }
+
+    #[test]
+    fn trips_roundtrip_through_tntp() {
+        let trips = sioux_falls::trip_table();
+        let text = write_trips(&trips);
+        let parsed = parse_trips(&text).unwrap();
+        assert_eq!(parsed, trips);
+    }
+
+    #[test]
+    fn parses_hand_written_network() {
+        let text = "\
+<NUMBER OF NODES> 3
+<NUMBER OF LINKS> 2
+<END OF METADATA>
+~ from to cap len fft b power speed toll type ;
+ 1 2 1000 1 5 0.15 4 0 0 1 ;
+ 2 3 500 1 2 0.15 4 0 0 1 ;
+";
+        let net = parse_network(text).unwrap();
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.link_count(), 2);
+        assert_eq!(net.link(0).capacity, 1000.0);
+        assert_eq!(net.link(1).free_flow_time, 2.0);
+    }
+
+    #[test]
+    fn parses_hand_written_trips() {
+        let text = "\
+<NUMBER OF ZONES> 2
+<END OF METADATA>
+Origin 1
+    2 : 150.5;
+Origin 2
+    1 : 25;
+";
+        let trips = parse_trips(text).unwrap();
+        assert_eq!(trips.demand(0, 1), 150.5);
+        assert_eq!(trips.demand(1, 0), 25.0);
+        assert_eq!(trips.demand(0, 0), 0.0);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_network("<NUMBER OF NODES> 2\n<END OF METADATA>\n1 2 5\n").is_err());
+        assert!(parse_network("<NUMBER OF NODES> 2\n<NUMBER OF LINKS> 3\n<END OF METADATA>\n1 2 5 1 1\n").is_err());
+        assert!(parse_trips("Origin 1\n 2 : 5;\n").is_err(), "no zone count");
+        assert!(parse_trips("<NUMBER OF ZONES> 2\n 2 : 5;\n").is_err(), "entry before origin");
+        assert!(parse_trips("<NUMBER OF ZONES> 2\nOrigin 9\n").is_err(), "origin out of range");
+    }
+
+    #[test]
+    fn comments_and_diagonal_are_ignored() {
+        let text = "\
+<NUMBER OF ZONES> 2
+<END OF METADATA>
+Origin 1 ~ the CBD
+    1 : 99;    2 : 5; ~ self-demand dropped
+";
+        let trips = parse_trips(text).unwrap();
+        assert_eq!(trips.demand(0, 0), 0.0);
+        assert_eq!(trips.demand(0, 1), 5.0);
+    }
+
+    #[test]
+    fn zero_based_nodes_rejected() {
+        let text = "<NUMBER OF NODES> 2\n<END OF METADATA>\n0 1 5 1 1\n";
+        assert!(parse_network(text).is_err());
+    }
+}

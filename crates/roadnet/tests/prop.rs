@@ -1,0 +1,115 @@
+//! Property tests for the road-network substrate.
+
+use proptest::prelude::*;
+
+use vcps_roadnet::assignment::{
+    all_or_nothing, pair_volumes, point_volumes, turning_movements,
+};
+use vcps_roadnet::generate::{gravity_trips, grid_network, GridSpec};
+use vcps_roadnet::{expand_vehicle_trips, shortest_path, TripTable};
+
+/// Strategy: a small random grid city plus gravity demand.
+fn city() -> impl Strategy<Value = (vcps_roadnet::RoadNetwork, TripTable)> {
+    (2usize..6, 2usize..6, any::<u64>(), 1_000.0f64..100_000.0).prop_map(
+        |(w, h, seed, total)| {
+            let spec = GridSpec {
+                width: w,
+                height: h,
+                ..GridSpec::default()
+            };
+            let net = grid_network(&spec, seed);
+            let trips = gravity_trips(net.node_count(), total, (1.0, 30.0), seed);
+            (net, trips)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shortest_paths_satisfy_triangle_inequality((net, _) in city(), origin_raw in any::<u32>()) {
+        let origin = origin_raw as usize % net.node_count();
+        let costs = net.free_flow_times();
+        let sp = shortest_path(&net, origin, &costs).unwrap();
+        // Relaxed edges: d(v) <= d(u) + c(u, v) for every link.
+        for link in net.links() {
+            prop_assert!(
+                sp.cost_to(link.to) <= sp.cost_to(link.from) + costs_of(&net, link) + 1e-9
+            );
+        }
+        // Path costs equal reported distances.
+        for dest in 0..net.node_count() {
+            let links = sp.links_to(&net, dest).unwrap();
+            let total: f64 = links.iter().map(|&l| costs[l]).sum();
+            prop_assert!((total - sp.cost_to(dest)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn assignment_conserves_demand((net, trips) in city()) {
+        let a = all_or_nothing(&net, &trips, &net.free_flow_times());
+        prop_assert_eq!(a.unrouted_demand, 0.0);
+        // Every OD pair with demand got a path from origin to dest.
+        for (origin, dest, _) in trips.iter_positive() {
+            let path = &a.paths[&(origin, dest)];
+            prop_assert_eq!(*path.first().unwrap(), origin);
+            prop_assert_eq!(*path.last().unwrap(), dest);
+        }
+    }
+
+    #[test]
+    fn pair_volumes_bounded_by_point_volumes((net, trips) in city()) {
+        let a = all_or_nothing(&net, &trips, &net.free_flow_times());
+        let n = net.node_count();
+        let points = point_volumes(&a, &trips, n);
+        let pairs = pair_volumes(&a, &trips, n);
+        for x in 0..n {
+            prop_assert!((pairs[x * n + x]).abs() < 1e-9, "zero diagonal");
+            for y in 0..n {
+                prop_assert!(pairs[x * n + y] <= points[x].min(points[y]) + 1e-6);
+                prop_assert!((pairs[x * n + y] - pairs[y * n + x]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn turning_movements_partition_throughput((net, trips) in city(), node_raw in any::<u32>()) {
+        let node = node_raw as usize % net.node_count();
+        let a = all_or_nothing(&net, &trips, &net.free_flow_times());
+        let points = point_volumes(&a, &trips, net.node_count());
+        let movements = turning_movements(&a, &trips, node);
+        let total: f64 = movements.iter().map(|m| m.volume).sum();
+        prop_assert!((total - points[node]).abs() < 1e-6);
+        // Sorted descending.
+        for w in movements.windows(2) {
+            prop_assert!(w[0].volume >= w[1].volume);
+        }
+    }
+
+    #[test]
+    fn vehicle_expansion_matches_rounded_demand((net, trips) in city()) {
+        let a = all_or_nothing(&net, &trips, &net.free_flow_times());
+        let vehicles = expand_vehicle_trips(&a, &trips, 1.0);
+        let expected: u64 = trips
+            .iter_positive()
+            .filter(|(o, d, _)| a.paths.contains_key(&(*o, *d)))
+            .map(|(_, _, demand)| demand.round() as u64)
+            .sum();
+        prop_assert_eq!(vehicles.len() as u64, expected);
+        // Ids are unique.
+        let mut ids: Vec<u64> = vehicles.iter().map(|v| v.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), vehicles.len());
+    }
+}
+
+fn costs_of(net: &vcps_roadnet::RoadNetwork, link: &vcps_roadnet::Link) -> f64 {
+    // Cheapest parallel link between the endpoints under free flow.
+    net.links()
+        .iter()
+        .filter(|l| l.from == link.from && l.to == link.to)
+        .map(|l| l.free_flow_time)
+        .fold(f64::INFINITY, f64::min)
+}

@@ -1,0 +1,193 @@
+//! The tracking adversary: measures *empirical* preserved privacy.
+//!
+//! The paper's privacy definition (§II-B, §VI) is the probability `p`
+//! that a bit observed set in both RSUs' arrays does **not** witness a
+//! common vehicle. Eq. 43 derives `p` analytically; this module measures
+//! it directly: it runs an instrumented encoding pass that remembers, for
+//! every bit, whether a common vehicle contributed to it, then plays the
+//! adversary — look at all positions set in both `B_x^u` and `B_y` and
+//! count how many are *not* explained by a common vehicle.
+//!
+//! Agreement between [`observe_pair`] and
+//! `vcps_analysis::privacy::preserved_privacy` is checked in this
+//! module's tests and reported in EXPERIMENTS.md.
+
+use vcps_core::{RsuId, Scheme};
+
+use crate::synthetic::SyntheticPair;
+use crate::SimError;
+
+/// Counts accumulated by the adversary over one measurement period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrivacyObservation {
+    /// Positions `i` with `B_x^u[i] = B_y[i] = 1` (event `A`).
+    pub both_set: usize,
+    /// Of those, positions where neither side's bit was touched by any
+    /// common vehicle (event `E` — the trace is a false positive for the
+    /// tracker).
+    pub untraceable: usize,
+}
+
+impl PrivacyObservation {
+    /// The empirical preserved privacy `untraceable / both_set`; `None`
+    /// when no position is set in both arrays (nothing to track — the
+    /// analytic convention treats this as perfect privacy).
+    #[must_use]
+    pub fn empirical_privacy(&self) -> Option<f64> {
+        if self.both_set == 0 {
+            None
+        } else {
+            Some(self.untraceable as f64 / self.both_set as f64)
+        }
+    }
+
+    /// Merges counts from an independent run (for averaging over seeds).
+    pub fn merge(&mut self, other: &PrivacyObservation) {
+        self.both_set += other.both_set;
+        self.untraceable += other.untraceable;
+    }
+}
+
+/// Runs one instrumented period over `workload` and returns the
+/// adversary's counts.
+///
+/// Arrays are sized by `scheme` from the workload's exact volumes; the
+/// smaller array is unfolded against the larger exactly as in the decode
+/// path.
+///
+/// # Errors
+///
+/// Returns [`SimError::Core`] if array sizing fails.
+pub fn observe_pair(
+    scheme: &Scheme,
+    workload: &SyntheticPair,
+    rsu_x: RsuId,
+    rsu_y: RsuId,
+) -> Result<PrivacyObservation, SimError> {
+    let m_x = scheme.array_size_for(workload.n_x() as f64)?;
+    let m_y = scheme.array_size_for(workload.n_y() as f64)?;
+    let m_o = m_x.max(m_y);
+
+    // Attribution bitmaps: was each bit set at all / set by a common
+    // vehicle?
+    let mut x_any = vec![false; m_x];
+    let mut x_common = vec![false; m_x];
+    let mut y_any = vec![false; m_y];
+    let mut y_common = vec![false; m_y];
+
+    for v in &workload.common {
+        let bx = scheme.report_index(v, rsu_x, m_x, m_o);
+        x_any[bx] = true;
+        x_common[bx] = true;
+        let by = scheme.report_index(v, rsu_y, m_y, m_o);
+        y_any[by] = true;
+        y_common[by] = true;
+    }
+    for v in &workload.only_x {
+        x_any[scheme.report_index(v, rsu_x, m_x, m_o)] = true;
+    }
+    for v in &workload.only_y {
+        y_any[scheme.report_index(v, rsu_y, m_y, m_o)] = true;
+    }
+
+    // The adversary scans the combined (unfolded) index space.
+    let (large_len, small_len) = (m_x.max(m_y), m_x.min(m_y));
+    let (small_any, small_common, large_any, large_common) = if m_x <= m_y {
+        (&x_any, &x_common, &y_any, &y_common)
+    } else {
+        (&y_any, &y_common, &x_any, &x_common)
+    };
+    let mut obs = PrivacyObservation::default();
+    for i in 0..large_len {
+        let j = i % small_len;
+        if small_any[j] && large_any[i] {
+            obs.both_set += 1;
+            if !small_common[j] && !large_common[i] {
+                obs.untraceable += 1;
+            }
+        }
+    }
+    Ok(obs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcps_analysis::{privacy, PairParams};
+
+    fn empirical(f: f64, s: usize, n_x: u64, n_y: u64, n_c: u64, seeds: u64) -> f64 {
+        let scheme = Scheme::variable(s, f, 31).unwrap();
+        let mut total = PrivacyObservation::default();
+        for seed in 0..seeds {
+            let workload = SyntheticPair::generate(n_x, n_y, n_c, seed);
+            let obs =
+                observe_pair(&scheme, &workload, RsuId(1), RsuId(2)).unwrap();
+            total.merge(&obs);
+        }
+        total.empirical_privacy().expect("some bits collide")
+    }
+
+    fn analytic(f: f64, s: usize, n_x: u64, n_y: u64, n_c: u64) -> f64 {
+        // Use the actual power-of-two sizes the scheme picks, not f·n.
+        let scheme = Scheme::variable(s, f, 31).unwrap();
+        let m_x = scheme.array_size_for(n_x as f64).unwrap() as f64;
+        let m_y = scheme.array_size_for(n_y as f64).unwrap() as f64;
+        let p = PairParams::new(n_x as f64, n_y as f64, n_c as f64, m_x, m_y, s as f64)
+            .unwrap();
+        privacy::preserved_privacy(&p)
+    }
+
+    #[test]
+    fn empirical_matches_analytic_equal_traffic() {
+        let (f, s, n) = (3.0, 2, 4_000u64);
+        let emp = empirical(f, s, n, n, n / 10, 8);
+        let ana = analytic(f, s, n, n, n / 10);
+        assert!(
+            (emp - ana).abs() < 0.05,
+            "empirical {emp} vs analytic {ana}"
+        );
+    }
+
+    #[test]
+    fn empirical_matches_analytic_skewed_traffic() {
+        let (f, s) = (3.0, 2);
+        let emp = empirical(f, s, 2_000, 20_000, 200, 8);
+        let ana = analytic(f, s, 2_000, 20_000, 200);
+        assert!(
+            (emp - ana).abs() < 0.05,
+            "empirical {emp} vs analytic {ana}"
+        );
+    }
+
+    #[test]
+    fn unfolding_improves_empirical_privacy_under_skew() {
+        // §VI-B's claim, observed rather than derived: skewed pairs under
+        // variable sizing preserve more privacy than equal pairs.
+        let equal = empirical(3.0, 5, 4_000, 4_000, 400, 6);
+        let skewed = empirical(3.0, 5, 4_000, 40_000, 400, 6);
+        assert!(
+            skewed > equal,
+            "skewed {skewed} should beat equal {equal}"
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PrivacyObservation {
+            both_set: 10,
+            untraceable: 4,
+        };
+        a.merge(&PrivacyObservation {
+            both_set: 30,
+            untraceable: 16,
+        });
+        assert_eq!(a.both_set, 40);
+        assert_eq!(a.untraceable, 20);
+        assert_eq!(a.empirical_privacy(), Some(0.5));
+    }
+
+    #[test]
+    fn empty_observation_has_no_privacy_sample() {
+        assert_eq!(PrivacyObservation::default().empirical_privacy(), None);
+    }
+}

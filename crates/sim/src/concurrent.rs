@@ -1,0 +1,205 @@
+//! Thread-safe report ingestion.
+//!
+//! A real RSU services many vehicles concurrently (DSRC broadcasts reach
+//! everyone in range). [`SharedRsu`] wraps a [`SimRsu`] behind a
+//! `parking_lot` mutex so worker threads — one per radio channel, or one
+//! per simulated vehicle batch — can ingest [`BitReport`]s in parallel,
+//! and [`ingest_parallel`] drives a whole workload across a `crossbeam`
+//! thread scope.
+//!
+//! Bit-setting is commutative and idempotent, so concurrent ingestion is
+//! order-insensitive: the resulting sketch is bit-identical to a
+//! sequential run over any permutation of the same reports (tested
+//! below).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use vcps_core::RsuId;
+
+use crate::protocol::{BitReport, PeriodUpload, Query};
+use crate::{SimError, SimRsu};
+
+/// A [`SimRsu`] shareable across threads.
+///
+/// # Example
+///
+/// ```
+/// use vcps_core::RsuId;
+/// use vcps_sim::concurrent::SharedRsu;
+/// use vcps_sim::pki::TrustedAuthority;
+/// use vcps_sim::{BitReport, MacAddress};
+///
+/// # fn main() -> Result<(), vcps_sim::SimError> {
+/// let ca = TrustedAuthority::new(1);
+/// let rsu = SharedRsu::new(RsuId(5), 1 << 10, &ca)?;
+/// let report = BitReport { mac: MacAddress([2, 0, 0, 0, 0, 1]), index: 7 };
+/// rsu.receive(&report)?;
+/// assert_eq!(rsu.upload().counter, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedRsu {
+    inner: Arc<Mutex<SimRsu>>,
+}
+
+impl SharedRsu {
+    /// Creates a shared RSU (see [`SimRsu::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Core`] if `m < 2`.
+    pub fn new(
+        id: RsuId,
+        m: usize,
+        authority: &crate::pki::TrustedAuthority,
+    ) -> Result<Self, SimError> {
+        Ok(Self {
+            inner: Arc::new(Mutex::new(SimRsu::new(id, m, authority)?)),
+        })
+    }
+
+    /// Wraps an existing RSU.
+    #[must_use]
+    pub fn from_rsu(rsu: SimRsu) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(rsu)),
+        }
+    }
+
+    /// The current broadcast query.
+    #[must_use]
+    pub fn query(&self) -> Query {
+        self.inner.lock().query()
+    }
+
+    /// Ingests one report (thread-safe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Core`] for out-of-range indices.
+    pub fn receive(&self, report: &BitReport) -> Result<(), SimError> {
+        self.inner.lock().receive(report)
+    }
+
+    /// Snapshot upload for the server.
+    #[must_use]
+    pub fn upload(&self) -> PeriodUpload {
+        self.inner.lock().upload()
+    }
+
+    /// Runs `f` with exclusive access to the underlying RSU.
+    pub fn with<R>(&self, f: impl FnOnce(&mut SimRsu) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+/// Ingests `reports` into `rsu` across `threads` crossbeam workers.
+///
+/// Returns the number of rejected (out-of-range) reports; accepted ones
+/// are all recorded exactly once.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+#[must_use]
+pub fn ingest_parallel(rsu: &SharedRsu, reports: &[BitReport], threads: usize) -> usize {
+    assert!(threads > 0, "need at least one thread");
+    if reports.is_empty() {
+        return 0;
+    }
+    let chunk = reports.len().div_ceil(threads);
+    let rejected = Mutex::new(0usize);
+    crossbeam::thread::scope(|scope| {
+        for part in reports.chunks(chunk) {
+            let rejected = &rejected;
+            scope.spawn(move |_| {
+                let mut local_rejected = 0usize;
+                for report in part {
+                    if rsu.receive(report).is_err() {
+                        local_rejected += 1;
+                    }
+                }
+                *rejected.lock() += local_rejected;
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    rejected.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pki::TrustedAuthority;
+    use crate::MacAddress;
+
+    fn reports(n: u64, m: u64) -> Vec<BitReport> {
+        (0..n)
+            .map(|i| BitReport {
+                mac: MacAddress([2, 0, 0, 0, 0, (i % 251) as u8]),
+                index: (i * 2_654_435_761) % m,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_ingest_equals_sequential() {
+        let ca = TrustedAuthority::new(3);
+        let m = 1usize << 12;
+        let batch = reports(20_000, m as u64);
+
+        let seq = SharedRsu::new(RsuId(1), m, &ca).unwrap();
+        for r in &batch {
+            seq.receive(r).unwrap();
+        }
+
+        let par = SharedRsu::new(RsuId(1), m, &ca).unwrap();
+        let rejected = ingest_parallel(&par, &batch, 8);
+        assert_eq!(rejected, 0);
+
+        let a = seq.upload();
+        let b = par.upload();
+        assert_eq!(a.counter, b.counter);
+        assert_eq!(a.bits, b.bits, "bit-identical regardless of order");
+    }
+
+    #[test]
+    fn rejected_reports_are_counted_not_recorded() {
+        let ca = TrustedAuthority::new(3);
+        let rsu = SharedRsu::new(RsuId(1), 16, &ca).unwrap();
+        let mut batch = reports(100, 16);
+        batch.push(BitReport {
+            mac: MacAddress([2, 0, 0, 0, 0, 0]),
+            index: 16, // out of range
+        });
+        let rejected = ingest_parallel(&rsu, &batch, 4);
+        assert_eq!(rejected, 1);
+        assert_eq!(rsu.upload().counter, 100);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let ca = TrustedAuthority::new(3);
+        let rsu = SharedRsu::new(RsuId(1), 16, &ca).unwrap();
+        assert_eq!(ingest_parallel(&rsu, &[], 4), 0);
+        assert_eq!(rsu.upload().counter, 0);
+    }
+
+    #[test]
+    fn with_gives_exclusive_access() {
+        let ca = TrustedAuthority::new(3);
+        let rsu = SharedRsu::new(RsuId(1), 16, &ca).unwrap();
+        rsu.with(|r| r.receive(&reports(1, 16)[0]).unwrap());
+        assert_eq!(rsu.with(|r| r.sketch().count()), 1);
+        assert_eq!(rsu.query().array_size, 16);
+    }
+
+    #[test]
+    fn shared_rsu_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedRsu>();
+    }
+}

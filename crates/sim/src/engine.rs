@@ -1,0 +1,467 @@
+//! A discrete-event engine driving vehicles along road-network routes.
+//!
+//! Table I's workload is "traffic generated according to the known
+//! vehicle trip table under the Sioux Falls network". This module turns
+//! per-vehicle routes ([`vcps_roadnet::VehicleTrip`]) into a time-ordered
+//! stream of RSU arrivals (each arrival triggers one query/answer
+//! exchange) and runs a complete measurement period over a whole
+//! network: every node hosts an RSU, every arrival records one passage,
+//! every RSU uploads to the [`CentralServer`] at period end.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use vcps_core::{RsuId, Scheme};
+use vcps_hash::splitmix64;
+use vcps_roadnet::{RoadNetwork, VehicleTrip};
+
+use crate::pki::TrustedAuthority;
+use crate::protocol::PeriodUpload;
+use crate::{CentralServer, SimError, SimRsu, SimVehicle};
+
+/// One vehicle reaching one RSU site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Simulation time of the arrival.
+    pub time: f64,
+    /// Index of the vehicle in the input trip list.
+    pub vehicle: usize,
+    /// The node (RSU site) reached.
+    pub node: usize,
+}
+
+/// Internal event: vehicle `vehicle` arrives at `route[hop]` at `time`.
+#[derive(Debug, PartialEq)]
+struct Event {
+    time: f64,
+    vehicle: usize,
+    hop: usize,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on time; deterministic tie-break on (vehicle, hop).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.vehicle.cmp(&self.vehicle))
+            .then_with(|| other.hop.cmp(&self.hop))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulates all trips and returns every RSU arrival in time order.
+///
+/// Each vehicle departs at `departures[i]` and advances along its route
+/// with per-link travel times taken from `link_times` (indexed like
+/// `net.links()`). Links missing from the route's node pairs fall back to
+/// free-flow time — this cannot happen for routes produced by the
+/// assignment module, but keeps hand-written routes usable.
+///
+/// # Panics
+///
+/// Panics if `departures.len() != trips.len()` or
+/// `link_times.len() != net.link_count()`.
+#[must_use]
+pub fn simulate_arrivals(
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    departures: &[f64],
+) -> Vec<Arrival> {
+    assert_eq!(departures.len(), trips.len(), "one departure per trip");
+    assert_eq!(
+        link_times.len(),
+        net.link_count(),
+        "one travel time per link"
+    );
+    // (from, to) -> travel time lookup.
+    let mut time_of: HashMap<(usize, usize), f64> = HashMap::with_capacity(net.link_count());
+    for (i, link) in net.links().iter().enumerate() {
+        time_of.insert((link.from, link.to), link_times[i]);
+        // Keep the first (cheapest-index) entry on parallel links.
+        time_of.entry((link.from, link.to)).or_insert(link_times[i]);
+    }
+
+    let mut heap = BinaryHeap::with_capacity(trips.len());
+    for (i, _) in trips.iter().enumerate() {
+        heap.push(Event {
+            time: departures[i],
+            vehicle: i,
+            hop: 0,
+        });
+    }
+
+    let mut arrivals = Vec::new();
+    while let Some(Event { time, vehicle, hop }) = heap.pop() {
+        let route = &trips[vehicle].route;
+        if hop >= route.len() {
+            continue;
+        }
+        arrivals.push(Arrival {
+            time,
+            vehicle,
+            node: route[hop],
+        });
+        if hop + 1 < route.len() {
+            let from = route[hop];
+            let to = route[hop + 1];
+            let hop_time = time_of.get(&(from, to)).copied().unwrap_or_else(|| {
+                net.links()
+                    .iter()
+                    .find(|l| l.from == from && l.to == to)
+                    .map_or(1.0, |l| l.free_flow_time)
+            });
+            heap.push(Event {
+                time: time + hop_time,
+                vehicle,
+                hop: hop + 1,
+            });
+        }
+    }
+    arrivals
+}
+
+/// The outcome of a full-network measurement period.
+#[derive(Debug, Clone)]
+pub struct NetworkRun {
+    /// The central server holding every RSU's upload — query it with
+    /// [`CentralServer::estimate`].
+    pub server: CentralServer,
+    /// Total query/answer exchanges performed.
+    pub exchanges: usize,
+}
+
+/// Runs one measurement period over an entire road network: an RSU at
+/// every node (node `i` ↔ `RsuId(i)`), arrays sized from `history`
+/// volumes, every trip driven through the discrete-event engine.
+///
+/// `period` is the departure window: vehicles depart uniformly at random
+/// within `[0, period)` (seeded; reproducible).
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures.
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()`.
+pub fn run_network_period(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+) -> Result<NetworkRun, SimError> {
+    assert_eq!(
+        history.len(),
+        net.node_count(),
+        "one history volume per node"
+    );
+    let authority = TrustedAuthority::new(seed ^ 0x0CA0_17E5);
+    let mut rsus = Vec::with_capacity(net.node_count());
+    let mut m_o = 0usize;
+    for (node, &avg) in history.iter().enumerate() {
+        let m = scheme.array_size_for(avg)?;
+        m_o = m_o.max(m);
+        rsus.push(SimRsu::new(RsuId(node as u64), m, &authority)?);
+    }
+    let queries: Vec<_> = rsus.iter().map(SimRsu::query).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let departures: Vec<f64> = trips
+        .iter()
+        .map(|_| rng.random_range(0.0..period.max(f64::MIN_POSITIVE)))
+        .collect();
+    let arrivals = simulate_arrivals(net, link_times, trips, &departures);
+
+    let mut vehicles: Vec<SimVehicle> = trips
+        .iter()
+        .map(|t| {
+            SimVehicle::new(
+                vcps_core::VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                splitmix64(t.id ^ 0xACE0_FBA5E),
+            )
+        })
+        .collect();
+
+    let mut exchanges = 0usize;
+    for arrival in &arrivals {
+        let report = vehicles[arrival.vehicle].answer(
+            &queries[arrival.node],
+            scheme,
+            &authority,
+            m_o,
+        )?;
+        rsus[arrival.node].receive(&report)?;
+        exchanges += 1;
+    }
+
+    let mut server = CentralServer::new(scheme.clone(), 1.0);
+    for rsu in &rsus {
+        let wire = rsu.upload().encode();
+        server.receive(PeriodUpload::decode(&wire)?);
+    }
+    Ok(NetworkRun { server, exchanges })
+}
+
+/// The outcome of a multi-period simulation (see [`run_periods`]).
+#[derive(Debug, Clone)]
+pub struct MultiPeriodRun {
+    /// The central server after the last period (history updated, ready
+    /// to size the next period).
+    pub server: CentralServer,
+    /// Array sizes in force during each period, per RSU (node index →
+    /// size), in period order.
+    pub sizes_per_period: Vec<Vec<usize>>,
+    /// Query/answer exchanges per period.
+    pub exchanges_per_period: Vec<usize>,
+}
+
+/// Settings for a multi-period run (see [`run_periods`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodSettings {
+    /// EWMA smoothing factor for the server's volume history, in
+    /// `(0, 1]`.
+    pub history_alpha: f64,
+    /// Departure window length for each period.
+    pub period_length: f64,
+    /// Master seed (keys, departures, certificates).
+    pub seed: u64,
+}
+
+impl Default for PeriodSettings {
+    fn default() -> Self {
+        Self {
+            history_alpha: vcps_core::VolumeHistory::DEFAULT_ALPHA,
+            period_length: 3_600.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs several consecutive measurement periods over a road network,
+/// closing the §IV-C loop: each period's counters update the server's
+/// EWMA history, which re-sizes every RSU's array for the next period.
+///
+/// `periods[p]` is the trip list driven in period `p`. Array sizes for
+/// period 0 come from `initial_history`; later periods from the server.
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures.
+///
+/// # Panics
+///
+/// Panics if `initial_history.len() != net.node_count()` or `periods`
+/// is empty.
+pub fn run_periods(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    periods: &[Vec<VehicleTrip>],
+    initial_history: &[f64],
+    settings: &PeriodSettings,
+) -> Result<MultiPeriodRun, SimError> {
+    let PeriodSettings {
+        history_alpha,
+        period_length,
+        seed,
+    } = *settings;
+    assert!(!periods.is_empty(), "need at least one period");
+    assert_eq!(
+        initial_history.len(),
+        net.node_count(),
+        "one history volume per node"
+    );
+    let mut server = CentralServer::new(scheme.clone(), history_alpha);
+    for (node, &avg) in initial_history.iter().enumerate() {
+        server.seed_history(RsuId(node as u64), avg);
+    }
+    let mut sizes = server.finish_period()?;
+    let mut sizes_per_period = Vec::with_capacity(periods.len());
+    let mut exchanges_per_period = Vec::with_capacity(periods.len());
+
+    for (p, trips) in periods.iter().enumerate() {
+        let authority = TrustedAuthority::new(seed ^ 0x0CA0_17E5 ^ p as u64);
+        let mut rsus = Vec::with_capacity(net.node_count());
+        let mut m_o = 0usize;
+        for node in 0..net.node_count() {
+            let id = RsuId(node as u64);
+            let m = sizes.get(&id).copied().unwrap_or(2).max(2);
+            m_o = m_o.max(m);
+            rsus.push(SimRsu::new(id, m, &authority)?);
+        }
+        let queries: Vec<_> = rsus.iter().map(SimRsu::query).collect();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ (p as u64) << 32);
+        let departures: Vec<f64> = trips
+            .iter()
+            .map(|_| rng.random_range(0.0..period_length.max(f64::MIN_POSITIVE)))
+            .collect();
+        let arrivals = simulate_arrivals(net, link_times, trips, &departures);
+        let mut vehicles: Vec<SimVehicle> = trips
+            .iter()
+            .map(|t| {
+                SimVehicle::new(
+                    vcps_core::VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                    splitmix64(t.id ^ 0xACE0_FBA5E ^ p as u64),
+                )
+            })
+            .collect();
+        let mut exchanges = 0usize;
+        for arrival in &arrivals {
+            let report = vehicles[arrival.vehicle].answer(
+                &queries[arrival.node],
+                scheme,
+                &authority,
+                m_o,
+            )?;
+            rsus[arrival.node].receive(&report)?;
+            exchanges += 1;
+        }
+        sizes_per_period.push(rsus.iter().map(|r| r.sketch().len()).collect());
+        exchanges_per_period.push(exchanges);
+        for rsu in &rsus {
+            server.receive(PeriodUpload::decode(&rsu.upload().encode_compact())?);
+        }
+        sizes = server.finish_period()?;
+    }
+    Ok(MultiPeriodRun {
+        server,
+        sizes_per_period,
+        exchanges_per_period,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcps_roadnet::{Link, RoadNetwork};
+
+    fn line_net() -> RoadNetwork {
+        RoadNetwork::new(
+            3,
+            vec![Link::new(0, 1, 10.0, 2.0), Link::new(1, 2, 10.0, 3.0)],
+        )
+        .unwrap()
+    }
+
+    fn trip(id: u64, route: Vec<usize>) -> VehicleTrip {
+        VehicleTrip {
+            id,
+            origin: *route.first().unwrap(),
+            dest: *route.last().unwrap(),
+            route,
+        }
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered_and_complete() {
+        let net = line_net();
+        let trips = vec![trip(0, vec![0, 1, 2]), trip(1, vec![1, 2])];
+        let arrivals =
+            simulate_arrivals(&net, &net.free_flow_times(), &trips, &[0.0, 1.0]);
+        assert_eq!(arrivals.len(), 5);
+        for w in arrivals.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        // Vehicle 0: nodes 0@0, 1@2, 2@5; vehicle 1: 1@1, 2@4.
+        let v0: Vec<(f64, usize)> = arrivals
+            .iter()
+            .filter(|a| a.vehicle == 0)
+            .map(|a| (a.time, a.node))
+            .collect();
+        assert_eq!(v0, vec![(0.0, 0), (2.0, 1), (5.0, 2)]);
+    }
+
+    #[test]
+    fn congested_times_delay_arrivals() {
+        let net = line_net();
+        let trips = vec![trip(0, vec![0, 1, 2])];
+        let slow = simulate_arrivals(&net, &[4.0, 6.0], &trips, &[0.0]);
+        assert_eq!(slow.last().unwrap().time, 10.0);
+    }
+
+    #[test]
+    fn full_network_period_counts_every_arrival() {
+        let net = line_net();
+        let trips: Vec<VehicleTrip> = (0..200).map(|i| trip(i, vec![0, 1, 2])).collect();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let run = run_network_period(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &[200.0, 200.0, 200.0],
+            60.0,
+            4,
+        )
+        .unwrap();
+        assert_eq!(run.exchanges, 600);
+        assert_eq!(run.server.upload_count(), 3);
+        // All 200 vehicles pass every pair of nodes.
+        let est = run.server.estimate(RsuId(0), RsuId(2)).unwrap();
+        assert_eq!(est.n_x, 200);
+        assert_eq!(est.n_y, 200);
+        let rel = est.relative_error(200.0).unwrap();
+        assert!(rel < 0.25, "estimate {} (rel {rel})", est.n_c);
+    }
+
+    #[test]
+    fn multi_period_run_adapts_sizes_to_traffic() {
+        // Traffic doubles each period; with alpha = 1 the history tracks
+        // the last period exactly, so the arrays must grow.
+        let net = line_net();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let periods: Vec<Vec<VehicleTrip>> = [100u64, 200, 400]
+            .iter()
+            .map(|&n| (0..n).map(|i| trip(i, vec![0, 1, 2])).collect())
+            .collect();
+        let run = run_periods(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &periods,
+            &[100.0, 100.0, 100.0],
+            &PeriodSettings {
+                history_alpha: 1.0,
+                period_length: 60.0,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(run.exchanges_per_period, vec![300, 600, 1200]);
+        assert_eq!(run.sizes_per_period.len(), 3);
+        // Period 0 sized for 100 vehicles (512 bits at f̄ = 3); period 2
+        // sized from period 1's observed 200 vehicles.
+        assert_eq!(run.sizes_per_period[0][0], 512);
+        assert_eq!(run.sizes_per_period[1][0], 512); // sized from period 0's 100
+        assert_eq!(run.sizes_per_period[2][0], 1024); // sized from period 1's 200
+        // The final history reflects the last period's 400 vehicles.
+        assert_eq!(
+            run.server.history().average(RsuId(0)),
+            Some(400.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one departure per trip")]
+    fn departure_count_is_validated() {
+        let net = line_net();
+        let trips = vec![trip(0, vec![0, 1])];
+        let _ = simulate_arrivals(&net, &net.free_flow_times(), &trips, &[]);
+    }
+}

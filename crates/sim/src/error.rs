@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+use vcps_core::{CoreError, RsuId};
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A scheme-level operation failed.
+    Core(CoreError),
+    /// A vehicle rejected an RSU's certificate (simulated PKI failure).
+    CertificateRejected {
+        /// The RSU whose certificate failed verification.
+        rsu: RsuId,
+    },
+    /// A wire message could not be decoded.
+    MalformedMessage {
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// The server was asked about an RSU that never uploaded.
+    MissingUpload {
+        /// The absent RSU.
+        rsu: RsuId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Core(e) => write!(f, "scheme error: {e}"),
+            SimError::CertificateRejected { rsu } => {
+                write!(f, "certificate of {rsu} failed verification")
+            }
+            SimError::MalformedMessage { reason } => {
+                write!(f, "malformed wire message: {reason}")
+            }
+            SimError::MissingUpload { rsu } => {
+                write!(f, "no period upload received from {rsu}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::from(CoreError::Saturated { which: "B_x" });
+        assert!(e.to_string().contains("B_x"));
+        assert!(e.source().is_some());
+        assert!(SimError::MissingUpload { rsu: RsuId(3) }
+            .to_string()
+            .contains("R3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

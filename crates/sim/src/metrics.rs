@@ -1,0 +1,157 @@
+//! Communication-overhead accounting.
+//!
+//! The paper analyzes computation cost (§IV-E) but not communication;
+//! for a deployment study the wire budget matters just as much. This
+//! module counts messages and bytes for a measurement period:
+//! queries (RSU → broadcast), bit reports (vehicle → RSU), and
+//! end-of-period uploads (RSU → server), in both the dense and
+//! compact ([`PeriodUpload::encode_compact`]) forms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{BitReport, PeriodUpload, Query};
+
+/// Message and byte counters for one measurement period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommunicationMetrics {
+    /// Queries answered (one per vehicle per RSU passage).
+    pub queries: u64,
+    /// Bit reports transmitted.
+    pub reports: u64,
+    /// Period uploads transmitted.
+    pub uploads: u64,
+    /// Bytes of query frames received by vehicles.
+    pub query_bytes: u64,
+    /// Bytes of report frames received by RSUs.
+    pub report_bytes: u64,
+    /// Upload bytes with the dense encoding.
+    pub upload_bytes_dense: u64,
+    /// Upload bytes with the size-adaptive encoding.
+    pub upload_bytes_compact: u64,
+}
+
+impl CommunicationMetrics {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts one query/report exchange.
+    pub fn record_exchange(&mut self, query: &Query, report: &BitReport) {
+        self.queries += 1;
+        self.reports += 1;
+        self.query_bytes += query.encode().len() as u64;
+        self.report_bytes += report.encode().len() as u64;
+    }
+
+    /// Accounts one period upload (both encodings, for comparison).
+    pub fn record_upload(&mut self, upload: &PeriodUpload) {
+        self.uploads += 1;
+        self.upload_bytes_dense += upload.encode().len() as u64;
+        self.upload_bytes_compact += upload.encode_compact().len() as u64;
+    }
+
+    /// Vehicle-side bytes per passage (query down + report up); `0`
+    /// before any exchange.
+    #[must_use]
+    pub fn bytes_per_passage(&self) -> f64 {
+        if self.reports == 0 {
+            0.0
+        } else {
+            (self.query_bytes + self.report_bytes) as f64 / self.reports as f64
+        }
+    }
+
+    /// Fraction of upload bytes saved by the compact encoding.
+    #[must_use]
+    pub fn upload_savings(&self) -> f64 {
+        if self.upload_bytes_dense == 0 {
+            0.0
+        } else {
+            1.0 - self.upload_bytes_compact as f64 / self.upload_bytes_dense as f64
+        }
+    }
+
+    /// Merges counters from another period or a parallel worker.
+    pub fn merge(&mut self, other: &CommunicationMetrics) {
+        self.queries += other.queries;
+        self.reports += other.reports;
+        self.uploads += other.uploads;
+        self.query_bytes += other.query_bytes;
+        self.report_bytes += other.report_bytes;
+        self.upload_bytes_dense += other.upload_bytes_dense;
+        self.upload_bytes_compact += other.upload_bytes_compact;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pki::TrustedAuthority;
+    use crate::MacAddress;
+    use vcps_bitarray::BitArray;
+    use vcps_core::RsuId;
+
+    fn sample_query() -> Query {
+        let ca = TrustedAuthority::new(1);
+        Query {
+            rsu: RsuId(1),
+            certificate: ca.issue(RsuId(1)),
+            array_size: 1024,
+        }
+    }
+
+    #[test]
+    fn exchange_accounting() {
+        let mut m = CommunicationMetrics::new();
+        let report = BitReport {
+            mac: MacAddress([2, 0, 0, 0, 0, 1]),
+            index: 5,
+        };
+        m.record_exchange(&sample_query(), &report);
+        m.record_exchange(&sample_query(), &report);
+        assert_eq!(m.queries, 2);
+        assert_eq!(m.reports, 2);
+        // Query frame: 33 bytes; report frame: 15 bytes.
+        assert_eq!(m.bytes_per_passage(), 48.0);
+    }
+
+    #[test]
+    fn upload_accounting_shows_compact_savings() {
+        let mut m = CommunicationMetrics::new();
+        let mut bits = BitArray::new(1 << 14);
+        bits.set(7);
+        m.record_upload(&PeriodUpload {
+            rsu: RsuId(1),
+            counter: 1,
+            bits,
+        });
+        assert_eq!(m.uploads, 1);
+        assert!(m.upload_bytes_compact < m.upload_bytes_dense);
+        assert!(m.upload_savings() > 0.9);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = CommunicationMetrics {
+            queries: 1,
+            reports: 1,
+            uploads: 1,
+            query_bytes: 10,
+            report_bytes: 20,
+            upload_bytes_dense: 30,
+            upload_bytes_compact: 15,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.upload_bytes_dense, 60);
+    }
+
+    #[test]
+    fn empty_metrics_have_safe_ratios() {
+        let m = CommunicationMetrics::new();
+        assert_eq!(m.bytes_per_passage(), 0.0);
+        assert_eq!(m.upload_savings(), 0.0);
+    }
+}

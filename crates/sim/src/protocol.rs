@@ -1,0 +1,383 @@
+//! Typed protocol messages and their wire encoding.
+//!
+//! Three messages flow in the system (paper §IV-B/C):
+//!
+//! 1. RSU → vehicles: a broadcast [`Query`] carrying the RSU's RID, its
+//!    public-key certificate, and its bit-array size;
+//! 2. vehicle → RSU: a [`BitReport`] carrying *only* a bit index (under a
+//!    one-time MAC address) — the entire privacy argument rests on this
+//!    being the only vehicle-originated data;
+//! 3. RSU → central server (end of period): a [`PeriodUpload`] with the
+//!    counter and the bit array.
+//!
+//! The wire format is a compact big-endian layout over [`bytes`]; it
+//! stands in for DSRC/IEEE 802.11p frames (the scheme is agnostic to the
+//! radio layer). Every message round-trips through
+//! `encode`/`decode`, property-tested below.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use vcps_core::{BitArray, RsuId};
+
+use crate::pki::Certificate;
+use crate::{MacAddress, SimError};
+
+const TAG_QUERY: u8 = 1;
+const TAG_REPORT: u8 = 2;
+const TAG_UPLOAD: u8 = 3;
+const TAG_UPLOAD_SPARSE: u8 = 4;
+
+/// The periodic broadcast an RSU sends to passing vehicles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// The RSU's identifier (RID).
+    pub rsu: RsuId,
+    /// The RSU's certificate from the trusted authority.
+    pub certificate: Certificate,
+    /// The RSU's bit-array size `m_x`, needed by the vehicle to reduce
+    /// its logical position.
+    pub array_size: u64,
+}
+
+impl Query {
+    /// Serializes the query to its wire form.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(1 + 8 * 4);
+        buf.put_u8(TAG_QUERY);
+        buf.put_u64(self.rsu.0);
+        buf.put_u64(self.certificate.rsu.0);
+        buf.put_u64(self.certificate.tag);
+        buf.put_u64(self.array_size);
+        buf.freeze()
+    }
+
+    /// Parses a query from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] on truncation or a wrong
+    /// tag byte.
+    pub fn decode(mut wire: &[u8]) -> Result<Self, SimError> {
+        if wire.len() != 1 + 8 * 4 || wire[0] != TAG_QUERY {
+            return Err(SimError::MalformedMessage {
+                reason: "bad query frame",
+            });
+        }
+        wire.advance(1);
+        Ok(Self {
+            rsu: RsuId(wire.get_u64()),
+            certificate: Certificate {
+                rsu: RsuId(wire.get_u64()),
+                tag: wire.get_u64(),
+            },
+            array_size: wire.get_u64(),
+        })
+    }
+}
+
+/// A vehicle's answer: one bit index under a one-time MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitReport {
+    /// The one-time link-layer address used for this single exchange.
+    pub mac: MacAddress,
+    /// The reported bit index `b_x ∈ [0, m_x)`.
+    pub index: u64,
+}
+
+impl BitReport {
+    /// Serializes the report to its wire form.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(1 + 6 + 8);
+        buf.put_u8(TAG_REPORT);
+        buf.put_slice(&self.mac.0);
+        buf.put_u64(self.index);
+        buf.freeze()
+    }
+
+    /// Parses a report from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] on truncation or a wrong
+    /// tag byte.
+    pub fn decode(mut wire: &[u8]) -> Result<Self, SimError> {
+        if wire.len() != 1 + 6 + 8 || wire[0] != TAG_REPORT {
+            return Err(SimError::MalformedMessage {
+                reason: "bad report frame",
+            });
+        }
+        wire.advance(1);
+        let mut mac = [0u8; 6];
+        wire.copy_to_slice(&mut mac);
+        Ok(Self {
+            mac: MacAddress(mac),
+            index: wire.get_u64(),
+        })
+    }
+}
+
+/// An RSU's end-of-period upload to the central server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodUpload {
+    /// The uploading RSU.
+    pub rsu: RsuId,
+    /// The passage counter `n_x`.
+    pub counter: u64,
+    /// The bit array `B_x`.
+    pub bits: BitArray,
+}
+
+impl PeriodUpload {
+    /// Serializes the upload to its wire form.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let words = self.bits.as_words();
+        let mut buf = BytesMut::with_capacity(1 + 8 * 3 + 8 * words.len());
+        buf.put_u8(TAG_UPLOAD);
+        buf.put_u64(self.rsu.0);
+        buf.put_u64(self.counter);
+        buf.put_u64(self.bits.len() as u64);
+        for &w in words {
+            buf.put_u64(w);
+        }
+        buf.freeze()
+    }
+
+    /// Serializes the upload choosing the cheaper representation: the
+    /// dense word form or a sorted set-bit index list — light-traffic
+    /// RSUs with big arrays (sized for heavy siblings' history or sparse
+    /// periods) save most of their uplink this way.
+    ///
+    /// [`PeriodUpload::decode`] accepts both forms transparently.
+    #[must_use]
+    pub fn encode_compact(&self) -> Bytes {
+        let ones: Vec<usize> = self.bits.ones().collect();
+        if ones.len() >= self.bits.as_words().len() {
+            return self.encode();
+        }
+        let mut buf = BytesMut::with_capacity(1 + 8 * 4 + 8 * ones.len());
+        buf.put_u8(TAG_UPLOAD_SPARSE);
+        buf.put_u64(self.rsu.0);
+        buf.put_u64(self.counter);
+        buf.put_u64(self.bits.len() as u64);
+        buf.put_u64(ones.len() as u64);
+        for i in ones {
+            buf.put_u64(i as u64);
+        }
+        buf.freeze()
+    }
+
+    /// Parses an upload from its wire form (dense or sparse frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] on truncation, a wrong tag
+    /// byte, or an inconsistent word/index count.
+    pub fn decode(wire: &[u8]) -> Result<Self, SimError> {
+        match wire.first() {
+            Some(&TAG_UPLOAD) => Self::decode_dense(wire),
+            Some(&TAG_UPLOAD_SPARSE) => Self::decode_sparse(wire),
+            _ => Err(SimError::MalformedMessage {
+                reason: "bad upload frame",
+            }),
+        }
+    }
+
+    fn decode_dense(mut wire: &[u8]) -> Result<Self, SimError> {
+        if wire.len() < 1 + 8 * 3 || wire[0] != TAG_UPLOAD {
+            return Err(SimError::MalformedMessage {
+                reason: "bad upload frame",
+            });
+        }
+        wire.advance(1);
+        let rsu = RsuId(wire.get_u64());
+        let counter = wire.get_u64();
+        let len = wire.get_u64() as usize;
+        let expected_words = len.div_ceil(64);
+        if wire.len() != expected_words * 8 {
+            return Err(SimError::MalformedMessage {
+                reason: "upload word count mismatch",
+            });
+        }
+        let mut words = Vec::with_capacity(expected_words);
+        for _ in 0..expected_words {
+            words.push(wire.get_u64());
+        }
+        let bits = BitArray::from_words(words, len).map_err(|_| SimError::MalformedMessage {
+            reason: "invalid bit array in upload",
+        })?;
+        Ok(Self { rsu, counter, bits })
+    }
+
+    fn decode_sparse(mut wire: &[u8]) -> Result<Self, SimError> {
+        if wire.len() < 1 + 8 * 4 {
+            return Err(SimError::MalformedMessage {
+                reason: "truncated sparse upload",
+            });
+        }
+        wire.advance(1);
+        let rsu = RsuId(wire.get_u64());
+        let counter = wire.get_u64();
+        let len = wire.get_u64() as usize;
+        let ones = wire.get_u64() as usize;
+        if wire.len() != ones * 8 {
+            return Err(SimError::MalformedMessage {
+                reason: "sparse upload index count mismatch",
+            });
+        }
+        let mut bits = BitArray::try_new(len).map_err(|_| SimError::MalformedMessage {
+            reason: "invalid bit array length in upload",
+        })?;
+        for _ in 0..ones {
+            bits.try_set(wire.get_u64() as usize)
+                .map_err(|_| SimError::MalformedMessage {
+                    reason: "sparse upload index out of range",
+                })?;
+        }
+        Ok(Self { rsu, counter, bits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pki::TrustedAuthority;
+
+    fn query() -> Query {
+        let ca = TrustedAuthority::new(9);
+        Query {
+            rsu: RsuId(12),
+            certificate: ca.issue(RsuId(12)),
+            array_size: 1 << 14,
+        }
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = query();
+        assert_eq!(Query::decode(&q.encode()).unwrap(), q);
+    }
+
+    #[test]
+    fn query_rejects_truncation_and_bad_tag() {
+        let wire = query().encode();
+        assert!(Query::decode(&wire[..wire.len() - 1]).is_err());
+        let mut bad = wire.to_vec();
+        bad[0] = TAG_REPORT;
+        assert!(Query::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let r = BitReport {
+            mac: MacAddress([2, 3, 4, 5, 6, 7]),
+            index: 777,
+        };
+        assert_eq!(BitReport::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn report_contains_no_identifier_fields() {
+        // The privacy invariant: a report is exactly MAC + index, 15
+        // bytes, nothing else.
+        let r = BitReport {
+            mac: MacAddress([2, 0, 0, 0, 0, 0]),
+            index: 1,
+        };
+        assert_eq!(r.encode().len(), 15);
+    }
+
+    #[test]
+    fn upload_roundtrip() {
+        let mut bits = BitArray::new(100);
+        bits.set(0);
+        bits.set(99);
+        let u = PeriodUpload {
+            rsu: RsuId(5),
+            counter: 12_345,
+            bits,
+        };
+        assert_eq!(PeriodUpload::decode(&u.encode()).unwrap(), u);
+    }
+
+    #[test]
+    fn upload_rejects_word_count_mismatch() {
+        let u = PeriodUpload {
+            rsu: RsuId(5),
+            counter: 1,
+            bits: BitArray::new(64),
+        };
+        let mut wire = u.encode().to_vec();
+        wire.extend_from_slice(&[0u8; 8]);
+        assert!(PeriodUpload::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn compact_upload_roundtrips_and_saves_bytes() {
+        // A light RSU: 5 ones in a 2^16-bit array.
+        let mut bits = BitArray::new(1 << 16);
+        for i in [3usize, 999, 10_000, 40_000, 65_535] {
+            bits.set(i);
+        }
+        let u = PeriodUpload {
+            rsu: RsuId(9),
+            counter: 5,
+            bits,
+        };
+        let dense = u.encode();
+        let compact = u.encode_compact();
+        assert!(compact.len() * 100 < dense.len(), "5 indices vs 8 KiB");
+        assert_eq!(PeriodUpload::decode(&compact).unwrap(), u);
+    }
+
+    #[test]
+    fn compact_upload_falls_back_to_dense_when_full() {
+        let mut bits = BitArray::new(128);
+        for i in 0..100 {
+            bits.set(i);
+        }
+        let u = PeriodUpload {
+            rsu: RsuId(9),
+            counter: 100,
+            bits,
+        };
+        assert_eq!(u.encode_compact(), u.encode());
+    }
+
+    #[test]
+    fn sparse_upload_rejects_corruption() {
+        // 128 bits / 1 one: strictly cheaper sparse, so encode_compact
+        // emits the sparse frame.
+        let mut bits = BitArray::new(128);
+        bits.set(1);
+        let u = PeriodUpload {
+            rsu: RsuId(1),
+            counter: 1,
+            bits,
+        };
+        let wire = u.encode_compact().to_vec();
+        assert!(PeriodUpload::decode(&wire[..wire.len() - 1]).is_err());
+        // Corrupt the index to be out of range.
+        let mut bad = wire.clone();
+        let n = bad.len();
+        bad[n - 1] = 200;
+        assert!(PeriodUpload::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn upload_roundtrip_various_sizes() {
+        for len in [2usize, 63, 64, 65, 128, 1000, 1 << 12] {
+            let mut bits = BitArray::new(len);
+            bits.set(len - 1);
+            let u = PeriodUpload {
+                rsu: RsuId(1),
+                counter: len as u64,
+                bits,
+            };
+            assert_eq!(PeriodUpload::decode(&u.encode()).unwrap(), u, "len {len}");
+        }
+    }
+}

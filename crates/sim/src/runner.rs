@@ -1,0 +1,240 @@
+use vcps_core::estimator::Estimate;
+use vcps_core::{RsuId, Scheme};
+use vcps_hash::splitmix64;
+
+use crate::pki::TrustedAuthority;
+use crate::protocol::PeriodUpload;
+use crate::synthetic::SyntheticPair;
+use crate::{CentralServer, SimError, SimRsu, SimVehicle};
+
+/// Runs the complete protocol for one two-RSU measurement period:
+/// queries, certificate checks, bit reports, wire-encoded uploads, and
+/// the server-side decode.
+///
+/// This is the workhorse of the Fig. 4/5 experiments: feed it a
+/// [`SyntheticPair`] workload and compare
+/// [`PairOutcome::estimate`] against [`PairOutcome::true_n_c`].
+#[derive(Debug, Clone)]
+pub struct PairRunner {
+    scheme: Scheme,
+    rsu_a: RsuId,
+    rsu_b: RsuId,
+    history: Option<(f64, f64)>,
+    authority: TrustedAuthority,
+    mac_seed: u64,
+}
+
+/// The result of one [`PairRunner::run`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairOutcome {
+    /// The server's decoded estimate.
+    pub estimate: Estimate,
+    /// The workload's true overlap `n_c`.
+    pub true_n_c: u64,
+}
+
+impl PairOutcome {
+    /// Relative error `|n̂_c − n_c| / n_c` (Table I's `r`); `None` when
+    /// the true overlap is zero.
+    #[must_use]
+    pub fn relative_error(&self) -> Option<f64> {
+        self.estimate.relative_error(self.true_n_c as f64)
+    }
+}
+
+impl PairRunner {
+    /// Creates a runner for two RSU ids under a scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two ids are equal.
+    #[must_use]
+    pub fn new(scheme: Scheme, rsu_a: RsuId, rsu_b: RsuId) -> Self {
+        assert_ne!(rsu_a, rsu_b, "a pair needs two distinct RSUs");
+        Self {
+            scheme,
+            rsu_a,
+            rsu_b,
+            history: None,
+            authority: TrustedAuthority::new(0xCA11_AB1E),
+            mac_seed: 0xD15C_0DE5,
+        }
+    }
+
+    /// Sets the historical average volumes used for array sizing. Without
+    /// this the runner sizes arrays from the workload's exact volumes
+    /// (perfect history).
+    #[must_use]
+    pub fn with_history(mut self, avg_a: f64, avg_b: f64) -> Self {
+        self.history = Some((avg_a, avg_b));
+        self
+    }
+
+    /// Overrides the MAC-randomness seed (purely cosmetic in results).
+    #[must_use]
+    pub fn with_mac_seed(mut self, seed: u64) -> Self {
+        self.mac_seed = seed;
+        self
+    }
+
+    /// Executes one full measurement period over the workload.
+    ///
+    /// Uploads are round-tripped through the wire encoding, so this
+    /// exercises the entire message path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheme and protocol failures; saturation is *not* an
+    /// error here — the estimate is clamped and flagged
+    /// ([`Estimate::clamped`]), because the Fig. 4 baseline saturates by
+    /// design and we want to plot it anyway.
+    pub fn run(&self, workload: &SyntheticPair) -> Result<PairOutcome, SimError> {
+        Ok(self.run_with_metrics(workload)?.0)
+    }
+
+    /// Like [`PairRunner::run`] but also accounts every message and byte
+    /// exchanged (see [`crate::metrics::CommunicationMetrics`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PairRunner::run`].
+    pub fn run_with_metrics(
+        &self,
+        workload: &SyntheticPair,
+    ) -> Result<(PairOutcome, crate::CommunicationMetrics), SimError> {
+        let (avg_a, avg_b) = self
+            .history
+            .unwrap_or((workload.n_x() as f64, workload.n_y() as f64));
+        let m_a = self.scheme.array_size_for(avg_a)?;
+        let m_b = self.scheme.array_size_for(avg_b)?;
+        let m_o = m_a.max(m_b);
+
+        let mut rsu_a = SimRsu::new(self.rsu_a, m_a, &self.authority)?;
+        let mut rsu_b = SimRsu::new(self.rsu_b, m_b, &self.authority)?;
+        let query_a = rsu_a.query();
+        let query_b = rsu_b.query();
+
+        let mut metrics = crate::CommunicationMetrics::new();
+        let mut mac_counter = 0u64;
+        let mut drive_past = |rsu: &mut SimRsu,
+                              query: &crate::Query,
+                              metrics: &mut crate::CommunicationMetrics,
+                              vehicles: &mut dyn Iterator<Item = &vcps_core::VehicleIdentity>|
+         -> Result<(), SimError> {
+            for identity in vehicles {
+                mac_counter += 1;
+                let mut vehicle =
+                    SimVehicle::new(*identity, splitmix64(self.mac_seed ^ mac_counter));
+                let report = vehicle.answer(query, &self.scheme, &self.authority, m_o)?;
+                metrics.record_exchange(query, &report);
+                rsu.receive(&report)?;
+            }
+            Ok(())
+        };
+        drive_past(&mut rsu_a, &query_a, &mut metrics, &mut workload.at_x())?;
+        drive_past(&mut rsu_b, &query_b, &mut metrics, &mut workload.at_y())?;
+
+        let mut server = CentralServer::new(self.scheme.clone(), 1.0);
+        for rsu in [&rsu_a, &rsu_b] {
+            let upload = rsu.upload();
+            metrics.record_upload(&upload);
+            let wire = upload.encode_compact();
+            server.receive(PeriodUpload::decode(&wire)?);
+        }
+        let estimate = server.estimate_or_clamp(self.rsu_a, self.rsu_b)?;
+        Ok((
+            PairOutcome {
+                estimate,
+                true_n_c: workload.n_c(),
+            },
+            metrics,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_scheme_recovers_overlap_at_10x_skew() {
+        let scheme = Scheme::variable(2, 3.0, 5).unwrap();
+        let workload = SyntheticPair::generate(2_000, 20_000, 500, 11);
+        let outcome = PairRunner::new(scheme, RsuId(1), RsuId(2))
+            .run(&workload)
+            .unwrap();
+        let rel = outcome.relative_error().unwrap();
+        assert!(
+            rel < 0.25,
+            "estimate {} vs 500 (rel {rel})",
+            outcome.estimate.n_c
+        );
+        assert!(!outcome.estimate.clamped);
+    }
+
+    #[test]
+    fn fixed_scheme_saturates_under_heavy_traffic() {
+        // m sized for the light RSU (2k): the heavy RSU (200k vehicles)
+        // fills every bit, exactly the Fig. 4 failure mode.
+        let scheme = Scheme::fixed(2, 4_096, 5).unwrap();
+        let workload = SyntheticPair::generate(2_000, 200_000, 500, 12);
+        let outcome = PairRunner::new(scheme, RsuId(1), RsuId(2))
+            .run(&workload)
+            .unwrap();
+        assert!(
+            outcome.estimate.clamped,
+            "the heavy RSU's 4k array must saturate"
+        );
+    }
+
+    #[test]
+    fn equal_traffic_fixed_and_variable_agree() {
+        // With n_x = n_y the variable scheme degenerates to the baseline
+        // (same m both sides) — both should be accurate.
+        let workload = SyntheticPair::generate(10_000, 10_000, 2_000, 13);
+        let variable = PairRunner::new(Scheme::variable(2, 3.0, 5).unwrap(), RsuId(1), RsuId(2))
+            .run(&workload)
+            .unwrap();
+        let fixed = PairRunner::new(Scheme::fixed(2, 32_768, 5).unwrap(), RsuId(1), RsuId(2))
+            .run(&workload)
+            .unwrap();
+        assert!(variable.relative_error().unwrap() < 0.1);
+        assert!(fixed.relative_error().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn history_overrides_sizing() {
+        let scheme = Scheme::variable(2, 3.0, 5).unwrap();
+        let workload = SyntheticPair::generate(1_000, 1_000, 100, 14);
+        let outcome = PairRunner::new(scheme, RsuId(1), RsuId(2))
+            .with_history(100_000.0, 100_000.0)
+            .run(&workload)
+            .unwrap();
+        // Arrays sized for 100k×3 → 2^19 even though only 1k vehicles pass.
+        assert_eq!(outcome.estimate.m_x, 1 << 19);
+    }
+
+    #[test]
+    fn metrics_account_every_message() {
+        let scheme = Scheme::variable(2, 3.0, 5).unwrap();
+        let workload = SyntheticPair::generate(500, 1_500, 100, 21);
+        let (outcome, metrics) = PairRunner::new(scheme, RsuId(1), RsuId(2))
+            .run_with_metrics(&workload)
+            .unwrap();
+        // One exchange per passage: n_x + n_y.
+        assert_eq!(metrics.reports, 500 + 1_500);
+        assert_eq!(metrics.queries, metrics.reports);
+        assert_eq!(metrics.uploads, 2);
+        // Query (33 B) + report (15 B) per passage.
+        assert_eq!(metrics.bytes_per_passage(), 48.0);
+        assert!(metrics.upload_bytes_compact <= metrics.upload_bytes_dense);
+        assert_eq!(outcome.true_n_c, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn same_rsu_twice_panics() {
+        let scheme = Scheme::variable(2, 3.0, 5).unwrap();
+        let _ = PairRunner::new(scheme, RsuId(1), RsuId(1));
+    }
+}

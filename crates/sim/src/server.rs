@@ -1,0 +1,225 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use vcps_core::estimator::{estimate_pair, estimate_pair_or_clamp, Estimate};
+use vcps_core::{RsuId, RsuSketch, Scheme, VolumeHistory};
+
+use crate::protocol::PeriodUpload;
+use crate::SimError;
+
+/// The central server (paper §II-A, §IV-C).
+///
+/// Collects [`PeriodUpload`]s, answers point-to-point queries for
+/// arbitrary RSU pairs, and at period end updates the per-RSU volume
+/// history and recomputes next-period array sizes (the "first updates
+/// the history average … then measures" loop of §IV-C).
+///
+/// # Example
+///
+/// ```
+/// use vcps_core::{RsuId, Scheme};
+/// use vcps_sim::{CentralServer, PeriodUpload};
+/// use vcps_bitarray::BitArray;
+///
+/// # fn main() -> Result<(), vcps_sim::SimError> {
+/// let scheme = Scheme::variable(2, 3.0, 1)?;
+/// let mut server = CentralServer::new(scheme, 0.5);
+/// server.receive(PeriodUpload { rsu: RsuId(1), counter: 4, bits: BitArray::new(16) });
+/// let sizes = server.finish_period()?;
+/// assert_eq!(sizes[&RsuId(1)], 16); // 4 vehicles × f̄ 3 → next power of two
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CentralServer {
+    scheme: Scheme,
+    history: VolumeHistory,
+    uploads: BTreeMap<RsuId, PeriodUpload>,
+}
+
+impl CentralServer {
+    /// Creates a server for a scheme; `history_alpha` is the EWMA
+    /// smoothing factor for volume history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(scheme: Scheme, history_alpha: f64) -> Self {
+        Self {
+            scheme,
+            history: VolumeHistory::new(history_alpha),
+            uploads: BTreeMap::new(),
+        }
+    }
+
+    /// Seeds an RSU's historical average (e.g. from past traffic
+    /// studies) before the first period.
+    pub fn seed_history(&mut self, rsu: RsuId, average: f64) {
+        self.history.seed(rsu, average);
+    }
+
+    /// The volume history (read access).
+    #[must_use]
+    pub fn history(&self) -> &VolumeHistory {
+        &self.history
+    }
+
+    /// The scheme configuration.
+    #[must_use]
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Stores one RSU's period upload (overwrites a previous upload from
+    /// the same RSU within the period).
+    pub fn receive(&mut self, upload: PeriodUpload) {
+        self.uploads.insert(upload.rsu, upload);
+    }
+
+    /// Number of uploads currently held.
+    #[must_use]
+    pub fn upload_count(&self) -> usize {
+        self.uploads.len()
+    }
+
+    fn sketch_of(&self, rsu: RsuId) -> Result<RsuSketch, SimError> {
+        let upload = self
+            .uploads
+            .get(&rsu)
+            .ok_or(SimError::MissingUpload { rsu })?;
+        Ok(RsuSketch::from_parts(
+            upload.rsu,
+            upload.bits.clone(),
+            upload.counter,
+        )?)
+    }
+
+    /// Estimates the point-to-point volume between two uploaded RSUs
+    /// (paper Eq. 5).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::MissingUpload`] if either RSU has not uploaded;
+    /// * [`SimError::Core`] for saturation or incompatible sizes.
+    pub fn estimate(&self, a: RsuId, b: RsuId) -> Result<Estimate, SimError> {
+        Ok(estimate_pair(
+            &self.sketch_of(a)?,
+            &self.sketch_of(b)?,
+            self.scheme.s(),
+        )?)
+    }
+
+    /// Like [`estimate`](CentralServer::estimate) but clamps saturated
+    /// zero counts instead of failing.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::MissingUpload`] if either RSU has not uploaded;
+    /// * [`SimError::Core`] for incompatible sizes.
+    pub fn estimate_or_clamp(&self, a: RsuId, b: RsuId) -> Result<Estimate, SimError> {
+        Ok(estimate_pair_or_clamp(
+            &self.sketch_of(a)?,
+            &self.sketch_of(b)?,
+            self.scheme.s(),
+        )?)
+    }
+
+    /// Ends the period: folds every upload's counter into the volume
+    /// history, clears the uploads, and returns the array size each RSU
+    /// should use next period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Core`] if a size computation fails.
+    pub fn finish_period(&mut self) -> Result<BTreeMap<RsuId, usize>, SimError> {
+        let mut sizes = BTreeMap::new();
+        for (&rsu, upload) in &self.uploads {
+            self.history.update(rsu, upload.counter as f64);
+        }
+        for (rsu, average) in self.history.iter() {
+            sizes.insert(rsu, self.scheme.array_size_for(average)?);
+        }
+        self.uploads.clear();
+        Ok(sizes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcps_bitarray::BitArray;
+
+    fn upload(rsu: u64, m: usize, ones: &[usize], counter: u64) -> PeriodUpload {
+        let mut bits = BitArray::new(m);
+        for &i in ones {
+            bits.set(i);
+        }
+        PeriodUpload {
+            rsu: RsuId(rsu),
+            counter,
+            bits,
+        }
+    }
+
+    #[test]
+    fn estimate_requires_uploads() {
+        let server = CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 0.5);
+        assert_eq!(
+            server.estimate(RsuId(1), RsuId(2)),
+            Err(SimError::MissingUpload { rsu: RsuId(1) })
+        );
+    }
+
+    #[test]
+    fn estimate_decodes_uploaded_pair() {
+        let mut server = CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 0.5);
+        server.receive(upload(1, 64, &[1, 5], 2));
+        server.receive(upload(2, 256, &[1, 70], 2));
+        let e = server.estimate(RsuId(1), RsuId(2)).unwrap();
+        assert!(e.n_c.is_finite());
+        assert_eq!(e.m_x, 64);
+        assert_eq!(e.m_y, 256);
+    }
+
+    #[test]
+    fn re_upload_replaces_previous() {
+        let mut server = CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 0.5);
+        server.receive(upload(1, 64, &[], 2));
+        server.receive(upload(1, 64, &[3], 9));
+        assert_eq!(server.upload_count(), 1);
+        let sizes = server.finish_period().unwrap();
+        // History saw 9, not 2: 9 × 3 = 27 → 32.
+        assert_eq!(sizes[&RsuId(1)], 32);
+    }
+
+    #[test]
+    fn finish_period_updates_history_and_clears() {
+        let mut server = CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 1.0);
+        server.seed_history(RsuId(1), 100.0);
+        server.receive(upload(1, 64, &[], 1000));
+        let sizes = server.finish_period().unwrap();
+        assert_eq!(server.upload_count(), 0);
+        // alpha = 1: history = last observation = 1000 → 3000 → 4096.
+        assert_eq!(sizes[&RsuId(1)], 4096);
+        assert_eq!(server.history().average(RsuId(1)), Some(1000.0));
+    }
+
+    #[test]
+    fn seeded_rsus_get_sizes_without_uploads() {
+        let mut server = CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 0.5);
+        server.seed_history(RsuId(9), 500.0);
+        let sizes = server.finish_period().unwrap();
+        assert_eq!(sizes[&RsuId(9)], 2048); // 1500 → 2^11
+    }
+
+    #[test]
+    fn fixed_scheme_sizes_are_constant() {
+        let mut server = CentralServer::new(Scheme::fixed(2, 4096, 1).unwrap(), 0.5);
+        server.receive(upload(1, 4096, &[], 10));
+        server.receive(upload(2, 4096, &[], 1_000_000));
+        let sizes = server.finish_period().unwrap();
+        assert!(sizes.values().all(|&m| m == 4096));
+    }
+}

@@ -1,0 +1,266 @@
+//! Seeded synthetic workloads with controlled `(n_x, n_y, n_c)`.
+//!
+//! The paper's second simulation study (§VII-B, Figs. 4–5) uses "a larger
+//! network where the traffic is randomly generated", controlled directly
+//! by the point volumes `n_x`, `n_y` and the overlap `n_c`. This module
+//! generates exactly that: three disjoint vehicle populations (common,
+//! `x`-only, `y`-only) with reproducible identities.
+
+use vcps_hash::{splitmix64, VehicleIdentity};
+
+/// A two-RSU workload: `n_c` vehicles pass both RSUs, `n_x − n_c` pass
+/// only the first, `n_y − n_c` only the second.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticPair {
+    /// Vehicles passing both RSUs (`S_x ∩ S_y`).
+    pub common: Vec<VehicleIdentity>,
+    /// Vehicles passing only the first RSU (`S_x − S_y`).
+    pub only_x: Vec<VehicleIdentity>,
+    /// Vehicles passing only the second RSU (`S_y − S_x`).
+    pub only_y: Vec<VehicleIdentity>,
+}
+
+impl SyntheticPair {
+    /// Generates a workload with point volumes `n_x`, `n_y` and overlap
+    /// `n_c`, deterministically from `seed`.
+    ///
+    /// Vehicle ids are globally unique within the workload and private
+    /// keys are derived from the seed, so two workloads with different
+    /// seeds share no identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_c > min(n_x, n_y)`.
+    #[must_use]
+    pub fn generate(n_x: u64, n_y: u64, n_c: u64, seed: u64) -> Self {
+        assert!(
+            n_c <= n_x.min(n_y),
+            "overlap n_c = {n_c} cannot exceed min(n_x, n_y) = {}",
+            n_x.min(n_y)
+        );
+        let base = splitmix64(seed ^ 0x5EED_5EED_5EED_5EED);
+        let identity = |i: u64| {
+            VehicleIdentity::from_raw(base.wrapping_add(i), splitmix64(base ^ i))
+        };
+        let common = (0..n_c).map(identity).collect();
+        let only_x = (n_c..n_x).map(identity).collect();
+        let only_y = (n_x..n_x + (n_y - n_c)).map(identity).collect();
+        Self {
+            common,
+            only_x,
+            only_y,
+        }
+    }
+
+    /// The first RSU's point volume `n_x`.
+    #[must_use]
+    pub fn n_x(&self) -> u64 {
+        (self.common.len() + self.only_x.len()) as u64
+    }
+
+    /// The second RSU's point volume `n_y`.
+    #[must_use]
+    pub fn n_y(&self) -> u64 {
+        (self.common.len() + self.only_y.len()) as u64
+    }
+
+    /// The true overlap `n_c` — the quantity the scheme estimates.
+    #[must_use]
+    pub fn n_c(&self) -> u64 {
+        self.common.len() as u64
+    }
+
+    /// Iterator over all vehicles that pass the first RSU.
+    pub fn at_x(&self) -> impl Iterator<Item = &VehicleIdentity> {
+        self.common.iter().chain(self.only_x.iter())
+    }
+
+    /// Iterator over all vehicles that pass the second RSU.
+    pub fn at_y(&self) -> impl Iterator<Item = &VehicleIdentity> {
+        self.common.iter().chain(self.only_y.iter())
+    }
+}
+
+/// A multi-RSU workload: each vehicle independently visits RSU `j` with
+/// probability `p_j`, giving correlated point volumes and pairwise
+/// overlaps with exact ground truth — the workload for exercising
+/// city-wide all-pairs decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticCity {
+    visit_probs: Vec<f64>,
+    /// `(identity, visited RSU indices)` per vehicle.
+    memberships: Vec<(VehicleIdentity, Vec<usize>)>,
+}
+
+impl SyntheticCity {
+    /// Generates `vehicles` vehicles over `visit_probs.len()` RSUs; RSU
+    /// `j` is visited independently with probability `visit_probs[j]`.
+    /// Vehicles that visit no RSU are kept (they simply never report).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `visit_probs` is empty or contains values outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn generate(visit_probs: &[f64], vehicles: u64, seed: u64) -> Self {
+        assert!(!visit_probs.is_empty(), "need at least one RSU");
+        assert!(
+            visit_probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "visit probabilities must be in [0, 1]"
+        );
+        let base = splitmix64(seed ^ 0xC17F_C17F);
+        let memberships = (0..vehicles)
+            .map(|i| {
+                let identity =
+                    VehicleIdentity::from_raw(base.wrapping_add(i), splitmix64(base ^ i));
+                let visited = visit_probs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, &p)| {
+                        // Deterministic Bernoulli draw per (vehicle, RSU).
+                        let u = splitmix64(base ^ (i << 8) ^ j as u64) as f64
+                            / u64::MAX as f64;
+                        u < p
+                    })
+                    .map(|(j, _)| j)
+                    .collect();
+                (identity, visited)
+            })
+            .collect();
+        Self {
+            visit_probs: visit_probs.to_vec(),
+            memberships,
+        }
+    }
+
+    /// Number of RSUs.
+    #[must_use]
+    pub fn rsu_count(&self) -> usize {
+        self.visit_probs.len()
+    }
+
+    /// Ground-truth point volume of RSU `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn volume(&self, j: usize) -> u64 {
+        assert!(j < self.rsu_count(), "RSU index out of range");
+        self.memberships
+            .iter()
+            .filter(|(_, visited)| visited.contains(&j))
+            .count() as u64
+    }
+
+    /// Ground-truth pairwise overlap `|S_a ∩ S_b|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn overlap(&self, a: usize, b: usize) -> u64 {
+        assert!(a < self.rsu_count() && b < self.rsu_count());
+        self.memberships
+            .iter()
+            .filter(|(_, visited)| visited.contains(&a) && visited.contains(&b))
+            .count() as u64
+    }
+
+    /// Iterator over `(identity, visited RSU indices)`.
+    pub fn vehicles(&self) -> impl Iterator<Item = &(VehicleIdentity, Vec<usize>)> {
+        self.memberships.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volumes_match_request() {
+        let w = SyntheticPair::generate(1_000, 5_000, 300, 1);
+        assert_eq!(w.n_x(), 1_000);
+        assert_eq!(w.n_y(), 5_000);
+        assert_eq!(w.n_c(), 300);
+        assert_eq!(w.at_x().count(), 1_000);
+        assert_eq!(w.at_y().count(), 5_000);
+    }
+
+    #[test]
+    fn identities_are_disjoint_across_groups() {
+        let w = SyntheticPair::generate(100, 200, 50, 2);
+        let mut ids: Vec<_> = w
+            .common
+            .iter()
+            .chain(&w.only_x)
+            .chain(&w.only_y)
+            .map(|v| v.id())
+            .collect();
+        let total = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), total);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        assert_eq!(
+            SyntheticPair::generate(10, 10, 5, 3),
+            SyntheticPair::generate(10, 10, 5, 3)
+        );
+        assert_ne!(
+            SyntheticPair::generate(10, 10, 5, 3),
+            SyntheticPair::generate(10, 10, 5, 4)
+        );
+    }
+
+    #[test]
+    fn zero_overlap_is_allowed() {
+        let w = SyntheticPair::generate(10, 20, 0, 5);
+        assert_eq!(w.n_c(), 0);
+        assert!(w.common.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn excess_overlap_panics() {
+        let _ = SyntheticPair::generate(10, 20, 11, 5);
+    }
+
+    #[test]
+    fn city_volumes_track_probabilities() {
+        let city = SyntheticCity::generate(&[0.5, 0.1, 0.9], 20_000, 3);
+        assert_eq!(city.rsu_count(), 3);
+        let v0 = city.volume(0) as f64 / 20_000.0;
+        let v1 = city.volume(1) as f64 / 20_000.0;
+        let v2 = city.volume(2) as f64 / 20_000.0;
+        assert!((v0 - 0.5).abs() < 0.02, "v0 {v0}");
+        assert!((v1 - 0.1).abs() < 0.02, "v1 {v1}");
+        assert!((v2 - 0.9).abs() < 0.02, "v2 {v2}");
+    }
+
+    #[test]
+    fn city_overlaps_are_products_of_probabilities() {
+        // Independent visits: overlap(a, b)/n ≈ p_a · p_b.
+        let city = SyntheticCity::generate(&[0.4, 0.3], 30_000, 7);
+        let frac = city.overlap(0, 1) as f64 / 30_000.0;
+        assert!((frac - 0.12).abs() < 0.01, "overlap fraction {frac}");
+        assert_eq!(city.overlap(0, 1), city.overlap(1, 0));
+        assert_eq!(city.overlap(0, 0), city.volume(0));
+    }
+
+    #[test]
+    fn city_generation_is_reproducible() {
+        let a = SyntheticCity::generate(&[0.2, 0.2], 100, 9);
+        let b = SyntheticCity::generate(&[0.2, 0.2], 100, 9);
+        assert_eq!(a, b);
+        assert_ne!(a, SyntheticCity::generate(&[0.2, 0.2], 100, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn city_rejects_bad_probabilities() {
+        let _ = SyntheticCity::generate(&[1.5], 10, 1);
+    }
+}

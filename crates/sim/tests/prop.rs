@@ -1,0 +1,99 @@
+//! Property tests for the simulator: protocol round-trips, workload
+//! structure, and privacy accounting.
+
+use proptest::prelude::*;
+
+use vcps_core::{RsuId, Scheme};
+use vcps_sim::adversary::observe_pair;
+use vcps_sim::pki::TrustedAuthority;
+use vcps_sim::protocol::{BitReport, PeriodUpload, Query};
+use vcps_sim::synthetic::SyntheticPair;
+use vcps_sim::MacAddress;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_wire_roundtrip(rsu in any::<u64>(), size in 2u64..1 << 30, ca_seed in any::<u64>()) {
+        let ca = TrustedAuthority::new(ca_seed);
+        let q = Query {
+            rsu: RsuId(rsu),
+            certificate: ca.issue(RsuId(rsu)),
+            array_size: size,
+        };
+        prop_assert_eq!(Query::decode(&q.encode()).unwrap(), q);
+    }
+
+    #[test]
+    fn report_wire_roundtrip(mac in any::<[u8; 6]>(), index in any::<u64>()) {
+        let r = BitReport {
+            mac: MacAddress(mac),
+            index,
+        };
+        prop_assert_eq!(BitReport::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn upload_wire_roundtrip_both_encodings(
+        rsu in any::<u64>(), counter in any::<u64>(),
+        len in 2usize..4_000,
+        ones in prop::collection::vec(any::<u32>(), 0..128),
+    ) {
+        let bits = vcps_bitarray::BitArray::from_indices(
+            len,
+            ones.iter().map(|&i| i as usize % len),
+        )
+        .unwrap();
+        let u = PeriodUpload {
+            rsu: RsuId(rsu),
+            counter,
+            bits,
+        };
+        prop_assert_eq!(&PeriodUpload::decode(&u.encode()).unwrap(), &u);
+        prop_assert_eq!(&PeriodUpload::decode(&u.encode_compact()).unwrap(), &u);
+        prop_assert!(u.encode_compact().len() <= u.encode().len() + 8);
+    }
+
+    #[test]
+    fn truncated_frames_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        // Fuzz the decoders: arbitrary bytes must be rejected or parsed,
+        // never panic.
+        let _ = Query::decode(&bytes);
+        let _ = BitReport::decode(&bytes);
+        let _ = PeriodUpload::decode(&bytes);
+    }
+
+    #[test]
+    fn synthetic_pair_structure(
+        n_x in 1u64..2_000, extra_y in 0u64..2_000, n_c_frac in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let n_y = n_x + extra_y;
+        let n_c = (n_c_frac * n_x.min(n_y) as f64) as u64;
+        let w = SyntheticPair::generate(n_x, n_y, n_c, seed);
+        prop_assert_eq!(w.n_x(), n_x);
+        prop_assert_eq!(w.n_y(), n_y);
+        prop_assert_eq!(w.n_c(), n_c);
+    }
+
+    #[test]
+    fn adversary_counts_are_consistent(
+        n_x in 50u64..800, skew in 1u64..10, seed in any::<u64>(),
+    ) {
+        let n_y = n_x * skew;
+        let n_c = n_x / 5;
+        let scheme = Scheme::variable(2, 3.0, seed).unwrap();
+        let w = SyntheticPair::generate(n_x, n_y, n_c, seed);
+        let obs = observe_pair(&scheme, &w, RsuId(1), RsuId(2)).unwrap();
+        prop_assert!(obs.untraceable <= obs.both_set);
+        if let Some(p) = obs.empirical_privacy() {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        // With zero common vehicles every both-set position is untraceable.
+        let disjoint = SyntheticPair::generate(n_x, n_y, 0, seed);
+        let obs0 = observe_pair(&scheme, &disjoint, RsuId(1), RsuId(2)).unwrap();
+        prop_assert_eq!(obs0.untraceable, obs0.both_set);
+    }
+}

@@ -1,0 +1,233 @@
+//! `vcps` — command-line front end for the traffic measurement library.
+//!
+//! ```text
+//! vcps privacy  --s 2 --f 3 --nx 10000 --ny 100000 [--overlap 0.1]
+//! vcps size     --volume 451000 --f 3
+//! vcps accuracy --s 2 --f 3 --nx 10000 --ny 100000 --nc 1000
+//! vcps simulate --s 2 --f 3 --nx 10000 --ny 100000 --nc 1000 [--runs 10] [--fixed-m 150000]
+//! vcps network  [--grid 8x8 --trips 360600]
+//! ```
+
+use std::process::ExitCode;
+
+use vcps::analysis::privacy;
+use vcps::roadnet::assignment::{all_or_nothing, point_volumes};
+use vcps::roadnet::{generate, sioux_falls};
+use vcps::sim::synthetic::SyntheticPair;
+use vcps::{PairParams, PairRunner, RsuId, Scheme};
+
+fn value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vcps <privacy|size|accuracy|simulate|network> [flags]\n\
+         \n\
+         privacy  --s S --f F --nx N --ny N [--overlap FRAC]   preserved privacy & solvers\n\
+         size     --volume N --f F                             array size for an RSU\n\
+         accuracy --s S --f F --nx N --ny N --nc N             analytic bias / sd / CRLB\n\
+         simulate --s S --f F --nx N --ny N --nc N\n\
+                  [--runs R] [--fixed-m M] [--seed X]           full protocol simulation\n\
+         network  [--grid WxH --trips TOTAL --seed X]           Sioux Falls or generated city"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    match command.as_str() {
+        "privacy" => cmd_privacy(&args),
+        "size" => cmd_size(&args),
+        "accuracy" => cmd_accuracy(&args),
+        "simulate" => cmd_simulate(&args),
+        "network" => cmd_network(&args),
+        _ => usage(),
+    }
+}
+
+fn cmd_privacy(args: &[String]) -> ExitCode {
+    let s = parsed(args, "--s", 2.0f64);
+    let f = parsed(args, "--f", 3.0f64);
+    let n_x = parsed(args, "--nx", 10_000.0f64);
+    let n_y = parsed(args, "--ny", n_x);
+    let overlap = parsed(args, "--overlap", 0.1f64);
+    match privacy::privacy_at_load_factor(f, n_x, n_y, overlap, s) {
+        Some(p) => println!("preserved privacy p = {p:.4}"),
+        None => {
+            eprintln!("degenerate parameters");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(opt) = privacy::optimal_load_factor(n_x, n_y, overlap, s) {
+        println!(
+            "optimal load factor f* = {:.2} (p = {:.4})",
+            opt.load_factor, opt.privacy
+        );
+    }
+    for target in [0.5, 0.7, 0.9] {
+        match privacy::max_load_factor_for_privacy(target, n_x, n_y, overlap, s) {
+            Some(fmax) => println!("largest f with p >= {target}: {fmax:.2}"),
+            None => println!("p >= {target}: unreachable"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_size(args: &[String]) -> ExitCode {
+    let volume = parsed(args, "--volume", 10_000.0f64);
+    let f = parsed(args, "--f", 3.0f64);
+    let Ok(scheme) = Scheme::variable(2, f, 0) else {
+        eprintln!("invalid load factor {f}");
+        return ExitCode::FAILURE;
+    };
+    match scheme.array_size_for(volume) {
+        Ok(m) => {
+            println!(
+                "m = 2^ceil(log2({volume} x {f})) = {m} bits ({:.1} KiB), effective load factor {:.2}",
+                m as f64 / 8192.0,
+                m as f64 / volume
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_accuracy(args: &[String]) -> ExitCode {
+    let s = parsed(args, "--s", 2.0f64);
+    let f = parsed(args, "--f", 3.0f64);
+    let n_x = parsed(args, "--nx", 10_000.0f64);
+    let n_y = parsed(args, "--ny", n_x);
+    let n_c = parsed(args, "--nc", 0.1 * n_x);
+    // Use the actual power-of-two sizes the scheme would deploy.
+    let scheme = match Scheme::variable(s.max(2.0) as usize, f, 0) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let m_x = scheme.array_size_for(n_x).expect("sizing") as f64;
+    let m_y = scheme.array_size_for(n_y).expect("sizing") as f64;
+    let p = match PairParams::new(n_x, n_y, n_c, m_x, m_y, s) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match vcps::analysis::Profile::compute(&p) {
+        Ok(profile) => {
+            println!("{profile}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let s = parsed(args, "--s", 2usize);
+    let f = parsed(args, "--f", 3.0f64);
+    let n_x = parsed(args, "--nx", 10_000u64);
+    let n_y = parsed(args, "--ny", n_x);
+    let n_c = parsed(args, "--nc", n_x / 10);
+    let runs = parsed(args, "--runs", 10u64);
+    let seed = parsed(args, "--seed", 1u64);
+    let scheme = match value(args, "--fixed-m") {
+        Some(m) => Scheme::fixed(s, m.parse().unwrap_or(4_096), seed),
+        None => Scheme::variable(s, f, seed),
+    };
+    let scheme = match scheme {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("scheme: {:?}, s = {s}, runs = {runs}", scheme.kind());
+    let mut sum = 0.0;
+    let mut sum_abs = 0.0;
+    let mut saturated = 0u64;
+    for r in 0..runs {
+        let workload = SyntheticPair::generate(n_x, n_y, n_c, seed ^ (r << 17));
+        match PairRunner::new(scheme.clone(), RsuId(1), RsuId(2)).run(&workload) {
+            Ok(out) => {
+                sum += out.estimate.n_c;
+                sum_abs += out.relative_error().unwrap_or(f64::NAN);
+                saturated += u64::from(out.estimate.clamped);
+            }
+            Err(e) => {
+                eprintln!("run {r} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "true n_c = {n_c}; mean estimate = {:.1}; mean |error| = {:.2}%; saturated {saturated}/{runs}",
+        sum / runs as f64,
+        sum_abs / runs as f64 * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_network(args: &[String]) -> ExitCode {
+    let (net, trips, name) = match value(args, "--grid") {
+        Some(dims) => {
+            let (w, h) = dims
+                .split_once('x')
+                .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                .unwrap_or((8, 8));
+            let seed = parsed(args, "--seed", 1u64);
+            let total = parsed(args, "--trips", 360_600.0f64);
+            let spec = generate::GridSpec {
+                width: w,
+                height: h,
+                ..generate::GridSpec::default()
+            };
+            let net = generate::grid_network(&spec, seed);
+            let trips = generate::gravity_trips(net.node_count(), total, (1.0, 50.0), seed);
+            (net, trips, format!("generated {w}x{h} grid"))
+        }
+        None => (
+            sioux_falls::network(),
+            sioux_falls::trip_table(),
+            "Sioux Falls".to_string(),
+        ),
+    };
+    println!(
+        "{name}: {} nodes, {} arcs, {} trips",
+        net.node_count(),
+        net.link_count(),
+        trips.total()
+    );
+    let a = all_or_nothing(&net, &trips, &net.free_flow_times());
+    let volumes = point_volumes(&a, &trips, net.node_count());
+    let mut indexed: Vec<(usize, f64)> = volumes.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("heaviest RSU sites (node, point volume):");
+    for (node, volume) in indexed.iter().take(5) {
+        println!("  node {:>3}: {volume:.0}", node + 1);
+    }
+    let max = indexed.first().expect("nonempty").1;
+    let min = indexed.last().expect("nonempty").1;
+    println!("volume skew max/min = {:.1}", max / min.max(1.0));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,147 @@
+//! Integration tests for the extension features (DESIGN.md §8) through
+//! the facade: sparse uploads, sketch merging, communication metrics,
+//! multi-period runs, TNTP round-trips, and the analytical profile.
+
+use vcps::analysis::{PairParams, Profile, Regime};
+use vcps::bitarray::SparseBits;
+use vcps::roadnet::{frank_wolfe, sioux_falls, tntp};
+use vcps::sim::synthetic::SyntheticPair;
+use vcps::{PairRunner, RsuId, RsuSketch, Scheme, VehicleIdentity};
+
+#[test]
+fn sparse_encoding_survives_the_full_decode_path() {
+    // Sparse pays off when an array holds far fewer ones than its size
+    // was provisioned for — here an RSU with heavy history (100k) sees a
+    // quiet period (200 vehicles): 200 ones in a 2^19-bit array.
+    let scheme = Scheme::variable(2, 3.0, 5).unwrap();
+    let mut d = scheme
+        .deploy(&[(RsuId(1), 100_000.0), (RsuId(2), 20_000.0)])
+        .unwrap();
+    for i in 0..200u64 {
+        let v = VehicleIdentity::from_raw(i, i.wrapping_mul(0x9E37) | 1);
+        d.record(&v, RsuId(1)).unwrap();
+        d.record(&v, RsuId(2)).unwrap();
+    }
+    let original = d.sketch(RsuId(1)).unwrap();
+    let encoded = SparseBits::encode(original.bits());
+    assert!(matches!(encoded, SparseBits::Sparse { .. }));
+    let decoded = encoded.decode().unwrap();
+    let rebuilt = RsuSketch::from_parts(RsuId(1), decoded, original.count()).unwrap();
+    let direct = d.estimate_pair(RsuId(1), RsuId(2)).unwrap();
+    let via_sparse =
+        vcps::estimate_pair(&rebuilt, d.sketch(RsuId(2)).unwrap(), scheme.s()).unwrap();
+    assert_eq!(direct, via_sparse);
+}
+
+#[test]
+fn merged_periods_estimate_union_overlap() {
+    // Two disjoint-population periods merged: the pair estimate measures
+    // the union overlap (600 = 300 + 300).
+    let scheme = Scheme::variable(2, 6.0, 9).unwrap();
+    let m_a = scheme.array_size_for(4_000.0).unwrap();
+    let m_b = scheme.array_size_for(4_000.0).unwrap();
+    let m_o = m_a.max(m_b);
+    let mut merged_a = RsuSketch::new(RsuId(1), m_a).unwrap();
+    let mut merged_b = RsuSketch::new(RsuId(2), m_b).unwrap();
+    for period in 0..2u64 {
+        let mut a = RsuSketch::new(RsuId(1), m_a).unwrap();
+        let mut b = RsuSketch::new(RsuId(2), m_b).unwrap();
+        let base = period * 1_000_000;
+        for i in 0..2_000u64 {
+            let v = VehicleIdentity::from_raw(
+                base + i,
+                vcps::hash::splitmix64((base + i) ^ 0xFACE),
+            );
+            a.record(scheme.report_index(&v, RsuId(1), m_a, m_o)).unwrap();
+            if i < 300 {
+                b.record(scheme.report_index(&v, RsuId(2), m_b, m_o)).unwrap();
+            }
+        }
+        merged_a.merge(&a).unwrap();
+        merged_b.merge(&b).unwrap();
+    }
+    let estimate = vcps::estimate_pair(&merged_a, &merged_b, scheme.s()).unwrap();
+    let rel = estimate.relative_error(600.0).unwrap();
+    assert!(rel < 0.35, "union estimate {} vs 600", estimate.n_c);
+    assert_eq!(estimate.n_x, 600, "merged counters sum");
+    assert_eq!(estimate.n_y, 4_000);
+}
+
+#[test]
+fn communication_metrics_match_protocol_shape() {
+    let scheme = Scheme::variable(2, 3.0, 5).unwrap();
+    let workload = SyntheticPair::generate(1_000, 10_000, 200, 3);
+    // History says RSU 1 usually sees 500k vehicles: its array is
+    // provisioned huge, so this quiet period's upload is very sparse.
+    let (_, metrics) = PairRunner::new(scheme, RsuId(1), RsuId(2))
+        .with_history(500_000.0, 10_000.0)
+        .run_with_metrics(&workload)
+        .unwrap();
+    assert_eq!(metrics.reports, 11_000);
+    // 33-byte query + 15-byte report per passage.
+    assert_eq!(
+        metrics.query_bytes + metrics.report_bytes,
+        11_000 * (33 + 15)
+    );
+    // The under-filled giant array uploads sparse: big savings.
+    assert!(
+        metrics.upload_savings() > 0.5,
+        "savings {}",
+        metrics.upload_savings()
+    );
+}
+
+#[test]
+fn frank_wolfe_and_tntp_interoperate() {
+    // Export Sioux Falls to TNTP text, re-import, and confirm the
+    // equilibrium solver produces the same objective on both copies.
+    let net = sioux_falls::network();
+    let trips = sioux_falls::trip_table();
+    let reparsed_net = tntp::parse_network(&tntp::write_network(&net)).unwrap();
+    let reparsed_trips = tntp::parse_trips(&tntp::write_trips(&trips)).unwrap();
+    let a = frank_wolfe::frank_wolfe(&net, &trips, 20, 1e-4);
+    let b = frank_wolfe::frank_wolfe(&reparsed_net, &reparsed_trips, 20, 1e-4);
+    assert!((a.objective - b.objective).abs() < 1e-6 * a.objective);
+}
+
+#[test]
+fn profile_agrees_with_simulation_regime() {
+    // A configuration the profile calls healthy really does produce
+    // usable estimates; one it calls saturated really does clamp.
+    let healthy = PairParams::new(5_000.0, 5_000.0, 1_000.0, 32_768.0, 32_768.0, 2.0).unwrap();
+    let profile = Profile::compute(&healthy).unwrap();
+    assert_eq!(profile.regime, Regime::Healthy);
+    let scheme = Scheme::fixed(2, 32_768, 4).unwrap();
+    let outcome = PairRunner::new(scheme, RsuId(1), RsuId(2))
+        .run(&SyntheticPair::generate(5_000, 5_000, 1_000, 8))
+        .unwrap();
+    assert!(!outcome.estimate.clamped);
+    let rel = outcome.relative_error().unwrap();
+    assert!(
+        rel < 4.0 * profile.sd_exact + 0.05,
+        "simulated error {rel} vs predicted sd {}",
+        profile.sd_exact
+    );
+
+    let saturated =
+        PairParams::new(100_000.0, 100_000.0, 1_000.0, 256.0, 256.0, 2.0).unwrap();
+    assert_eq!(
+        Profile::compute(&saturated).unwrap().regime,
+        Regime::Saturated
+    );
+    let tiny = Scheme::fixed(2, 256, 4).unwrap();
+    let outcome = PairRunner::new(tiny, RsuId(1), RsuId(2))
+        .run(&SyntheticPair::generate(100_000, 100_000, 1_000, 8))
+        .unwrap();
+    assert!(outcome.estimate.clamped, "saturation predicted and observed");
+}
+
+#[test]
+fn hash_diagnostics_back_the_uniformity_assumption() {
+    use vcps::hash::diagnostics;
+    let family = vcps::HashFamily::new(0xD1A6);
+    let avalanche = diagnostics::avalanche(&family, 128);
+    assert!(avalanche.worst_deviation() < 0.1);
+    let (chi, dof) = diagnostics::chi_squared_uniformity(&family, 128, 128_000);
+    assert!(chi < 2.0 * dof as f64, "chi-squared {chi} on {dof} dof");
+}

@@ -1,0 +1,154 @@
+//! Spec conformance: each numbered formula of the paper pinned against
+//! an independent hand computation at small parameters, so any future
+//! refactor that drifts from the paper's math fails loudly here.
+//!
+//! Conventions: `q_m(n) = (1 − 1/m)^n`, `t = (s − 1)/s`.
+
+use vcps::analysis::{accuracy, privacy, stats, PairParams};
+use vcps::core::estimator;
+
+const N_X: f64 = 120.0;
+const N_Y: f64 = 480.0;
+const N_C: f64 = 30.0;
+const M_X: f64 = 256.0;
+const M_Y: f64 = 1024.0;
+const S: f64 = 2.0;
+
+fn params() -> PairParams {
+    PairParams::new(N_X, N_Y, N_C, M_X, M_Y, S).unwrap()
+}
+
+fn q(m: f64, n: f64) -> f64 {
+    (1.0 - 1.0 / m).powf(n)
+}
+
+#[test]
+fn eq_5_estimator_formula() {
+    // n̂_c = (ln V_c − ln V_x − ln V_y) / (ln(1 − t/m_y) − ln(1 − 1/m_y)).
+    let mut x = vcps::RsuSketch::new(vcps::RsuId(1), M_X as usize).unwrap();
+    let mut y = vcps::RsuSketch::new(vcps::RsuId(2), M_Y as usize).unwrap();
+    for i in 0..40 {
+        x.record((i * 7) % M_X as usize).unwrap();
+        y.record((i * 13) % M_Y as usize).unwrap();
+    }
+    let e = estimator::estimate_pair(&x, &y, S as usize).unwrap();
+    let t = (S - 1.0) / S;
+    let denom = (1.0 - t / M_Y).ln() - (1.0 - 1.0 / M_Y).ln();
+    let expected = (e.v_c.ln() - e.v_x.ln() - e.v_y.ln()) / denom;
+    assert!((e.n_c - expected).abs() < 1e-9);
+}
+
+#[test]
+fn eq_9_combined_zero_probability() {
+    // q(n_c) = q_mx(n_x) · q_my(n_y) · ((1 − t/m_y)/(1 − 1/m_y))^{n_c}.
+    let t = (S - 1.0) / S;
+    let expected = q(M_X, N_X)
+        * q(M_Y, N_Y)
+        * ((1.0 - t / M_Y) / (1.0 - 1.0 / M_Y)).powf(N_C);
+    assert!((accuracy::q_c(&params()) - expected).abs() < 1e-12);
+}
+
+#[test]
+fn eq_10_11_per_array_zero_probabilities() {
+    assert!((accuracy::q_x(&params()) - q(M_X, N_X)).abs() < 1e-12);
+    assert!((accuracy::q_y(&params()) - q(M_Y, N_Y)).abs() < 1e-12);
+}
+
+#[test]
+fn eq_24_25_27_log_mean_pattern() {
+    // E[ln V] = ln q − (1 − q)/(2 m q).
+    let qx = q(M_X, N_X);
+    let expected = qx.ln() - (1.0 - qx) / (2.0 * M_X * qx);
+    assert!((accuracy::e_ln_v(qx, M_X) - expected).abs() < 1e-12);
+}
+
+#[test]
+fn eq_28_31_log_variance_pattern() {
+    // Var[ln V] = (1 − q)/(m q).
+    let qy = q(M_Y, N_Y);
+    assert!((accuracy::var_ln_v(qy, M_Y) - (1.0 - qy) / (M_Y * qy)).abs() < 1e-12);
+}
+
+#[test]
+fn eq_32_33_expectation_and_bias() {
+    // E[n̂_c] = (E ln V_c − E ln V_x − E ln V_y)/denominator; bias = E/n_c − 1.
+    let p = params();
+    let (qx, qy, qc) = (accuracy::q_x(&p), accuracy::q_y(&p), accuracy::q_c(&p));
+    let num = accuracy::e_ln_v(qc, M_Y) - accuracy::e_ln_v(qx, M_X) - accuracy::e_ln_v(qy, M_Y);
+    let expected = num / accuracy::denominator(&p);
+    assert!((accuracy::expected_estimate(&p) - expected).abs() < 1e-9);
+    assert!((accuracy::bias_ratio(&p) - (expected / N_C - 1.0)).abs() < 1e-12);
+}
+
+#[test]
+fn eq_37_binomial_shared_bit_count() {
+    // n_s ~ B(n_c, 1/s): the direct privacy route sums exactly these
+    // masses.
+    let masses: Vec<f64> = stats::binomial_pmf(N_C as u64, 1.0 / S).collect();
+    assert_eq!(masses.len() as f64, N_C + 1.0);
+    // Hand value: P(n_s = 0) = (1 − 1/s)^{n_c}.
+    assert!((masses[0] - (1.0 - 1.0 / S).powf(N_C)).abs() < 1e-12);
+}
+
+#[test]
+fn eq_40_closed_form_p_not_both_set() {
+    // P(Ā) = q_mx(n_x)·C4^{n_c} + q_my(n_y) − q_mx(n_x)·q_my(n_y)·C5^{n_c},
+    // C4 = (1/s)(1−1/m_y)/(1−1/m_x) + (1−1/s), C5 = (1/s)/(1−1/m_x) + (1−1/s).
+    let c4 = (1.0 / S) * (1.0 - 1.0 / M_Y) / (1.0 - 1.0 / M_X) + (1.0 - 1.0 / S);
+    let c5 = (1.0 / S) / (1.0 - 1.0 / M_X) + (1.0 - 1.0 / S);
+    let expected =
+        q(M_X, N_X) * c4.powf(N_C) + q(M_Y, N_Y) - q(M_X, N_X) * q(M_Y, N_Y) * c5.powf(N_C);
+    assert!((privacy::prob_not_both_set(&params()) - expected).abs() < 1e-12);
+}
+
+#[test]
+fn eq_41_42_single_side_events() {
+    // P(E_x) = (1 − q_mx(n_x − n_c))·q_mx(n_c) = q_mx(n_c) − q_mx(n_x).
+    let expected_x = (1.0 - q(M_X, N_X - N_C)) * q(M_X, N_C);
+    assert!((privacy::prob_e_x(&params()) - expected_x).abs() < 1e-12);
+    let expected_y = (1.0 - q(M_Y, N_Y - N_C)) * q(M_Y, N_C);
+    assert!((privacy::prob_e_y(&params()) - expected_y).abs() < 1e-12);
+}
+
+#[test]
+fn eq_43_preserved_privacy() {
+    // p = P(E_x)·P(E_y)/P(A).
+    let p = params();
+    let expected =
+        privacy::prob_e_x(&p) * privacy::prob_e_y(&p) / (1.0 - privacy::prob_not_both_set(&p));
+    assert!((privacy::preserved_privacy(&p) - expected).abs() < 1e-12);
+}
+
+#[test]
+fn section_iv_b_sizing_rule() {
+    // m_x = 2^ceil(log2(n̄_x · f̄)).
+    let scheme = vcps::Scheme::variable(2, 3.0, 1).unwrap();
+    for (volume, expected) in [
+        (10.0, 32usize),       // 30 -> 2^5
+        (100.0, 512),          // 300 -> 2^9
+        (342.0, 2_048),        // 1026 -> 2^11 (just past 2^10)
+        (451_000.0, 1 << 21),  // 1,353,000 -> 2^21
+    ] {
+        assert_eq!(
+            scheme.array_size_for(volume).unwrap(),
+            expected,
+            "volume {volume}"
+        );
+    }
+}
+
+#[test]
+fn baseline_equivalence_when_sizes_match() {
+    // §VI-A: with m_x = m_y every formula reduces to [9]'s.
+    let var = PairParams::new(N_X, N_X, N_C, M_X, M_X, S).unwrap();
+    let fixed = PairParams::fixed_size(M_X, N_X, N_X, N_C, S).unwrap();
+    assert_eq!(
+        privacy::preserved_privacy(&var),
+        privacy::preserved_privacy(&fixed)
+    );
+    assert_eq!(accuracy::q_c(&var), accuracy::q_c(&fixed));
+    assert_eq!(
+        accuracy::expected_estimate(&var),
+        accuracy::expected_estimate(&fixed)
+    );
+}

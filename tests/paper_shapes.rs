@@ -1,0 +1,177 @@
+//! The paper's headline experimental shapes, asserted end-to-end at
+//! reduced scale. These are the claims EXPERIMENTS.md tracks:
+//!
+//! 1. both schemes coincide when `n_y = n_x` (Fig. 4/5, first plots);
+//! 2. the baseline degrades as the traffic skew grows while the novel
+//!    scheme stays accurate (Fig. 4/5, Table I);
+//! 3. privacy is unimodal in the load factor with `f* ≈ 2–4` (Fig. 2);
+//! 4. the fixed scheme's privacy collapses at high effective load
+//!    factors (Fig. 2 / §VI-B);
+//! 5. variable sizing *improves* privacy for skewed pairs (§VI-B);
+//! 6. [9] is the `m_x = m_y` special case of the novel scheme (§VI-A).
+
+use vcps::analysis::{accuracy, privacy, PairParams};
+use vcps::sim::synthetic::SyntheticPair;
+use vcps::{PairRunner, RsuId, Scheme};
+
+fn mean_abs_error(scheme: &Scheme, n_x: u64, n_y: u64, n_c: u64, runs: u64) -> f64 {
+    (0..runs)
+        .map(|seed| {
+            let workload = SyntheticPair::generate(n_x, n_y, n_c, seed);
+            PairRunner::new(scheme.clone(), RsuId(1), RsuId(2))
+                .run(&workload)
+                .expect("run succeeds")
+                .relative_error()
+                .expect("n_c > 0")
+        })
+        .sum::<f64>()
+        / runs as f64
+}
+
+#[test]
+fn shape1_schemes_coincide_at_equal_traffic() {
+    // With n_x = n_y and m chosen identically, novel == baseline up to
+    // power-of-two rounding; both are accurate.
+    let (n, n_c) = (5_000u64, 1_000u64);
+    let novel = Scheme::variable(2, 6.0, 4).unwrap();
+    let fixed = Scheme::fixed(2, 32_768, 4).unwrap(); // = 2^ceil(log2(6·5000))
+    let e_novel = mean_abs_error(&novel, n, n, n_c, 6);
+    let e_fixed = mean_abs_error(&fixed, n, n, n_c, 6);
+    assert!(e_novel < 0.10, "novel err {e_novel}");
+    assert!(e_fixed < 0.10, "fixed err {e_fixed}");
+}
+
+#[test]
+fn shape2_baseline_degrades_with_skew_novel_does_not() {
+    // m for the baseline sized by the light RSU (the §VI-B constraint);
+    // the novel scheme re-sizes per RSU with the same nominal factor.
+    let n_x = 4_000u64;
+    let n_c = 800u64;
+    let f = 6.0;
+    let novel = Scheme::variable(2, f, 4).unwrap();
+    let fixed = Scheme::fixed(2, (f * n_x as f64) as usize, 4).unwrap();
+    let runs = 6;
+
+    let novel_1x = mean_abs_error(&novel, n_x, n_x, n_c, runs);
+    let novel_50x = mean_abs_error(&novel, n_x, 50 * n_x, n_c, runs);
+    let fixed_1x = mean_abs_error(&fixed, n_x, n_x, n_c, runs);
+    let fixed_50x = mean_abs_error(&fixed, n_x, 50 * n_x, n_c, runs);
+
+    // At 50x skew the baseline's array drowns (load factor 0.12) while
+    // the novel scheme holds its load factor.
+    assert!(
+        fixed_50x > 4.0 * fixed_1x,
+        "baseline should degrade: {fixed_1x} -> {fixed_50x}"
+    );
+    assert!(
+        fixed_50x > 3.0 * novel_50x,
+        "novel ({novel_50x}) should beat baseline ({fixed_50x}) at 50x"
+    );
+    // In absolute terms the novel scheme remains a usable estimator at
+    // 50x skew (its per-run sd grows with m_y, but stays bounded), while
+    // the baseline's errors exceed 100% of the true value.
+    assert!(
+        novel_50x < 0.5,
+        "novel stays usable at 50x: {novel_1x} -> {novel_50x}"
+    );
+    assert!(fixed_50x > 1.0, "baseline unusable at 50x: {fixed_50x}");
+}
+
+#[test]
+fn shape3_privacy_peak_between_2_and_4() {
+    for s in [2.0, 5.0, 10.0] {
+        let peak = privacy::optimal_load_factor(10_000.0, 10_000.0, 0.1, s).unwrap();
+        assert!(
+            (1.5..=4.5).contains(&peak.load_factor),
+            "s={s}: f* = {}",
+            peak.load_factor
+        );
+    }
+}
+
+#[test]
+fn shape4_fixed_scheme_privacy_collapses_at_high_load() {
+    // §VI-B: a fixed m sized for a heavy RSU gives light RSUs an
+    // effective load factor of 50, collapsing their privacy.
+    let at_f = |f: f64| {
+        privacy::privacy_at_load_factor(f, 10_000.0, 10_000.0, 0.1, 2.0).unwrap()
+    };
+    let optimal = privacy::optimal_load_factor(10_000.0, 10_000.0, 0.1, 2.0)
+        .unwrap()
+        .privacy;
+    assert!(at_f(50.0) < 0.3, "collapsed privacy: {}", at_f(50.0));
+    assert!(optimal > 0.5, "optimal privacy: {optimal}");
+}
+
+#[test]
+fn shape5_skewed_pairs_gain_privacy_under_variable_sizing() {
+    for s in [2.0, 5.0] {
+        let equal = privacy::privacy_at_load_factor(3.0, 10_000.0, 10_000.0, 0.1, s).unwrap();
+        let skew10 =
+            privacy::privacy_at_load_factor(3.0, 10_000.0, 100_000.0, 0.1, s).unwrap();
+        let skew50 =
+            privacy::privacy_at_load_factor(3.0, 10_000.0, 500_000.0, 0.1, s).unwrap();
+        assert!(skew10 > equal && skew50 > equal, "s={s}");
+    }
+}
+
+#[test]
+fn shape6_baseline_is_the_equal_size_special_case() {
+    // Setting m_x = m_y in the privacy formula (Eq. 43) and the
+    // estimator recovers [9]; verify the formulas agree through the
+    // public API.
+    let p_var = PairParams::new(1_000.0, 1_000.0, 100.0, 4_096.0, 4_096.0, 2.0).unwrap();
+    let p_fixed = PairParams::fixed_size(4_096.0, 1_000.0, 1_000.0, 100.0, 2.0).unwrap();
+    assert_eq!(
+        privacy::preserved_privacy(&p_var),
+        privacy::preserved_privacy(&p_fixed)
+    );
+    assert_eq!(accuracy::bias_ratio(&p_var), accuracy::bias_ratio(&p_fixed));
+}
+
+#[test]
+fn paper_quoted_privacy_values_reproduce() {
+    let spot = |f: f64, ratio: f64, s: f64| {
+        privacy::privacy_at_load_factor(f, 10_000.0, ratio * 10_000.0, 0.1, s).unwrap()
+    };
+    assert!((spot(3.0, 1.0, 5.0) - 0.75).abs() < 0.02, "0.75 claim");
+    assert!((spot(3.0, 10.0, 5.0) - 0.89).abs() < 0.02, "0.89 claim");
+    assert!((spot(3.0, 50.0, 5.0) - 0.91).abs() < 0.03, "0.91 claim");
+    assert!((spot(50.0, 1.0, 2.0) - 0.2).abs() < 0.05, "0.2 collapse claim");
+}
+
+#[test]
+fn table1_shape_at_reduced_scale() {
+    // Scaled-down Table I: novel beats baseline at every pair and the
+    // baseline's error grows with d. (Full scale: `--bin table1`.)
+    let rows = [(21_300u64, 4_000u64), (7_800, 800), (2_800, 300)];
+    let n_y = 45_100u64;
+    let novel = Scheme::variable(2, 6.5, 9).unwrap();
+    let baseline = Scheme::fixed(2, 36_669, 9).unwrap();
+    let runs = 10;
+    let mut base_errs = Vec::new();
+    let mut novel_errs = Vec::new();
+    for &(n_x, n_c) in &rows {
+        let e_novel = mean_abs_error(&novel, n_x, n_y, n_c, runs);
+        let e_base = mean_abs_error(&baseline, n_x, n_y, n_c, runs);
+        // Per row the novel scheme is at least competitive (ties are
+        // within Monte-Carlo noise at this reduced scale)...
+        assert!(
+            e_novel < 1.25 * e_base,
+            "novel ({e_novel}) should not lose to baseline ({e_base}) at n_x = {n_x}"
+        );
+        base_errs.push(e_base);
+        novel_errs.push(e_novel);
+    }
+    // ...and wins clearly in aggregate.
+    let base_mean: f64 = base_errs.iter().sum::<f64>() / base_errs.len() as f64;
+    let novel_mean: f64 = novel_errs.iter().sum::<f64>() / novel_errs.len() as f64;
+    assert!(
+        novel_mean < 0.8 * base_mean,
+        "aggregate: novel {novel_mean} vs baseline {base_mean}"
+    );
+    assert!(
+        base_errs.last().unwrap() > base_errs.first().unwrap(),
+        "baseline error grows with d: {base_errs:?}"
+    );
+}

@@ -1,0 +1,236 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! paper's mathematical invariants.
+
+use proptest::prelude::*;
+
+use vcps::analysis::{accuracy, privacy, stats, PairParams};
+use vcps::bitarray::{combined_zero_count, combined_zero_count_naive, BitArray, Pow2};
+use vcps::{estimate_pair, RsuId, RsuSketch, Salts, Scheme, VehicleIdentity};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- BitArray ------------------------------------------------------
+
+    #[test]
+    fn bits_set_are_bits_read(len in 1usize..500, indices in prop::collection::vec(0usize..500, 0..64)) {
+        let valid: Vec<usize> = indices.into_iter().filter(|&i| i < len).collect();
+        let array = BitArray::from_indices(len, valid.iter().copied()).unwrap();
+        for &i in &valid {
+            prop_assert!(array.get(i));
+        }
+        let mut distinct = valid.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(array.count_ones(), distinct.len());
+        prop_assert_eq!(array.count_ones() + array.count_zeros(), len);
+        prop_assert_eq!(array.ones().collect::<Vec<_>>(), distinct);
+    }
+
+    #[test]
+    fn unfold_preserves_pattern_and_density(
+        k in 0u32..8, extra in 0u32..4,
+        seed_bits in prop::collection::vec(any::<bool>(), 1..256)
+    ) {
+        let m_x = 1usize << k;
+        let m_y = m_x << extra;
+        let bits: Vec<bool> = (0..m_x).map(|i| seed_bits[i % seed_bits.len()]).collect();
+        let small = BitArray::from_bools(&bits).unwrap();
+        let unfolded = small.unfold(m_y).unwrap();
+        // Eq. 3: B^u[i] = B[i mod m_x].
+        for i in 0..m_y {
+            prop_assert_eq!(unfolded.get(i), small.get(i % m_x));
+        }
+        prop_assert!((unfolded.zero_fraction() - small.zero_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_combined_count_equals_materialized(
+        kx in 0u32..9, extra in 0u32..5,
+        xs in prop::collection::vec(any::<u32>(), 0..128),
+        ys in prop::collection::vec(any::<u32>(), 0..512),
+    ) {
+        let m_x = 1usize << kx;
+        let m_y = m_x << extra;
+        let x = BitArray::from_indices(m_x, xs.iter().map(|&v| v as usize % m_x)).unwrap();
+        let y = BitArray::from_indices(m_y, ys.iter().map(|&v| v as usize % m_y)).unwrap();
+        prop_assert_eq!(
+            combined_zero_count(&x, &y).unwrap(),
+            combined_zero_count_naive(&x, &y).unwrap()
+        );
+    }
+
+    #[test]
+    fn or_is_commutative_and_monotone(
+        len in 1usize..300,
+        xs in prop::collection::vec(any::<u32>(), 0..64),
+        ys in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let a = BitArray::from_indices(len, xs.iter().map(|&v| v as usize % len)).unwrap();
+        let b = BitArray::from_indices(len, ys.iter().map(|&v| v as usize % len)).unwrap();
+        let ab = a.or(&b).unwrap();
+        let ba = b.or(&a).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(ab.count_ones() >= a.count_ones().max(b.count_ones()));
+        prop_assert!(ab.count_ones() <= a.count_ones() + b.count_ones());
+    }
+
+    #[test]
+    fn words_roundtrip_any_length(len in 1usize..400, xs in prop::collection::vec(any::<u32>(), 0..64)) {
+        let a = BitArray::from_indices(len, xs.iter().map(|&v| v as usize % len)).unwrap();
+        let b = BitArray::from_words(a.as_words().to_vec(), len).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    // ---- Pow2 ----------------------------------------------------------
+
+    #[test]
+    fn pow2_ceil_is_tight(target in 1.0f64..1e12) {
+        let p = Pow2::ceil_from(target).unwrap();
+        prop_assert!(p.get() as f64 >= target);
+        // Tight: the next power down is below the target (or p = 1).
+        if p.get() > 1 {
+            prop_assert!(((p.get() / 2) as f64) < target);
+        }
+    }
+
+    #[test]
+    fn pow2_ratio_exact(ka in 0u32..30, kb in 0u32..30) {
+        let a = Pow2::from_log2(ka);
+        let b = Pow2::from_log2(kb);
+        if ka <= kb {
+            prop_assert_eq!(a.ratio_to(b), Some(1usize << (kb - ka)));
+        } else {
+            prop_assert_eq!(a.ratio_to(b), None);
+        }
+    }
+
+    // ---- stats ---------------------------------------------------------
+
+    #[test]
+    fn binomial_pmf_is_a_distribution(n in 0u64..200, p in 0.0f64..=1.0) {
+        let masses: Vec<f64> = stats::binomial_pmf(n, p).collect();
+        prop_assert_eq!(masses.len() as u64, n + 1);
+        prop_assert!(masses.iter().all(|&m| (-1e-12..=1.0 + 1e-9).contains(&m)));
+        let total: f64 = masses.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum {}", total);
+    }
+
+    #[test]
+    fn pow_one_minus_bounds(frac in 0.0f64..1.0, n in 0.0f64..1e6) {
+        let v = stats::pow_one_minus(frac, n);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn online_stats_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let acc: stats::OnlineStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((acc.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert_eq!(acc.count() as usize, xs.len());
+    }
+
+    // ---- analysis invariants --------------------------------------------
+
+    #[test]
+    fn privacy_closed_form_equals_direct_sum(
+        n_x in 10.0f64..5_000.0,
+        skew in 1.0f64..50.0,
+        overlap in 0.0f64..1.0,
+        f in 0.2f64..50.0,
+        s in 2.0f64..10.0,
+    ) {
+        let n_y = n_x * skew;
+        let n_c = (overlap * n_x).floor();
+        let p = PairParams::from_load_factor(f, n_x, n_y, n_c, s).unwrap();
+        let closed = privacy::prob_not_both_set(&p);
+        let direct = privacy::prob_not_both_set_direct(&p);
+        prop_assert!((closed - direct).abs() < 1e-7, "closed {} vs direct {}", closed, direct);
+        let priv_p = privacy::preserved_privacy(&p);
+        prop_assert!((0.0..=1.0).contains(&priv_p));
+    }
+
+    #[test]
+    fn q_c_is_a_probability_and_monotone_in_overlap(
+        n_x in 10.0f64..10_000.0,
+        skew in 1.0f64..50.0,
+        f in 0.5f64..20.0,
+        s in 2.0f64..10.0,
+    ) {
+        let n_y = n_x * skew;
+        let lo = PairParams::from_load_factor(f, n_x, n_y, 0.0, s).unwrap();
+        let hi = PairParams::from_load_factor(f, n_x, n_y, n_x.min(n_y) * 0.5, s).unwrap();
+        let (q_lo, q_hi) = (accuracy::q_c(&lo), accuracy::q_c(&hi));
+        prop_assert!((0.0..=1.0).contains(&q_lo) && (0.0..=1.0).contains(&q_hi));
+        prop_assert!(q_hi >= q_lo, "more overlap, more zeros: {} vs {}", q_hi, q_lo);
+    }
+
+    #[test]
+    fn estimator_bias_is_small_relative_to_point_volume(
+        n_x in 1_000.0f64..50_000.0,
+        skew in 1.0f64..20.0,
+        s in 2.0f64..10.0,
+    ) {
+        // The absolute bias |E[n̂_c] − n_c| scales with the point volumes
+        // (and grows with s via the shrinking denominator), not with the
+        // overlap — so bound it against n_x, not n_c.
+        let n_y = n_x * skew;
+        let n_c = n_x * 0.2;
+        let p = PairParams::from_load_factor(4.0, n_x, n_y, n_c, s).unwrap();
+        let abs_bias = (accuracy::expected_estimate(&p) - n_c).abs();
+        prop_assert!(abs_bias < 0.03 * n_x, "bias {} vehicles on n_x {}", abs_bias, n_x);
+    }
+
+    // ---- scheme/estimator ------------------------------------------------
+
+    #[test]
+    fn estimate_is_symmetric_in_arguments(
+        kx in 4u32..10, extra in 0u32..4,
+        xs in prop::collection::vec(any::<u32>(), 1..64),
+        ys in prop::collection::vec(any::<u32>(), 1..64),
+        s in 2usize..10,
+    ) {
+        let m_x = 1usize << kx;
+        let m_y = m_x << extra;
+        let mut a = RsuSketch::new(RsuId(1), m_x).unwrap();
+        for &v in &xs { a.record(v as usize % m_x).unwrap(); }
+        let mut b = RsuSketch::new(RsuId(2), m_y).unwrap();
+        for &v in &ys { b.record(v as usize % m_y).unwrap(); }
+        let ab = estimate_pair(&a, &b, s);
+        let ba = estimate_pair(&b, &a, s);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn report_indices_always_in_range(
+        id in any::<u64>(), key in any::<u64>(), rsu in any::<u64>(),
+        k in 1u32..16, extra in 0u32..6, seed in any::<u64>(),
+    ) {
+        let scheme = Scheme::variable(2, 3.0, seed).unwrap();
+        let m_x = 1usize << k;
+        let m_o = m_x << extra;
+        let v = VehicleIdentity::from_raw(id, key);
+        let idx = scheme.report_index(&v, RsuId(rsu), m_x, m_o);
+        prop_assert!(idx < m_x);
+    }
+
+    #[test]
+    fn logical_positions_consistent_with_reports(
+        id in any::<u64>(), key in any::<u64>(), rsu in any::<u64>(), seed in any::<u64>(),
+    ) {
+        // Whatever a vehicle reports must be one of its logical positions
+        // reduced mod m_x — the structural privacy invariant.
+        let scheme = Scheme::variable(5, 3.0, seed).unwrap();
+        let (m_x, m_o) = (1usize << 10, 1usize << 16);
+        let v = VehicleIdentity::from_raw(id, key);
+        let report = scheme.report_index(&v, RsuId(rsu), m_x, m_o);
+        let positions = v.logical_positions(scheme.family(), scheme.salts(), m_o);
+        prop_assert!(positions.iter().any(|&b| b % m_x == report));
+    }
+
+    #[test]
+    fn salts_generation_is_stable(s in 1usize..32, seed in any::<u64>()) {
+        prop_assert_eq!(Salts::generate(s, seed), Salts::generate(s, seed));
+        prop_assert_eq!(Salts::generate(s, seed).len(), s);
+    }
+}
