@@ -113,10 +113,7 @@ pub enum CovarianceMethod {
 /// [`CovarianceMethod::Exact`] propagates
 /// [`AnalysisError::SizesNotNested`] for sizes that are not integral with
 /// `m_x | m_y`.
-pub fn estimator_variance(
-    p: &PairParams,
-    method: CovarianceMethod,
-) -> Result<f64, AnalysisError> {
+pub fn estimator_variance(p: &PairParams, method: CovarianceMethod) -> Result<f64, AnalysisError> {
     let (qc, qx, qy) = (q_c(p), q_x(p), q_y(p));
     if qc <= 0.0 || qx <= 0.0 || qy <= 0.0 {
         // An array is saturated *in expectation* (q underflows to 0):
@@ -127,8 +124,7 @@ pub fn estimator_variance(
     let denom = denominator(p);
     if let CovarianceMethod::Exact = method {
         let t = covariance_terms(p)?;
-        let var_num = t.ln_cc + t.ln_xx + t.ln_yy - 2.0 * t.ln_cx - 2.0 * t.ln_cy
-            + 2.0 * t.ln_xy;
+        let var_num = t.ln_cc + t.ln_xx + t.ln_yy - 2.0 * t.ln_cx - 2.0 * t.ln_cy + 2.0 * t.ln_xy;
         return Ok(var_num / (denom * denom));
     }
     let d = var_ln_v(qc, p.m_y) + var_ln_v(qx, p.m_x) + var_ln_v(qy, p.m_y);
@@ -280,10 +276,8 @@ mod tests {
 
     #[test]
     fn std_dev_ratio_shrinks_with_larger_arrays() {
-        let small = PairParams::new(10_000.0, 10_000.0, 1_000.0, 16_384.0, 16_384.0, 2.0)
-            .unwrap();
-        let large = PairParams::new(10_000.0, 10_000.0, 1_000.0, 65_536.0, 65_536.0, 2.0)
-            .unwrap();
+        let small = PairParams::new(10_000.0, 10_000.0, 1_000.0, 16_384.0, 16_384.0, 2.0).unwrap();
+        let large = PairParams::new(10_000.0, 10_000.0, 1_000.0, 65_536.0, 65_536.0, 2.0).unwrap();
         let sd_small = std_dev_ratio(&small, CovarianceMethod::Ignore).unwrap();
         let sd_large = std_dev_ratio(&large, CovarianceMethod::Ignore).unwrap();
         assert!(
@@ -306,7 +300,11 @@ mod tests {
         let p = params();
         let (lo95, hi95) = confidence_interval(&p, 0.95, CovarianceMethod::Exact).unwrap();
         let (lo99, hi99) = confidence_interval(&p, 0.99, CovarianceMethod::Exact).unwrap();
-        assert!(lo95 < p.n_c && p.n_c < hi95, "[{lo95}, {hi95}] vs {}", p.n_c);
+        assert!(
+            lo95 < p.n_c && p.n_c < hi95,
+            "[{lo95}, {hi95}] vs {}",
+            p.n_c
+        );
         assert!(lo99 < lo95 && hi99 > hi95, "wider at higher confidence");
     }
 
@@ -357,7 +355,10 @@ mod tests {
             estimates.push((v_c.ln() - v_x.ln() - v_y.ln()) / denom);
         }
         let mean = estimates.iter().sum::<f64>() / trials as f64;
-        let var = estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
+        let var = estimates
+            .iter()
+            .map(|e| (e - mean) * (e - mean))
+            .sum::<f64>()
             / (trials - 1) as f64;
 
         let predicted_mean = expected_estimate(&p);

@@ -95,8 +95,8 @@ pub fn covariance_terms(p: &PairParams) -> Result<CovarianceTerms, AnalysisError
     let q_x = pow_one_minus(a1, n_x);
     let q_y = pow_one_minus(a2, n_y);
     // q(n_c), paper Eq. 9.
-    let q_c = pow_one_minus(a1, n_x) * pow_one_minus(a2, n_y)
-        * ((1.0 - t * a2) / (1.0 - a2)).powf(n_c);
+    let q_c =
+        pow_one_minus(a1, n_x) * pow_one_minus(a2, n_y) * ((1.0 - t * a2) / (1.0 - a2)).powf(n_c);
 
     // ---- Cov(U_x, U_y) ------------------------------------------------
     // Per common vehicle, P(avoid bit j of B_x and bit k of B_y):
@@ -115,17 +115,14 @@ pub fn covariance_terms(p: &PairParams) -> Result<CovarianceTerms, AnalysisError
     // Generic (j ≠ i mod m_x): R_x-side vehicles must now avoid two bits
     // of B_x; a common vehicle's linked pick avoids both automatically
     // when its B_y residue class differs from both.
-    let p2 = pow_one_minus(2.0 * a1, n_x)
-        * pow_one_minus(a2, n_y - n_c)
-        * (1.0 - t * a2).powf(n_c);
+    let p2 = pow_one_minus(2.0 * a1, n_x) * pow_one_minus(a2, n_y - n_c) * (1.0 - t * a2).powf(n_c);
     let u_cx = m_y * (q_c + (m_x - 1.0) * p2 - m_x * q_c * q_x);
 
     // ---- Cov(U_c, U_y) ------------------------------------------------
     // Aligned (k = i): T_i implies the B_y bit stays zero; m_y pairs.
     // Generic: split on whether k shares i's residue class mod m_x.
     let g_a = (1.0 - a1) * ((1.0 / s) + (1.0 - 1.0 / s) * (1.0 - 2.0 * a2));
-    let g_b = (1.0 / s) * (1.0 - a1 - a2)
-        + (1.0 - 1.0 / s) * (1.0 - a1) * (1.0 - 2.0 * a2);
+    let g_b = (1.0 / s) * (1.0 - a1 - a2) + (1.0 - 1.0 / s) * (1.0 - a1) * (1.0 - 2.0 * a2);
     let outer_cy = pow_one_minus(a1, n_x - n_c) * pow_one_minus(2.0 * a2, n_y - n_c);
     let term_a = outer_cy * g_a.powf(n_c);
     let term_b = outer_cy * g_b.powf(n_c);
@@ -238,9 +235,7 @@ mod tests {
             }
             let u_x = bx.iter().filter(|&&b| !b).count() as f64;
             let u_y = by.iter().filter(|&&b| !b).count() as f64;
-            let u_c = (0..m_y)
-                .filter(|&i| !bx[i % m_x] && !by[i])
-                .count() as f64;
+            let u_c = (0..m_y).filter(|&i| !bx[i % m_x] && !by[i]).count() as f64;
             out.push((u_c, u_x, u_y));
         }
         out
@@ -313,10 +308,18 @@ mod tests {
         let p = PairParams::new(200.0, 200.0, 60.0, 128.0, 128.0, 5.0).unwrap();
         let c = covariance_terms(&p).unwrap();
         let samples = simulate(&p, 40_000, 42);
-        let mc_cx =
-            sample_cov(&samples.iter().map(|&(uc, ux, _)| (uc, ux)).collect::<Vec<_>>());
-        let mc_xy =
-            sample_cov(&samples.iter().map(|&(_, ux, uy)| (ux, uy)).collect::<Vec<_>>());
+        let mc_cx = sample_cov(
+            &samples
+                .iter()
+                .map(|&(uc, ux, _)| (uc, ux))
+                .collect::<Vec<_>>(),
+        );
+        let mc_xy = sample_cov(
+            &samples
+                .iter()
+                .map(|&(_, ux, uy)| (ux, uy))
+                .collect::<Vec<_>>(),
+        );
         assert!(
             (c.u_cx - mc_cx).abs() < 0.15 * c.u_cx.abs().max(3.0),
             "Cov(Uc,Ux): analytic {} vs MC {mc_cx}",

@@ -64,10 +64,8 @@ pub fn crlb(p: &PairParams) -> f64 {
 /// Currently infallible; returns `Result` for parity with the exact
 /// variance APIs.
 pub fn efficiency(p: &PairParams) -> Result<f64, AnalysisError> {
-    let model_var = crate::accuracy::estimator_variance(
-        p,
-        crate::accuracy::CovarianceMethod::Ignore,
-    )?;
+    let model_var =
+        crate::accuracy::estimator_variance(p, crate::accuracy::CovarianceMethod::Ignore)?;
     if model_var <= 0.0 {
         return Ok(1.0);
     }
@@ -123,8 +121,7 @@ mod tests {
     fn information_is_positive_and_grows_with_my() {
         let small = params();
         let large =
-            PairParams::new(10_000.0, 100_000.0, 1_000.0, 131_072.0, 1_048_576.0, 2.0)
-                .unwrap();
+            PairParams::new(10_000.0, 100_000.0, 1_000.0, 131_072.0, 1_048_576.0, 2.0).unwrap();
         assert!(fisher_information(&small) > 0.0);
         assert!(
             fisher_information(&large) > fisher_information(&small),

@@ -151,13 +151,7 @@ impl PairParams {
     /// # Errors
     ///
     /// Same as [`PairParams::new`].
-    pub fn fixed_size(
-        m: f64,
-        n_x: f64,
-        n_y: f64,
-        n_c: f64,
-        s: f64,
-    ) -> Result<Self, AnalysisError> {
+    pub fn fixed_size(m: f64, n_x: f64, n_y: f64, n_c: f64, s: f64) -> Result<Self, AnalysisError> {
         Self::new(n_x, n_y, n_c, m, m, s)
     }
 

@@ -170,12 +170,7 @@ pub fn privacy_curve(
 /// paper observes `f* ≈ 2–4`). Golden-section search after a coarse grid
 /// scan (the curve is unimodal in `f`).
 #[must_use]
-pub fn optimal_load_factor(
-    n_x: f64,
-    n_y: f64,
-    overlap_frac: f64,
-    s: f64,
-) -> Option<PrivacyPoint> {
+pub fn optimal_load_factor(n_x: f64, n_y: f64, overlap_frac: f64, s: f64) -> Option<PrivacyPoint> {
     let (lo, hi) = (0.1, 50.0);
     let eval = |f: f64| privacy_at_load_factor(f, n_x, n_y, overlap_frac, s).unwrap_or(0.0);
     // Coarse scan to bracket the peak.

@@ -173,7 +173,13 @@ mod tests {
     #[test]
     fn display_renders_every_section() {
         let text = Profile::compute(&healthy()).unwrap().to_string();
-        for needle in ["configuration", "load factors", "bias", "sd per run", "privacy"] {
+        for needle in [
+            "configuration",
+            "load factors",
+            "bias",
+            "sd per run",
+            "privacy",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

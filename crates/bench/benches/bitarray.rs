@@ -38,7 +38,9 @@ fn bench_or(c: &mut Criterion) {
     let a = BitArray::from_indices(m, (0..m / 4).map(|i| (i * 5) % m)).unwrap();
     let b_arr = BitArray::from_indices(m, (0..m / 4).map(|i| (i * 11) % m)).unwrap();
     group.throughput(Throughput::Elements(m as u64));
-    group.bench_function("materialized", |b| b.iter(|| black_box(a.or(&b_arr).unwrap())));
+    group.bench_function("materialized", |b| {
+        b.iter(|| black_box(a.or(&b_arr).unwrap()))
+    });
     group.finish();
 }
 
@@ -56,5 +58,11 @@ fn bench_unfold(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_set, bench_count_zeros, bench_or, bench_unfold);
+criterion_group!(
+    benches,
+    bench_set,
+    bench_count_zeros,
+    bench_or,
+    bench_unfold
+);
 criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Concurrency benchmarks: lock-free vs mutex ingestion, thread scaling,
+//! and the O(1) cached zero-count vs a full popcount rescan.
+//!
+//! The machine-readable companion (`BENCH_ingest.json` /
+//! `BENCH_decode.json`) is produced by the `bench_artifacts` binary in
+//! this crate; this harness is for interactive `cargo bench` runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use vcps_bench::ingest_workload;
+use vcps_core::RsuId;
+use vcps_sim::concurrent::{default_threads, ingest_parallel, MutexRsu, SharedRsu};
+use vcps_sim::pki::TrustedAuthority;
+
+const ARRAY_BITS: usize = 1 << 20;
+const REPORTS: u64 = 100_000;
+
+fn bench_single_receive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest/single_receive");
+    let ca = TrustedAuthority::new(1);
+    let batch = ingest_workload(REPORTS, ARRAY_BITS as u64);
+    let mut i = 0usize;
+
+    let atomic = SharedRsu::new(RsuId(1), ARRAY_BITS, &ca).unwrap();
+    group.bench_function("atomic", |b| {
+        b.iter(|| {
+            i = (i + 1) % batch.len();
+            atomic.receive(black_box(&batch[i])).unwrap();
+        })
+    });
+
+    let mutex = MutexRsu::new(RsuId(1), ARRAY_BITS, &ca).unwrap();
+    let mut j = 0usize;
+    group.bench_function("mutex", |b| {
+        b.iter(|| {
+            j = (j + 1) % batch.len();
+            mutex.receive(black_box(&batch[j])).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_mutex_vs_atomic_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest/mutex_vs_atomic");
+    group.throughput(Throughput::Elements(REPORTS));
+    let ca = TrustedAuthority::new(1);
+    let batch = ingest_workload(REPORTS, ARRAY_BITS as u64);
+    let threads = default_threads().max(4);
+
+    group.bench_function(BenchmarkId::new("atomic", threads), |b| {
+        b.iter(|| {
+            let rsu = SharedRsu::new(RsuId(1), ARRAY_BITS, &ca).unwrap();
+            black_box(ingest_parallel(&rsu, &batch, threads))
+        })
+    });
+    group.bench_function(BenchmarkId::new("mutex", threads), |b| {
+        b.iter(|| {
+            let rsu = MutexRsu::new(RsuId(1), ARRAY_BITS, &ca).unwrap();
+            vcps_bench::ingest_mutex_parallel(&rsu, &batch, threads);
+            black_box(rsu.upload().counter)
+        })
+    });
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest/thread_scaling");
+    group.throughput(Throughput::Elements(REPORTS));
+    let ca = TrustedAuthority::new(1);
+    let batch = ingest_workload(REPORTS, ARRAY_BITS as u64);
+    let mut counts = vec![1usize, 2, 4];
+    let n = default_threads();
+    if !counts.contains(&n) {
+        counts.push(n);
+    }
+    for threads in counts {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let rsu = SharedRsu::new(RsuId(1), ARRAY_BITS, &ca).unwrap();
+                    black_box(ingest_parallel(&rsu, &batch, threads))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_zero_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_count/cached_vs_rescan");
+    let sketch = vcps_bench::filled_sketch(1, ARRAY_BITS, 0.4);
+    let bits = sketch.bits();
+    group.bench_function("cached", |b| b.iter(|| black_box(bits.zero_fraction())));
+    group.bench_function("rescan", |b| {
+        b.iter(|| {
+            let ones: u32 = bits.as_words().iter().map(|w| w.count_ones()).sum();
+            black_box(1.0 - f64::from(ones) / bits.len() as f64)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_receive,
+    bench_mutex_vs_atomic_batch,
+    bench_thread_scaling,
+    bench_zero_count
+);
+criterion_main!(benches);

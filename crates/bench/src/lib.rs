@@ -24,6 +24,8 @@
 
 use vcps_core::RsuSketch;
 use vcps_hash::RsuId;
+use vcps_sim::concurrent::MutexRsu;
+use vcps_sim::{BitReport, MacAddress};
 
 /// Builds a sketch of size `m` with roughly `fill` fraction of distinct
 /// bits set, deterministically.
@@ -46,9 +48,70 @@ pub fn filled_sketch(id: u64, m: usize, fill: f64) -> RsuSketch {
     sketch
 }
 
+/// Builds a deterministic batch of `n` in-range reports for an `m`-bit
+/// array — the shared workload of the ingestion benches and the
+/// `bench_artifacts` binary.
+#[must_use]
+pub fn ingest_workload(n: u64, m: u64) -> Vec<BitReport> {
+    (0..n)
+        .map(|i| BitReport {
+            mac: MacAddress([2, 0, (i >> 16) as u8, (i >> 8) as u8, i as u8, 1]),
+            index: i.wrapping_mul(2_654_435_761) % m,
+        })
+        .collect()
+}
+
+/// Ingests `reports` into a [`MutexRsu`] from `threads` scoped workers —
+/// the contended-lock baseline the lock-free path is measured against.
+/// Chunking mirrors [`vcps_sim::concurrent::ingest_parallel`] so the two
+/// paths differ only in their synchronization.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, a report is out of range, or a worker
+/// panics.
+pub fn ingest_mutex_parallel(rsu: &MutexRsu, reports: &[BitReport], threads: usize) {
+    assert!(threads > 0, "need at least one thread");
+    if reports.is_empty() {
+        return;
+    }
+    let chunk = reports.len().div_ceil(threads * 8).max(64);
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(reports.len().div_ceil(chunk)) {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                if start >= reports.len() {
+                    break;
+                }
+                let end = (start + chunk).min(reports.len());
+                for report in &reports[start..end] {
+                    rsu.receive(report).expect("in-range report");
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ingest_workload_is_in_range() {
+        let batch = ingest_workload(1_000, 256);
+        assert_eq!(batch.len(), 1_000);
+        assert!(batch.iter().all(|r| r.index < 256));
+    }
+
+    #[test]
+    fn mutex_parallel_ingests_every_report() {
+        let ca = vcps_sim::pki::TrustedAuthority::new(2);
+        let rsu = MutexRsu::new(RsuId(3), 256, &ca).unwrap();
+        let batch = ingest_workload(2_000, 256);
+        ingest_mutex_parallel(&rsu, &batch, 4);
+        assert_eq!(rsu.upload().counter, 2_000);
+    }
 
     #[test]
     fn filled_sketch_hits_target_fill() {

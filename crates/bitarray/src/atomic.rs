@@ -1,0 +1,334 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{BitArray, BitArrayError};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bit vector whose bits can be set concurrently from many
+/// threads without locks.
+///
+/// This is the shared-RSU counterpart of [`BitArray`]: vehicles arriving
+/// on different lanes (threads) each set one pseudo-random bit, and
+/// bit-setting is commutative and idempotent, so a single `fetch_or` per
+/// report is the entire synchronization story. No ordering between
+/// distinct reports is observable in the final array — the OR of a set of
+/// bits is independent of arrival order — which is why a lock-free RSU
+/// produces output bit-identical to a sequential one.
+///
+/// All bit operations use [`Ordering::Relaxed`]: only the bit values
+/// themselves matter, and the happens-before edge that makes a
+/// [`snapshot`](AtomicBitArray::snapshot) complete is established
+/// externally by joining the ingesting threads before reading.
+///
+/// # Example
+///
+/// ```
+/// use vcps_bitarray::AtomicBitArray;
+///
+/// let bits = AtomicBitArray::new(128);
+/// std::thread::scope(|scope| {
+///     for t in 0..4 {
+///         let bits = &bits;
+///         scope.spawn(move || {
+///             for i in (t..128).step_by(4) {
+///                 bits.set(i);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(bits.count_ones(), 128);
+/// ```
+#[derive(Debug)]
+pub struct AtomicBitArray {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitArray {
+    /// Creates an all-zero atomic bit array with `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`. Use [`AtomicBitArray::try_new`] for a
+    /// fallible variant.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self::try_new(len).expect("bit array length must be at least 1")
+    }
+
+    /// Creates an all-zero atomic bit array with `len` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitArrayError::EmptyArray`] if `len == 0`.
+    pub fn try_new(len: usize) -> Result<Self, BitArrayError> {
+        if len == 0 {
+            return Err(BitArrayError::EmptyArray);
+        }
+        let words = (0..len.div_ceil(WORD_BITS))
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Ok(Self { words, len })
+    }
+
+    /// The number of bits in the array (the paper's `m`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`: an `AtomicBitArray` holds at least one bit.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Atomically sets the bit at `index` to 1, returning the *previous*
+    /// value of the bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn set(&self, index: usize) -> bool {
+        assert!(
+            index < self.len,
+            "bit index {index} out of bounds for length {}",
+            self.len
+        );
+        let mask = 1u64 << (index % WORD_BITS);
+        let prev = self.words[index / WORD_BITS].fetch_or(mask, Ordering::Relaxed);
+        prev & mask != 0
+    }
+
+    /// Atomically sets the bit at `index`, reporting out-of-bounds
+    /// indices instead of panicking. Returns the previous bit on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitArrayError::IndexOutOfBounds`] if `index >= self.len()`.
+    pub fn try_set(&self, index: usize) -> Result<bool, BitArrayError> {
+        if index >= self.len {
+            return Err(BitArrayError::IndexOutOfBounds {
+                index,
+                len: self.len,
+            });
+        }
+        Ok(self.set(index))
+    }
+
+    /// Returns the bit at `index` as currently visible to this thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(
+            index < self.len,
+            "bit index {index} out of bounds for length {}",
+            self.len
+        );
+        let word = self.words[index / WORD_BITS].load(Ordering::Relaxed);
+        (word >> (index % WORD_BITS)) & 1 == 1
+    }
+
+    /// Number of bits set to 1, via a word-level popcount over a single
+    /// pass of relaxed loads.
+    ///
+    /// Exact once ingesting threads have been joined; while writers are
+    /// still active it is a lower bound on the eventual count.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of bits set to 0 (the paper's `U`); see
+    /// [`count_ones`](AtomicBitArray::count_ones) for the consistency
+    /// caveat while writers are active.
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Fraction of zero bits (the paper's `V = U / m`).
+    #[must_use]
+    pub fn zero_fraction(&self) -> f64 {
+        self.count_zeros() as f64 / self.len as f64
+    }
+
+    /// Resets every bit to zero (start of a new measurement period).
+    ///
+    /// Requires `&mut self`, so a reset can never race with writers.
+    pub fn reset(&mut self) {
+        for word in &mut self.words {
+            *word.get_mut() = 0;
+        }
+    }
+
+    /// Copies the current contents into an owned [`BitArray`] with one
+    /// relaxed load per word.
+    ///
+    /// Exact once ingesting threads have been joined (the join provides
+    /// the happens-before edge); concurrent writers may or may not be
+    /// reflected.
+    #[must_use]
+    pub fn snapshot(&self) -> BitArray {
+        let words = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
+        BitArray::from_words(words, self.len).expect("word count matches len by construction")
+    }
+
+    /// Consumes the atomic array, yielding its contents as a [`BitArray`]
+    /// without any atomic loads.
+    #[must_use]
+    pub fn into_bit_array(self) -> BitArray {
+        let words = self.words.into_iter().map(AtomicU64::into_inner).collect();
+        BitArray::from_words(words, self.len).expect("word count matches len by construction")
+    }
+}
+
+impl From<&BitArray> for AtomicBitArray {
+    /// Copies an owned array into atomic storage (e.g. to resume a
+    /// period from a checkpoint).
+    fn from(bits: &BitArray) -> Self {
+        let words = bits.as_words().iter().map(|&w| AtomicU64::new(w)).collect();
+        Self {
+            words,
+            len: bits.len(),
+        }
+    }
+}
+
+impl From<BitArray> for AtomicBitArray {
+    fn from(bits: BitArray) -> Self {
+        Self::from(&bits)
+    }
+}
+
+impl From<AtomicBitArray> for BitArray {
+    fn from(bits: AtomicBitArray) -> Self {
+        bits.into_bit_array()
+    }
+}
+
+impl Clone for AtomicBitArray {
+    /// Clones via a word-level snapshot of the current contents.
+    fn clone(&self) -> Self {
+        Self::from(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let bits = AtomicBitArray::new(100);
+        assert_eq!(bits.len(), 100);
+        assert_eq!(bits.count_ones(), 0);
+        assert_eq!(bits.count_zeros(), 100);
+        assert_eq!(bits.zero_fraction(), 1.0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_length() {
+        assert!(matches!(
+            AtomicBitArray::try_new(0),
+            Err(BitArrayError::EmptyArray)
+        ));
+    }
+
+    #[test]
+    fn set_returns_previous_bit() {
+        let bits = AtomicBitArray::new(70);
+        assert!(!bits.set(69));
+        assert!(bits.set(69));
+        assert!(bits.get(69));
+        assert_eq!(bits.count_ones(), 1);
+    }
+
+    #[test]
+    fn try_set_bounds_check() {
+        let bits = AtomicBitArray::new(8);
+        assert_eq!(bits.try_set(3), Ok(false));
+        assert_eq!(
+            bits.try_set(8),
+            Err(BitArrayError::IndexOutOfBounds { index: 8, len: 8 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        let bits = AtomicBitArray::new(8);
+        bits.set(8);
+    }
+
+    #[test]
+    fn roundtrip_with_bit_array() {
+        let mut owned = BitArray::new(130);
+        for i in [0usize, 63, 64, 129] {
+            owned.set(i);
+        }
+        let atomic = AtomicBitArray::from(&owned);
+        assert_eq!(atomic.count_ones(), 4);
+        assert_eq!(atomic.snapshot(), owned);
+        assert_eq!(atomic.into_bit_array(), owned);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut bits = AtomicBitArray::new(64);
+        bits.set(5);
+        bits.set(63);
+        bits.reset();
+        assert_eq!(bits.count_ones(), 0);
+    }
+
+    #[test]
+    fn clone_copies_contents() {
+        let bits = AtomicBitArray::new(16);
+        bits.set(3);
+        let copy = bits.clone();
+        bits.set(4);
+        assert_eq!(copy.count_ones(), 1);
+        assert_eq!(bits.count_ones(), 2);
+    }
+
+    #[test]
+    fn concurrent_sets_match_sequential_or() {
+        // Bit-setting is commutative and idempotent: any interleaving of
+        // the same index set must produce the same array.
+        let indices: Vec<usize> = (0..4096).map(|i| (i * 2_654_435_761) % 4096).collect();
+        let mut expected = BitArray::new(4096);
+        for &i in &indices {
+            expected.set(i);
+        }
+
+        let bits = AtomicBitArray::new(4096);
+        std::thread::scope(|scope| {
+            for chunk in indices.chunks(512) {
+                let bits = &bits;
+                scope.spawn(move || {
+                    for &i in chunk {
+                        bits.set(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(bits.snapshot(), expected);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AtomicBitArray>();
+    }
+}

@@ -33,6 +33,11 @@ const WORD_BITS: usize = 64;
 pub struct BitArray {
     words: Vec<u64>,
     len: usize,
+    /// Cached number of set bits, maintained by every mutating method so
+    /// `count_ones`/`count_zeros`/`zero_fraction` are O(1) instead of a
+    /// full popcount scan (the decoder queries the zero fraction per
+    /// estimate, Eq. 1/2).
+    ones: usize,
 }
 
 impl BitArray {
@@ -57,7 +62,11 @@ impl BitArray {
             return Err(BitArrayError::EmptyArray);
         }
         let words = vec![0u64; len.div_ceil(WORD_BITS)];
-        Ok(Self { words, len })
+        Ok(Self {
+            words,
+            len,
+            ones: 0,
+        })
     }
 
     /// Creates a bit array of length `len` with the given bits set.
@@ -118,7 +127,10 @@ impl BitArray {
             "bit index {index} out of bounds for length {}",
             self.len
         );
-        self.words[index / WORD_BITS] |= 1u64 << (index % WORD_BITS);
+        let word = &mut self.words[index / WORD_BITS];
+        let mask = 1u64 << (index % WORD_BITS);
+        self.ones += usize::from(*word & mask == 0);
+        *word |= mask;
     }
 
     /// Sets the bit at `index` to 1, reporting out-of-bounds indices.
@@ -148,7 +160,10 @@ impl BitArray {
             "bit index {index} out of bounds for length {}",
             self.len
         );
-        self.words[index / WORD_BITS] &= !(1u64 << (index % WORD_BITS));
+        let word = &mut self.words[index / WORD_BITS];
+        let mask = 1u64 << (index % WORD_BITS);
+        self.ones -= usize::from(*word & mask != 0);
+        *word &= !mask;
     }
 
     /// Resets every bit to zero (start of a new measurement period).
@@ -156,6 +171,7 @@ impl BitArray {
         for word in &mut self.words {
             *word = 0;
         }
+        self.ones = 0;
     }
 
     /// Returns the bit at `index`.
@@ -173,13 +189,23 @@ impl BitArray {
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
-    /// Number of bits set to 1.
+    /// Number of bits set to 1. O(1): served from the maintained cache.
     #[must_use]
     pub fn count_ones(&self) -> usize {
+        debug_assert_eq!(
+            self.ones,
+            self.recount_ones(),
+            "cached ones-count out of sync with backing words"
+        );
+        self.ones
+    }
+
+    /// Full popcount over the backing words, bypassing the cache.
+    fn recount_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Number of bits set to 0 (the paper's `U`).
+    /// Number of bits set to 0 (the paper's `U`). O(1).
     #[must_use]
     pub fn count_zeros(&self) -> usize {
         self.len - self.count_ones()
@@ -226,6 +252,7 @@ impl BitArray {
             for c in 0..copies {
                 out.words[c * src_words..(c + 1) * src_words].copy_from_slice(&self.words);
             }
+            out.ones = copies * self.ones;
         } else {
             for c in 0..copies {
                 let base = c * self.len;
@@ -260,9 +287,12 @@ impl BitArray {
                 right: other.len,
             });
         }
+        let mut ones = 0;
         for (w, o) in self.words.iter_mut().zip(&other.words) {
             *w |= o;
+            ones += w.count_ones() as usize;
         }
+        self.ones = ones;
         Ok(())
     }
 
@@ -279,9 +309,12 @@ impl BitArray {
             });
         }
         let mut out = self.clone();
+        let mut ones = 0;
         for (w, o) in out.words.iter_mut().zip(&other.words) {
             *w &= o;
+            ones += w.count_ones() as usize;
         }
+        out.ones = ones;
         Ok(out)
     }
 
@@ -312,8 +345,13 @@ impl BitArray {
                 right: expected,
             });
         }
-        let mut array = Self { words, len };
+        let mut array = Self {
+            words,
+            len,
+            ones: 0,
+        };
         array.mask_tail();
+        array.ones = array.recount_ones();
         Ok(array)
     }
 

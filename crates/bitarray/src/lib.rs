@@ -12,7 +12,11 @@
 //! The crate provides:
 //!
 //! * [`BitArray`] — a fixed-length bit vector backed by `u64` words with
-//!   word-level popcount, set-bit iteration, and bitwise OR/AND.
+//!   an O(1) cached ones-count, set-bit iteration, and bitwise OR/AND.
+//! * [`AtomicBitArray`] — the lock-free concurrent counterpart: threads
+//!   set bits with a single `fetch_or`, and because bit-setting is
+//!   commutative and idempotent the result is bit-identical to any
+//!   sequential ingestion order.
 //! * [`Pow2`] — a validated power-of-two length (paper §IV-A requires
 //!   `m = 2^k` so that any two array lengths divide each other).
 //! * [`unfold`](BitArray::unfold) — the paper's unfolding operation.
@@ -47,12 +51,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod atomic;
 mod bit_array;
 mod error;
 mod ops;
 mod pow2;
 mod sparse;
 
+pub use atomic::AtomicBitArray;
 pub use bit_array::{BitArray, Ones};
 pub use error::BitArrayError;
 pub use ops::{combined_zero_count, combined_zero_count_naive};

@@ -54,11 +54,7 @@ impl Pow2 {
     /// 64-bit targets).
     #[must_use]
     pub fn from_log2(k: u32) -> Self {
-        Self(
-            1usize
-                .checked_shl(k)
-                .expect("2^k must fit in usize"),
-        )
+        Self(1usize.checked_shl(k).expect("2^k must fit in usize"))
     }
 
     /// The smallest power of two that is `>= target` — the paper's
@@ -77,9 +73,7 @@ impl Pow2 {
         }
         const MAX_POW2: f64 = (1u64 << 62) as f64;
         if target > MAX_POW2 {
-            return Err(BitArrayError::NotPowerOfTwo {
-                value: usize::MAX,
-            });
+            return Err(BitArrayError::NotPowerOfTwo { value: usize::MAX });
         }
         let ceil = target.ceil() as usize;
         Ok(Self(ceil.next_power_of_two()))

@@ -62,9 +62,7 @@ impl SparseBits {
     /// (wrong word count, out-of-range indices, zero length).
     pub fn decode(&self) -> Result<BitArray, BitArrayError> {
         match self {
-            SparseBits::Dense { len, words } => {
-                BitArray::from_words(words.clone(), *len as usize)
-            }
+            SparseBits::Dense { len, words } => BitArray::from_words(words.clone(), *len as usize),
             SparseBits::Sparse { len, ones } => {
                 BitArray::from_indices(*len as usize, ones.iter().map(|&i| i as usize))
             }

@@ -81,9 +81,7 @@ impl Deployment {
     ///
     /// Returns [`CoreError::UnknownRsu`] for ids outside the deployment.
     pub fn sketch(&self, rsu: RsuId) -> Result<&RsuSketch, CoreError> {
-        self.sketches
-            .get(&rsu)
-            .ok_or(CoreError::UnknownRsu { rsu })
+        self.sketches.get(&rsu).ok_or(CoreError::UnknownRsu { rsu })
     }
 
     /// Iterator over all sketches in RSU-id order.

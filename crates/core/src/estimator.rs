@@ -327,8 +327,16 @@ mod tests {
 
     #[test]
     fn confidence_interval_covers_feasible_range() {
-        let x = sketch(1, 1 << 10, &(0..300).map(|i| (i * 7) % (1 << 10)).collect::<Vec<_>>());
-        let y = sketch(2, 1 << 13, &(0..900).map(|i| (i * 13) % (1 << 13)).collect::<Vec<_>>());
+        let x = sketch(
+            1,
+            1 << 10,
+            &(0..300).map(|i| (i * 7) % (1 << 10)).collect::<Vec<_>>(),
+        );
+        let y = sketch(
+            2,
+            1 << 13,
+            &(0..900).map(|i| (i * 13) % (1 << 13)).collect::<Vec<_>>(),
+        );
         let e = estimate_pair(&x, &y, 2).unwrap();
         let (lo, hi) = e.confidence_interval(2, 0.95).unwrap();
         assert!(lo <= e.n_c.clamp(0.0, e.n_x.min(e.n_y) as f64));

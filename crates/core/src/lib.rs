@@ -86,4 +86,6 @@ pub use sketch::RsuSketch;
 // Re-export the identity and substrate types that appear in this crate's
 // public API, so downstream users need only one import root.
 pub use vcps_bitarray::{BitArray, Pow2};
-pub use vcps_hash::{HashFamily, PrivateKey, RsuId, Salts, SelectionRule, VehicleId, VehicleIdentity};
+pub use vcps_hash::{
+    HashFamily, PrivateKey, RsuId, Salts, SelectionRule, VehicleId, VehicleIdentity,
+};

@@ -74,12 +74,10 @@ impl Sizing {
     /// non-finite load factor, or a fixed size below 2.
     pub fn validate(&self) -> Result<(), CoreError> {
         match *self {
-            Sizing::LoadFactor(f) if !(f.is_finite() && f > 0.0) => {
-                Err(CoreError::InvalidConfig {
-                    parameter: "load_factor",
-                    reason: format!("must be a positive finite number, got {f}"),
-                })
-            }
+            Sizing::LoadFactor(f) if !(f.is_finite() && f > 0.0) => Err(CoreError::InvalidConfig {
+                parameter: "load_factor",
+                reason: format!("must be a positive finite number, got {f}"),
+            }),
             Sizing::Fixed(m) if m < 2 => Err(CoreError::InvalidConfig {
                 parameter: "m",
                 reason: format!("fixed size must be at least 2, got {m}"),
@@ -145,10 +143,7 @@ impl VolumeHistory {
     /// Folds one period's observed volume into the average.
     pub fn update(&mut self, rsu: RsuId, observed: f64) {
         let observed = observed.max(0.0);
-        let entry = self
-            .averages
-            .entry(rsu)
-            .or_insert(observed);
+        let entry = self.averages.entry(rsu).or_insert(observed);
         *entry = (1.0 - self.alpha) * *entry + self.alpha * observed;
     }
 

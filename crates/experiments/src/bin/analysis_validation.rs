@@ -35,14 +35,17 @@ fn main() {
     let scheme = Scheme::variable(s, f, 77).expect("valid scheme");
     let mut rows = Vec::new();
     for (n_x, n_y, n_c) in configs {
-        let outcomes = parallel_map((0..trials).collect::<Vec<_>>(), 8, |&seed| {
+        let outcomes = parallel_map((0..trials).collect::<Vec<_>>(), |&seed| {
             run_accuracy_point(&scheme, n_x, n_y, n_c, seed)
                 .expect("simulation failed")
                 .estimate
                 .n_c
         });
         let mean = outcomes.iter().sum::<f64>() / outcomes.len() as f64;
-        let var = outcomes.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
+        let var = outcomes
+            .iter()
+            .map(|e| (e - mean) * (e - mean))
+            .sum::<f64>()
             / (outcomes.len() - 1) as f64;
         let m_x = scheme.array_size_for(n_x as f64).expect("sizing") as f64;
         let m_y = scheme.array_size_for(n_y as f64).expect("sizing") as f64;
@@ -91,9 +94,7 @@ fn main() {
         let mut total = PrivacyObservation::default();
         for seed in 0..adversary_trials {
             let workload = SyntheticPair::generate(n_x, n_y, n_c, seed);
-            total.merge(
-                &observe_pair(&scheme, &workload, RsuId(1), RsuId(2)).expect("sizing"),
-            );
+            total.merge(&observe_pair(&scheme, &workload, RsuId(1), RsuId(2)).expect("sizing"));
         }
         let m_x = scheme.array_size_for(n_x as f64).expect("sizing") as f64;
         let m_y = scheme.array_size_for(n_y as f64).expect("sizing") as f64;
@@ -102,10 +103,7 @@ fn main() {
         rows.push(vec![
             format!("s={s}, f̄={f}, n_y={ratio}n_x"),
             format!("{:.3}", privacy::preserved_privacy(&p)),
-            format!(
-                "{:.3}",
-                total.empirical_privacy().unwrap_or(f64::NAN)
-            ),
+            format!("{:.3}", total.empirical_privacy().unwrap_or(f64::NAN)),
         ]);
     }
     println!(

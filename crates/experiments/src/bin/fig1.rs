@@ -16,7 +16,10 @@ fn main() {
 
     println!("== Fig. 1: unfolding and bitwise-OR ==\n");
     println!("B_x   (m_x =  8): {b_x:b}");
-    println!("B_x^u (m_y = 16): {b_x_u:b}   (B_x duplicated {}x)", b_y.len() / b_x.len());
+    println!(
+        "B_x^u (m_y = 16): {b_x_u:b}   (B_x duplicated {}x)",
+        b_y.len() / b_x.len()
+    );
     println!("B_y   (m_y = 16): {b_y:b}");
     println!("B_c = B_x^u | B_y: {b_c:b}\n");
     println!(

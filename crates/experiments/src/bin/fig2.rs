@@ -27,14 +27,9 @@ fn main() {
             .map(|&f| {
                 let mut row = vec![format!("{f:.3}")];
                 for &s in &s_values {
-                    let p = privacy::privacy_at_load_factor(
-                        f,
-                        n_x,
-                        ratio * n_x,
-                        OVERLAP_FRACTION,
-                        s,
-                    )
-                    .unwrap_or(f64::NAN);
+                    let p =
+                        privacy::privacy_at_load_factor(f, n_x, ratio * n_x, OVERLAP_FRACTION, s)
+                            .unwrap_or(f64::NAN);
                     row.push(format!("{p:.4}"));
                 }
                 row
@@ -46,9 +41,7 @@ fn main() {
         );
 
         for &s in &s_values {
-            if let Some(opt) =
-                privacy::optimal_load_factor(n_x, ratio * n_x, OVERLAP_FRACTION, s)
-            {
+            if let Some(opt) = privacy::optimal_load_factor(n_x, ratio * n_x, OVERLAP_FRACTION, s) {
                 println!(
                     "optimal for s={s}: f* = {:.2}, p = {:.3}",
                     opt.load_factor, opt.privacy

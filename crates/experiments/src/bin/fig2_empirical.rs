@@ -36,17 +36,12 @@ fn main() {
         println!("== Fig. 2 (empirical), plot {plot}: n_y = {ratio}·n_x, s = 2 ==");
         println!("(analytic at deployed power-of-two sizes vs tracking adversary)\n");
         let grid = log_grid(0.5, 30.0, points);
-        let rows = parallel_map(grid, 4, |&f| {
+        let rows = parallel_map(grid, |&f| {
             let scheme = Scheme::variable(2, f, seed).expect("valid scheme");
             let m_x = scheme.array_size_for(n_x as f64).expect("sizing");
             let m_y = scheme.array_size_for(n_y as f64).expect("sizing");
             let analytic = PairParams::new(
-                n_x as f64,
-                n_y as f64,
-                n_c as f64,
-                m_x as f64,
-                m_y as f64,
-                2.0,
+                n_x as f64, n_y as f64, n_c as f64, m_x as f64, m_y as f64, 2.0,
             )
             .map(|p| privacy::preserved_privacy(&p))
             .unwrap_or(f64::NAN);
@@ -54,8 +49,7 @@ fn main() {
             for t in 0..trials {
                 let workload = SyntheticPair::generate(n_x, n_y, n_c, seed ^ (t << 13));
                 total.merge(
-                    &observe_pair(&scheme, &workload, RsuId(1), RsuId(2))
-                        .expect("observation"),
+                    &observe_pair(&scheme, &workload, RsuId(1), RsuId(2)).expect("observation"),
                 );
             }
             vec![
@@ -69,7 +63,13 @@ fn main() {
         println!(
             "{}",
             text_table(
-                &["f̄", "effective f_x", "p (Eq.43)", "p (adversary)", "positions"],
+                &[
+                    "f̄",
+                    "effective f_x",
+                    "p (Eq.43)",
+                    "p (adversary)",
+                    "positions"
+                ],
                 &rows
             )
         );

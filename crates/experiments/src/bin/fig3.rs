@@ -63,7 +63,12 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["node", "AON volume", "UE volume", "scaled (k/day, node10=451)"],
+            &[
+                "node",
+                "AON volume",
+                "UE volume",
+                "scaled (k/day, node10=451)"
+            ],
             &rows
         )
     );

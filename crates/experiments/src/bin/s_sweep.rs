@@ -44,7 +44,7 @@ fn main() {
         let scheme = Scheme::variable(s, f_bar, seed).expect("valid scheme");
         for ratio in [1u64, 10, 50] {
             let n_y = ratio * n_x;
-            let errs = parallel_map((0..runs).collect::<Vec<_>>(), 8, |&r| {
+            let errs = parallel_map((0..runs).collect::<Vec<_>>(), |&r| {
                 run_accuracy_point(&scheme, n_x, n_y, n_c, seed ^ (r << 24) ^ ratio)
                     .expect("simulation failed")
                     .relative_error()

@@ -128,42 +128,72 @@ fn main() {
         sd_base: f64,
     }
 
-    let results: Vec<Row> = parallel_map(rows.clone(), 8, |&(label, n_x_k, n_c_k)| {
-        let n_x = (n_x_k * 1_000.0 * scale).round() as u64;
-        let n_c = (n_c_k * 1_000.0 * scale).round().max(1.0) as u64;
-        let mut sums = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        for r in 0..runs {
+    // Flatten every (row, trial) pair into one work list so the chunked
+    // runner balances across trials, not just rows — heavy rows (large
+    // n_x) no longer serialize behind a single worker. Per-trial seeds
+    // are unchanged from the sequential loop, and the per-row sums below
+    // fold in trial order, so the output is byte-identical.
+    let trials: Vec<(usize, u64, u64, u64)> = rows
+        .iter()
+        .flat_map(|&(label, n_x_k, n_c_k)| {
+            let n_x = (n_x_k * 1_000.0 * scale).round() as u64;
+            let n_c = (n_c_k * 1_000.0 * scale).round().max(1.0) as u64;
+            (0..runs).map(move |r| (label, n_x, n_c, r))
+        })
+        .collect();
+    let trial_outcomes: Vec<(f64, f64, f64, f64)> =
+        parallel_map(trials, |&(label, n_x, n_c, r)| {
             let point_seed = seed ^ (label as u64) << 32 ^ r;
-            let novel_out = run_accuracy_point(&novel, n_x, n_y, n_c, point_seed)
-                .expect("simulation failed");
+            let novel_out =
+                run_accuracy_point(&novel, n_x, n_y, n_c, point_seed).expect("simulation failed");
             let base_out = run_accuracy_point(&baseline, n_x, n_y, n_c, point_seed)
                 .expect("simulation failed");
-            sums.0 += novel_out.estimate.n_c;
-            sums.1 += base_out.estimate.n_c;
-            sums.2 += novel_out.relative_error().unwrap_or(f64::NAN);
-            sums.3 += base_out.relative_error().unwrap_or(f64::NAN);
-        }
-        // Analytic per-run relative sd for context (exact moment model).
-        let analytic_sd = |m_x: f64, m_y: f64| {
-            PairParams::new(n_x as f64, n_y as f64, n_c as f64, m_x, m_y, s as f64)
-                .ok()
-                .and_then(|p| accuracy::std_dev_ratio(&p, CovarianceMethod::Exact).ok())
-                .unwrap_or(f64::NAN)
-        };
-        let m_x_novel = novel.array_size_for(n_x as f64).expect("sizing") as f64;
-        let m_y_novel = novel.array_size_for(n_y as f64).expect("sizing") as f64;
-        Row {
-            label,
-            n_x,
-            n_c,
-            mean_novel: sums.0 / runs as f64,
-            mean_base: sums.1 / runs as f64,
-            abs_err_novel: sums.2 / runs as f64,
-            abs_err_base: sums.3 / runs as f64,
-            sd_novel: analytic_sd(m_x_novel, m_y_novel),
-            sd_base: analytic_sd(m_fixed as f64, m_fixed as f64),
-        }
-    });
+            (
+                novel_out.estimate.n_c,
+                base_out.estimate.n_c,
+                novel_out.relative_error().unwrap_or(f64::NAN),
+                base_out.relative_error().unwrap_or(f64::NAN),
+            )
+        });
+
+    let results: Vec<Row> = rows
+        .iter()
+        .enumerate()
+        .map(|(row_index, &(label, n_x_k, n_c_k))| {
+            let n_x = (n_x_k * 1_000.0 * scale).round() as u64;
+            let n_c = (n_c_k * 1_000.0 * scale).round().max(1.0) as u64;
+            let mut sums = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let base = row_index * runs as usize;
+            for &(novel_nc, base_nc, novel_err, base_err) in
+                &trial_outcomes[base..base + runs as usize]
+            {
+                sums.0 += novel_nc;
+                sums.1 += base_nc;
+                sums.2 += novel_err;
+                sums.3 += base_err;
+            }
+            // Analytic per-run relative sd for context (exact moment model).
+            let analytic_sd = |m_x: f64, m_y: f64| {
+                PairParams::new(n_x as f64, n_y as f64, n_c as f64, m_x, m_y, s as f64)
+                    .ok()
+                    .and_then(|p| accuracy::std_dev_ratio(&p, CovarianceMethod::Exact).ok())
+                    .unwrap_or(f64::NAN)
+            };
+            let m_x_novel = novel.array_size_for(n_x as f64).expect("sizing") as f64;
+            let m_y_novel = novel.array_size_for(n_y as f64).expect("sizing") as f64;
+            Row {
+                label,
+                n_x,
+                n_c,
+                mean_novel: sums.0 / runs as f64,
+                mean_base: sums.1 / runs as f64,
+                abs_err_novel: sums.2 / runs as f64,
+                abs_err_base: sums.3 / runs as f64,
+                sd_novel: analytic_sd(m_x_novel, m_y_novel),
+                sd_base: analytic_sd(m_fixed as f64, m_fixed as f64),
+            }
+        })
+        .collect();
 
     let table_rows: Vec<Vec<String>> = results
         .iter()

@@ -111,43 +111,54 @@ pub fn run_accuracy_point(
     PairRunner::new(scheme.clone(), RsuId(1), RsuId(2)).run(&workload)
 }
 
-/// Maps `f` over `items` on `crossbeam` scoped threads, preserving input
-/// order. Used by the sweep-heavy binaries (Figs. 4–5).
-pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+/// Number of worker threads the experiment binaries use by default: one
+/// per available core (see [`vcps_sim::concurrent::default_threads`]).
+#[must_use]
+pub fn default_threads() -> usize {
+    vcps_sim::concurrent::default_threads()
+}
+
+/// Maps `f` over `items` in parallel with one worker per available core,
+/// preserving input order. Used by the sweep-heavy binaries (Table I,
+/// Figs. 4–5, the `s` sweep, analysis validation).
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send + Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    assert!(threads > 0, "need at least one thread");
-    let n = items.len();
-    let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads.max(1));
-    if chunk == 0 {
-        return Vec::new();
-    }
-    crossbeam::thread::scope(|scope| {
-        for (items_chunk, results_chunk) in
-            items.chunks(chunk).zip(results.chunks_mut(chunk))
-        {
-            scope.spawn(|_| {
-                for (item, slot) in items_chunk.iter().zip(results_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    parallel_map_threads(items, default_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count — a re-export of the
+/// workspace's shared work-stealing runner
+/// ([`vcps_sim::concurrent::parallel_map_threads`]), which documents the
+/// chunk-stealing strategy.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+pub fn parallel_map_threads<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    vcps_sim::concurrent::parallel_map_threads(items, threads, f)
 }
 
 /// A logarithmically spaced grid over `[lo, hi]`.
 #[must_use]
 pub fn log_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
-    assert!(points >= 2 && lo > 0.0 && hi > lo, "need 0 < lo < hi, ≥2 points");
+    assert!(
+        points >= 2 && lo > 0.0 && hi > lo,
+        "need 0 < lo < hi, ≥2 points"
+    );
     let ln_lo = lo.ln();
     let step = (hi.ln() - ln_lo) / (points - 1) as f64;
-    (0..points).map(|i| (ln_lo + step * i as f64).exp()).collect()
+    (0..points)
+        .map(|i| (ln_lo + step * i as f64).exp())
+        .collect()
 }
 
 /// Renders rows as an aligned plain-text table.
@@ -242,14 +253,46 @@ mod tests {
     #[test]
     fn parallel_map_preserves_order() {
         let items: Vec<u64> = (0..100).collect();
-        let doubled = parallel_map(items, 4, |&x| x * 2);
+        let doubled = parallel_map_threads(items, 4, |&x| x * 2);
         assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
+    fn parallel_map_auto_threads() {
+        let items: Vec<u64> = (0..1000).collect();
+        let squared = parallel_map(items, |&x| x * x);
+        assert_eq!(squared, (0..1000).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn parallel_map_single_thread_and_empty() {
-        assert_eq!(parallel_map(vec![1, 2, 3], 1, |&x| x + 1), vec![2, 3, 4]);
-        assert_eq!(parallel_map(Vec::<u64>::new(), 4, |&x| x), Vec::<u64>::new());
+        assert_eq!(
+            parallel_map_threads(vec![1, 2, 3], 1, |&x| x + 1),
+            vec![2, 3, 4]
+        );
+        assert_eq!(
+            parallel_map_threads(Vec::<u64>::new(), 4, |&x| x),
+            Vec::<u64>::new()
+        );
+    }
+
+    #[test]
+    fn parallel_map_order_survives_uneven_item_costs() {
+        // Make early items slow so later chunks finish first; order must
+        // still match the input.
+        let items: Vec<u64> = (0..200).collect();
+        let out = parallel_map_threads(items, 8, |&x| {
+            if x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x
+        });
+        assert_eq!(out, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
     }
 
     #[test]

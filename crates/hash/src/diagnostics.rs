@@ -106,10 +106,7 @@ mod tests {
     fn chi_squared_is_near_degrees_of_freedom() {
         let (stat, dof) = chi_squared_uniformity(&HashFamily::new(11), 64, 64_000);
         // For 63 dof the 99.9th percentile is ≈ 107; far looser here.
-        assert!(
-            stat < 2.0 * dof as f64,
-            "chi-squared {stat} for {dof} dof"
-        );
+        assert!(stat < 2.0 * dof as f64, "chi-squared {stat} for {dof} dof");
     }
 
     #[test]
@@ -118,7 +115,10 @@ mod tests {
         // fail chi-squared badly; emulate by hashing into 2 buckets with
         // sequential inputs and checking our real family does NOT fail.
         let (stat, _) = chi_squared_uniformity(&HashFamily::new(1), 2, 10_000);
-        assert!(stat < 10.0, "binary bucket split should be balanced: {stat}");
+        assert!(
+            stat < 10.0,
+            "binary bucket split should be balanced: {stat}"
+        );
     }
 
     #[test]

@@ -250,8 +250,14 @@ mod tests {
         let m_o = 1 << 16;
         let m_x = 1 << 10;
         let lb = v.logical_positions(&family, &salts, m_o);
-        let idx =
-            v.report_index(&family, &salts, RsuId(5), m_x, m_o, SelectionRule::PerVehicle);
+        let idx = v.report_index(
+            &family,
+            &salts,
+            RsuId(5),
+            m_x,
+            m_o,
+            SelectionRule::PerVehicle,
+        );
         assert!(
             lb.iter().any(|&b| b % m_x == idx),
             "reported index must come from the logical bit array"

@@ -126,10 +126,7 @@ mod tests {
         }
         for (bit, &count) in ones.iter().enumerate() {
             let frac = f64::from(count) / n as f64;
-            assert!(
-                (0.45..0.55).contains(&frac),
-                "bit {bit} is biased: {frac}"
-            );
+            assert!((0.45..0.55).contains(&frac), "bit {bit} is biased: {frac}");
         }
     }
 }

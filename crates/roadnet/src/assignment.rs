@@ -100,11 +100,7 @@ pub struct Equilibrium {
 /// Panics if the trip table dimension does not match the network or
 /// `max_iterations == 0`.
 #[must_use]
-pub fn msa_equilibrium(
-    net: &RoadNetwork,
-    trips: &TripTable,
-    max_iterations: usize,
-) -> Equilibrium {
+pub fn msa_equilibrium(net: &RoadNetwork, trips: &TripTable, max_iterations: usize) -> Equilibrium {
     assert!(max_iterations > 0, "need at least one iteration");
     let mut flows = vec![0.0; net.link_count()];
     let mut gap = f64::INFINITY;
@@ -115,7 +111,11 @@ pub fn msa_equilibrium(
         // Relative gap before the averaging step.
         let tstt: f64 = flows.iter().zip(&times).map(|(f, t)| f * t).sum();
         let sptt: f64 = aon.link_flows.iter().zip(&times).map(|(f, t)| f * t).sum();
-        gap = if sptt > 0.0 { (tstt - sptt) / sptt } else { 0.0 };
+        gap = if sptt > 0.0 {
+            (tstt - sptt) / sptt
+        } else {
+            0.0
+        };
         let step = 1.0 / k as f64;
         for (f, a) in flows.iter_mut().zip(&aon.link_flows) {
             *f = (1.0 - step) * *f + step * a;
@@ -377,7 +377,10 @@ mod tests {
         assert_eq!(movements[0].to, Some(2));
         let total: f64 = movements.iter().map(|m| m.volume).sum();
         let point = point_volumes(&a, &trips, 3)[1];
-        assert!((total - point).abs() < 1e-9, "movements partition throughput");
+        assert!(
+            (total - point).abs() < 1e-9,
+            "movements partition throughput"
+        );
     }
 
     #[test]

@@ -38,11 +38,7 @@ pub fn travel_time(t0: f64, capacity: f64, flow: f64) -> f64 {
 /// Panics if `flows.len() != net.link_count()`.
 #[must_use]
 pub fn link_times(net: &RoadNetwork, flows: &[f64]) -> Vec<f64> {
-    assert_eq!(
-        flows.len(),
-        net.link_count(),
-        "one flow per link required"
-    );
+    assert_eq!(flows.len(), net.link_count(), "one flow per link required");
     net.links()
         .iter()
         .zip(flows)

@@ -45,7 +45,10 @@ impl fmt::Display for RoadNetError {
                 write!(f, "link {index} is invalid: {reason}")
             }
             RoadNetError::DimensionMismatch { expected, got } => {
-                write!(f, "trip table dimension {got} does not match {expected} nodes")
+                write!(
+                    f,
+                    "trip table dimension {got} does not match {expected} nodes"
+                )
             }
             RoadNetError::Unreachable { from, to } => {
                 write!(f, "no path from node {from} to node {to}")

@@ -52,12 +52,7 @@ pub fn beckmann_objective(net: &RoadNetwork, flows: &[f64]) -> f64 {
 }
 
 /// Derivative of the Beckmann objective along `f + λ·(y − f)`.
-fn directional_derivative(
-    net: &RoadNetwork,
-    flows: &[f64],
-    target: &[f64],
-    lambda: f64,
-) -> f64 {
+fn directional_derivative(net: &RoadNetwork, flows: &[f64], target: &[f64], lambda: f64) -> f64 {
     net.links()
         .iter()
         .enumerate()

@@ -177,7 +177,10 @@ mod tests {
     fn gravity_trips_total_and_skew() {
         let trips = gravity_trips(16, 100_000.0, (1.0, 100.0), 5);
         let total = trips.total();
-        assert!((total - 100_000.0).abs() / 100_000.0 < 0.01, "total {total}");
+        assert!(
+            (total - 100_000.0).abs() / 100_000.0 < 0.01,
+            "total {total}"
+        );
         // Log-uniform weights over two decades produce strong skew.
         let rows: Vec<f64> = (0..16).map(|o| trips.row_total(o)).collect();
         let max = rows.iter().copied().fold(0.0f64, f64::max);

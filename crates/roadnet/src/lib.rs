@@ -55,8 +55,8 @@ mod error;
 pub mod frank_wolfe;
 pub mod generate;
 mod graph;
-pub mod sioux_falls;
 mod shortest_path;
+pub mod sioux_falls;
 pub mod tntp;
 mod trips;
 mod vehicle;

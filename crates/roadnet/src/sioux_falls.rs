@@ -263,10 +263,7 @@ mod tests {
         let volumes = point_volumes(&a, &trips, NODE_COUNT);
         let max = volumes.iter().copied().fold(0.0f64, f64::max);
         let min = volumes.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(
-            max / min > 5.0,
-            "volume skew {max}/{min} should exceed 5x"
-        );
+        assert!(max / min > 5.0, "volume skew {max}/{min} should exceed 5x");
     }
 
     #[test]

@@ -62,10 +62,7 @@ pub fn parse_network(text: &str) -> Result<RoadNetwork, RoadNetError> {
             in_body = true;
         }
         // Body row: init_node term_node capacity length fft ...
-        let fields: Vec<&str> = line
-            .trim_end_matches(';')
-            .split_whitespace()
-            .collect();
+        let fields: Vec<&str> = line.trim_end_matches(';').split_whitespace().collect();
         if fields.len() < 5 {
             return Err(RoadNetError::InvalidLink {
                 index: line_no,
@@ -176,10 +173,13 @@ pub fn parse_trips(text: &str) -> Result<TripTable, RoadNetError> {
                     node_count: zones,
                 });
             }
-            let value: f64 = demand.trim().parse().map_err(|_| RoadNetError::InvalidLink {
-                index: line_no,
-                reason: "unparseable demand",
-            })?;
+            let value: f64 = demand
+                .trim()
+                .parse()
+                .map_err(|_| RoadNetError::InvalidLink {
+                    index: line_no,
+                    reason: "unparseable demand",
+                })?;
             if o != d - 1 {
                 table.set(o, d - 1, value);
             }
@@ -306,10 +306,19 @@ Origin 2
     #[test]
     fn rejects_malformed_inputs() {
         assert!(parse_network("<NUMBER OF NODES> 2\n<END OF METADATA>\n1 2 5\n").is_err());
-        assert!(parse_network("<NUMBER OF NODES> 2\n<NUMBER OF LINKS> 3\n<END OF METADATA>\n1 2 5 1 1\n").is_err());
+        assert!(parse_network(
+            "<NUMBER OF NODES> 2\n<NUMBER OF LINKS> 3\n<END OF METADATA>\n1 2 5 1 1\n"
+        )
+        .is_err());
         assert!(parse_trips("Origin 1\n 2 : 5;\n").is_err(), "no zone count");
-        assert!(parse_trips("<NUMBER OF ZONES> 2\n 2 : 5;\n").is_err(), "entry before origin");
-        assert!(parse_trips("<NUMBER OF ZONES> 2\nOrigin 9\n").is_err(), "origin out of range");
+        assert!(
+            parse_trips("<NUMBER OF ZONES> 2\n 2 : 5;\n").is_err(),
+            "entry before origin"
+        );
+        assert!(
+            parse_trips("<NUMBER OF ZONES> 2\nOrigin 9\n").is_err(),
+            "origin out of range"
+        );
     }
 
     #[test]

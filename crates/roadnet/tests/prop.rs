@@ -2,26 +2,22 @@
 
 use proptest::prelude::*;
 
-use vcps_roadnet::assignment::{
-    all_or_nothing, pair_volumes, point_volumes, turning_movements,
-};
+use vcps_roadnet::assignment::{all_or_nothing, pair_volumes, point_volumes, turning_movements};
 use vcps_roadnet::generate::{gravity_trips, grid_network, GridSpec};
 use vcps_roadnet::{expand_vehicle_trips, shortest_path, TripTable};
 
 /// Strategy: a small random grid city plus gravity demand.
 fn city() -> impl Strategy<Value = (vcps_roadnet::RoadNetwork, TripTable)> {
-    (2usize..6, 2usize..6, any::<u64>(), 1_000.0f64..100_000.0).prop_map(
-        |(w, h, seed, total)| {
-            let spec = GridSpec {
-                width: w,
-                height: h,
-                ..GridSpec::default()
-            };
-            let net = grid_network(&spec, seed);
-            let trips = gravity_trips(net.node_count(), total, (1.0, 30.0), seed);
-            (net, trips)
-        },
-    )
+    (2usize..6, 2usize..6, any::<u64>(), 1_000.0f64..100_000.0).prop_map(|(w, h, seed, total)| {
+        let spec = GridSpec {
+            width: w,
+            height: h,
+            ..GridSpec::default()
+        };
+        let net = grid_network(&spec, seed);
+        let trips = gravity_trips(net.node_count(), total, (1.0, 30.0), seed);
+        (net, trips)
+    })
 }
 
 proptest! {

@@ -120,8 +120,7 @@ mod tests {
         let mut total = PrivacyObservation::default();
         for seed in 0..seeds {
             let workload = SyntheticPair::generate(n_x, n_y, n_c, seed);
-            let obs =
-                observe_pair(&scheme, &workload, RsuId(1), RsuId(2)).unwrap();
+            let obs = observe_pair(&scheme, &workload, RsuId(1), RsuId(2)).unwrap();
             total.merge(&obs);
         }
         total.empirical_privacy().expect("some bits collide")
@@ -132,8 +131,7 @@ mod tests {
         let scheme = Scheme::variable(s, f, 31).unwrap();
         let m_x = scheme.array_size_for(n_x as f64).unwrap() as f64;
         let m_y = scheme.array_size_for(n_y as f64).unwrap() as f64;
-        let p = PairParams::new(n_x as f64, n_y as f64, n_c as f64, m_x, m_y, s as f64)
-            .unwrap();
+        let p = PairParams::new(n_x as f64, n_y as f64, n_c as f64, m_x, m_y, s as f64).unwrap();
         privacy::preserved_privacy(&p)
     }
 
@@ -165,10 +163,7 @@ mod tests {
         // variable sizing preserve more privacy than equal pairs.
         let equal = empirical(3.0, 5, 4_000, 4_000, 400, 6);
         let skewed = empirical(3.0, 5, 4_000, 40_000, 400, 6);
-        assert!(
-            skewed > equal,
-            "skewed {skewed} should beat equal {equal}"
-        );
+        assert!(skewed > equal, "skewed {skewed} should beat equal {equal}");
     }
 
     #[test]

@@ -1,27 +1,50 @@
-//! Thread-safe report ingestion.
+//! Lock-free concurrent report ingestion.
 //!
 //! A real RSU services many vehicles concurrently (DSRC broadcasts reach
-//! everyone in range). [`SharedRsu`] wraps a [`SimRsu`] behind a
-//! `parking_lot` mutex so worker threads — one per radio channel, or one
-//! per simulated vehicle batch — can ingest [`BitReport`]s in parallel,
-//! and [`ingest_parallel`] drives a whole workload across a `crossbeam`
-//! thread scope.
+//! everyone in range). Ingesting a [`BitReport`] touches exactly two
+//! words of state — one bit in the array and the passage counter — and
+//! both updates are commutative, so no lock is needed at all:
+//! [`SharedRsu`] stores its bits in an
+//! [`AtomicBitArray`](vcps_bitarray::AtomicBitArray) (one `fetch_or` per
+//! report) and its counter in an `AtomicU64` (one `fetch_add`). Because
+//! bit-setting is commutative and idempotent and addition is commutative,
+//! concurrent ingestion is order-insensitive: the resulting sketch is
+//! bit-identical to a sequential run over any permutation of the same
+//! reports (tested below).
 //!
-//! Bit-setting is commutative and idempotent, so concurrent ingestion is
-//! order-insensitive: the resulting sketch is bit-identical to a
-//! sequential run over any permutation of the same reports (tested
-//! below).
+//! [`MutexRsu`] keeps the old lock-per-report design as a measurable
+//! baseline; the workspace benches compare the two across thread counts.
+//! [`ingest_parallel`] drives a whole batch of reports across a
+//! `std::thread` scope, defaulting to one worker per available core.
 
-use std::sync::Arc;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
+use vcps_bitarray::AtomicBitArray;
+use vcps_core::{CoreError, RsuId, RsuSketch};
 
-use vcps_core::RsuId;
-
+use crate::pki::Certificate;
 use crate::protocol::{BitReport, PeriodUpload, Query};
 use crate::{SimError, SimRsu};
 
-/// A [`SimRsu`] shareable across threads.
+/// Number of worker threads to use by default: one per available core,
+/// falling back to 1 when parallelism cannot be queried.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A lock-free, thread-shareable RSU.
+///
+/// Functionally equivalent to [`SimRsu`] for the ingestion path:
+/// `receive` validates the index, sets the bit, and counts the passage,
+/// exactly like [`SimRsu::receive`], but callable from any number of
+/// threads through `&self`. After all ingesting threads are joined,
+/// [`upload`](SharedRsu::upload) produces output bit-identical to a
+/// sequential [`SimRsu`] fed the same reports in any order.
 ///
 /// # Example
 ///
@@ -42,7 +65,15 @@ use crate::{SimError, SimRsu};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SharedRsu {
-    inner: Arc<Mutex<SimRsu>>,
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    id: RsuId,
+    certificate: Certificate,
+    bits: AtomicBitArray,
+    counter: AtomicU64,
 }
 
 impl SharedRsu {
@@ -56,9 +87,107 @@ impl SharedRsu {
         m: usize,
         authority: &crate::pki::TrustedAuthority,
     ) -> Result<Self, SimError> {
-        Ok(Self {
-            inner: Arc::new(Mutex::new(SimRsu::new(id, m, authority)?)),
-        })
+        Ok(Self::from_rsu(SimRsu::new(id, m, authority)?))
+    }
+
+    /// Moves an existing RSU's period state into lock-free storage.
+    #[must_use]
+    pub fn from_rsu(rsu: SimRsu) -> Self {
+        let query = rsu.query();
+        let sketch = rsu.sketch();
+        Self {
+            inner: Arc::new(Inner {
+                id: sketch.id(),
+                certificate: query.certificate,
+                bits: AtomicBitArray::from(sketch.bits()),
+                counter: AtomicU64::new(sketch.count()),
+            }),
+        }
+    }
+
+    /// Converts back into a sequential [`SimRsu`] carrying the ingested
+    /// period state. Call after joining all ingesting threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if other clones of this `SharedRsu` are still alive (the
+    /// period state must have a single owner to be frozen).
+    #[must_use]
+    pub fn into_rsu(self) -> SimRsu {
+        let inner = Arc::into_inner(self.inner)
+            .expect("SharedRsu::into_rsu called while other clones are alive");
+        let sketch = RsuSketch::from_parts(
+            inner.id,
+            inner.bits.into_bit_array(),
+            inner.counter.load(Ordering::Relaxed),
+        )
+        .expect("shared state came from a valid sketch");
+        SimRsu::from_parts(sketch, inner.certificate)
+    }
+
+    /// The current broadcast query.
+    #[must_use]
+    pub fn query(&self) -> Query {
+        Query {
+            rsu: self.inner.id,
+            certificate: self.inner.certificate,
+            array_size: self.inner.bits.len() as u64,
+        }
+    }
+
+    /// Ingests one report — lock-free, callable from any thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Core`] for out-of-range indices (malformed
+    /// reports are dropped without counting, like [`SimRsu::receive`]).
+    pub fn receive(&self, report: &BitReport) -> Result<(), SimError> {
+        self.inner
+            .bits
+            .try_set(report.index as usize)
+            .map_err(CoreError::from)?;
+        self.inner.counter.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Snapshot upload for the server.
+    ///
+    /// Exact once ingesting threads have been joined; while writers are
+    /// active the counter and bits may lag each other.
+    #[must_use]
+    pub fn upload(&self) -> PeriodUpload {
+        PeriodUpload {
+            rsu: self.inner.id,
+            counter: self.inner.counter.load(Ordering::Relaxed),
+            bits: self.inner.bits.snapshot(),
+        }
+    }
+}
+
+/// The previous generation of [`SharedRsu`]: a [`SimRsu`] behind a
+/// mutex, taking the lock once per report.
+///
+/// Kept as the baseline for the lock-free design — the
+/// `ingest/mutex_vs_atomic` bench and `BENCH_ingest.json` measure both —
+/// and as the fallback shape for state that ever grows beyond
+/// commutative updates.
+#[derive(Debug, Clone)]
+pub struct MutexRsu {
+    inner: Arc<Mutex<SimRsu>>,
+}
+
+impl MutexRsu {
+    /// Creates a mutex-guarded RSU (see [`SimRsu::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Core`] if `m < 2`.
+    pub fn new(
+        id: RsuId,
+        m: usize,
+        authority: &crate::pki::TrustedAuthority,
+    ) -> Result<Self, SimError> {
+        Ok(Self::from_rsu(SimRsu::new(id, m, authority)?))
     }
 
     /// Wraps an existing RSU.
@@ -69,34 +198,27 @@ impl SharedRsu {
         }
     }
 
-    /// The current broadcast query.
-    #[must_use]
-    pub fn query(&self) -> Query {
-        self.inner.lock().query()
-    }
-
-    /// Ingests one report (thread-safe).
+    /// Ingests one report under the lock.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Core`] for out-of-range indices.
     pub fn receive(&self, report: &BitReport) -> Result<(), SimError> {
-        self.inner.lock().receive(report)
+        self.inner
+            .lock()
+            .expect("RSU lock poisoned")
+            .receive(report)
     }
 
     /// Snapshot upload for the server.
     #[must_use]
     pub fn upload(&self) -> PeriodUpload {
-        self.inner.lock().upload()
-    }
-
-    /// Runs `f` with exclusive access to the underlying RSU.
-    pub fn with<R>(&self, f: impl FnOnce(&mut SimRsu) -> R) -> R {
-        f(&mut self.inner.lock())
+        self.inner.lock().expect("RSU lock poisoned").upload()
     }
 }
 
-/// Ingests `reports` into `rsu` across `threads` crossbeam workers.
+/// Ingests `reports` into `rsu` across `threads` scoped workers, with
+/// dynamic chunk-stealing so fast workers pick up slack from slow ones.
 ///
 /// Returns the number of rejected (out-of-range) reports; accepted ones
 /// are all recorded exactly once.
@@ -110,24 +232,158 @@ pub fn ingest_parallel(rsu: &SharedRsu, reports: &[BitReport], threads: usize) -
     if reports.is_empty() {
         return 0;
     }
-    let chunk = reports.len().div_ceil(threads);
-    let rejected = Mutex::new(0usize);
-    crossbeam::thread::scope(|scope| {
-        for part in reports.chunks(chunk) {
-            let rejected = &rejected;
-            scope.spawn(move |_| {
+    // Small enough to balance load, large enough to amortize the shared
+    // cursor: aim for several chunks per worker.
+    let chunk = reports.len().div_ceil(threads * 8).max(64);
+    let cursor = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(reports.len().div_ceil(chunk)) {
+            scope.spawn(|| {
                 let mut local_rejected = 0usize;
-                for report in part {
-                    if rsu.receive(report).is_err() {
-                        local_rejected += 1;
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= reports.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(reports.len());
+                    for report in &reports[start..end] {
+                        if rsu.receive(report).is_err() {
+                            local_rejected += 1;
+                        }
                     }
                 }
-                *rejected.lock() += local_rejected;
+                rejected.fetch_add(local_rejected, Ordering::Relaxed);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     rejected.into_inner()
+}
+
+/// [`ingest_parallel`] with one worker per available core.
+#[must_use]
+pub fn ingest_parallel_auto(rsu: &SharedRsu, reports: &[BitReport]) -> usize {
+    ingest_parallel(rsu, reports, default_threads())
+}
+
+/// Like [`ingest_parallel`] but propagates the first ingestion error
+/// instead of counting rejects — the drop-in parallel replacement for a
+/// sequential `for r in reports { rsu.receive(r)?; }` loop.
+///
+/// # Errors
+///
+/// Returns the error of one failing [`SharedRsu::receive`] (which one is
+/// unspecified under concurrency; in the protocol paths reports are
+/// always in range, so this is belt-and-braces).
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+pub fn try_ingest_parallel(
+    rsu: &SharedRsu,
+    reports: &[BitReport],
+    threads: usize,
+) -> Result<(), SimError> {
+    assert!(threads > 0, "need at least one thread");
+    if reports.is_empty() {
+        return Ok(());
+    }
+    let chunk = reports.len().div_ceil(threads * 8).max(64);
+    let cursor = AtomicUsize::new(0);
+    let first_error: Mutex<Option<SimError>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(reports.len().div_ceil(chunk)) {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= reports.len() {
+                    break;
+                }
+                let end = (start + chunk).min(reports.len());
+                for report in &reports[start..end] {
+                    if let Err(e) = rsu.receive(report) {
+                        let mut slot = first_error.lock().expect("error slot poisoned");
+                        slot.get_or_insert(e);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    match first_error.into_inner().expect("error slot poisoned") {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Maps `f` over `items` in parallel with one worker per available core,
+/// preserving input order (see [`parallel_map_threads`]).
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_threads(items, default_threads(), f)
+}
+
+/// Order-preserving parallel map with an explicit worker count — the
+/// workspace's one shared parallel runner (the experiment harness
+/// re-exports it, the engine and [`crate::PairRunner`] drive their
+/// per-vehicle work through it).
+///
+/// Work-stealing over chunks: workers repeatedly claim the next
+/// unprocessed chunk from a shared atomic cursor, so uneven per-item
+/// costs (e.g. Monte-Carlo trials whose array sizes differ by orders of
+/// magnitude) don't leave threads idle the way static pre-partitioning
+/// does. Results are returned in input order regardless of which worker
+/// computed them.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+pub fn parallel_map_threads<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Several chunks per worker so stragglers can be stolen around, but
+    // chunks stay large enough to amortize the shared cursor.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut pieces: Vec<(usize, Vec<U>)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(n.div_ceil(chunk)))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        mine.push((start, items[start..end].iter().map(&f).collect()));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("worker thread panicked"))
+            .collect()
+    });
+    pieces.sort_unstable_by_key(|(start, _)| *start);
+    let mut results = Vec::with_capacity(n);
+    for (_, mut piece) in pieces {
+        results.append(&mut piece);
+    }
+    results
 }
 
 #[cfg(test)]
@@ -157,13 +413,33 @@ mod tests {
         }
 
         let par = SharedRsu::new(RsuId(1), m, &ca).unwrap();
-        let rejected = ingest_parallel(&par, &batch, 8);
+        let rejected = ingest_parallel(&par, &batch, default_threads());
         assert_eq!(rejected, 0);
 
         let a = seq.upload();
         let b = par.upload();
         assert_eq!(a.counter, b.counter);
         assert_eq!(a.bits, b.bits, "bit-identical regardless of order");
+    }
+
+    #[test]
+    fn lock_free_matches_mutex_baseline() {
+        let ca = TrustedAuthority::new(3);
+        let m = 1usize << 10;
+        let batch = reports(5_000, m as u64);
+
+        let atomic = SharedRsu::new(RsuId(2), m, &ca).unwrap();
+        let _ = ingest_parallel(&atomic, &batch, 4);
+
+        let mutex = MutexRsu::new(RsuId(2), m, &ca).unwrap();
+        for r in &batch {
+            mutex.receive(r).unwrap();
+        }
+
+        let a = atomic.upload();
+        let b = mutex.upload();
+        assert_eq!(a.counter, b.counter);
+        assert_eq!(a.bits, b.bits);
     }
 
     #[test]
@@ -189,17 +465,67 @@ mod tests {
     }
 
     #[test]
-    fn with_gives_exclusive_access() {
+    fn round_trips_through_sim_rsu() {
+        let ca = TrustedAuthority::new(9);
+        let mut plain = SimRsu::new(RsuId(4), 64, &ca).unwrap();
+        plain
+            .receive(&BitReport {
+                mac: MacAddress([2, 0, 0, 0, 0, 1]),
+                index: 9,
+            })
+            .unwrap();
+
+        let shared = SharedRsu::from_rsu(plain.clone());
+        assert_eq!(shared.query(), plain.query());
+        shared
+            .receive(&BitReport {
+                mac: MacAddress([2, 0, 0, 0, 0, 2]),
+                index: 33,
+            })
+            .unwrap();
+
+        let back = shared.into_rsu();
+        assert_eq!(back.sketch().count(), 2);
+        assert!(back.sketch().bits().get(9));
+        assert!(back.sketch().bits().get(33));
+        assert_eq!(back.query(), plain.query());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn try_ingest_propagates_out_of_range_error() {
         let ca = TrustedAuthority::new(3);
         let rsu = SharedRsu::new(RsuId(1), 16, &ca).unwrap();
-        rsu.with(|r| r.receive(&reports(1, 16)[0]).unwrap());
-        assert_eq!(rsu.with(|r| r.sketch().count()), 1);
-        assert_eq!(rsu.query().array_size, 16);
+        let good = reports(500, 16);
+        assert!(try_ingest_parallel(&rsu, &good, 4).is_ok());
+        assert_eq!(rsu.upload().counter, 500);
+
+        let mut bad = reports(100, 16);
+        bad.push(BitReport {
+            mac: MacAddress([2, 0, 0, 0, 0, 0]),
+            index: 16, // out of range
+        });
+        assert!(try_ingest_parallel(&rsu, &bad, 4).is_err());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..1_000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = parallel_map_threads(items.clone(), threads, |&x| x * 3);
+            assert_eq!(out, (0..1_000).map(|x| x * 3).collect::<Vec<_>>());
+        }
+        assert_eq!(parallel_map(Vec::<u64>::new(), |&x| x), Vec::<u64>::new());
     }
 
     #[test]
     fn shared_rsu_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SharedRsu>();
+        assert_send_sync::<MutexRsu>();
     }
 }

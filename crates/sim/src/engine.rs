@@ -14,13 +14,14 @@ use std::collections::{BinaryHeap, HashMap};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use vcps_core::{RsuId, Scheme};
+use vcps_core::{RsuId, Scheme, VehicleIdentity};
 use vcps_hash::splitmix64;
 use vcps_roadnet::{RoadNetwork, VehicleTrip};
 
+use crate::concurrent::{self, SharedRsu};
 use crate::pki::TrustedAuthority;
-use crate::protocol::PeriodUpload;
-use crate::{CentralServer, SimError, SimRsu, SimVehicle};
+use crate::protocol::{PeriodUpload, Query};
+use crate::{CentralServer, SimError, SimVehicle};
 
 /// One vehicle reaching one RSU site.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -165,6 +166,35 @@ pub fn run_network_period(
     period: f64,
     seed: u64,
 ) -> Result<NetworkRun, SimError> {
+    run_network_period_threads(scheme, net, link_times, trips, history, period, seed, 1)
+}
+
+/// [`run_network_period`] with `threads` workers driving the exchanges.
+///
+/// Bit-identical to the single-threaded run: vehicles are partitioned
+/// across workers with each vehicle's arrivals handled in time order (so
+/// its one-time-MAC stream is unchanged), and the RSUs are lock-free
+/// [`SharedRsu`]s whose bit-set/count updates commute (see
+/// [`crate::concurrent`]).
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures.
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()` or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_threads(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    threads: usize,
+) -> Result<NetworkRun, SimError> {
     assert_eq!(
         history.len(),
         net.node_count(),
@@ -176,9 +206,9 @@ pub fn run_network_period(
     for (node, &avg) in history.iter().enumerate() {
         let m = scheme.array_size_for(avg)?;
         m_o = m_o.max(m);
-        rsus.push(SimRsu::new(RsuId(node as u64), m, &authority)?);
+        rsus.push(SharedRsu::new(RsuId(node as u64), m, &authority)?);
     }
-    let queries: Vec<_> = rsus.iter().map(SimRsu::query).collect();
+    let queries: Vec<Query> = rsus.iter().map(SharedRsu::query).collect();
 
     let mut rng = StdRng::seed_from_u64(seed);
     let departures: Vec<f64> = trips
@@ -187,27 +217,22 @@ pub fn run_network_period(
         .collect();
     let arrivals = simulate_arrivals(net, link_times, trips, &departures);
 
-    let mut vehicles: Vec<SimVehicle> = trips
-        .iter()
-        .map(|t| {
+    let exchanges = drive_arrivals(
+        scheme,
+        &authority,
+        &rsus,
+        &queries,
+        trips,
+        &arrivals,
+        |t| {
             SimVehicle::new(
-                vcps_core::VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
                 splitmix64(t.id ^ 0xACE0_FBA5E),
             )
-        })
-        .collect();
-
-    let mut exchanges = 0usize;
-    for arrival in &arrivals {
-        let report = vehicles[arrival.vehicle].answer(
-            &queries[arrival.node],
-            scheme,
-            &authority,
-            m_o,
-        )?;
-        rsus[arrival.node].receive(&report)?;
-        exchanges += 1;
-    }
+        },
+        m_o,
+        threads,
+    )?;
 
     let mut server = CentralServer::new(scheme.clone(), 1.0);
     for rsu in &rsus {
@@ -215,6 +240,51 @@ pub fn run_network_period(
         server.receive(PeriodUpload::decode(&wire)?);
     }
     Ok(NetworkRun { server, exchanges })
+}
+
+/// Runs every query/answer exchange of one period: vehicles are split
+/// across `threads` workers, each worker walking its vehicles' arrivals
+/// in time order and folding the reports straight into the lock-free
+/// RSUs. Returns the exchange count.
+#[allow(clippy::too_many_arguments)]
+fn drive_arrivals<F>(
+    scheme: &Scheme,
+    authority: &TrustedAuthority,
+    rsus: &[SharedRsu],
+    queries: &[Query],
+    trips: &[VehicleTrip],
+    arrivals: &[Arrival],
+    make_vehicle: F,
+    m_o: usize,
+    threads: usize,
+) -> Result<usize, SimError>
+where
+    F: Fn(&VehicleTrip) -> SimVehicle + Sync,
+{
+    // Arrivals are globally time-ordered, so each vehicle's subsequence
+    // is in that vehicle's own time order — exactly the order the
+    // sequential engine advances its MAC generator.
+    let mut stops: Vec<Vec<usize>> = vec![Vec::new(); trips.len()];
+    for arrival in arrivals {
+        stops[arrival.vehicle].push(arrival.node);
+    }
+    let outcomes = concurrent::parallel_map_threads(
+        (0..trips.len()).collect(),
+        threads,
+        |&v| -> Result<usize, SimError> {
+            let mut vehicle = make_vehicle(&trips[v]);
+            for &node in &stops[v] {
+                let report = vehicle.answer(&queries[node], scheme, authority, m_o)?;
+                rsus[node].receive(&report)?;
+            }
+            Ok(stops[v].len())
+        },
+    );
+    let mut exchanges = 0usize;
+    for outcome in outcomes {
+        exchanges += outcome?;
+    }
+    Ok(exchanges)
 }
 
 /// The outcome of a multi-period simulation (see [`run_periods`]).
@@ -275,6 +345,38 @@ pub fn run_periods(
     initial_history: &[f64],
     settings: &PeriodSettings,
 ) -> Result<MultiPeriodRun, SimError> {
+    run_periods_threads(
+        scheme,
+        net,
+        link_times,
+        periods,
+        initial_history,
+        settings,
+        1,
+    )
+}
+
+/// [`run_periods`] with `threads` workers driving each period's
+/// exchanges (see [`run_network_period_threads`] for why the result is
+/// bit-identical to the single-threaded run).
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures.
+///
+/// # Panics
+///
+/// Panics if `initial_history.len() != net.node_count()`, `periods` is
+/// empty, or `threads == 0`.
+pub fn run_periods_threads(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    periods: &[Vec<VehicleTrip>],
+    initial_history: &[f64],
+    settings: &PeriodSettings,
+    threads: usize,
+) -> Result<MultiPeriodRun, SimError> {
     let PeriodSettings {
         history_alpha,
         period_length,
@@ -302,9 +404,9 @@ pub fn run_periods(
             let id = RsuId(node as u64);
             let m = sizes.get(&id).copied().unwrap_or(2).max(2);
             m_o = m_o.max(m);
-            rsus.push(SimRsu::new(id, m, &authority)?);
+            rsus.push(SharedRsu::new(id, m, &authority)?);
         }
-        let queries: Vec<_> = rsus.iter().map(SimRsu::query).collect();
+        let queries: Vec<Query> = rsus.iter().map(SharedRsu::query).collect();
 
         let mut rng = StdRng::seed_from_u64(seed ^ (p as u64) << 32);
         let departures: Vec<f64> = trips
@@ -312,27 +414,23 @@ pub fn run_periods(
             .map(|_| rng.random_range(0.0..period_length.max(f64::MIN_POSITIVE)))
             .collect();
         let arrivals = simulate_arrivals(net, link_times, trips, &departures);
-        let mut vehicles: Vec<SimVehicle> = trips
-            .iter()
-            .map(|t| {
+        let exchanges = drive_arrivals(
+            scheme,
+            &authority,
+            &rsus,
+            &queries,
+            trips,
+            &arrivals,
+            |t| {
                 SimVehicle::new(
-                    vcps_core::VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                    VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
                     splitmix64(t.id ^ 0xACE0_FBA5E ^ p as u64),
                 )
-            })
-            .collect();
-        let mut exchanges = 0usize;
-        for arrival in &arrivals {
-            let report = vehicles[arrival.vehicle].answer(
-                &queries[arrival.node],
-                scheme,
-                &authority,
-                m_o,
-            )?;
-            rsus[arrival.node].receive(&report)?;
-            exchanges += 1;
-        }
-        sizes_per_period.push(rsus.iter().map(|r| r.sketch().len()).collect());
+            },
+            m_o,
+            threads,
+        )?;
+        sizes_per_period.push(queries.iter().map(|q| q.array_size as usize).collect());
         exchanges_per_period.push(exchanges);
         for rsu in &rsus {
             server.receive(PeriodUpload::decode(&rsu.upload().encode_compact())?);
@@ -372,8 +470,7 @@ mod tests {
     fn arrivals_are_time_ordered_and_complete() {
         let net = line_net();
         let trips = vec![trip(0, vec![0, 1, 2]), trip(1, vec![1, 2])];
-        let arrivals =
-            simulate_arrivals(&net, &net.free_flow_times(), &trips, &[0.0, 1.0]);
+        let arrivals = simulate_arrivals(&net, &net.free_flow_times(), &trips, &[0.0, 1.0]);
         assert_eq!(arrivals.len(), 5);
         for w in arrivals.windows(2) {
             assert!(w[0].time <= w[1].time);
@@ -450,11 +547,88 @@ mod tests {
         assert_eq!(run.sizes_per_period[0][0], 512);
         assert_eq!(run.sizes_per_period[1][0], 512); // sized from period 0's 100
         assert_eq!(run.sizes_per_period[2][0], 1024); // sized from period 1's 200
-        // The final history reflects the last period's 400 vehicles.
-        assert_eq!(
-            run.server.history().average(RsuId(0)),
-            Some(400.0)
-        );
+                                                      // The final history reflects the last period's 400 vehicles.
+        assert_eq!(run.server.history().average(RsuId(0)), Some(400.0));
+    }
+
+    #[test]
+    fn threaded_network_period_is_bit_identical_to_sequential() {
+        let net = line_net();
+        let trips: Vec<VehicleTrip> = (0..300).map(|i| trip(i, vec![0, 1, 2])).collect();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let history = [300.0, 300.0, 300.0];
+        let seq = run_network_period(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &history,
+            60.0,
+            4,
+        )
+        .unwrap();
+        let seq_est = seq.server.estimate(RsuId(0), RsuId(2)).unwrap();
+        for threads in [2, 4, crate::concurrent::default_threads()] {
+            let par = run_network_period_threads(
+                &scheme,
+                &net,
+                &net.free_flow_times(),
+                &trips,
+                &history,
+                60.0,
+                4,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(par.exchanges, seq.exchanges, "threads = {threads}");
+            let par_est = par.server.estimate(RsuId(0), RsuId(2)).unwrap();
+            assert_eq!(par_est, seq_est, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_multi_period_matches_sequential() {
+        let net = line_net();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let periods: Vec<Vec<VehicleTrip>> = [150u64, 250]
+            .iter()
+            .map(|&n| (0..n).map(|i| trip(i, vec![0, 1, 2])).collect())
+            .collect();
+        let settings = PeriodSettings {
+            history_alpha: 0.5,
+            period_length: 60.0,
+            seed: 7,
+        };
+        let seq = run_periods(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &periods,
+            &[150.0, 150.0, 150.0],
+            &settings,
+        )
+        .unwrap();
+        let par = run_periods_threads(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &periods,
+            &[150.0, 150.0, 150.0],
+            &settings,
+            4,
+        )
+        .unwrap();
+        assert_eq!(par.exchanges_per_period, seq.exchanges_per_period);
+        assert_eq!(par.sizes_per_period, seq.sizes_per_period);
+        // finish_period consumes the uploads, so compare the surviving
+        // state: the EWMA history that will size the next period.
+        for node in 0..3 {
+            assert_eq!(
+                par.server.history().average(RsuId(node)),
+                seq.server.history().average(RsuId(node)),
+                "node {node}"
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,14 @@ use vcps_core::{BitArray, RsuId};
 use crate::pki::Certificate;
 use crate::{MacAddress, SimError};
 
+/// Upper bound on the bit-array length a decoded upload may claim.
+///
+/// The scheme sizes arrays at `f̄ · n` rounded to a power of two; even
+/// the heaviest workload in the paper (500k vehicles, f̄ = 30) stays
+/// below 2^24 bits, so 2^32 (512 MiB dense) is generous while keeping
+/// a malicious frame from demanding an absurd allocation.
+const MAX_UPLOAD_BITS: usize = 1 << 32;
+
 const TAG_QUERY: u8 = 1;
 const TAG_REPORT: u8 = 2;
 const TAG_UPLOAD: u8 = 3;
@@ -223,9 +231,20 @@ impl PeriodUpload {
         let counter = wire.get_u64();
         let len = wire.get_u64() as usize;
         let ones = wire.get_u64() as usize;
-        if wire.len() != ones * 8 {
+        // Both `len` and `ones` come straight off the wire: compare
+        // against the remaining byte count without multiplying (which
+        // overflows on hostile `ones`), and bound `len` before the
+        // backing allocation (a sparse frame never makes sense for an
+        // array shorter than its own index list, and a 33-byte frame
+        // must not be able to request a multi-terabyte array).
+        if !wire.len().is_multiple_of(8) || ones != wire.len() / 8 {
             return Err(SimError::MalformedMessage {
                 reason: "sparse upload index count mismatch",
+            });
+        }
+        if len > MAX_UPLOAD_BITS || ones > len {
+            return Err(SimError::MalformedMessage {
+                reason: "invalid bit array length in upload",
             });
         }
         let mut bits = BitArray::try_new(len).map_err(|_| SimError::MalformedMessage {

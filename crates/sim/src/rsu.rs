@@ -31,6 +31,18 @@ impl SimRsu {
         })
     }
 
+    /// Reassembles an RSU from an existing sketch and certificate — the
+    /// inverse of [`crate::concurrent::SharedRsu::into_rsu`]'s
+    /// decomposition, used to hand period state back after lock-free
+    /// ingestion.
+    #[must_use]
+    pub fn from_parts(sketch: RsuSketch, certificate: Certificate) -> Self {
+        Self {
+            sketch,
+            certificate,
+        }
+    }
+
     /// The RSU's identifier.
     #[must_use]
     pub fn id(&self) -> RsuId {

@@ -1,11 +1,12 @@
 use vcps_core::estimator::Estimate;
-use vcps_core::{RsuId, Scheme};
+use vcps_core::{RsuId, Scheme, VehicleIdentity};
 use vcps_hash::splitmix64;
 
+use crate::concurrent::{self, SharedRsu};
 use crate::pki::TrustedAuthority;
-use crate::protocol::PeriodUpload;
+use crate::protocol::{BitReport, PeriodUpload};
 use crate::synthetic::SyntheticPair;
-use crate::{CentralServer, SimError, SimRsu, SimVehicle};
+use crate::{CentralServer, SimError, SimVehicle};
 
 /// Runs the complete protocol for one two-RSU measurement period:
 /// queries, certificate checks, bit reports, wire-encoded uploads, and
@@ -22,6 +23,7 @@ pub struct PairRunner {
     history: Option<(f64, f64)>,
     authority: TrustedAuthority,
     mac_seed: u64,
+    threads: usize,
 }
 
 /// The result of one [`PairRunner::run`].
@@ -58,7 +60,27 @@ impl PairRunner {
             history: None,
             authority: TrustedAuthority::new(0xCA11_AB1E),
             mac_seed: 0xD15C_0DE5,
+            threads: 1,
         }
+    }
+
+    /// Uses `threads` workers for report generation and ingestion.
+    ///
+    /// The result is bit-identical to the sequential run: each vehicle's
+    /// MAC stream is keyed by its global passage index (not by execution
+    /// order), and ingestion is commutative bit-setting plus a commutative
+    /// counter (see [`crate::concurrent`]). The default is 1 because the
+    /// experiment harness already parallelizes *across* trials; switch
+    /// this on for single large runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
     }
 
     /// Sets the historical average volumes used for array sizing. Without
@@ -109,30 +131,29 @@ impl PairRunner {
         let m_b = self.scheme.array_size_for(avg_b)?;
         let m_o = m_a.max(m_b);
 
-        let mut rsu_a = SimRsu::new(self.rsu_a, m_a, &self.authority)?;
-        let mut rsu_b = SimRsu::new(self.rsu_b, m_b, &self.authority)?;
+        let rsu_a = SharedRsu::new(self.rsu_a, m_a, &self.authority)?;
+        let rsu_b = SharedRsu::new(self.rsu_b, m_b, &self.authority)?;
         let query_a = rsu_a.query();
         let query_b = rsu_b.query();
 
+        // Each passage's MAC stream is keyed by its *global* passage
+        // index (x side first, 1-based), so report content is identical
+        // no matter how the work is split across threads.
+        let identities_x: Vec<VehicleIdentity> = workload.at_x().copied().collect();
+        let identities_y: Vec<VehicleIdentity> = workload.at_y().copied().collect();
+        let base_y = identities_x.len() as u64;
+        let reports_a = self.make_reports(&query_a, identities_x, 0, m_o)?;
+        let reports_b = self.make_reports(&query_b, identities_y, base_y, m_o)?;
+
         let mut metrics = crate::CommunicationMetrics::new();
-        let mut mac_counter = 0u64;
-        let mut drive_past = |rsu: &mut SimRsu,
-                              query: &crate::Query,
-                              metrics: &mut crate::CommunicationMetrics,
-                              vehicles: &mut dyn Iterator<Item = &vcps_core::VehicleIdentity>|
-         -> Result<(), SimError> {
-            for identity in vehicles {
-                mac_counter += 1;
-                let mut vehicle =
-                    SimVehicle::new(*identity, splitmix64(self.mac_seed ^ mac_counter));
-                let report = vehicle.answer(query, &self.scheme, &self.authority, m_o)?;
-                metrics.record_exchange(query, &report);
-                rsu.receive(&report)?;
-            }
-            Ok(())
-        };
-        drive_past(&mut rsu_a, &query_a, &mut metrics, &mut workload.at_x())?;
-        drive_past(&mut rsu_b, &query_b, &mut metrics, &mut workload.at_y())?;
+        for report in &reports_a {
+            metrics.record_exchange(&query_a, report);
+        }
+        for report in &reports_b {
+            metrics.record_exchange(&query_b, report);
+        }
+        self.ingest(&rsu_a, &reports_a)?;
+        self.ingest(&rsu_b, &reports_b)?;
 
         let mut server = CentralServer::new(self.scheme.clone(), 1.0);
         for rsu in [&rsu_a, &rsu_b] {
@@ -149,6 +170,50 @@ impl PairRunner {
             },
             metrics,
         ))
+    }
+
+    /// Generates one report per identity, numbering passages from
+    /// `base + 1`. Sequential when the runner has one thread, chunked
+    /// across workers otherwise — same output either way.
+    fn make_reports(
+        &self,
+        query: &crate::Query,
+        identities: Vec<VehicleIdentity>,
+        base: u64,
+        m_o: usize,
+    ) -> Result<Vec<BitReport>, SimError> {
+        let answer = |counter: u64, identity: VehicleIdentity| {
+            let mut vehicle = SimVehicle::new(identity, splitmix64(self.mac_seed ^ counter));
+            vehicle.answer(query, &self.scheme, &self.authority, m_o)
+        };
+        if self.threads == 1 {
+            return identities
+                .into_iter()
+                .enumerate()
+                .map(|(i, identity)| answer(base + i as u64 + 1, identity))
+                .collect();
+        }
+        let indexed: Vec<(u64, VehicleIdentity)> = identities
+            .into_iter()
+            .enumerate()
+            .map(|(i, identity)| (base + i as u64 + 1, identity))
+            .collect();
+        concurrent::parallel_map_threads(indexed, self.threads, |&(counter, identity)| {
+            answer(counter, identity)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    fn ingest(&self, rsu: &SharedRsu, reports: &[BitReport]) -> Result<(), SimError> {
+        if self.threads == 1 {
+            for report in reports {
+                rsu.receive(report)?;
+            }
+            Ok(())
+        } else {
+            concurrent::try_ingest_parallel(rsu, reports, self.threads)
+        }
     }
 }
 
@@ -236,5 +301,26 @@ mod tests {
     fn same_rsu_twice_panics() {
         let scheme = Scheme::variable(2, 3.0, 5).unwrap();
         let _ = PairRunner::new(scheme, RsuId(1), RsuId(1));
+    }
+
+    #[test]
+    fn threaded_run_is_bit_identical_to_sequential() {
+        let scheme = Scheme::variable(2, 3.0, 5).unwrap();
+        let workload = SyntheticPair::generate(3_000, 9_000, 700, 17);
+        let sequential = PairRunner::new(scheme.clone(), RsuId(1), RsuId(2));
+        let (seq_out, seq_metrics) = sequential.run_with_metrics(&workload).unwrap();
+        for threads in [2, 4, crate::concurrent::default_threads()] {
+            let runner = PairRunner::new(scheme.clone(), RsuId(1), RsuId(2)).with_threads(threads);
+            let (out, metrics) = runner.run_with_metrics(&workload).unwrap();
+            assert_eq!(out.estimate, seq_out.estimate, "threads = {threads}");
+            assert_eq!(metrics, seq_metrics, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let scheme = Scheme::variable(2, 3.0, 5).unwrap();
+        let _ = PairRunner::new(scheme, RsuId(1), RsuId(2)).with_threads(0);
     }
 }

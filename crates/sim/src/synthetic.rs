@@ -39,9 +39,8 @@ impl SyntheticPair {
             n_x.min(n_y)
         );
         let base = splitmix64(seed ^ 0x5EED_5EED_5EED_5EED);
-        let identity = |i: u64| {
-            VehicleIdentity::from_raw(base.wrapping_add(i), splitmix64(base ^ i))
-        };
+        let identity =
+            |i: u64| VehicleIdentity::from_raw(base.wrapping_add(i), splitmix64(base ^ i));
         let common = (0..n_c).map(identity).collect();
         let only_x = (n_c..n_x).map(identity).collect();
         let only_y = (n_x..n_x + (n_y - n_c)).map(identity).collect();
@@ -118,8 +117,7 @@ impl SyntheticCity {
                     .enumerate()
                     .filter(|&(j, &p)| {
                         // Deterministic Bernoulli draw per (vehicle, RSU).
-                        let u = splitmix64(base ^ (i << 8) ^ j as u64) as f64
-                            / u64::MAX as f64;
+                        let u = splitmix64(base ^ (i << 8) ^ j as u64) as f64 / u64::MAX as f64;
                         u < p
                     })
                     .map(|(j, _)| j)

@@ -59,8 +59,7 @@ impl SimVehicle {
         if query.certificate.rsu != query.rsu || !authority.verify(&query.certificate) {
             return Err(SimError::CertificateRejected { rsu: query.rsu });
         }
-        let index =
-            scheme.report_index(&self.identity, query.rsu, query.array_size as usize, m_o);
+        let index = scheme.report_index(&self.identity, query.rsu, query.array_size as usize, m_o);
         Ok(BitReport {
             mac: MacAddress::from_entropy(self.mac_gen.next_u64()),
             index: index as u64,

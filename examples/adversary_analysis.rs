@@ -38,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Analytic value at the actual power-of-two sizes.
         let m_x = scheme.array_size_for(n_x as f64)? as f64;
         let m_y = scheme.array_size_for(n_y as f64)? as f64;
-        let params =
-            PairParams::new(n_x as f64, n_y as f64, n_c as f64, m_x, m_y, s as f64)?;
+        let params = PairParams::new(n_x as f64, n_y as f64, n_c as f64, m_x, m_y, s as f64)?;
         println!(
             "s={s:2} f̄={f:4.1} n_y={ratio:2}·n_x            {:.3}   {:9.3}   {:9}",
             privacy::preserved_privacy(&params),

@@ -7,11 +7,9 @@
 //!
 //! Run with: `cargo run --release --example generated_city`
 
-use vcps::roadnet::assignment::{
-    all_or_nothing, pair_volumes, point_volumes, turning_movements,
-};
-use vcps::roadnet::generate::{gravity_trips, grid_network, GridSpec};
+use vcps::roadnet::assignment::{all_or_nothing, pair_volumes, point_volumes, turning_movements};
 use vcps::roadnet::expand_vehicle_trips;
+use vcps::roadnet::generate::{gravity_trips, grid_network, GridSpec};
 use vcps::sim::engine::run_network_period;
 use vcps::{RsuId, Scheme};
 
@@ -43,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .0;
     let max = volumes.iter().copied().fold(0.0f64, f64::max);
     let min = volumes.iter().copied().fold(f64::INFINITY, f64::min);
-    println!("point volumes: min {min:.0}, max {max:.0} (skew {:.1}x), busiest node {busiest}", max / min);
+    println!(
+        "point volumes: min {min:.0}, max {max:.0} (skew {:.1}x), busiest node {busiest}",
+        max / min
+    );
 
     // One measurement period through the discrete-event engine, at 1/5
     // subsample to keep the example snappy.
@@ -60,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         1_800.0,
         seed,
     )?;
-    println!("simulated {} vehicles, {} exchanges", vehicles.len(), run.exchanges);
+    println!(
+        "simulated {} vehicles, {} exchanges",
+        vehicles.len(),
+        run.exchanges
+    );
 
     // Decode the five heaviest pairs and compare with ground truth.
     let n = net.node_count();
@@ -84,9 +89,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Signal-timing input: turning movements at the busiest node.
     println!("\nturning movements at node {busiest} (top 5):");
-    for m in turning_movements(&assignment, &trips, busiest).iter().take(5) {
+    for m in turning_movements(&assignment, &trips, busiest)
+        .iter()
+        .take(5)
+    {
         let from = m.from.map_or("origin".to_string(), |n| format!("node {n}"));
-        let to = m.to.map_or("destination".to_string(), |n| format!("node {n}"));
+        let to =
+            m.to.map_or("destination".to_string(), |n| format!("node {n}"));
         println!("  {from:>12} -> {to:<12} {:8.0} veh", m.volume);
     }
     Ok(())

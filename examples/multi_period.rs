@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example multi_period`
 
-use vcps::sim::protocol::PeriodUpload;
 use vcps::sim::pki::TrustedAuthority;
+use vcps::sim::protocol::PeriodUpload;
 use vcps::{CentralServer, RsuId, Scheme, SimRsu, SimVehicle, VehicleIdentity};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nhistory averages after a week:");
     for (rsu, avg) in server.history().iter() {
-        println!("  {rsu}: {avg:.0} vehicles/period -> next m = {}", sizes[&rsu]);
+        println!(
+            "  {rsu}: {avg:.0} vehicles/period -> next m = {}",
+            sizes[&rsu]
+        );
     }
     println!("\n(arrays grow and shrink with traffic, keeping the load factor —");
     println!(" and hence both privacy and accuracy — stable at every RSU)");

@@ -36,11 +36,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One vehicle per 4 trips keeps the example fast (~90k vehicles).
     let subsample = 4.0;
     let vehicles = expand_vehicle_trips(&assignment, &trips, subsample);
-    println!("simulating {} vehicles through one period...", vehicles.len());
+    println!(
+        "simulating {} vehicles through one period...",
+        vehicles.len()
+    );
 
     let scheme = Scheme::variable(2, 8.0, 2026)?;
     let history: Vec<f64> = truth_points.iter().map(|v| v / subsample).collect();
-    let run = run_network_period(&scheme, &net, &eq.link_times, &vehicles, &history, 3_600.0, 7)?;
+    let run = run_network_period(
+        &scheme,
+        &net,
+        &eq.link_times,
+        &vehicles,
+        &history,
+        3_600.0,
+        7,
+    )?;
     println!("query/answer exchanges: {}", run.exchanges);
 
     // Estimate a few pairs against node 10 (the heaviest), Table-I style.

@@ -20,9 +20,10 @@ fn variable_scheme_accuracy_across_skews() {
     // Average over seeds to control the run-to-run noise; analytic sd at
     // these parameters (f̄ = 8) is 5–15% per run.
     for (ratio, tolerance) in [(1u64, 0.10), (10, 0.15), (50, 0.25)] {
-        let mean_err: f64 =
-            (0..5).map(|s| run_error(&scheme, 10_000, ratio * 10_000, 2_000, s)).sum::<f64>()
-                / 5.0;
+        let mean_err: f64 = (0..5)
+            .map(|s| run_error(&scheme, 10_000, ratio * 10_000, 2_000, s))
+            .sum::<f64>()
+            / 5.0;
         assert!(
             mean_err < tolerance,
             "ratio {ratio}: mean error {mean_err} over tolerance {tolerance}"
@@ -124,7 +125,8 @@ fn multi_period_resizing_tracks_traffic() {
     // Period 1: 16x the expected traffic shows up.
     let mut history = VolumeHistory::new(1.0);
     for i in 0..16_000u64 {
-        d.record(&VehicleIdentity::from_raw(i, i), RsuId(1)).unwrap();
+        d.record(&VehicleIdentity::from_raw(i, i), RsuId(1))
+            .unwrap();
     }
     history.update(RsuId(1), d.sketch(RsuId(1)).unwrap().count() as f64);
     d.resize_from_history(&history).unwrap();

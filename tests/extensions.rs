@@ -48,13 +48,13 @@ fn merged_periods_estimate_union_overlap() {
         let mut b = RsuSketch::new(RsuId(2), m_b).unwrap();
         let base = period * 1_000_000;
         for i in 0..2_000u64 {
-            let v = VehicleIdentity::from_raw(
-                base + i,
-                vcps::hash::splitmix64((base + i) ^ 0xFACE),
-            );
-            a.record(scheme.report_index(&v, RsuId(1), m_a, m_o)).unwrap();
+            let v =
+                VehicleIdentity::from_raw(base + i, vcps::hash::splitmix64((base + i) ^ 0xFACE));
+            a.record(scheme.report_index(&v, RsuId(1), m_a, m_o))
+                .unwrap();
             if i < 300 {
-                b.record(scheme.report_index(&v, RsuId(2), m_b, m_o)).unwrap();
+                b.record(scheme.report_index(&v, RsuId(2), m_b, m_o))
+                    .unwrap();
             }
         }
         merged_a.merge(&a).unwrap();
@@ -123,8 +123,7 @@ fn profile_agrees_with_simulation_regime() {
         profile.sd_exact
     );
 
-    let saturated =
-        PairParams::new(100_000.0, 100_000.0, 1_000.0, 256.0, 256.0, 2.0).unwrap();
+    let saturated = PairParams::new(100_000.0, 100_000.0, 1_000.0, 256.0, 256.0, 2.0).unwrap();
     assert_eq!(
         Profile::compute(&saturated).unwrap().regime,
         Regime::Saturated
@@ -133,7 +132,10 @@ fn profile_agrees_with_simulation_regime() {
     let outcome = PairRunner::new(tiny, RsuId(1), RsuId(2))
         .run(&SyntheticPair::generate(100_000, 100_000, 1_000, 8))
         .unwrap();
-    assert!(outcome.estimate.clamped, "saturation predicted and observed");
+    assert!(
+        outcome.estimate.clamped,
+        "saturation predicted and observed"
+    );
 }
 
 #[test]

@@ -42,9 +42,7 @@ fn eq_5_estimator_formula() {
 fn eq_9_combined_zero_probability() {
     // q(n_c) = q_mx(n_x) · q_my(n_y) · ((1 − t/m_y)/(1 − 1/m_y))^{n_c}.
     let t = (S - 1.0) / S;
-    let expected = q(M_X, N_X)
-        * q(M_Y, N_Y)
-        * ((1.0 - t / M_Y) / (1.0 - 1.0 / M_Y)).powf(N_C);
+    let expected = q(M_X, N_X) * q(M_Y, N_Y) * ((1.0 - t / M_Y) / (1.0 - 1.0 / M_Y)).powf(N_C);
     assert!((accuracy::q_c(&params()) - expected).abs() < 1e-12);
 }
 
@@ -124,10 +122,10 @@ fn section_iv_b_sizing_rule() {
     // m_x = 2^ceil(log2(n̄_x · f̄)).
     let scheme = vcps::Scheme::variable(2, 3.0, 1).unwrap();
     for (volume, expected) in [
-        (10.0, 32usize),       // 30 -> 2^5
-        (100.0, 512),          // 300 -> 2^9
-        (342.0, 2_048),        // 1026 -> 2^11 (just past 2^10)
-        (451_000.0, 1 << 21),  // 1,353,000 -> 2^21
+        (10.0, 32usize),      // 30 -> 2^5
+        (100.0, 512),         // 300 -> 2^9
+        (342.0, 2_048),       // 1026 -> 2^11 (just past 2^10)
+        (451_000.0, 1 << 21), // 1,353,000 -> 2^21
     ] {
         assert_eq!(
             scheme.array_size_for(volume).unwrap(),

@@ -93,9 +93,7 @@ fn shape3_privacy_peak_between_2_and_4() {
 fn shape4_fixed_scheme_privacy_collapses_at_high_load() {
     // §VI-B: a fixed m sized for a heavy RSU gives light RSUs an
     // effective load factor of 50, collapsing their privacy.
-    let at_f = |f: f64| {
-        privacy::privacy_at_load_factor(f, 10_000.0, 10_000.0, 0.1, 2.0).unwrap()
-    };
+    let at_f = |f: f64| privacy::privacy_at_load_factor(f, 10_000.0, 10_000.0, 0.1, 2.0).unwrap();
     let optimal = privacy::optimal_load_factor(10_000.0, 10_000.0, 0.1, 2.0)
         .unwrap()
         .privacy;
@@ -107,10 +105,8 @@ fn shape4_fixed_scheme_privacy_collapses_at_high_load() {
 fn shape5_skewed_pairs_gain_privacy_under_variable_sizing() {
     for s in [2.0, 5.0] {
         let equal = privacy::privacy_at_load_factor(3.0, 10_000.0, 10_000.0, 0.1, s).unwrap();
-        let skew10 =
-            privacy::privacy_at_load_factor(3.0, 10_000.0, 100_000.0, 0.1, s).unwrap();
-        let skew50 =
-            privacy::privacy_at_load_factor(3.0, 10_000.0, 500_000.0, 0.1, s).unwrap();
+        let skew10 = privacy::privacy_at_load_factor(3.0, 10_000.0, 100_000.0, 0.1, s).unwrap();
+        let skew50 = privacy::privacy_at_load_factor(3.0, 10_000.0, 500_000.0, 0.1, s).unwrap();
         assert!(skew10 > equal && skew50 > equal, "s={s}");
     }
 }
@@ -137,7 +133,10 @@ fn paper_quoted_privacy_values_reproduce() {
     assert!((spot(3.0, 1.0, 5.0) - 0.75).abs() < 0.02, "0.75 claim");
     assert!((spot(3.0, 10.0, 5.0) - 0.89).abs() < 0.02, "0.89 claim");
     assert!((spot(3.0, 50.0, 5.0) - 0.91).abs() < 0.03, "0.91 claim");
-    assert!((spot(50.0, 1.0, 2.0) - 0.2).abs() < 0.05, "0.2 collapse claim");
+    assert!(
+        (spot(50.0, 1.0, 2.0) - 0.2).abs() < 0.05,
+        "0.2 collapse claim"
+    );
 }
 
 #[test]

@@ -71,8 +71,12 @@ fn same_vehicle_uses_fresh_mac_each_answer() {
     let rsu = SimRsu::new(RsuId(3), 1 << 10, &authority).unwrap();
     let mut vehicle = SimVehicle::new(VehicleIdentity::from_raw(7, 8), 99);
     let query = rsu.query();
-    let a = vehicle.answer(&query, &scheme, &authority, 1 << 14).unwrap();
-    let b = vehicle.answer(&query, &scheme, &authority, 1 << 14).unwrap();
+    let a = vehicle
+        .answer(&query, &scheme, &authority, 1 << 14)
+        .unwrap();
+    let b = vehicle
+        .answer(&query, &scheme, &authority, 1 << 14)
+        .unwrap();
     assert_eq!(a.index, b.index, "same bit for the same RSU");
     assert_ne!(a.mac, b.mac, "different link-layer identity");
 }
@@ -86,7 +90,11 @@ fn sioux_falls_period_estimates_track_assignment_ground_truth() {
     let assignment = all_or_nothing(&net, &trips, &net.free_flow_times());
     let subsample = 40.0;
     let vehicles = expand_vehicle_trips(&assignment, &trips, subsample);
-    assert!(vehicles.len() > 5_000, "enough vehicles: {}", vehicles.len());
+    assert!(
+        vehicles.len() > 5_000,
+        "enough vehicles: {}",
+        vehicles.len()
+    );
 
     let truth_points = point_volumes(&assignment, &trips, net.node_count());
     let truth_pairs = pair_volumes(&assignment, &trips, net.node_count());

@@ -1,0 +1,215 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments without crates.io access, so the
+//! external `rand` crate is replaced by this shim (see
+//! `vendor/README.md`). It provides the exact API surface the workspace
+//! uses — [`Rng`]/[`RngExt`] with `random`/`random_range`/`fill_bytes`,
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`] — backed by
+//! splitmix64 (Steele, Lea & Flood 2014), which is deterministic,
+//! seedable, and statistically strong enough for the Monte-Carlo
+//! workloads here. Streams differ from upstream `rand`'s ChaCha-based
+//! `StdRng`, so seeded simulations produce different (but equally valid)
+//! sample paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness (shim of `rand::Rng`, 0.10 method names).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// A uniformly random value of `T`.
+    fn random<T: FromRng>(&mut self) -> T {
+        let mut next = || self.next_u64();
+        T::from_rng(&mut next)
+    }
+
+    /// A uniformly random value in `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64();
+        range.sample_from(&mut next)
+    }
+}
+
+/// Extension-trait alias kept for source compatibility with `rand` 0.10
+/// call sites (`use rand::RngExt`). The shim folds everything into one
+/// trait, so this is the same item under a second name.
+pub use Rng as RngExt;
+
+/// Types drawable uniformly from raw 64-bit outputs (shim of the
+/// `StandardUniform` distribution).
+pub trait FromRng: Sized {
+    /// Draws a value given a 64-bit generator closure.
+    fn from_rng(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+/// Ranges that can be sampled (shim of `rand::distr::uniform`).
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+/// Seedable generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The shim's standard generator: splitmix64.
+    ///
+    /// Deterministic per seed; distinct from upstream `rand`'s ChaCha12
+    /// stream but uniform on 64-bit outputs.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+impl FromRng for u64 {
+    fn from_rng(next: &mut dyn FnMut() -> u64) -> Self {
+        next()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng(next: &mut dyn FnMut() -> u64) -> Self {
+        (next() >> 32) as u32
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng(next: &mut dyn FnMut() -> u64) -> Self {
+        next() >> 63 == 1
+    }
+}
+
+impl FromRng for f64 {
+    fn from_rng(next: &mut dyn FnMut() -> u64) -> Self {
+        unit_f64(next())
+    }
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (next() as u128 % span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end - start) as u128 + 1;
+                start + (next() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * unit_f64(next())
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + (end - start) * unit_f64(next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v = rng.random_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(-2.0f64..5.0);
+            assert!((-2.0..5.0).contains(&f));
+            let i = rng.random_range(0usize..=4);
+            assert!(i <= 4);
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            lo |= f < 0.25;
+            hi |= f > 0.75;
+        }
+        assert!(lo && hi, "both tails reached");
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

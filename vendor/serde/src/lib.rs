@@ -1,0 +1,70 @@
+//! Offline stand-in for the `serde` façade.
+//!
+//! This workspace builds in environments without crates.io access, so the
+//! external `serde` crate is replaced by this minimal shim (see
+//! `vendor/README.md`). It defines just enough of the `Serialize` /
+//! `Deserialize` trait surface for the workspace's `#[derive(...)]`
+//! attributes to compile. No wire format ships with the workspace (the
+//! protocol layer uses its own explicit encoding in `vcps-sim`), so the
+//! generated impls are structural placeholders: swapping the real serde
+//! back in requires only restoring the crates.io entry in the workspace
+//! manifest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be serialized (shim of `serde::Serialize`).
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error type.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serializer sink (shim of `serde::Serializer`).
+///
+/// The real trait has one entry point per data-model type; the shim keeps
+/// a single placeholder method, which is all the derived impls call.
+pub trait Serializer: Sized {
+    /// Value returned on success.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Placeholder sink used by shim-derived [`Serialize`] impls.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined.
+    fn serialize_stub(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be deserialized (shim of `serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the deserializer's error type.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A deserializer source (shim of `serde::Deserializer`).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+}
+
+/// Deserialization support types (shim of `serde::de`).
+pub mod de {
+    /// Errors produced during deserialization.
+    pub trait Error: Sized {
+        /// Builds the "unsupported by the offline shim" error.
+        fn unsupported() -> Self;
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits placeholder `Serialize` / `Deserialize` impls that satisfy the
+//! shim traits in `vendor/serde`. Only plain (non-generic) structs and
+//! enums are supported — which covers every derived type in this
+//! workspace. See `vendor/README.md` for the rationale.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword,
+/// skipping attributes and visibility qualifiers.
+fn type_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            // `#[...]` attribute: skip the bracket group that follows.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" {
+                    if let Some(TokenTree::Ident(name)) = tokens.next() {
+                        return name.to_string();
+                    }
+                    panic!("serde_derive shim: missing type name after `{word}`");
+                }
+                // `pub`, `pub(crate)`, doc idents, etc.: keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive shim: no struct/enum found in derive input");
+}
+
+/// Shim derive for `serde::Serialize` (placeholder impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\
+                 serializer.serialize_stub()\
+             }}\
+         }}"
+    )
+    .parse()
+    .expect("valid impl tokens")
+}
+
+/// Shim derive for `serde::Deserialize` (placeholder impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\
+                 -> ::core::result::Result<Self, D::Error> {{\
+                 ::core::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::unsupported())\
+             }}\
+         }}"
+    )
+    .parse()
+    .expect("valid impl tokens")
+}
