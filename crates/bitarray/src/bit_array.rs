@@ -355,6 +355,54 @@ impl BitArray {
         Ok(array)
     }
 
+    /// Serializes the array to a self-describing little-endian byte
+    /// checkpoint: 8-byte bit length followed by the backing words.
+    ///
+    /// This is the persistence format RSU crash/recovery checkpoints use
+    /// (see `vcps-sim`'s fault model): compact, versionless, and
+    /// round-trippable through [`BitArray::from_bytes`].
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 * self.words.len());
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for &w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs an array from a [`BitArray::to_bytes`] checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitArrayError::EmptyArray`] for a header claiming zero
+    /// bits or a buffer too short to hold one, and
+    /// [`BitArrayError::LengthMismatch`] when the payload length does not
+    /// match the claimed bit count (truncated or padded checkpoints are
+    /// rejected, never partially applied).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, BitArrayError> {
+        if bytes.len() < 8 {
+            return Err(BitArrayError::EmptyArray);
+        }
+        let (header, payload) = bytes.split_at(8);
+        let len = u64::from_le_bytes(header.try_into().expect("8-byte header")) as usize;
+        if len == 0 {
+            return Err(BitArrayError::EmptyArray);
+        }
+        let expected = len.div_ceil(WORD_BITS);
+        if payload.len() != expected * 8 {
+            return Err(BitArrayError::LengthMismatch {
+                left: payload.len() / 8,
+                right: expected,
+            });
+        }
+        let words: Vec<u64> = payload
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        Self::from_words(words, len)
+    }
+
     /// Zeroes any bits beyond `len` in the last word, preserving the
     /// invariant relied upon by `count_ones`.
     fn mask_tail(&mut self) {
@@ -647,5 +695,30 @@ mod tests {
     fn send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<BitArray>();
+    }
+
+    #[test]
+    fn byte_checkpoint_roundtrips() {
+        for len in [2usize, 63, 64, 65, 100, 1 << 12] {
+            let b = BitArray::from_indices(len, [0, len / 2, len - 1]).unwrap();
+            let bytes = b.to_bytes();
+            assert_eq!(bytes.len(), 8 + len.div_ceil(64) * 8);
+            assert_eq!(BitArray::from_bytes(&bytes).unwrap(), b, "len {len}");
+        }
+    }
+
+    #[test]
+    fn byte_checkpoint_rejects_corruption() {
+        let b = BitArray::from_indices(100, [7, 42]).unwrap();
+        let bytes = b.to_bytes();
+        // Truncated payload, truncated header, trailing bytes, zero-length claim.
+        assert!(BitArray::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(BitArray::from_bytes(&bytes[..4]).is_err());
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&[0u8; 8]);
+        assert!(BitArray::from_bytes(&padded).is_err());
+        let mut zero_len = bytes;
+        zero_len[..8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(BitArray::from_bytes(&zero_len).is_err());
     }
 }

@@ -127,6 +127,95 @@ impl Estimate {
     }
 }
 
+/// A pair answer that is honest about its provenance: either a real
+/// decode of two period uploads, or a history-based fallback produced
+/// when one or both uploads never reached the server (message loss, RSU
+/// crash, abandoned retries).
+///
+/// A long-running server must answer every pair query; refusing because
+/// one upload is missing turns a single lost frame into a service
+/// outage. The degraded arm keeps the API total while forcing callers to
+/// see exactly which answers are measurement-backed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PairEstimate {
+    /// A genuine Eq. 5 decode of both RSUs' uploads.
+    Measured(Estimate),
+    /// A fallback derived from the volume history alone.
+    Degraded(DegradedEstimate),
+}
+
+impl PairEstimate {
+    /// The point estimate `n̂_c`, whatever its provenance.
+    #[must_use]
+    pub fn n_c(&self) -> f64 {
+        match self {
+            PairEstimate::Measured(e) => e.n_c,
+            PairEstimate::Degraded(d) => d.n_c,
+        }
+    }
+
+    /// `true` for the history-based fallback arm.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, PairEstimate::Degraded(_))
+    }
+
+    /// The measured estimate, if this answer is measurement-backed.
+    #[must_use]
+    pub fn measured(&self) -> Option<&Estimate> {
+        match self {
+            PairEstimate::Measured(e) => Some(e),
+            PairEstimate::Degraded(_) => None,
+        }
+    }
+}
+
+/// A history-only pair answer (the `Degraded` arm of [`PairEstimate`]).
+///
+/// Without bit arrays the overlap is unidentifiable; all the history
+/// supports is the feasible interval `[0, min(n̄_x, n̄_y)]`. The point
+/// value is that interval's midpoint — the minimax choice under absolute
+/// error — and the bounds are carried explicitly so consumers can treat
+/// the answer as an interval rather than a number.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradedEstimate {
+    /// The fallback point estimate (midpoint of `[lower, upper]`).
+    pub n_c: f64,
+    /// Lower bound of the feasible overlap (always 0).
+    pub lower: f64,
+    /// Upper bound of the feasible overlap, `min(n̄_x, n̄_y)`.
+    pub upper: f64,
+    /// The volume used for the first RSU (measured counter if its upload
+    /// arrived, historical average otherwise).
+    pub volume_x: f64,
+    /// The volume used for the second RSU.
+    pub volume_y: f64,
+    /// `true` if the first RSU's upload was missing.
+    pub missing_x: bool,
+    /// `true` if the second RSU's upload was missing.
+    pub missing_y: bool,
+}
+
+impl DegradedEstimate {
+    /// Builds the fallback from the two per-RSU volumes (negative inputs
+    /// are clamped to zero).
+    #[must_use]
+    pub fn from_volumes(volume_x: f64, volume_y: f64, missing_x: bool, missing_y: bool) -> Self {
+        let volume_x = volume_x.max(0.0);
+        let volume_y = volume_y.max(0.0);
+        let upper = volume_x.min(volume_y);
+        Self {
+            n_c: upper / 2.0,
+            lower: 0.0,
+            upper,
+            volume_x,
+            volume_y,
+            missing_x,
+            missing_y,
+        }
+    }
+}
+
 /// The estimator denominator `ln(1 − (s−1)/(s·m_y)) − ln(1 − 1/m_y)`.
 ///
 /// # Panics
@@ -345,6 +434,37 @@ mod tests {
         assert!(hi <= e.n_x.min(e.n_y) as f64);
         let (lo99, hi99) = e.confidence_interval(2, 0.99).unwrap();
         assert!(lo99 <= lo && hi99 >= hi, "wider at higher confidence");
+    }
+
+    #[test]
+    fn degraded_estimate_spans_the_feasible_interval() {
+        let d = DegradedEstimate::from_volumes(1_000.0, 4_000.0, true, false);
+        assert_eq!(d.upper, 1_000.0);
+        assert_eq!(d.lower, 0.0);
+        assert_eq!(d.n_c, 500.0);
+        assert!(d.missing_x && !d.missing_y);
+        let p = PairEstimate::Degraded(d);
+        assert!(p.is_degraded());
+        assert_eq!(p.n_c(), 500.0);
+        assert!(p.measured().is_none());
+    }
+
+    #[test]
+    fn degraded_estimate_clamps_negative_history() {
+        let d = DegradedEstimate::from_volumes(-5.0, 100.0, true, true);
+        assert_eq!(d.upper, 0.0);
+        assert_eq!(d.n_c, 0.0);
+    }
+
+    #[test]
+    fn measured_pair_estimate_exposes_inner() {
+        let x = sketch(1, 16, &[1]);
+        let y = sketch(2, 64, &[2]);
+        let e = estimate_pair(&x, &y, 2).unwrap();
+        let p = PairEstimate::Measured(e);
+        assert!(!p.is_degraded());
+        assert_eq!(p.n_c(), e.n_c);
+        assert_eq!(p.measured(), Some(&e));
     }
 
     /// End-to-end sanity: simulate the abstract process with a known

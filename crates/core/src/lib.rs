@@ -78,7 +78,7 @@ mod sketch;
 
 pub use deployment::Deployment;
 pub use error::CoreError;
-pub use estimator::{estimate_pair, Estimate};
+pub use estimator::{estimate_pair, DegradedEstimate, Estimate, PairEstimate};
 pub use scheme::{Scheme, SchemeKind};
 pub use sizing::{Sizing, VolumeHistory};
 pub use sketch::RsuSketch;

@@ -14,6 +14,7 @@
 //! | `fig5` | Fig. 5 — novel scheme accuracy scatter (3 plots) |
 //! | `overhead` | §IV-E — computation overhead measurements |
 //! | `analysis_validation` | extension — theory vs Monte Carlo |
+//! | `robustness` | extension — estimator bias & degradation under channel faults |
 //!
 //! The parameter policy follows §VII: `s ∈ {2, 5, 10}`, and "f̄ and m are
 //! chosen to guarantee a minimum privacy of at least 0.5"

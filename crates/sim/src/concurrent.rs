@@ -162,6 +162,22 @@ impl SharedRsu {
             bits: self.inner.bits.snapshot(),
         }
     }
+
+    /// A consistent-enough state snapshot for crash tolerance
+    /// ([`crate::faults::RsuCheckpoint`]): the bits and counter are each
+    /// atomic snapshots, taken while ingestion may be ongoing — after a
+    /// restore, reports that raced the snapshot count as lost to the
+    /// crash, which is exactly the crash model's semantics.
+    #[must_use]
+    pub fn checkpoint(&self) -> crate::faults::RsuCheckpoint {
+        let sketch = RsuSketch::from_parts(
+            self.inner.id,
+            self.inner.bits.snapshot(),
+            self.inner.counter.load(Ordering::Relaxed),
+        )
+        .expect("shared state came from a valid sketch");
+        crate::faults::RsuCheckpoint::capture(&SimRsu::from_parts(sketch, self.inner.certificate))
+    }
 }
 
 /// The previous generation of [`SharedRsu`]: a [`SimRsu`] behind a

@@ -19,8 +19,10 @@ use vcps_hash::splitmix64;
 use vcps_roadnet::{RoadNetwork, VehicleTrip};
 
 use crate::concurrent::{self, SharedRsu};
+use crate::faults::{self, Channel, FaultPlan, RetryPolicy};
+use crate::metrics::FaultMetrics;
 use crate::pki::TrustedAuthority;
-use crate::protocol::{PeriodUpload, Query};
+use crate::protocol::{BitReport, PeriodUpload, Query};
 use crate::{CentralServer, SimError, SimVehicle};
 
 /// One vehicle reaching one RSU site.
@@ -234,7 +236,7 @@ pub fn run_network_period_threads(
         threads,
     )?;
 
-    let mut server = CentralServer::new(scheme.clone(), 1.0);
+    let mut server = CentralServer::new(scheme.clone(), 1.0)?;
     for rsu in &rsus {
         let wire = rsu.upload().encode();
         server.receive(PeriodUpload::decode(&wire)?);
@@ -285,6 +287,223 @@ where
         exchanges += outcome?;
     }
     Ok(exchanges)
+}
+
+/// The outcome of a measurement period run under fault injection.
+#[derive(Debug, Clone)]
+pub struct FaultyNetworkRun {
+    /// The central server holding whatever uploads survived — query it
+    /// with [`CentralServer::estimate_or_degraded`] to get an answer even
+    /// for RSUs whose upload was abandoned.
+    pub server: CentralServer,
+    /// Total query/answer exchanges performed (loss happens after the
+    /// exchange, in flight).
+    pub exchanges: usize,
+    /// What the channels, crashes, and the retry loop did.
+    pub faults: FaultMetrics,
+    /// RSUs whose upload exhausted the retry budget and never reached
+    /// the server.
+    pub undelivered: Vec<RsuId>,
+}
+
+/// [`run_network_period`] with fault injection: reports cross a lossy
+/// vehicle → RSU channel, crashes destroy RSU state windows, and uploads
+/// go through [`faults::upload_with_retry`] on a lossy RSU → server
+/// channel against an acking, deduplicating server.
+///
+/// The run is deterministic for a fixed `(seed, plan)` — independent of
+/// thread count — and with [`FaultPlan::none`] it produces bit-identical
+/// uploads and estimates to [`run_network_period`]. The server is seeded
+/// with `history` so [`CentralServer::estimate_or_degraded`] can answer
+/// pairs whose upload never arrived.
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures, and invalid fault plans.
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_faulty(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<FaultyNetworkRun, SimError> {
+    run_network_period_faulty_threads(
+        scheme, net, link_times, trips, history, period, seed, plan, policy, 1,
+    )
+}
+
+/// [`run_network_period_faulty`] with `threads` workers.
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures, and invalid fault plans.
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()` or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_faulty_threads(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    threads: usize,
+) -> Result<FaultyNetworkRun, SimError> {
+    plan.validate()?;
+    assert_eq!(
+        history.len(),
+        net.node_count(),
+        "one history volume per node"
+    );
+    // Setup is identical to the ideal run (same authority, sizes, and
+    // departure stream) so that faults are the only difference.
+    let authority = TrustedAuthority::new(seed ^ 0x0CA0_17E5);
+    let mut rsus = Vec::with_capacity(net.node_count());
+    let mut m_o = 0usize;
+    for (node, &avg) in history.iter().enumerate() {
+        let m = scheme.array_size_for(avg)?;
+        m_o = m_o.max(m);
+        rsus.push(SharedRsu::new(RsuId(node as u64), m, &authority)?);
+    }
+    let queries: Vec<Query> = rsus.iter().map(SharedRsu::query).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let departures: Vec<f64> = trips
+        .iter()
+        .map(|_| rng.random_range(0.0..period.max(f64::MIN_POSITIVE)))
+        .collect();
+    let arrivals = simulate_arrivals(net, link_times, trips, &departures);
+
+    let report_channel = plan.report_channel(0);
+    let lost_windows = plan.lost_windows(net.node_count());
+    let (exchanges, mut faults) = drive_arrivals_faulty(
+        scheme,
+        &authority,
+        &rsus,
+        &queries,
+        trips,
+        &arrivals,
+        |t| {
+            SimVehicle::new(
+                VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                splitmix64(t.id ^ 0xACE0_FBA5E),
+            )
+        },
+        m_o,
+        threads,
+        &report_channel,
+        &lost_windows,
+    )?;
+    faults.crashes = plan.crashes.len() as u64;
+
+    let mut server = CentralServer::new(scheme.clone(), 1.0)?;
+    for (node, &avg) in history.iter().enumerate() {
+        server.seed_history(RsuId(node as u64), avg);
+    }
+    let upload_channel = plan.upload_channel(0);
+    let mut undelivered = Vec::new();
+    for rsu in &rsus {
+        let upload = rsu.upload();
+        let delivery = faults::upload_with_retry(
+            &upload,
+            0,
+            &upload_channel,
+            &mut server,
+            policy,
+            &mut faults,
+        );
+        if !delivery.delivered {
+            undelivered.push(upload.rsu);
+        }
+    }
+    Ok(FaultyNetworkRun {
+        server,
+        exchanges,
+        faults,
+        undelivered,
+    })
+}
+
+/// [`drive_arrivals`] with every report crossing a lossy channel and a
+/// crash-window filter in front of each RSU. Returns the exchange count
+/// and the merged per-worker fault counters.
+///
+/// Fault decisions are keyed per (vehicle, stop), so the outcome is
+/// independent of worker scheduling; counter merging is commutative.
+#[allow(clippy::too_many_arguments)]
+fn drive_arrivals_faulty<F>(
+    scheme: &Scheme,
+    authority: &TrustedAuthority,
+    rsus: &[SharedRsu],
+    queries: &[Query],
+    trips: &[VehicleTrip],
+    arrivals: &[Arrival],
+    make_vehicle: F,
+    m_o: usize,
+    threads: usize,
+    channel: &Channel,
+    lost_windows: &[Vec<(f64, f64)>],
+) -> Result<(usize, FaultMetrics), SimError>
+where
+    F: Fn(&VehicleTrip) -> SimVehicle + Sync,
+{
+    let mut stops: Vec<Vec<(usize, f64)>> = vec![Vec::new(); trips.len()];
+    for arrival in arrivals {
+        stops[arrival.vehicle].push((arrival.node, arrival.time));
+    }
+    let outcomes = concurrent::parallel_map_threads(
+        (0..trips.len()).collect(),
+        threads,
+        |&v| -> Result<(usize, FaultMetrics), SimError> {
+            let mut vehicle = make_vehicle(&trips[v]);
+            let mut local = FaultMetrics::new();
+            for (i, &(node, time)) in stops[v].iter().enumerate() {
+                let report = vehicle.answer(&queries[node], scheme, authority, m_o)?;
+                let key = splitmix64(trips[v].id).wrapping_add(i as u64);
+                let tx = channel.transmit(&report.encode(), key);
+                tx.record(&mut local.report_link);
+                for copy in &tx.delivered {
+                    let Ok(decoded) = BitReport::decode(copy) else {
+                        local.reports_undecodable += 1;
+                        continue;
+                    };
+                    let crashed = lost_windows[node]
+                        .iter()
+                        .any(|&(w0, w1)| time >= w0 && time < w1);
+                    if crashed {
+                        // The RSU ingested this report but lost it with
+                        // the state window destroyed by the crash.
+                        local.reports_lost_to_crash += 1;
+                    } else if rsus[node].receive(&decoded).is_err() {
+                        local.reports_rejected += 1;
+                    }
+                }
+            }
+            Ok((stops[v].len(), local))
+        },
+    );
+    let mut exchanges = 0usize;
+    let mut faults = FaultMetrics::new();
+    for outcome in outcomes {
+        let (n, local) = outcome?;
+        exchanges += n;
+        faults.merge(&local);
+    }
+    Ok((exchanges, faults))
 }
 
 /// The outcome of a multi-period simulation (see [`run_periods`]).
@@ -388,7 +607,7 @@ pub fn run_periods_threads(
         net.node_count(),
         "one history volume per node"
     );
-    let mut server = CentralServer::new(scheme.clone(), history_alpha);
+    let mut server = CentralServer::new(scheme.clone(), history_alpha)?;
     for (node, &avg) in initial_history.iter().enumerate() {
         server.seed_history(RsuId(node as u64), avg);
     }
@@ -441,6 +660,145 @@ pub fn run_periods_threads(
         server,
         sizes_per_period,
         exchanges_per_period,
+    })
+}
+
+/// The outcome of a multi-period simulation under fault injection.
+#[derive(Debug, Clone)]
+pub struct FaultyMultiPeriodRun {
+    /// The central server after the last period.
+    pub server: CentralServer,
+    /// Array sizes in force during each period, per RSU.
+    pub sizes_per_period: Vec<Vec<usize>>,
+    /// Query/answer exchanges per period.
+    pub exchanges_per_period: Vec<usize>,
+    /// Fault counters per period.
+    pub faults_per_period: Vec<FaultMetrics>,
+    /// RSUs whose upload was abandoned, per period. Their history entry
+    /// simply keeps its previous EWMA value — the sizing loop degrades
+    /// gracefully instead of halting.
+    pub undelivered_per_period: Vec<Vec<RsuId>>,
+}
+
+/// [`run_periods_threads`] with fault injection (see
+/// [`run_network_period_faulty_threads`]).
+///
+/// Each period re-rolls its channel faults (the period index salts the
+/// channels) and uses the period index as the upload sequence number, so
+/// stragglers retransmitted from a closed period are recognized as stale
+/// by the server. Crash times in the plan are relative to each period's
+/// start and recur every period.
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures, and invalid fault plans.
+///
+/// # Panics
+///
+/// Panics if `initial_history.len() != net.node_count()`, `periods` is
+/// empty, or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_periods_faulty_threads(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    periods: &[Vec<VehicleTrip>],
+    initial_history: &[f64],
+    settings: &PeriodSettings,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    threads: usize,
+) -> Result<FaultyMultiPeriodRun, SimError> {
+    let PeriodSettings {
+        history_alpha,
+        period_length,
+        seed,
+    } = *settings;
+    plan.validate()?;
+    assert!(!periods.is_empty(), "need at least one period");
+    assert_eq!(
+        initial_history.len(),
+        net.node_count(),
+        "one history volume per node"
+    );
+    let mut server = CentralServer::new(scheme.clone(), history_alpha)?;
+    for (node, &avg) in initial_history.iter().enumerate() {
+        server.seed_history(RsuId(node as u64), avg);
+    }
+    let mut sizes = server.finish_period()?;
+    let lost_windows = plan.lost_windows(net.node_count());
+    let mut sizes_per_period = Vec::with_capacity(periods.len());
+    let mut exchanges_per_period = Vec::with_capacity(periods.len());
+    let mut faults_per_period = Vec::with_capacity(periods.len());
+    let mut undelivered_per_period = Vec::with_capacity(periods.len());
+
+    for (p, trips) in periods.iter().enumerate() {
+        let authority = TrustedAuthority::new(seed ^ 0x0CA0_17E5 ^ p as u64);
+        let mut rsus = Vec::with_capacity(net.node_count());
+        let mut m_o = 0usize;
+        for node in 0..net.node_count() {
+            let id = RsuId(node as u64);
+            let m = sizes.get(&id).copied().unwrap_or(2).max(2);
+            m_o = m_o.max(m);
+            rsus.push(SharedRsu::new(id, m, &authority)?);
+        }
+        let queries: Vec<Query> = rsus.iter().map(SharedRsu::query).collect();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ (p as u64) << 32);
+        let departures: Vec<f64> = trips
+            .iter()
+            .map(|_| rng.random_range(0.0..period_length.max(f64::MIN_POSITIVE)))
+            .collect();
+        let arrivals = simulate_arrivals(net, link_times, trips, &departures);
+        let report_channel = plan.report_channel(p as u64);
+        let (exchanges, mut faults) = drive_arrivals_faulty(
+            scheme,
+            &authority,
+            &rsus,
+            &queries,
+            trips,
+            &arrivals,
+            |t| {
+                SimVehicle::new(
+                    VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                    splitmix64(t.id ^ 0xACE0_FBA5E ^ p as u64),
+                )
+            },
+            m_o,
+            threads,
+            &report_channel,
+            &lost_windows,
+        )?;
+        faults.crashes = plan.crashes.len() as u64;
+        sizes_per_period.push(queries.iter().map(|q| q.array_size as usize).collect());
+        exchanges_per_period.push(exchanges);
+
+        let upload_channel = plan.upload_channel(p as u64);
+        let mut undelivered = Vec::new();
+        for rsu in &rsus {
+            let upload = rsu.upload();
+            let delivery = faults::upload_with_retry(
+                &upload,
+                p as u64,
+                &upload_channel,
+                &mut server,
+                policy,
+                &mut faults,
+            );
+            if !delivery.delivered {
+                undelivered.push(upload.rsu);
+            }
+        }
+        faults_per_period.push(faults);
+        undelivered_per_period.push(undelivered);
+        sizes = server.finish_period()?;
+    }
+    Ok(FaultyMultiPeriodRun {
+        server,
+        sizes_per_period,
+        exchanges_per_period,
+        faults_per_period,
+        undelivered_per_period,
     })
 }
 
@@ -629,6 +987,280 @@ mod tests {
                 "node {node}"
             );
         }
+    }
+
+    fn upload_bytes(server: &CentralServer, nodes: usize) -> Vec<Option<Vec<u8>>> {
+        (0..nodes)
+            .map(|n| server.upload(RsuId(n as u64)).map(|u| u.encode().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_the_ideal_path() {
+        let net = line_net();
+        let trips: Vec<VehicleTrip> = (0..200).map(|i| trip(i, vec![0, 1, 2])).collect();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let history = [200.0, 200.0, 200.0];
+        let ideal = run_network_period(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &history,
+            60.0,
+            4,
+        )
+        .unwrap();
+        let faulty = run_network_period_faulty(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &history,
+            60.0,
+            4,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(faulty.exchanges, ideal.exchanges);
+        assert!(faulty.undelivered.is_empty());
+        assert_eq!(
+            upload_bytes(&faulty.server, 3),
+            upload_bytes(&ideal.server, 3),
+            "zero-rate wire path must reproduce the ideal uploads byte for byte"
+        );
+        assert_eq!(
+            faulty.server.estimate(RsuId(0), RsuId(2)).unwrap(),
+            ideal.server.estimate(RsuId(0), RsuId(2)).unwrap()
+        );
+        let f = &faulty.faults;
+        assert_eq!(f.report_link.frames, ideal.exchanges as u64);
+        assert_eq!(f.report_link.delivered, f.report_link.frames);
+        assert_eq!(f.report_link.dropped + f.report_link.late, 0);
+        assert_eq!(f.upload_retries + f.uploads_abandoned, 0);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_thread_independent() {
+        let net = line_net();
+        let trips: Vec<VehicleTrip> = (0..300).map(|i| trip(i, vec![0, 1, 2])).collect();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let history = [300.0, 300.0, 300.0];
+        let plan = FaultPlan::new(33)
+            .with_report_link(
+                crate::faults::LinkFaults::none()
+                    .with_drop(0.2)
+                    .with_duplicate(0.1)
+                    .with_truncate(0.05)
+                    .with_bit_flip(0.05),
+            )
+            .with_upload_link(crate::faults::LinkFaults::none().with_drop(0.3))
+            .with_crash(crate::faults::RsuCrash {
+                node: 1,
+                at: 30.0,
+                mode: crate::faults::CrashMode::Checkpoint { interval: 20.0 },
+            });
+        let policy = RetryPolicy::default();
+        let mut runs = Vec::new();
+        for threads in [1usize, 1, 4] {
+            runs.push(
+                run_network_period_faulty_threads(
+                    &scheme,
+                    &net,
+                    &net.free_flow_times(),
+                    &trips,
+                    &history,
+                    60.0,
+                    4,
+                    &plan,
+                    &policy,
+                    threads,
+                )
+                .unwrap(),
+            );
+        }
+        let base = &runs[0];
+        assert!(base.faults.report_link.dropped > 0, "plan actually injects");
+        for other in &runs[1..] {
+            assert_eq!(other.exchanges, base.exchanges);
+            assert_eq!(other.faults, base.faults, "metrics are byte-identical");
+            assert_eq!(other.undelivered, base.undelivered);
+            assert_eq!(
+                upload_bytes(&other.server, 3),
+                upload_bytes(&base.server, 3),
+                "uploads are byte-identical"
+            );
+            for (a, b) in [(0u64, 1u64), (0, 2), (1, 2)] {
+                assert_eq!(
+                    other.server.estimate_or_degraded(RsuId(a), RsuId(b)),
+                    base.server.estimate_or_degraded(RsuId(a), RsuId(b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_upload_loss_still_answers_every_pair() {
+        let net = line_net();
+        let trips: Vec<VehicleTrip> = (0..200).map(|i| trip(i, vec![0, 1, 2])).collect();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let history = [200.0, 200.0, 200.0];
+        // 50% upload loss with the default retry budget: everything
+        // should still land, measured.
+        let plan =
+            FaultPlan::new(5).with_upload_link(crate::faults::LinkFaults::none().with_drop(0.5));
+        let run = run_network_period_faulty(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &history,
+            60.0,
+            4,
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(run.faults.upload_retries > 0, "loss forced retries");
+        for (a, b) in [(0u64, 1u64), (0, 2), (1, 2)] {
+            let est = run.server.estimate_or_degraded(RsuId(a), RsuId(b)).unwrap();
+            assert!(est.n_c().is_finite());
+        }
+        // A dead link: every upload abandoned, every pair still answered
+        // — degraded, from the seeded history.
+        let dead =
+            FaultPlan::new(5).with_upload_link(crate::faults::LinkFaults::none().with_drop(1.0));
+        let run = run_network_period_faulty(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &history,
+            60.0,
+            4,
+            &dead,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(run.undelivered.len(), 3);
+        assert_eq!(run.faults.uploads_abandoned, 3);
+        for (a, b) in [(0u64, 1u64), (0, 2), (1, 2)] {
+            let est = run.server.estimate_or_degraded(RsuId(a), RsuId(b)).unwrap();
+            assert!(est.is_degraded());
+            assert!(est.n_c().is_finite());
+        }
+    }
+
+    #[test]
+    fn report_loss_biases_counters_down_and_crashes_lose_state() {
+        let net = line_net();
+        let trips: Vec<VehicleTrip> = (0..400).map(|i| trip(i, vec![0, 1, 2])).collect();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let history = [400.0, 400.0, 400.0];
+        let lossy =
+            FaultPlan::new(17).with_report_link(crate::faults::LinkFaults::none().with_drop(0.3));
+        let run = run_network_period_faulty(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &history,
+            60.0,
+            4,
+            &lossy,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        let n0 = run.server.upload(RsuId(0)).unwrap().counter;
+        assert!(
+            n0 < 400 && n0 > 200,
+            "30% report loss should show in the counter, got {n0}"
+        );
+        // A mid-period crash with no checkpointing wipes everything the
+        // crashed RSU had seen before the crash.
+        let crashing = FaultPlan::new(17).with_crash(crate::faults::RsuCrash {
+            node: 1,
+            at: 30.0,
+            mode: crate::faults::CrashMode::LoseState,
+        });
+        let run = run_network_period_faulty(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &history,
+            60.0,
+            4,
+            &crashing,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(run.faults.reports_lost_to_crash > 0);
+        let n1 = run.server.upload(RsuId(1)).unwrap().counter;
+        assert!(n1 < 400, "crash must cost node 1 reports, got {n1}");
+        assert_eq!(
+            run.server.upload(RsuId(0)).unwrap().counter,
+            400,
+            "other nodes are untouched"
+        );
+    }
+
+    #[test]
+    fn faulty_multi_period_run_is_deterministic_and_survives_loss() {
+        let net = line_net();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let periods: Vec<Vec<VehicleTrip>> = [150u64, 250]
+            .iter()
+            .map(|&n| (0..n).map(|i| trip(i, vec![0, 1, 2])).collect())
+            .collect();
+        let settings = PeriodSettings {
+            history_alpha: 0.5,
+            period_length: 60.0,
+            seed: 7,
+        };
+        let plan = FaultPlan::new(9)
+            .with_report_link(crate::faults::LinkFaults::none().with_drop(0.2))
+            .with_upload_link(crate::faults::LinkFaults::none().with_drop(0.4));
+        let policy = RetryPolicy::default();
+        let a = run_periods_faulty_threads(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &periods,
+            &[150.0, 150.0, 150.0],
+            &settings,
+            &plan,
+            &policy,
+            1,
+        )
+        .unwrap();
+        let b = run_periods_faulty_threads(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &periods,
+            &[150.0, 150.0, 150.0],
+            &settings,
+            &plan,
+            &policy,
+            4,
+        )
+        .unwrap();
+        assert_eq!(a.exchanges_per_period, b.exchanges_per_period);
+        assert_eq!(a.faults_per_period, b.faults_per_period);
+        assert_eq!(a.undelivered_per_period, b.undelivered_per_period);
+        assert_eq!(a.sizes_per_period, b.sizes_per_period);
+        for node in 0..3 {
+            assert_eq!(
+                a.server.history().average(RsuId(node)),
+                b.server.history().average(RsuId(node)),
+                "node {node}"
+            );
+        }
+        // Period faults were actually re-rolled per period.
+        assert_eq!(a.faults_per_period.len(), 2);
+        assert!(a.faults_per_period[0].report_link.dropped > 0);
     }
 
     #[test]

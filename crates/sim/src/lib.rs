@@ -54,6 +54,7 @@ pub mod adversary;
 pub mod concurrent;
 pub mod engine;
 mod error;
+pub mod faults;
 mod mac;
 pub mod metrics;
 pub mod pki;
@@ -65,10 +66,14 @@ pub mod synthetic;
 mod vehicle;
 
 pub use error::SimError;
+pub use faults::{
+    upload_with_retry, Channel, CrashMode, FaultPlan, LinkFaults, RetryPolicy, RsuCheckpoint,
+    RsuCrash,
+};
 pub use mac::MacAddress;
-pub use metrics::CommunicationMetrics;
-pub use protocol::{BitReport, PeriodUpload, Query};
+pub use metrics::{CommunicationMetrics, FaultMetrics, LinkMetrics};
+pub use protocol::{BitReport, PeriodUpload, Query, SequencedUpload};
 pub use rsu::SimRsu;
 pub use runner::{PairOutcome, PairRunner};
-pub use server::CentralServer;
+pub use server::{CentralServer, ReceiveOutcome};
 pub use vehicle::SimVehicle;

@@ -85,6 +85,120 @@ impl CommunicationMetrics {
     }
 }
 
+/// Per-link fault counters: what the channel did to the frames that
+/// crossed it (see [`crate::faults::Channel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LinkMetrics {
+    /// Frames offered to the link.
+    pub frames: u64,
+    /// Frame copies actually handed to the receiver (duplication can
+    /// push this above `frames`; loss pulls it below).
+    pub delivered: u64,
+    /// Frames dropped outright.
+    pub dropped: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+    /// Frames delivered too late to count (reordered past the period
+    /// boundary) and therefore discarded by the receiver.
+    pub late: u64,
+    /// Delivered copies that lost their tail bytes.
+    pub truncated: u64,
+    /// Delivered copies with a flipped bit.
+    pub bit_flipped: u64,
+}
+
+impl LinkMetrics {
+    /// Merges counters from another worker or period.
+    pub fn merge(&mut self, other: &LinkMetrics) {
+        self.frames += other.frames;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.late += other.late;
+        self.truncated += other.truncated;
+        self.bit_flipped += other.bit_flipped;
+    }
+
+    /// Fraction of offered frames that never reached the receiver
+    /// (dropped or late); `0` before any traffic.
+    #[must_use]
+    pub fn loss_fraction(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            (self.dropped + self.late) as f64 / self.frames as f64
+        }
+    }
+}
+
+/// End-to-end fault accounting for one measurement period: what the two
+/// lossy links did, what the receivers rejected, what the crash model
+/// destroyed, and how the upload retry loop fared.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultMetrics {
+    /// The vehicle → RSU report link.
+    pub report_link: LinkMetrics,
+    /// The RSU → server upload link (counts every attempt, including
+    /// retransmissions).
+    pub upload_link: LinkMetrics,
+    /// Delivered report frames the RSU could not decode (corruption
+    /// broke the wire format).
+    pub reports_undecodable: u64,
+    /// Decoded reports rejected for an out-of-range index (corruption
+    /// survived the format but not validation).
+    pub reports_rejected: u64,
+    /// Reports destroyed by RSU crashes (received before the crash,
+    /// after the last checkpoint).
+    pub reports_lost_to_crash: u64,
+    /// RSU crash events that fired.
+    pub crashes: u64,
+    /// Upload attempts (first sends plus retransmissions).
+    pub upload_attempts: u64,
+    /// Retransmissions alone.
+    pub upload_retries: u64,
+    /// Acks lost on the return path (the upload arrived but the RSU
+    /// retried anyway).
+    pub acks_lost: u64,
+    /// Uploads abandoned after exhausting the retry budget.
+    pub uploads_abandoned: u64,
+    /// Simulated seconds spent in retry backoff across all RSUs.
+    pub backoff_seconds: f64,
+    /// Re-sent uploads the server recognized and discarded idempotently.
+    pub upload_duplicates: u64,
+    /// Same-sequence uploads whose content differed (corruption that
+    /// still parsed, or an equivocating RSU).
+    pub upload_conflicts: u64,
+    /// Uploads with a stale sequence number (late arrivals from an
+    /// earlier period), ignored.
+    pub upload_stale: u64,
+}
+
+impl FaultMetrics {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges counters from another worker or period.
+    pub fn merge(&mut self, other: &FaultMetrics) {
+        self.report_link.merge(&other.report_link);
+        self.upload_link.merge(&other.upload_link);
+        self.reports_undecodable += other.reports_undecodable;
+        self.reports_rejected += other.reports_rejected;
+        self.reports_lost_to_crash += other.reports_lost_to_crash;
+        self.crashes += other.crashes;
+        self.upload_attempts += other.upload_attempts;
+        self.upload_retries += other.upload_retries;
+        self.acks_lost += other.acks_lost;
+        self.uploads_abandoned += other.uploads_abandoned;
+        self.backoff_seconds += other.backoff_seconds;
+        self.upload_duplicates += other.upload_duplicates;
+        self.upload_conflicts += other.upload_conflicts;
+        self.upload_stale += other.upload_stale;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +267,38 @@ mod tests {
         let m = CommunicationMetrics::new();
         assert_eq!(m.bytes_per_passage(), 0.0);
         assert_eq!(m.upload_savings(), 0.0);
+    }
+
+    #[test]
+    fn link_metrics_merge_and_loss_fraction() {
+        let mut a = LinkMetrics {
+            frames: 10,
+            delivered: 7,
+            dropped: 2,
+            duplicated: 0,
+            late: 1,
+            truncated: 1,
+            bit_flipped: 0,
+        };
+        assert!((a.loss_fraction() - 0.3).abs() < 1e-12);
+        a.merge(&a.clone());
+        assert_eq!(a.frames, 20);
+        assert_eq!(a.dropped, 4);
+        assert_eq!(LinkMetrics::default().loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fault_metrics_merge_sums_everything() {
+        let mut f = FaultMetrics::new();
+        f.report_link.frames = 5;
+        f.reports_lost_to_crash = 3;
+        f.upload_retries = 2;
+        f.backoff_seconds = 1.5;
+        let mut g = f;
+        g.merge(&f);
+        assert_eq!(g.report_link.frames, 10);
+        assert_eq!(g.reports_lost_to_crash, 6);
+        assert_eq!(g.upload_retries, 4);
+        assert!((g.backoff_seconds - 3.0).abs() < 1e-12);
     }
 }

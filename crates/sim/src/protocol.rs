@@ -35,6 +35,7 @@ const TAG_QUERY: u8 = 1;
 const TAG_REPORT: u8 = 2;
 const TAG_UPLOAD: u8 = 3;
 const TAG_UPLOAD_SPARSE: u8 = 4;
+const TAG_UPLOAD_SEQ: u8 = 5;
 
 /// The periodic broadcast an RSU sends to passing vehicles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -204,6 +205,11 @@ impl PeriodUpload {
         let rsu = RsuId(wire.get_u64());
         let counter = wire.get_u64();
         let len = wire.get_u64() as usize;
+        if len > MAX_UPLOAD_BITS {
+            return Err(SimError::MalformedMessage {
+                reason: "invalid bit array length in upload",
+            });
+        }
         let expected_words = len.div_ceil(64);
         if wire.len() != expected_words * 8 {
             return Err(SimError::MalformedMessage {
@@ -257,6 +263,58 @@ impl PeriodUpload {
                 })?;
         }
         Ok(Self { rsu, counter, bits })
+    }
+}
+
+/// A [`PeriodUpload`] wrapped with a per-RSU sequence number for the
+/// retransmission path (see [`crate::faults`]).
+///
+/// The sequence number lets the server distinguish a *re-sent* upload
+/// (same `seq`, same content — ack it again, count nothing) from a
+/// *stale* one (lower `seq` than already accepted — a late duplicate
+/// from a previous period that must not clobber fresher state) and from
+/// a *conflicting* one (same `seq`, different content — a corrupted or
+/// equivocating sender).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequencedUpload {
+    /// Monotonically increasing per-RSU sequence number (the engine uses
+    /// the period index).
+    pub seq: u64,
+    /// The wrapped upload.
+    pub upload: PeriodUpload,
+}
+
+impl SequencedUpload {
+    /// Serializes to the wire form: a sequence header followed by the
+    /// compact upload frame.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let inner = self.upload.encode_compact();
+        let mut buf = BytesMut::with_capacity(1 + 8 + inner.len());
+        buf.put_u8(TAG_UPLOAD_SEQ);
+        buf.put_u64(self.seq);
+        buf.put_slice(&inner);
+        buf.freeze()
+    }
+
+    /// Parses a sequenced upload from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] on truncation, a wrong tag
+    /// byte, or a malformed inner upload.
+    pub fn decode(wire: &[u8]) -> Result<Self, SimError> {
+        if wire.len() < 1 + 8 || wire[0] != TAG_UPLOAD_SEQ {
+            return Err(SimError::MalformedMessage {
+                reason: "bad sequenced upload frame",
+            });
+        }
+        let mut header = &wire[1..9];
+        let seq = header.get_u64();
+        Ok(Self {
+            seq,
+            upload: PeriodUpload::decode(&wire[9..])?,
+        })
     }
 }
 
@@ -384,6 +442,39 @@ mod tests {
         let n = bad.len();
         bad[n - 1] = 200;
         assert!(PeriodUpload::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn sequenced_upload_roundtrips_and_rejects_corruption() {
+        let mut bits = BitArray::new(256);
+        bits.set(17);
+        let su = SequencedUpload {
+            seq: 42,
+            upload: PeriodUpload {
+                rsu: RsuId(3),
+                counter: 9,
+                bits,
+            },
+        };
+        let wire = su.encode();
+        assert_eq!(SequencedUpload::decode(&wire).unwrap(), su);
+        assert!(SequencedUpload::decode(&wire[..wire.len() - 1]).is_err());
+        assert!(SequencedUpload::decode(&wire[..5]).is_err());
+        let mut bad = wire.to_vec();
+        bad[0] = TAG_UPLOAD;
+        assert!(SequencedUpload::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn dense_upload_rejects_absurd_length_claim() {
+        // A frame claiming more bits than MAX_UPLOAD_BITS must be
+        // rejected before any word-count arithmetic.
+        let mut wire = BytesMut::new();
+        wire.put_u8(TAG_UPLOAD);
+        wire.put_u64(1); // rsu
+        wire.put_u64(1); // counter
+        wire.put_u64(u64::MAX); // absurd bit length
+        assert!(PeriodUpload::decode(&wire.freeze()).is_err());
     }
 
     #[test]

@@ -87,6 +87,14 @@ impl SimRsu {
         &self.sketch
     }
 
+    /// The RSU's certificate (persisted by
+    /// [`crate::faults::RsuCheckpoint`] so a restarted RSU can resume
+    /// broadcasting without re-contacting the authority).
+    #[must_use]
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+
     /// Starts a new period, optionally with a new array size from the
     /// server's re-sizing decision.
     ///

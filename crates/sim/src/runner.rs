@@ -155,7 +155,7 @@ impl PairRunner {
         self.ingest(&rsu_a, &reports_a)?;
         self.ingest(&rsu_b, &reports_b)?;
 
-        let mut server = CentralServer::new(self.scheme.clone(), 1.0);
+        let mut server = CentralServer::new(self.scheme.clone(), 1.0)?;
         for rsu in [&rsu_a, &rsu_b] {
             let upload = rsu.upload();
             metrics.record_upload(&upload);

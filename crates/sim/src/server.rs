@@ -3,10 +3,36 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use vcps_core::estimator::{estimate_pair, estimate_pair_or_clamp, Estimate};
-use vcps_core::{RsuId, RsuSketch, Scheme, VolumeHistory};
+use vcps_core::{
+    CoreError, DegradedEstimate, PairEstimate, RsuId, RsuSketch, Scheme, VolumeHistory,
+};
 
-use crate::protocol::PeriodUpload;
+use crate::protocol::{PeriodUpload, SequencedUpload};
 use crate::SimError;
+
+/// How the server classified one incoming upload relative to what it
+/// already holds (see [`CentralServer::receive`] and
+/// [`CentralServer::receive_sequenced`]).
+///
+/// Lossy links make re-sends routine (the RSU retries whenever an ack is
+/// lost), so the server must distinguish a benign duplicate from an RSU
+/// that changed its story mid-period — silently taking the last write
+/// would hide both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReceiveOutcome {
+    /// First upload from this RSU (or a newer sequence number): stored.
+    Fresh,
+    /// Byte-identical to the stored upload: discarded idempotently.
+    Duplicate,
+    /// Same RSU (and sequence number) but *different* content — a
+    /// corrupted frame that still parsed, or an equivocating RSU. The
+    /// newer content replaces the old so behavior stays last-write-wins,
+    /// but the caller is told.
+    Conflicting,
+    /// Sequence number at or below one already folded into history (a
+    /// straggler from an earlier period): ignored entirely.
+    Stale,
+}
 
 /// The central server (paper §II-A, §IV-C).
 ///
@@ -14,6 +40,14 @@ use crate::SimError;
 /// arbitrary RSU pairs, and at period end updates the per-RSU volume
 /// history and recomputes next-period array sizes (the "first updates
 /// the history average … then measures" loop of §IV-C).
+///
+/// Under fault injection ([`crate::faults`]) the server additionally
+/// deduplicates re-sent uploads by sequence number and, when an RSU's
+/// upload never arrives, degrades gracefully: [`estimate_or_degraded`]
+/// falls back to the volume history and answers with an explicit
+/// [`PairEstimate::Degraded`] instead of failing.
+///
+/// [`estimate_or_degraded`]: CentralServer::estimate_or_degraded
 ///
 /// # Example
 ///
@@ -24,7 +58,7 @@ use crate::SimError;
 ///
 /// # fn main() -> Result<(), vcps_sim::SimError> {
 /// let scheme = Scheme::variable(2, 3.0, 1)?;
-/// let mut server = CentralServer::new(scheme, 0.5);
+/// let mut server = CentralServer::new(scheme, 0.5)?;
 /// server.receive(PeriodUpload { rsu: RsuId(1), counter: 4, bits: BitArray::new(16) });
 /// let sizes = server.finish_period()?;
 /// assert_eq!(sizes[&RsuId(1)], 16); // 4 vehicles × f̄ 3 → next power of two
@@ -36,22 +70,33 @@ pub struct CentralServer {
     scheme: Scheme,
     history: VolumeHistory,
     uploads: BTreeMap<RsuId, PeriodUpload>,
+    /// Highest sequence number accepted per RSU (survives
+    /// [`finish_period`](CentralServer::finish_period) so stragglers from
+    /// closed periods are recognized as stale).
+    upload_seqs: BTreeMap<RsuId, u64>,
 }
 
 impl CentralServer {
     /// Creates a server for a scheme; `history_alpha` is the EWMA
     /// smoothing factor for volume history.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `history_alpha` is outside `(0, 1]`.
-    #[must_use]
-    pub fn new(scheme: Scheme, history_alpha: f64) -> Self {
-        Self {
+    /// Returns [`SimError::Core`] if `history_alpha` is outside `(0, 1]`
+    /// (NaN included).
+    pub fn new(scheme: Scheme, history_alpha: f64) -> Result<Self, SimError> {
+        if !(history_alpha > 0.0 && history_alpha <= 1.0) {
+            return Err(SimError::Core(CoreError::InvalidConfig {
+                parameter: "history_alpha",
+                reason: format!("must be in (0, 1], got {history_alpha}"),
+            }));
+        }
+        Ok(Self {
             scheme,
             history: VolumeHistory::new(history_alpha),
             uploads: BTreeMap::new(),
-        }
+            upload_seqs: BTreeMap::new(),
+        })
     }
 
     /// Seeds an RSU's historical average (e.g. from past traffic
@@ -72,16 +117,68 @@ impl CentralServer {
         &self.scheme
     }
 
-    /// Stores one RSU's period upload (overwrites a previous upload from
-    /// the same RSU within the period).
-    pub fn receive(&mut self, upload: PeriodUpload) {
-        self.uploads.insert(upload.rsu, upload);
+    /// Stores one RSU's period upload, reporting how it related to any
+    /// upload already held for that RSU: [`Fresh`] (first), [`Duplicate`]
+    /// (identical re-send, discarded), or [`Conflicting`] (different
+    /// content — replaces the stored upload, but flagged).
+    ///
+    /// [`Fresh`]: ReceiveOutcome::Fresh
+    /// [`Duplicate`]: ReceiveOutcome::Duplicate
+    /// [`Conflicting`]: ReceiveOutcome::Conflicting
+    pub fn receive(&mut self, upload: PeriodUpload) -> ReceiveOutcome {
+        match self.uploads.get(&upload.rsu) {
+            None => {
+                self.uploads.insert(upload.rsu, upload);
+                ReceiveOutcome::Fresh
+            }
+            Some(prev) if *prev == upload => ReceiveOutcome::Duplicate,
+            Some(_) => {
+                self.uploads.insert(upload.rsu, upload);
+                ReceiveOutcome::Conflicting
+            }
+        }
+    }
+
+    /// Stores a sequence-numbered upload from the retrying upload path
+    /// ([`crate::faults::upload_with_retry`]).
+    ///
+    /// Sequence numbers are per-RSU and monotone across periods (the
+    /// engine uses the period index), which lets the server tell a
+    /// harmless retransmission ([`ReceiveOutcome::Duplicate`]) from a
+    /// straggler of an already-closed period ([`ReceiveOutcome::Stale`])
+    /// — the latter must not resurrect as the *current* period's data.
+    pub fn receive_sequenced(&mut self, sequenced: SequencedUpload) -> ReceiveOutcome {
+        let rsu = sequenced.upload.rsu;
+        match self.upload_seqs.get(&rsu).copied() {
+            Some(seen) if sequenced.seq < seen => ReceiveOutcome::Stale,
+            Some(seen) if sequenced.seq == seen => match self.uploads.get(&rsu) {
+                // Same sequence but the period already closed: the upload
+                // was folded into history, so a re-send carries nothing.
+                None => ReceiveOutcome::Stale,
+                Some(prev) if *prev == sequenced.upload => ReceiveOutcome::Duplicate,
+                Some(_) => {
+                    self.uploads.insert(rsu, sequenced.upload);
+                    ReceiveOutcome::Conflicting
+                }
+            },
+            _ => {
+                self.upload_seqs.insert(rsu, sequenced.seq);
+                self.uploads.insert(rsu, sequenced.upload);
+                ReceiveOutcome::Fresh
+            }
+        }
     }
 
     /// Number of uploads currently held.
     #[must_use]
     pub fn upload_count(&self) -> usize {
         self.uploads.len()
+    }
+
+    /// The upload currently held for `rsu`, if any.
+    #[must_use]
+    pub fn upload(&self, rsu: RsuId) -> Option<&PeriodUpload> {
+        self.uploads.get(&rsu)
     }
 
     fn sketch_of(&self, rsu: RsuId) -> Result<RsuSketch, SimError> {
@@ -126,9 +223,59 @@ impl CentralServer {
         )?)
     }
 
+    /// Answers a pair query even when uploads are missing: full decode
+    /// when both sketches are present ([`PairEstimate::Measured`]),
+    /// otherwise a history-backed fallback ([`PairEstimate::Degraded`])
+    /// that brackets the overlap with the feasible interval
+    /// `[0, min(n̄_x, n̄_y)]`.
+    ///
+    /// A present side contributes its measured counter; a missing side
+    /// contributes its EWMA volume history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MissingUpload`] only when a side has *neither*
+    /// an upload nor any volume history — the server knows nothing at all
+    /// about that RSU.
+    pub fn estimate_or_degraded(&self, a: RsuId, b: RsuId) -> Result<PairEstimate, SimError> {
+        match (self.sketch_of(a), self.sketch_of(b)) {
+            (Ok(x), Ok(y)) => match estimate_pair_or_clamp(&x, &y, self.scheme.s()) {
+                Ok(e) => Ok(PairEstimate::Measured(e)),
+                // Sketches present but not comparable (e.g. a corrupted
+                // size that slipped through): counters still bound the
+                // overlap, so degrade rather than fail.
+                Err(_) => Ok(PairEstimate::Degraded(DegradedEstimate::from_volumes(
+                    x.count() as f64,
+                    y.count() as f64,
+                    false,
+                    false,
+                ))),
+            },
+            (ra, rb) => {
+                let missing_a = ra.is_err();
+                let missing_b = rb.is_err();
+                let volume_of = |rsu: RsuId, r: Result<RsuSketch, SimError>| match r {
+                    Ok(s) => Ok(s.count() as f64),
+                    Err(_) => self
+                        .history
+                        .average(rsu)
+                        .ok_or(SimError::MissingUpload { rsu }),
+                };
+                let va = volume_of(a, ra)?;
+                let vb = volume_of(b, rb)?;
+                Ok(PairEstimate::Degraded(DegradedEstimate::from_volumes(
+                    va, vb, missing_a, missing_b,
+                )))
+            }
+        }
+    }
+
     /// Ends the period: folds every upload's counter into the volume
     /// history, clears the uploads, and returns the array size each RSU
     /// should use next period.
+    ///
+    /// Sequence-number bookkeeping survives, so stragglers from the
+    /// closed period are still recognized as stale.
     ///
     /// # Errors
     ///
@@ -163,9 +310,24 @@ mod tests {
         }
     }
 
+    fn server() -> CentralServer {
+        CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 0.5).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_out_of_range_alpha() {
+        let scheme = Scheme::variable(2, 3.0, 1).unwrap();
+        for alpha in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let err = CentralServer::new(scheme.clone(), alpha);
+            assert!(err.is_err(), "alpha {alpha} must be rejected");
+        }
+        assert!(CentralServer::new(scheme.clone(), 1.0).is_ok());
+        assert!(CentralServer::new(scheme, 0.01).is_ok());
+    }
+
     #[test]
     fn estimate_requires_uploads() {
-        let server = CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 0.5);
+        let server = server();
         assert_eq!(
             server.estimate(RsuId(1), RsuId(2)),
             Err(SimError::MissingUpload { rsu: RsuId(1) })
@@ -174,7 +336,7 @@ mod tests {
 
     #[test]
     fn estimate_decodes_uploaded_pair() {
-        let mut server = CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 0.5);
+        let mut server = server();
         server.receive(upload(1, 64, &[1, 5], 2));
         server.receive(upload(2, 256, &[1, 70], 2));
         let e = server.estimate(RsuId(1), RsuId(2)).unwrap();
@@ -184,8 +346,25 @@ mod tests {
     }
 
     #[test]
+    fn receive_classifies_fresh_duplicate_conflicting() {
+        let mut server = server();
+        assert_eq!(server.receive(upload(1, 64, &[], 2)), ReceiveOutcome::Fresh);
+        assert_eq!(
+            server.receive(upload(1, 64, &[], 2)),
+            ReceiveOutcome::Duplicate
+        );
+        assert_eq!(
+            server.receive(upload(1, 64, &[3], 9)),
+            ReceiveOutcome::Conflicting
+        );
+        // Conflicting content replaced the stored upload.
+        assert_eq!(server.upload(RsuId(1)).unwrap().counter, 9);
+        assert_eq!(server.upload_count(), 1);
+    }
+
+    #[test]
     fn re_upload_replaces_previous() {
-        let mut server = CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 0.5);
+        let mut server = server();
         server.receive(upload(1, 64, &[], 2));
         server.receive(upload(1, 64, &[3], 9));
         assert_eq!(server.upload_count(), 1);
@@ -195,8 +374,53 @@ mod tests {
     }
 
     #[test]
+    fn sequenced_uploads_dedup_and_age_out() {
+        let mut server = server();
+        let wrap = |seq, up| SequencedUpload { seq, upload: up };
+        assert_eq!(
+            server.receive_sequenced(wrap(0, upload(1, 64, &[1], 5))),
+            ReceiveOutcome::Fresh
+        );
+        assert_eq!(
+            server.receive_sequenced(wrap(0, upload(1, 64, &[1], 5))),
+            ReceiveOutcome::Duplicate
+        );
+        assert_eq!(
+            server.receive_sequenced(wrap(0, upload(1, 64, &[2], 5))),
+            ReceiveOutcome::Conflicting
+        );
+        // Next period: higher sequence is fresh again…
+        assert_eq!(
+            server.receive_sequenced(wrap(1, upload(1, 64, &[9], 7))),
+            ReceiveOutcome::Fresh
+        );
+        // …and the old sequence is stale, leaving the new data intact.
+        assert_eq!(
+            server.receive_sequenced(wrap(0, upload(1, 64, &[1], 5))),
+            ReceiveOutcome::Stale
+        );
+        assert_eq!(server.upload(RsuId(1)).unwrap().counter, 7);
+    }
+
+    #[test]
+    fn sequenced_straggler_after_finish_period_is_stale() {
+        let mut server = server();
+        let wrap = |seq, up| SequencedUpload { seq, upload: up };
+        server.receive_sequenced(wrap(3, upload(1, 64, &[1], 5)));
+        server.finish_period().unwrap();
+        assert_eq!(server.upload_count(), 0);
+        // A re-send of the already-folded upload must not resurrect it as
+        // current-period data.
+        assert_eq!(
+            server.receive_sequenced(wrap(3, upload(1, 64, &[1], 5))),
+            ReceiveOutcome::Stale
+        );
+        assert_eq!(server.upload_count(), 0);
+    }
+
+    #[test]
     fn finish_period_updates_history_and_clears() {
-        let mut server = CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 1.0);
+        let mut server = CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 1.0).unwrap();
         server.seed_history(RsuId(1), 100.0);
         server.receive(upload(1, 64, &[], 1000));
         let sizes = server.finish_period().unwrap();
@@ -208,7 +432,7 @@ mod tests {
 
     #[test]
     fn seeded_rsus_get_sizes_without_uploads() {
-        let mut server = CentralServer::new(Scheme::variable(2, 3.0, 1).unwrap(), 0.5);
+        let mut server = server();
         server.seed_history(RsuId(9), 500.0);
         let sizes = server.finish_period().unwrap();
         assert_eq!(sizes[&RsuId(9)], 2048); // 1500 → 2^11
@@ -216,10 +440,82 @@ mod tests {
 
     #[test]
     fn fixed_scheme_sizes_are_constant() {
-        let mut server = CentralServer::new(Scheme::fixed(2, 4096, 1).unwrap(), 0.5);
+        let mut server = CentralServer::new(Scheme::fixed(2, 4096, 1).unwrap(), 0.5).unwrap();
         server.receive(upload(1, 4096, &[], 10));
         server.receive(upload(2, 4096, &[], 1_000_000));
         let sizes = server.finish_period().unwrap();
         assert!(sizes.values().all(|&m| m == 4096));
+    }
+
+    #[test]
+    fn zero_counter_uploads_estimate_to_zero_overlap() {
+        // Empty arrays and zero counters are a legal (if dull) period:
+        // the decode must produce 0, not NaN or an error.
+        let mut server = server();
+        server.receive(upload(1, 64, &[], 0));
+        server.receive(upload(2, 64, &[], 0));
+        let e = server.estimate(RsuId(1), RsuId(2)).unwrap();
+        assert_eq!(e.n_c, 0.0);
+        assert!(e.n_c.is_finite());
+        let p = server.estimate_or_degraded(RsuId(1), RsuId(2)).unwrap();
+        assert!(!p.is_degraded());
+        assert_eq!(p.n_c(), 0.0);
+    }
+
+    #[test]
+    fn degraded_fallback_uses_history_for_missing_side() {
+        let mut server = server();
+        server.seed_history(RsuId(2), 80.0);
+        server.receive(upload(1, 64, &[1, 2], 50));
+        // RSU 2 never uploaded: degraded answer bounded by min(50, 80).
+        let p = server.estimate_or_degraded(RsuId(1), RsuId(2)).unwrap();
+        assert!(p.is_degraded());
+        assert!(p.measured().is_none());
+        match p {
+            PairEstimate::Degraded(d) => {
+                assert!(!d.missing_x);
+                assert!(d.missing_y);
+                assert_eq!(d.upper, 50.0);
+                assert_eq!(d.lower, 0.0);
+                assert_eq!(d.n_c, 25.0);
+            }
+            PairEstimate::Measured(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn degraded_fallback_with_both_sides_missing() {
+        let mut server = server();
+        server.seed_history(RsuId(1), 40.0);
+        server.seed_history(RsuId(2), 60.0);
+        let p = server.estimate_or_degraded(RsuId(1), RsuId(2)).unwrap();
+        match p {
+            PairEstimate::Degraded(d) => {
+                assert!(d.missing_x && d.missing_y);
+                assert_eq!(d.upper, 40.0);
+            }
+            PairEstimate::Measured(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn degraded_fallback_fails_only_with_no_knowledge_at_all() {
+        let server = server();
+        assert_eq!(
+            server.estimate_or_degraded(RsuId(1), RsuId(2)),
+            Err(SimError::MissingUpload { rsu: RsuId(1) })
+        );
+    }
+
+    #[test]
+    fn measured_beats_degraded_when_both_uploads_arrive() {
+        let mut server = server();
+        server.seed_history(RsuId(1), 9999.0);
+        server.seed_history(RsuId(2), 9999.0);
+        server.receive(upload(1, 64, &[1, 5], 2));
+        server.receive(upload(2, 256, &[1, 70], 2));
+        let p = server.estimate_or_degraded(RsuId(1), RsuId(2)).unwrap();
+        assert!(!p.is_degraded());
+        assert!(p.measured().is_some());
     }
 }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use vcps_core::{RsuId, Scheme};
 use vcps_sim::adversary::observe_pair;
 use vcps_sim::pki::TrustedAuthority;
-use vcps_sim::protocol::{BitReport, PeriodUpload, Query};
+use vcps_sim::protocol::{BitReport, PeriodUpload, Query, SequencedUpload};
 use vcps_sim::synthetic::SyntheticPair;
 use vcps_sim::MacAddress;
 
@@ -63,6 +63,134 @@ proptest! {
         let _ = Query::decode(&bytes);
         let _ = BitReport::decode(&bytes);
         let _ = PeriodUpload::decode(&bytes);
+    }
+
+    #[test]
+    fn mutated_query_frames_are_rejected_or_decode_consistently(
+        rsu in any::<u64>(), size in 2u64..1 << 30, ca_seed in any::<u64>(),
+        cut in 0usize..33, trailing in 1usize..16,
+        flip_pos in any::<usize>(), flip_bit in 0u8..8,
+    ) {
+        let ca = TrustedAuthority::new(ca_seed);
+        let q = Query {
+            rsu: RsuId(rsu),
+            certificate: ca.issue(RsuId(rsu)),
+            array_size: size,
+        };
+        let wire = q.encode().to_vec();
+        // Any strict prefix is rejected.
+        prop_assert!(Query::decode(&wire[..cut.min(wire.len() - 1)]).is_err());
+        // Trailing bytes are rejected.
+        let mut padded = wire.clone();
+        padded.extend(std::iter::repeat_n(0xAA, trailing));
+        prop_assert!(Query::decode(&padded).is_err());
+        // A wrong tag is rejected no matter the payload.
+        let mut wrong = wire.clone();
+        wrong[0] = wrong[0].wrapping_add(1);
+        prop_assert!(Query::decode(&wrong).is_err());
+        // A flipped bit never panics; if the frame still parses, it
+        // re-encodes to exactly the mutated bytes (no silent
+        // canonicalization hiding the corruption).
+        let mut flipped = wire.clone();
+        flipped[flip_pos % wire.len()] ^= 1 << flip_bit;
+        if let Ok(d) = Query::decode(&flipped) {
+            prop_assert_eq!(d.encode().to_vec(), flipped);
+        }
+    }
+
+    #[test]
+    fn mutated_report_frames_are_rejected_or_decode_consistently(
+        mac in any::<[u8; 6]>(), index in any::<u64>(),
+        cut in 0usize..15, trailing in 1usize..16,
+        flip_pos in any::<usize>(), flip_bit in 0u8..8,
+    ) {
+        let r = BitReport { mac: MacAddress(mac), index };
+        let wire = r.encode().to_vec();
+        prop_assert!(BitReport::decode(&wire[..cut.min(wire.len() - 1)]).is_err());
+        let mut padded = wire.clone();
+        padded.extend(std::iter::repeat_n(0x55, trailing));
+        prop_assert!(BitReport::decode(&padded).is_err());
+        let mut wrong = wire.clone();
+        wrong[0] = wrong[0].wrapping_add(3);
+        prop_assert!(BitReport::decode(&wrong).is_err());
+        let mut flipped = wire.clone();
+        flipped[flip_pos % wire.len()] ^= 1 << flip_bit;
+        if let Ok(d) = BitReport::decode(&flipped) {
+            prop_assert_eq!(d.encode().to_vec(), flipped);
+        }
+    }
+
+    #[test]
+    fn mutated_upload_frames_never_panic_or_bogus_accept(
+        rsu in any::<u64>(), counter in any::<u64>(),
+        len in 2usize..4_000,
+        ones in prop::collection::vec(any::<u32>(), 0..64),
+        cut_frac in 0.0f64..1.0, trailing in 1usize..32,
+        flip_pos in any::<usize>(), flip_bit in 0u8..8,
+        compact in any::<bool>(),
+    ) {
+        let bits = vcps_bitarray::BitArray::from_indices(
+            len,
+            ones.iter().map(|&i| i as usize % len),
+        )
+        .unwrap();
+        let u = PeriodUpload { rsu: RsuId(rsu), counter, bits };
+        let wire = if compact {
+            u.encode_compact().to_vec()
+        } else {
+            u.encode().to_vec()
+        };
+        // Any strict prefix is rejected.
+        let cut = ((wire.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(PeriodUpload::decode(&wire[..cut]).is_err());
+        // Trailing bytes are rejected (both frame kinds check exact
+        // payload length).
+        let mut padded = wire.clone();
+        padded.extend(std::iter::repeat_n(0xAA, trailing));
+        prop_assert!(PeriodUpload::decode(&padded).is_err());
+        // A wrong tag is rejected.
+        let mut wrong = wire.clone();
+        wrong[0] ^= 0x80;
+        prop_assert!(PeriodUpload::decode(&wrong).is_err());
+        // A flipped bit never panics; anything that still parses must
+        // round-trip through its own encoding.
+        let mut flipped = wire.clone();
+        flipped[flip_pos % wire.len()] ^= 1 << flip_bit;
+        if let Ok(d) = PeriodUpload::decode(&flipped) {
+            prop_assert_eq!(&PeriodUpload::decode(&d.encode()).unwrap(), &d);
+        }
+    }
+
+    #[test]
+    fn mutated_sequenced_upload_frames_never_panic(
+        seq in any::<u64>(), rsu in any::<u64>(), counter in any::<u64>(),
+        len in 2usize..2_000,
+        cut_frac in 0.0f64..1.0, trailing in 1usize..32,
+        flip_pos in any::<usize>(), flip_bit in 0u8..8,
+    ) {
+        let su = SequencedUpload {
+            seq,
+            upload: PeriodUpload {
+                rsu: RsuId(rsu),
+                counter,
+                bits: vcps_bitarray::BitArray::new(len),
+            },
+        };
+        let wire = su.encode().to_vec();
+        prop_assert_eq!(&SequencedUpload::decode(&wire).unwrap(), &su);
+        let cut = ((wire.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(SequencedUpload::decode(&wire[..cut]).is_err());
+        let mut padded = wire.clone();
+        padded.extend(std::iter::repeat_n(0xAA, trailing));
+        prop_assert!(SequencedUpload::decode(&padded).is_err());
+        let mut wrong = wire.clone();
+        wrong[0] ^= 0x80;
+        prop_assert!(SequencedUpload::decode(&wrong).is_err());
+        let mut flipped = wire.clone();
+        flipped[flip_pos % wire.len()] ^= 1 << flip_bit;
+        if let Ok(d) = SequencedUpload::decode(&flipped) {
+            prop_assert_eq!(&SequencedUpload::decode(&d.encode()).unwrap(), &d);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use vcps::{CentralServer, RsuId, Scheme, SimRsu, SimVehicle, VehicleIdentity};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scheme = Scheme::variable(2, 3.0, 11)?;
     let authority = TrustedAuthority::new(99);
-    let mut server = CentralServer::new(scheme.clone(), 0.5);
+    let mut server = CentralServer::new(scheme.clone(), 0.5)?;
 
     // Day 0 history: both RSUs expect 10k vehicles.
     let growing = RsuId(1);

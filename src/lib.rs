@@ -17,7 +17,7 @@
 //! | [`hash`] | `vcps-hash` | keyed hash family, identities, logical bit arrays |
 //! | [`analysis`] | `vcps-analysis` | accuracy & privacy closed forms, parameter solvers |
 //! | [`roadnet`] | `vcps-roadnet` | graphs, Dijkstra, BPR, assignment, Sioux Falls |
-//! | [`sim`] | `vcps-sim` | vehicles, RSUs, server, protocol, DES engine, adversary |
+//! | [`sim`] | `vcps-sim` | vehicles, RSUs, server, protocol, DES engine, fault injection, adversary |
 //!
 //! The most common types are additionally re-exported at the crate root.
 //!
@@ -67,11 +67,14 @@ pub use vcps_sim as sim;
 pub use vcps_analysis::{AnalysisError, PairParams};
 pub use vcps_bitarray::{BitArray, BitArrayError, Pow2};
 pub use vcps_core::{
-    estimate_pair, CoreError, Deployment, Estimate, RsuSketch, Scheme, SchemeKind, Sizing,
-    VolumeHistory,
+    estimate_pair, CoreError, DegradedEstimate, Deployment, Estimate, PairEstimate, RsuSketch,
+    Scheme, SchemeKind, Sizing, VolumeHistory,
 };
 pub use vcps_hash::{
     HashFamily, PrivateKey, RsuId, Salts, SelectionRule, VehicleId, VehicleIdentity,
 };
 pub use vcps_roadnet::{RoadNetError, RoadNetwork, TripTable, VehicleTrip};
-pub use vcps_sim::{CentralServer, PairRunner, SimError, SimRsu, SimVehicle};
+pub use vcps_sim::{
+    CentralServer, Channel, FaultPlan, LinkFaults, PairRunner, ReceiveOutcome, RetryPolicy,
+    SimError, SimRsu, SimVehicle,
+};

@@ -141,7 +141,7 @@ fn sioux_falls_period_estimates_track_assignment_ground_truth() {
 #[test]
 fn missing_upload_is_a_typed_error() {
     let scheme = Scheme::variable(2, 3.0, 5).unwrap();
-    let server = vcps::CentralServer::new(scheme, 0.5);
+    let server = vcps::CentralServer::new(scheme, 0.5).unwrap();
     assert_eq!(
         server.estimate(RsuId(1), RsuId(2)),
         Err(SimError::MissingUpload { rsu: RsuId(1) })
