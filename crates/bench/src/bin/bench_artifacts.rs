@@ -5,6 +5,10 @@
 //!   threads and scales, while the mutex path inverts under contention).
 //! * `BENCH_decode.json` — server-side upload decode cost vs array size,
 //!   plus the O(1) cached zero-count vs a full popcount rescan.
+//! * `BENCH_odmatrix.json` — adaptive kernel selection vs the
+//!   dense-always word scan per load factor, and the cached all-pairs
+//!   `od_matrix` pipeline vs the per-pair clone-and-rescan baseline
+//!   across RSU counts, load factors, and thread counts (DESIGN.md §13).
 //!
 //! Timing is hand-rolled (median of repeated wall-clock samples) so the
 //! artifacts do not depend on any benchmark framework; the JSON is
@@ -18,7 +22,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use vcps_bench::{ingest_mutex_parallel, ingest_workload};
+use vcps_bench::{ingest_mutex_parallel, ingest_workload, od_server, pairwise_dense_baseline};
+use vcps_bitarray::{combined_zero_count, combined_zero_count_adaptive, select_pair_kernel};
 use vcps_core::RsuId;
 use vcps_sim::concurrent::{default_threads, ingest_parallel, MutexRsu, SharedRsu};
 use vcps_sim::pki::TrustedAuthority;
@@ -185,6 +190,113 @@ fn bench_decode(samples: usize) -> String {
     format!("{{\n  \"samples\": {samples},\n  \"results\": [\n{rows}\n  ]\n}}\n")
 }
 
+/// One nested pair per load factor: dense word scan vs the adaptive
+/// kernel (DESIGN.md §13). At light loads the sparse kernels should win
+/// outright; at heavy loads the selector falls back to dense and the
+/// two columns converge.
+fn bench_odmatrix_kernels(samples: usize) -> String {
+    let m_y = 1usize << 18;
+    let m_x = m_y / 4;
+    let mut rows = String::new();
+    for &load in &[0.0005f64, 0.005, 0.05, 0.4] {
+        let small = vcps_bench::filled_sketch(1, m_x, load).bits().clone();
+        let large = vcps_bench::filled_sketch(2, m_y, load).bits().clone();
+        let ones_x: Vec<u64> = small.ones().map(|i| i as u64).collect();
+        let ones_y: Vec<u64> = large.ones().map(|i| i as u64).collect();
+        let kernel = select_pair_kernel(m_x, Some(ones_x.len()), m_y, Some(ones_y.len()));
+        // Many reps per sample so sub-microsecond kernels are measurable.
+        let reps = 200u32;
+        let dense_ns = median_ns(samples, || {
+            let mut acc = 0usize;
+            for _ in 0..reps {
+                acc += combined_zero_count(&small, &large).expect("nested sizes");
+            }
+            assert!(acc > 0);
+        }) / u128::from(reps);
+        let mut scratch = vcps_bitarray::DecodeScratch::new();
+        let adaptive_ns = median_ns(samples, || {
+            let mut acc = 0usize;
+            for _ in 0..reps {
+                acc += combined_zero_count_adaptive(
+                    &small,
+                    Some(&ones_x),
+                    &large,
+                    Some(&ones_y),
+                    &mut scratch,
+                )
+                .expect("nested sizes");
+            }
+            assert!(acc > 0);
+        }) / u128::from(reps);
+        let speedup = dense_ns as f64 / adaptive_ns.max(1) as f64;
+        let _ = write!(
+            rows,
+            "{}    {{\"m_x\": {m_x}, \"m_y\": {m_y}, \"load\": {load}, \
+             \"ones_x\": {}, \"ones_y\": {}, \"kernel\": \"{}\", \
+             \"dense_ns\": {dense_ns}, \"adaptive_ns\": {adaptive_ns}, \
+             \"speedup\": {speedup:.3}}}",
+            if rows.is_empty() { "" } else { ",\n" },
+            ones_x.len(),
+            ones_y.len(),
+            kernel.label(),
+        );
+        println!(
+            "kernel  load={load:<7} {:<13} dense {dense_ns:>9} ns   adaptive {adaptive_ns:>9} ns   speedup {speedup:.2}x",
+            kernel.label()
+        );
+    }
+    rows
+}
+
+/// All-pairs decode wall clock: the cached `od_matrix` pipeline vs the
+/// per-pair clone-and-rescan baseline, across RSU counts, load factors,
+/// and thread counts.
+fn bench_odmatrix_pipeline(samples: usize) -> String {
+    let mut thread_counts = vec![1usize, 2, 4];
+    let n = default_threads();
+    if !thread_counts.contains(&n) {
+        thread_counts.push(n);
+    }
+    let mut rows = String::new();
+    for &rsus in &[8usize, 24] {
+        for &load in &[0.0005f64, 0.005, 0.3] {
+            let (server, ids) = od_server(rsus, 1 << 17, load, 42);
+            let pairwise_ns = median_ns(samples, || {
+                let estimates = pairwise_dense_baseline(&server, &ids);
+                assert_eq!(estimates.len(), rsus * (rsus - 1) / 2);
+            });
+            for &threads in &thread_counts {
+                let od_ns = median_ns(samples, || {
+                    let matrix = server.od_matrix_threads(threads).expect("decodable");
+                    assert_eq!(matrix.len(), rsus);
+                });
+                let speedup = pairwise_ns as f64 / od_ns.max(1) as f64;
+                let _ = write!(
+                    rows,
+                    "{}    {{\"rsus\": {rsus}, \"load_factor\": {load}, \"threads\": {threads}, \
+                     \"pairwise_ns\": {pairwise_ns}, \"od_matrix_ns\": {od_ns}, \
+                     \"speedup_vs_pairwise\": {speedup:.3}}}",
+                    if rows.is_empty() { "" } else { ",\n" },
+                );
+                println!(
+                    "odmatrix rsus={rsus:<3} load={load:<6} threads={threads:<3} pairwise {pairwise_ns:>11} ns   od_matrix {od_ns:>11} ns   speedup {speedup:.2}x"
+                );
+            }
+        }
+    }
+    rows
+}
+
+fn bench_odmatrix(samples: usize) -> String {
+    let kernel_rows = bench_odmatrix_kernels(samples);
+    let od_rows = bench_odmatrix_pipeline(samples);
+    format!(
+        "{{\n  \"workload\": {{\"array_bits\": {}, \"samples\": {samples}}},\n  \
+         \"kernel\": [\n{kernel_rows}\n  ],\n  \"od_matrix\": [\n{od_rows}\n  ]\n}}\n",
+        1usize << 18,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let (out, reports, samples) = match parse_args(&args) {
@@ -197,9 +309,12 @@ fn main() {
 
     let ingest = bench_ingest(reports, samples);
     let decode = bench_decode(samples);
+    let odmatrix = bench_odmatrix(samples);
     let ingest_path = format!("{out}/BENCH_ingest.json");
     let decode_path = format!("{out}/BENCH_decode.json");
+    let odmatrix_path = format!("{out}/BENCH_odmatrix.json");
     std::fs::write(&ingest_path, ingest).expect("write BENCH_ingest.json");
     std::fs::write(&decode_path, decode).expect("write BENCH_decode.json");
-    println!("wrote {ingest_path} and {decode_path}");
+    std::fs::write(&odmatrix_path, odmatrix).expect("write BENCH_odmatrix.json");
+    println!("wrote {ingest_path}, {decode_path}, and {odmatrix_path}");
 }

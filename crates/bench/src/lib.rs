@@ -22,10 +22,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use vcps_core::RsuSketch;
+use vcps_bitarray::combined_zero_count;
+use vcps_core::{
+    estimate_from_counts_or_clamp, first_plays_x, Estimate, PairCounts, RsuSketch, Scheme,
+};
 use vcps_hash::RsuId;
 use vcps_sim::concurrent::MutexRsu;
-use vcps_sim::{BitReport, MacAddress};
+use vcps_sim::{BitReport, CentralServer, MacAddress, PeriodUpload};
 
 /// Builds a sketch of size `m` with roughly `fill` fraction of distinct
 /// bits set, deterministically.
@@ -93,6 +96,80 @@ pub fn ingest_mutex_parallel(rsu: &MutexRsu, reports: &[BitReport], threads: usi
     });
 }
 
+/// Builds a central server holding `rsus` period uploads, each with
+/// roughly `load` fraction of distinct bits set — the shared workload of
+/// the O–D matrix benches and the `odmatrix` experiment binary.
+///
+/// Array sizes cycle through `m`, `m/2`, and `m/4` (floored at 64 bits)
+/// so the pair triangle exercises the unfold path and every kernel
+/// orientation, not just the equal-size fast path.
+///
+/// # Panics
+///
+/// Panics if `m < 256` or `load` is not in `[0, 1]`.
+#[must_use]
+pub fn od_server(rsus: usize, m: usize, load: f64, seed: u64) -> (CentralServer, Vec<RsuId>) {
+    assert!(m >= 256, "need room for the size ladder");
+    let scheme = Scheme::variable(2, 3.0, seed).expect("valid scheme");
+    let mut server = CentralServer::new(scheme, 0.5).expect("valid alpha");
+    let mut ids = Vec::with_capacity(rsus);
+    for i in 0..rsus {
+        let id = RsuId(i as u64 + 1);
+        let len = (m >> (i % 3)).max(64);
+        let sketch = filled_sketch(id.0, len, load);
+        server.receive(PeriodUpload {
+            rsu: id,
+            counter: sketch.count(),
+            bits: sketch.bits().clone(),
+        });
+        ids.push(id);
+    }
+    (server, ids)
+}
+
+/// Decodes every unordered pair the way the pre-batch decoder did —
+/// clone both dense arrays per pair, run the dense word scan, recount
+/// zeros, no caches — the baseline the `od_matrix` pipeline is measured
+/// against in `benches/odmatrix.rs` and `BENCH_odmatrix.json`.
+///
+/// # Panics
+///
+/// Panics if any listed RSU has no upload or sizes are not nested.
+#[must_use]
+pub fn pairwise_dense_baseline(server: &CentralServer, rsus: &[RsuId]) -> Vec<Estimate> {
+    let s = server.scheme().s();
+    let mut out = Vec::with_capacity(rsus.len() * rsus.len().saturating_sub(1) / 2);
+    for (i, &a) in rsus.iter().enumerate() {
+        for &b in &rsus[i + 1..] {
+            let ua = server.upload(a).expect("uploaded");
+            let ub = server.upload(b).expect("uploaded");
+            let a_first = first_plays_x(
+                ua.bits.len(),
+                ua.counter,
+                ua.rsu,
+                ub.bits.len(),
+                ub.counter,
+                ub.rsu,
+            );
+            let (x, y) = if a_first { (ua, ub) } else { (ub, ua) };
+            // The clones mirror the old per-pair sketch reconstruction.
+            let bx = x.bits.clone();
+            let by = y.bits.clone();
+            let counts = PairCounts {
+                m_x: bx.len(),
+                m_y: by.len(),
+                u_x: bx.count_zeros(),
+                u_y: by.count_zeros(),
+                u_c: combined_zero_count(&bx, &by).expect("nested sizes"),
+                n_x: x.counter,
+                n_y: y.counter,
+            };
+            out.push(estimate_from_counts_or_clamp(&counts, s));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +201,23 @@ mod tests {
     fn zero_fill_is_empty() {
         let s = filled_sketch(1, 64, 0.0);
         assert_eq!(s.bits().count_ones(), 0);
+    }
+
+    #[test]
+    fn pairwise_baseline_matches_od_matrix() {
+        let (server, ids) = od_server(6, 1 << 10, 0.2, 11);
+        let baseline = pairwise_dense_baseline(&server, &ids);
+        let matrix = server.od_matrix_threads(1).unwrap();
+        assert_eq!(baseline.len(), 15);
+        let mut k = 0;
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                match matrix.get(a, b).unwrap() {
+                    vcps_core::PairEstimate::Measured(e) => assert_eq!(e, &baseline[k]),
+                    other => panic!("expected measured estimate, got {other:?}"),
+                }
+                k += 1;
+            }
+        }
     }
 }

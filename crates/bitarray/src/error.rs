@@ -33,6 +33,15 @@ pub enum BitArrayError {
         /// The array length.
         len: usize,
     },
+    /// A sparse set-bit index list was not strictly increasing (it is
+    /// unsorted or contains a duplicate). Sparse decode kernels count
+    /// `|unfold(S_x)| = |S_x|·r` from the list length alone, so a
+    /// duplicated index would silently inflate the count — reject it.
+    NotStrictlyIncreasing {
+        /// Position of the first entry that is not strictly greater
+        /// than its predecessor.
+        position: usize,
+    },
 }
 
 impl fmt::Display for BitArrayError {
@@ -51,6 +60,12 @@ impl fmt::Display for BitArrayError {
             }
             BitArrayError::IndexOutOfBounds { index, len } => {
                 write!(f, "bit index {index} out of bounds for length {len}")
+            }
+            BitArrayError::NotStrictlyIncreasing { position } => {
+                write!(
+                    f,
+                    "sparse index list is not strictly increasing at position {position}"
+                )
             }
         }
     }
@@ -81,6 +96,10 @@ mod tests {
             (
                 BitArrayError::IndexOutOfBounds { index: 9, len: 8 },
                 "out of bounds",
+            ),
+            (
+                BitArrayError::NotStrictlyIncreasing { position: 3 },
+                "strictly increasing at position 3",
             ),
         ];
         for (err, needle) in cases {

@@ -54,6 +54,7 @@
 mod atomic;
 mod bit_array;
 mod error;
+mod kernels;
 mod ops;
 mod pow2;
 mod sparse;
@@ -61,6 +62,12 @@ mod sparse;
 pub use atomic::AtomicBitArray;
 pub use bit_array::{BitArray, Ones};
 pub use error::BitArrayError;
+pub use kernels::{
+    combined_zero_count_adaptive, combined_zero_count_dense_sparse,
+    combined_zero_count_sparse_dense, combined_zero_count_sparse_sparse,
+    combined_zero_count_sparse_sparse_with, select_pair_kernel, sparse_is_profitable,
+    validate_sparse_indices, DecodeScratch, PairKernel, SPARSE_DENSIFY_BITS_PER_ONE,
+};
 pub use ops::{combined_zero_count, combined_zero_count_naive};
 pub use pow2::Pow2;
 pub use sparse::SparseBits;

@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::{sparse_is_profitable, validate_sparse_indices};
 use crate::{BitArray, BitArrayError};
 
 /// A size-adaptive encoding of a [`BitArray`].
@@ -36,12 +37,12 @@ pub enum SparseBits {
 
 impl SparseBits {
     /// Encodes an array, choosing whichever representation is smaller in
-    /// serialized bytes (8 bytes per word vs 8 bytes per set index).
+    /// serialized bytes (8 bytes per word vs 8 bytes per set index); the
+    /// break-even is [`crate::SPARSE_DENSIFY_BITS_PER_ONE`].
     #[must_use]
     pub fn encode(bits: &BitArray) -> Self {
         let words = bits.as_words();
-        let ones = bits.count_ones();
-        if ones < words.len() {
+        if sparse_is_profitable(bits.len(), bits.count_ones()) {
             SparseBits::Sparse {
                 len: bits.len() as u64,
                 ones: bits.ones().map(|i| i as u64).collect(),
@@ -59,11 +60,14 @@ impl SparseBits {
     /// # Errors
     ///
     /// Returns a [`BitArrayError`] if the payload is inconsistent
-    /// (wrong word count, out-of-range indices, zero length).
+    /// (wrong word count, zero length, or a sparse index list that is
+    /// out of range, unsorted, or duplicated — see
+    /// [`BitArrayError::NotStrictlyIncreasing`]).
     pub fn decode(&self) -> Result<BitArray, BitArrayError> {
         match self {
             SparseBits::Dense { len, words } => BitArray::from_words(words.clone(), *len as usize),
             SparseBits::Sparse { len, ones } => {
+                validate_sparse_indices(*len as usize, ones)?;
                 BitArray::from_indices(*len as usize, ones.iter().map(|&i| i as usize))
             }
         }
@@ -165,6 +169,24 @@ mod tests {
             ones: vec![9],
         };
         assert!(bad.decode().is_err());
+        // Duplicate and unsorted index lists are typed errors, not
+        // silently collapsed bits.
+        let bad = SparseBits::Sparse {
+            len: 64,
+            ones: vec![5, 5],
+        };
+        assert_eq!(
+            bad.decode(),
+            Err(BitArrayError::NotStrictlyIncreasing { position: 1 })
+        );
+        let bad = SparseBits::Sparse {
+            len: 64,
+            ones: vec![7, 2],
+        };
+        assert_eq!(
+            bad.decode(),
+            Err(BitArrayError::NotStrictlyIncreasing { position: 1 })
+        );
         let bad = SparseBits::Dense {
             len: 128,
             words: vec![0],

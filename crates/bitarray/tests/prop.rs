@@ -2,7 +2,11 @@
 
 use proptest::prelude::*;
 
-use vcps_bitarray::{combined_zero_count, combined_zero_count_naive, BitArray, Pow2, SparseBits};
+use vcps_bitarray::{
+    combined_zero_count, combined_zero_count_adaptive, combined_zero_count_dense_sparse,
+    combined_zero_count_naive, combined_zero_count_sparse_dense, combined_zero_count_sparse_sparse,
+    BitArray, BitArrayError, DecodeScratch, Pow2, SparseBits,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -96,6 +100,69 @@ proptest! {
         prop_assert!(u_c <= x.count_zeros() * ratio);
         prop_assert!(u_c <= y.count_zeros());
         prop_assert_eq!(u_c, combined_zero_count_naive(&x, &y).unwrap());
+    }
+
+    #[test]
+    fn sparse_kernels_match_dense_across_power_of_two_size_pairs(
+        kx in 0u32..9, extra in 0u32..5,
+        xs in prop::collection::vec(any::<u32>(), 0..96),
+        ys in prop::collection::vec(any::<u32>(), 0..256),
+    ) {
+        // Every kernel — list×list, list×dense, dense×list, and the
+        // adaptive selector in all four availability combinations — must
+        // produce the exact combined zero count of the dense word scan.
+        let m_x = 1usize << kx;
+        let m_y = m_x << extra;
+        let small = BitArray::from_indices(m_x, xs.iter().map(|&v| v as usize % m_x)).unwrap();
+        let large = BitArray::from_indices(m_y, ys.iter().map(|&v| v as usize % m_y)).unwrap();
+        let expected = combined_zero_count(&small, &large).unwrap();
+        let sx: Vec<u64> = small.ones().map(|i| i as u64).collect();
+        let sy: Vec<u64> = large.ones().map(|i| i as u64).collect();
+        prop_assert_eq!(
+            combined_zero_count_sparse_sparse(m_x, &sx, m_y, &sy).unwrap(),
+            expected
+        );
+        prop_assert_eq!(
+            combined_zero_count_sparse_dense(m_x, &sx, &large).unwrap(),
+            expected
+        );
+        prop_assert_eq!(
+            combined_zero_count_dense_sparse(&small, m_y, &sy).unwrap(),
+            expected
+        );
+        let mut scratch = DecodeScratch::new();
+        for (ox, oy) in [
+            (None, None),
+            (Some(sx.as_slice()), None),
+            (None, Some(sy.as_slice())),
+            (Some(sx.as_slice()), Some(sy.as_slice())),
+        ] {
+            prop_assert_eq!(
+                combined_zero_count_adaptive(&small, ox, &large, oy, &mut scratch).unwrap(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_kernels_reject_corrupted_index_lists(
+        kx in 2u32..8, extra in 0u32..4,
+        pivot in any::<u32>(),
+    ) {
+        let m_x = 1usize << kx;
+        let m_y = m_x << extra;
+        let small = BitArray::new(m_x);
+        let large = BitArray::new(m_y);
+        let i = pivot as u64 % m_x as u64;
+        let duplicate = vec![i, i];
+        let out_of_range = vec![m_y as u64];
+        prop_assert_eq!(
+            combined_zero_count_sparse_sparse(m_x, &duplicate, m_y, &[]),
+            Err(BitArrayError::NotStrictlyIncreasing { position: 1 })
+        );
+        prop_assert!(combined_zero_count_sparse_dense(m_x, &duplicate, &large).is_err());
+        prop_assert!(combined_zero_count_dense_sparse(&small, m_y, &duplicate).is_err());
+        prop_assert!(combined_zero_count_dense_sparse(&small, m_y, &out_of_range).is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use serde::{Deserialize, Serialize};
 
 use vcps_bitarray::combined_zero_count;
+use vcps_hash::RsuId;
 
 use crate::{CoreError, RsuSketch};
 
@@ -168,6 +169,29 @@ impl PairEstimate {
             PairEstimate::Degraded(_) => None,
         }
     }
+
+    /// The same answer with the roles of the two query arguments
+    /// swapped.
+    ///
+    /// A measured estimate is already canonical in its pair (the decode
+    /// orients by array size, not argument order), so it is returned
+    /// unchanged; a degraded estimate labels its volumes and
+    /// missing-flags per argument, so those swap. Batch decoders use
+    /// this to fill the mirror entry of an O–D matrix without decoding
+    /// the pair twice.
+    #[must_use]
+    pub fn transposed(&self) -> Self {
+        match *self {
+            PairEstimate::Measured(e) => PairEstimate::Measured(e),
+            PairEstimate::Degraded(d) => PairEstimate::Degraded(DegradedEstimate {
+                volume_x: d.volume_y,
+                volume_y: d.volume_x,
+                missing_x: d.missing_y,
+                missing_y: d.missing_x,
+                ..d
+            }),
+        }
+    }
 }
 
 /// A history-only pair answer (the `Degraded` arm of [`PairEstimate`]).
@@ -214,6 +238,126 @@ impl DegradedEstimate {
             missing_y,
         }
     }
+}
+
+/// The sufficient statistics of one RSU pair decode, in canonical
+/// `(x, y)` orientation (see [`first_plays_x`]).
+///
+/// Eq. 5 depends on the sketches only through these seven numbers, so a
+/// batch decoder can compute them once per pair — via whatever kernel is
+/// cheapest — cache them, and replay [`estimate_from_counts`] for free
+/// on repeated queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairCounts {
+    /// Size of the smaller array, `m_x`.
+    pub m_x: usize,
+    /// Size of the larger array, `m_y`.
+    pub m_y: usize,
+    /// Zero count of `B_x`.
+    pub u_x: usize,
+    /// Zero count of `B_y`.
+    pub u_y: usize,
+    /// Zero count of the combined array `B_c` (paper Eq. 4).
+    pub u_c: usize,
+    /// Counter of the RSU with the smaller array.
+    pub n_x: u64,
+    /// Counter of the RSU with the larger array.
+    pub n_y: u64,
+}
+
+/// The canonical pair orientation shared by [`estimate_pair`] and every
+/// cached decode path: `true` if the sketch described by
+/// `(a_len, a_count, a_id)` plays `B_x` against `b`. The smaller array
+/// is `B_x`; equal lengths tie-break on `(counter, id)` so the decision
+/// is symmetric in argument order.
+///
+/// Exposed so batch decoders operating on raw uploads (not
+/// [`RsuSketch`]s) produce orientations — and therefore estimates —
+/// bit-identical to [`estimate_pair`].
+#[must_use]
+pub fn first_plays_x(
+    a_len: usize,
+    a_count: u64,
+    a_id: RsuId,
+    b_len: usize,
+    b_count: u64,
+    b_id: RsuId,
+) -> bool {
+    if a_len != b_len {
+        a_len < b_len
+    } else {
+        (a_count, a_id) <= (b_count, b_id)
+    }
+}
+
+/// Applies Eq. 5 to precomputed [`PairCounts`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Saturated`] if any of the three zero counts is
+/// zero.
+pub fn estimate_from_counts(counts: &PairCounts, s: usize) -> Result<Estimate, CoreError> {
+    estimate_from_counts_inner(counts, s, false)
+}
+
+/// Like [`estimate_from_counts`], but substitutes half a zero bit for
+/// any saturated count and sets [`Estimate::clamped`].
+///
+/// Infallible in practice — saturated counts are clamped, and
+/// [`PairCounts`] are produced by decode paths that already validated
+/// array nesting.
+#[must_use]
+pub fn estimate_from_counts_or_clamp(counts: &PairCounts, s: usize) -> Estimate {
+    estimate_from_counts_inner(counts, s, true).expect("clamped decode cannot saturate")
+}
+
+fn estimate_from_counts_inner(
+    counts: &PairCounts,
+    s: usize,
+    clamp: bool,
+) -> Result<Estimate, CoreError> {
+    let &PairCounts {
+        m_x,
+        m_y,
+        u_x,
+        u_y,
+        u_c,
+        n_x,
+        n_y,
+    } = counts;
+
+    let mut clamped = false;
+    let mut fraction = |u: usize, m: usize, which: &'static str| -> Result<f64, CoreError> {
+        if u == 0 {
+            if clamp {
+                clamped = true;
+                // Half a zero bit: the usual continuity correction that
+                // keeps ln finite while staying below 1/m.
+                Ok(0.5 / m as f64)
+            } else {
+                Err(CoreError::Saturated { which })
+            }
+        } else {
+            Ok(u as f64 / m as f64)
+        }
+    };
+
+    let v_x = fraction(u_x, m_x, "B_x")?;
+    let v_y = fraction(u_y, m_y, "B_y")?;
+    let v_c = fraction(u_c, m_y, "B_c")?;
+
+    let n_c = (v_c.ln() - v_x.ln() - v_y.ln()) / denominator(m_y, s);
+    Ok(Estimate {
+        n_c,
+        v_x,
+        v_y,
+        v_c,
+        m_x,
+        m_y,
+        n_x,
+        n_y,
+        clamped,
+    })
 }
 
 /// The estimator denominator `ln(1 − (s−1)/(s·m_y)) − ln(1 − 1/m_y)`.
@@ -267,57 +411,18 @@ fn estimate_pair_inner(
     s: usize,
     clamp: bool,
 ) -> Result<Estimate, CoreError> {
-    // The smaller array plays B_x; equal lengths tie-break on (counter,
-    // id) so the result is fully symmetric in the argument order.
-    let (x, y) = if a.len() != b.len() {
-        if a.len() < b.len() {
-            (a, b)
-        } else {
-            (b, a)
-        }
-    } else if (a.count(), a.id()) <= (b.count(), b.id()) {
-        (a, b)
-    } else {
-        (b, a)
-    };
-    let m_x = x.len();
-    let m_y = y.len();
-    let u_x = x.zero_count();
-    let u_y = y.zero_count();
-    let u_c = combined_zero_count(x.bits(), y.bits())?;
-
-    let mut clamped = false;
-    let mut fraction = |u: usize, m: usize, which: &'static str| -> Result<f64, CoreError> {
-        if u == 0 {
-            if clamp {
-                clamped = true;
-                // Half a zero bit: the usual continuity correction that
-                // keeps ln finite while staying below 1/m.
-                Ok(0.5 / m as f64)
-            } else {
-                Err(CoreError::Saturated { which })
-            }
-        } else {
-            Ok(u as f64 / m as f64)
-        }
-    };
-
-    let v_x = fraction(u_x, m_x, "B_x")?;
-    let v_y = fraction(u_y, m_y, "B_y")?;
-    let v_c = fraction(u_c, m_y, "B_c")?;
-
-    let n_c = (v_c.ln() - v_x.ln() - v_y.ln()) / denominator(m_y, s);
-    Ok(Estimate {
-        n_c,
-        v_x,
-        v_y,
-        v_c,
-        m_x,
-        m_y,
+    let a_first = first_plays_x(a.len(), a.count(), a.id(), b.len(), b.count(), b.id());
+    let (x, y) = if a_first { (a, b) } else { (b, a) };
+    let counts = PairCounts {
+        m_x: x.len(),
+        m_y: y.len(),
+        u_x: x.zero_count(),
+        u_y: y.zero_count(),
+        u_c: combined_zero_count(x.bits(), y.bits())?,
         n_x: x.count(),
         n_y: y.count(),
-        clamped,
-    })
+    };
+    estimate_from_counts_inner(&counts, s, clamp)
 }
 
 #[cfg(test)]
@@ -465,6 +570,55 @@ mod tests {
         assert!(!p.is_degraded());
         assert_eq!(p.n_c(), e.n_c);
         assert_eq!(p.measured(), Some(&e));
+    }
+
+    #[test]
+    fn counts_based_decode_matches_sketch_based() {
+        let x = sketch(1, 16, &[1, 5]);
+        let y = sketch(2, 64, &[1, 17, 40]);
+        let via_sketches = estimate_pair(&x, &y, 2).unwrap();
+        let counts = PairCounts {
+            m_x: 16,
+            m_y: 64,
+            u_x: x.zero_count(),
+            u_y: y.zero_count(),
+            u_c: combined_zero_count(x.bits(), y.bits()).unwrap(),
+            n_x: 2,
+            n_y: 3,
+        };
+        assert_eq!(estimate_from_counts(&counts, 2).unwrap(), via_sketches);
+        assert_eq!(estimate_from_counts_or_clamp(&counts, 2), via_sketches);
+    }
+
+    #[test]
+    fn counts_based_decode_saturates_and_clamps() {
+        let counts = PairCounts {
+            m_x: 8,
+            m_y: 8,
+            u_x: 0,
+            u_y: 4,
+            u_c: 2,
+            n_x: 20,
+            n_y: 4,
+        };
+        assert_eq!(
+            estimate_from_counts(&counts, 2),
+            Err(CoreError::Saturated { which: "B_x" })
+        );
+        let clamped = estimate_from_counts_or_clamp(&counts, 2);
+        assert!(clamped.clamped);
+        assert!(clamped.n_c.is_finite());
+    }
+
+    #[test]
+    fn orientation_helper_matches_pair_decode() {
+        // Different lengths: shorter plays x regardless of counters.
+        assert!(first_plays_x(16, 99, RsuId(9), 64, 1, RsuId(1)));
+        assert!(!first_plays_x(64, 1, RsuId(1), 16, 99, RsuId(9)));
+        // Equal lengths: (counter, id) tie-break, symmetric.
+        assert!(first_plays_x(16, 1, RsuId(2), 16, 1, RsuId(3)));
+        assert!(!first_plays_x(16, 1, RsuId(3), 16, 1, RsuId(2)));
+        assert!(first_plays_x(16, 1, RsuId(3), 16, 2, RsuId(2)));
     }
 
     /// End-to-end sanity: simulate the abstract process with a known

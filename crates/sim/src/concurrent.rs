@@ -368,6 +368,11 @@ where
     if n == 0 {
         return Vec::new();
     }
+    // One worker needs no scope, no cursor, and — crucially for short
+    // jobs like a small O–D triangle — no thread spawn.
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
     // Several chunks per worker so stragglers can be stolen around, but
     // chunks stay large enough to amortize the shared cursor.
     let chunk = n.div_ceil(threads * 4).max(1);

@@ -75,5 +75,5 @@ pub use metrics::{CommunicationMetrics, FaultMetrics, LinkMetrics};
 pub use protocol::{BitReport, PeriodUpload, Query, SequencedUpload};
 pub use rsu::SimRsu;
 pub use runner::{PairOutcome, PairRunner};
-pub use server::{CentralServer, ReceiveOutcome};
+pub use server::{CentralServer, OdMatrix, ReceiveOutcome};
 pub use vehicle::SimVehicle;

@@ -256,8 +256,21 @@ impl PeriodUpload {
         let mut bits = BitArray::try_new(len).map_err(|_| SimError::MalformedMessage {
             reason: "invalid bit array length in upload",
         })?;
+        // The index list must be strictly increasing, as encode_compact
+        // emits it: a duplicated or unsorted list means the frame was
+        // corrupted or forged, and sparse decode kernels downstream
+        // derive counts from list lengths — reject rather than silently
+        // collapse duplicates into fewer set bits.
+        let mut prev: Option<u64> = None;
         for _ in 0..ones {
-            bits.try_set(wire.get_u64() as usize)
+            let index = wire.get_u64();
+            if prev.is_some_and(|p| index <= p) {
+                return Err(SimError::MalformedMessage {
+                    reason: "sparse upload indices not strictly increasing",
+                });
+            }
+            prev = Some(index);
+            bits.try_set(index as usize)
                 .map_err(|_| SimError::MalformedMessage {
                     reason: "sparse upload index out of range",
                 })?;
@@ -442,6 +455,34 @@ mod tests {
         let n = bad.len();
         bad[n - 1] = 200;
         assert!(PeriodUpload::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn sparse_upload_rejects_duplicate_and_unsorted_indices() {
+        // Three ones in 256 bits: sparse frame with indices 1, 9, 200.
+        let mut bits = BitArray::new(256);
+        for i in [1usize, 9, 200] {
+            bits.set(i);
+        }
+        let u = PeriodUpload {
+            rsu: RsuId(1),
+            counter: 3,
+            bits,
+        };
+        let wire = u.encode_compact().to_vec();
+        assert_eq!(PeriodUpload::decode(&wire).unwrap(), u);
+        let n = wire.len();
+        // Duplicate: overwrite the last index (200) with the middle one
+        // (9). In-range, so only the monotonicity check can catch it.
+        let mut dup = wire.clone();
+        dup.copy_within(n - 16..n - 8, n - 8);
+        assert!(PeriodUpload::decode(&dup).is_err());
+        // Unsorted: swap the first two indices (9, 1, 200).
+        let mut unsorted = wire.clone();
+        let base = wire.len() - 3 * 8;
+        unsorted[base..base + 8].copy_from_slice(&wire[n - 16..n - 8]);
+        unsorted[base + 8..base + 16].copy_from_slice(&wire[base..base + 8]);
+        assert!(PeriodUpload::decode(&unsorted).is_err());
     }
 
     #[test]

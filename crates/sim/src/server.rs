@@ -1,14 +1,24 @@
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::RwLock;
 
 use serde::{Deserialize, Serialize};
 
-use vcps_core::estimator::{estimate_pair, estimate_pair_or_clamp, Estimate};
-use vcps_core::{
-    CoreError, DegradedEstimate, PairEstimate, RsuId, RsuSketch, Scheme, VolumeHistory,
+use vcps_bitarray::{combined_zero_count_adaptive, sparse_is_profitable, DecodeScratch};
+use vcps_core::estimator::{
+    estimate_from_counts, estimate_from_counts_or_clamp, first_plays_x, Estimate, PairCounts,
 };
+use vcps_core::{CoreError, DegradedEstimate, PairEstimate, RsuId, Scheme, VolumeHistory};
 
 use crate::protocol::{PeriodUpload, SequencedUpload};
 use crate::SimError;
+
+thread_local! {
+    /// Per-thread scratch for the sparse-sparse decode kernel, so both
+    /// the single-pair and all-pairs paths reuse one membership mask per
+    /// worker instead of allocating per pair.
+    static SCRATCH: RefCell<DecodeScratch> = RefCell::new(DecodeScratch::new());
+}
 
 /// How the server classified one incoming upload relative to what it
 /// already holds (see [`CentralServer::receive`] and
@@ -32,6 +42,132 @@ pub enum ReceiveOutcome {
     /// Sequence number at or below one already folded into history (a
     /// straggler from an earlier period): ignored entirely.
     Stale,
+}
+
+/// Decode-side caches derived from the uploads of the current period.
+///
+/// * `sparse_ones` — the sorted set-bit index list of every upload still
+///   under the densify threshold ([`vcps_bitarray::sparse_is_profitable`]),
+///   extracted once at receive time and shared by all `N−1` pair decodes
+///   that touch the RSU.
+/// * `pair_memo` — the [`PairCounts`] of every pair already decoded this
+///   period, so repeated single-pair queries are O(1) after first touch.
+///
+/// Lifetime: entries for an RSU are dropped whenever a new upload
+/// replaces its data ([`ReceiveOutcome::Fresh`] / `Conflicting`), and
+/// everything is cleared by [`CentralServer::finish_period`] — the
+/// caches never outlive the uploads they were derived from.
+///
+/// The caches are pure accelerators: they are ignored by equality,
+/// carried empty through (de)serialization, and rebuilt lazily, so a
+/// restored or cloned server answers identically (at worst via the dense
+/// kernel until re-populated).
+#[derive(Debug, Default)]
+struct DecodeCaches {
+    sparse_ones: BTreeMap<RsuId, Vec<u64>>,
+    pair_memo: RwLock<BTreeMap<(RsuId, RsuId), PairCounts>>,
+}
+
+impl Clone for DecodeCaches {
+    fn clone(&self) -> Self {
+        Self {
+            sparse_ones: self.sparse_ones.clone(),
+            pair_memo: RwLock::new(self.pair_memo.read().expect("pair memo poisoned").clone()),
+        }
+    }
+}
+
+impl PartialEq for DecodeCaches {
+    fn eq(&self, _other: &Self) -> bool {
+        // Caches are derived state: two servers with equal uploads answer
+        // identically regardless of what either has memoized.
+        true
+    }
+}
+
+impl Serialize for DecodeCaches {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Derived state: nothing to persist (matches the offline serde
+        // shim's placeholder sink; with real serde this would be a unit).
+        serializer.serialize_stub()
+    }
+}
+
+impl<'de> Deserialize<'de> for DecodeCaches {
+    fn deserialize<D: serde::Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        // Rebuilt lazily after restore.
+        Ok(Self::default())
+    }
+}
+
+/// One period's origin–destination matrix: the [`PairEstimate`] for
+/// every unordered pair of RSUs the server knows about (uploads and
+/// volume history), produced by [`CentralServer::od_matrix`].
+///
+/// Stored row-major over the sorted RSU list; the diagonal is `None`
+/// (an RSU's "overlap with itself" is just its counter, not an O–D
+/// flow) and each pair is decoded once — the mirror entry is the same
+/// estimate with the argument roles swapped
+/// ([`PairEstimate::transposed`]), so `at(i, j)` always equals
+/// `estimate_or_degraded(rsus[i], rsus[j])` exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OdMatrix {
+    rsus: Vec<RsuId>,
+    entries: Vec<Option<PairEstimate>>,
+}
+
+impl OdMatrix {
+    /// The RSUs covered, in ascending id order (the matrix axes).
+    #[must_use]
+    pub fn rsus(&self) -> &[RsuId] {
+        &self.rsus
+    }
+
+    /// Number of RSUs covered (the matrix is `len × len`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rsus.len()
+    }
+
+    /// `true` if the server knew no RSUs at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rsus.is_empty()
+    }
+
+    /// The estimate at row `i`, column `j` of the matrix (`None` on the
+    /// diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is not below [`len`](OdMatrix::len).
+    #[must_use]
+    pub fn at(&self, i: usize, j: usize) -> Option<&PairEstimate> {
+        assert!(i < self.len() && j < self.len(), "index out of range");
+        self.entries[i * self.rsus.len() + j].as_ref()
+    }
+
+    /// The estimate for an RSU pair by id, `None` if either RSU is not
+    /// covered or `a == b`.
+    #[must_use]
+    pub fn get(&self, a: RsuId, b: RsuId) -> Option<&PairEstimate> {
+        let i = self.rsus.binary_search(&a).ok()?;
+        let j = self.rsus.binary_search(&b).ok()?;
+        self.entries[i * self.rsus.len() + j].as_ref()
+    }
+
+    /// Iterates the upper triangle: every unordered pair once, as
+    /// `(origin, destination, estimate)` with `origin < destination`.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (RsuId, RsuId, &PairEstimate)> {
+        let n = self.rsus.len();
+        (0..n).flat_map(move |i| {
+            (i + 1..n).filter_map(move |j| {
+                self.entries[i * n + j]
+                    .as_ref()
+                    .map(|e| (self.rsus[i], self.rsus[j], e))
+            })
+        })
+    }
 }
 
 /// The central server (paper §II-A, §IV-C).
@@ -74,6 +210,8 @@ pub struct CentralServer {
     /// [`finish_period`](CentralServer::finish_period) so stragglers from
     /// closed periods are recognized as stale).
     upload_seqs: BTreeMap<RsuId, u64>,
+    /// Decode caches derived from `uploads` (see [`DecodeCaches`]).
+    caches: DecodeCaches,
 }
 
 impl CentralServer {
@@ -96,6 +234,7 @@ impl CentralServer {
             history: VolumeHistory::new(history_alpha),
             uploads: BTreeMap::new(),
             upload_seqs: BTreeMap::new(),
+            caches: DecodeCaches::default(),
         })
     }
 
@@ -126,17 +265,39 @@ impl CentralServer {
     /// [`Duplicate`]: ReceiveOutcome::Duplicate
     /// [`Conflicting`]: ReceiveOutcome::Conflicting
     pub fn receive(&mut self, upload: PeriodUpload) -> ReceiveOutcome {
-        match self.uploads.get(&upload.rsu) {
+        let rsu = upload.rsu;
+        match self.uploads.get(&rsu) {
             None => {
-                self.uploads.insert(upload.rsu, upload);
+                self.uploads.insert(rsu, upload);
+                self.refresh_caches_for(rsu);
                 ReceiveOutcome::Fresh
             }
             Some(prev) if *prev == upload => ReceiveOutcome::Duplicate,
             Some(_) => {
-                self.uploads.insert(upload.rsu, upload);
+                self.uploads.insert(rsu, upload);
+                self.refresh_caches_for(rsu);
                 ReceiveOutcome::Conflicting
             }
         }
+    }
+
+    /// Re-derives the decode caches for `rsu` after its upload changed:
+    /// extract (or drop) the sparse index list and invalidate every
+    /// memoized pair the RSU participates in.
+    fn refresh_caches_for(&mut self, rsu: RsuId) {
+        let bits = &self.uploads[&rsu].bits;
+        if sparse_is_profitable(bits.len(), bits.count_ones()) {
+            self.caches
+                .sparse_ones
+                .insert(rsu, bits.ones().map(|i| i as u64).collect());
+        } else {
+            self.caches.sparse_ones.remove(&rsu);
+        }
+        self.caches
+            .pair_memo
+            .get_mut()
+            .expect("pair memo poisoned")
+            .retain(|&(a, b), _| a != rsu && b != rsu);
     }
 
     /// Stores a sequence-numbered upload from the retrying upload path
@@ -158,12 +319,14 @@ impl CentralServer {
                 Some(prev) if *prev == sequenced.upload => ReceiveOutcome::Duplicate,
                 Some(_) => {
                     self.uploads.insert(rsu, sequenced.upload);
+                    self.refresh_caches_for(rsu);
                     ReceiveOutcome::Conflicting
                 }
             },
             _ => {
                 self.upload_seqs.insert(rsu, sequenced.seq);
                 self.uploads.insert(rsu, sequenced.upload);
+                self.refresh_caches_for(rsu);
                 ReceiveOutcome::Fresh
             }
         }
@@ -181,29 +344,99 @@ impl CentralServer {
         self.uploads.get(&rsu)
     }
 
-    fn sketch_of(&self, rsu: RsuId) -> Result<RsuSketch, SimError> {
+    /// Fetches the upload for one side of a pair decode, enforcing the
+    /// same validity the sketch-based path did (an array of fewer than
+    /// 2 bits cannot be decoded).
+    fn decodable_upload(&self, rsu: RsuId) -> Result<&PeriodUpload, SimError> {
         let upload = self
             .uploads
             .get(&rsu)
             .ok_or(SimError::MissingUpload { rsu })?;
-        Ok(RsuSketch::from_parts(
-            upload.rsu,
-            upload.bits.clone(),
-            upload.counter,
-        )?)
+        if upload.bits.len() < 2 {
+            return Err(SimError::Core(CoreError::InvalidConfig {
+                parameter: "m",
+                reason: format!(
+                    "bit array size must be at least 2, got {}",
+                    upload.bits.len()
+                ),
+            }));
+        }
+        Ok(upload)
+    }
+
+    /// Decodes one pair's sufficient statistics straight from the held
+    /// uploads: orient, read the cached zero counts, and compute `U_c`
+    /// through the cheapest kernel ([`combined_zero_count_adaptive`])
+    /// using whatever sparse index lists the receive path extracted.
+    fn pair_counts_uncached(
+        &self,
+        a: RsuId,
+        b: RsuId,
+        scratch: &mut DecodeScratch,
+    ) -> Result<PairCounts, SimError> {
+        let ua = self.decodable_upload(a)?;
+        let ub = self.decodable_upload(b)?;
+        let a_first = first_plays_x(
+            ua.bits.len(),
+            ua.counter,
+            ua.rsu,
+            ub.bits.len(),
+            ub.counter,
+            ub.rsu,
+        );
+        let (x, y) = if a_first { (ua, ub) } else { (ub, ua) };
+        let ones_x = self.caches.sparse_ones.get(&x.rsu).map(Vec::as_slice);
+        let ones_y = self.caches.sparse_ones.get(&y.rsu).map(Vec::as_slice);
+        let u_c = combined_zero_count_adaptive(&x.bits, ones_x, &y.bits, ones_y, scratch)
+            .map_err(CoreError::from)?;
+        Ok(PairCounts {
+            m_x: x.bits.len(),
+            m_y: y.bits.len(),
+            u_x: x.bits.count_zeros(),
+            u_y: y.bits.count_zeros(),
+            u_c,
+            n_x: x.counter,
+            n_y: y.counter,
+        })
+    }
+
+    /// [`pair_counts_uncached`](Self::pair_counts_uncached) behind the
+    /// per-period memo: the first query for a pair decodes it, every
+    /// repeat is a map lookup.
+    fn pair_counts(&self, a: RsuId, b: RsuId) -> Result<PairCounts, SimError> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(counts) = self
+            .caches
+            .pair_memo
+            .read()
+            .expect("pair memo poisoned")
+            .get(&key)
+        {
+            return Ok(*counts);
+        }
+        let counts = SCRATCH.with(|s| self.pair_counts_uncached(a, b, &mut s.borrow_mut()))?;
+        self.caches
+            .pair_memo
+            .write()
+            .expect("pair memo poisoned")
+            .insert(key, counts);
+        Ok(counts)
     }
 
     /// Estimates the point-to-point volume between two uploaded RSUs
     /// (paper Eq. 5).
+    ///
+    /// The pair's sufficient statistics are decoded once and memoized
+    /// for the rest of the period, so repeated queries are O(1) after
+    /// first touch.
     ///
     /// # Errors
     ///
     /// * [`SimError::MissingUpload`] if either RSU has not uploaded;
     /// * [`SimError::Core`] for saturation or incompatible sizes.
     pub fn estimate(&self, a: RsuId, b: RsuId) -> Result<Estimate, SimError> {
-        Ok(estimate_pair(
-            &self.sketch_of(a)?,
-            &self.sketch_of(b)?,
+        Ok(estimate_from_counts(
+            &self.pair_counts(a, b)?,
             self.scheme.s(),
         )?)
     }
@@ -216,11 +449,10 @@ impl CentralServer {
     /// * [`SimError::MissingUpload`] if either RSU has not uploaded;
     /// * [`SimError::Core`] for incompatible sizes.
     pub fn estimate_or_clamp(&self, a: RsuId, b: RsuId) -> Result<Estimate, SimError> {
-        Ok(estimate_pair_or_clamp(
-            &self.sketch_of(a)?,
-            &self.sketch_of(b)?,
+        Ok(estimate_from_counts_or_clamp(
+            &self.pair_counts(a, b)?,
             self.scheme.s(),
-        )?)
+        ))
     }
 
     /// Answers a pair query even when uploads are missing: full decode
@@ -238,15 +470,31 @@ impl CentralServer {
     /// an upload nor any volume history — the server knows nothing at all
     /// about that RSU.
     pub fn estimate_or_degraded(&self, a: RsuId, b: RsuId) -> Result<PairEstimate, SimError> {
-        match (self.sketch_of(a), self.sketch_of(b)) {
-            (Ok(x), Ok(y)) => match estimate_pair_or_clamp(&x, &y, self.scheme.s()) {
-                Ok(e) => Ok(PairEstimate::Measured(e)),
-                // Sketches present but not comparable (e.g. a corrupted
+        self.estimate_or_degraded_with(a, b, |server| server.pair_counts(a, b))
+    }
+
+    /// The shared degradation ladder behind
+    /// [`estimate_or_degraded`](Self::estimate_or_degraded) and
+    /// [`od_matrix`](Self::od_matrix), parameterized over how the pair's
+    /// counts are produced (memoized vs matrix-local scratch).
+    fn estimate_or_degraded_with(
+        &self,
+        a: RsuId,
+        b: RsuId,
+        counts: impl FnOnce(&Self) -> Result<PairCounts, SimError>,
+    ) -> Result<PairEstimate, SimError> {
+        match (self.decodable_upload(a), self.decodable_upload(b)) {
+            (Ok(x), Ok(y)) => match counts(self) {
+                Ok(c) => Ok(PairEstimate::Measured(estimate_from_counts_or_clamp(
+                    &c,
+                    self.scheme.s(),
+                ))),
+                // Uploads present but not comparable (e.g. a corrupted
                 // size that slipped through): counters still bound the
                 // overlap, so degrade rather than fail.
                 Err(_) => Ok(PairEstimate::Degraded(DegradedEstimate::from_volumes(
-                    x.count() as f64,
-                    y.count() as f64,
+                    x.counter as f64,
+                    y.counter as f64,
                     false,
                     false,
                 ))),
@@ -254,8 +502,8 @@ impl CentralServer {
             (ra, rb) => {
                 let missing_a = ra.is_err();
                 let missing_b = rb.is_err();
-                let volume_of = |rsu: RsuId, r: Result<RsuSketch, SimError>| match r {
-                    Ok(s) => Ok(s.count() as f64),
+                let volume_of = |rsu: RsuId, r: Result<&PeriodUpload, SimError>| match r {
+                    Ok(u) => Ok(u.counter as f64),
                     Err(_) => self
                         .history
                         .average(rsu)
@@ -268,6 +516,69 @@ impl CentralServer {
                 )))
             }
         }
+    }
+
+    /// Computes the full origin–destination matrix for every RSU the
+    /// server knows about — current uploads and volume history alike —
+    /// with one worker per available core (see
+    /// [`od_matrix_threads`](Self::od_matrix_threads)).
+    ///
+    /// # Errors
+    ///
+    /// As [`od_matrix_threads`](Self::od_matrix_threads).
+    pub fn od_matrix(&self) -> Result<OdMatrix, SimError> {
+        self.od_matrix_threads(crate::concurrent::default_threads())
+    }
+
+    /// [`od_matrix`](Self::od_matrix) with an explicit worker count.
+    ///
+    /// The pair triangle fans out through
+    /// [`parallel_map_threads`](crate::concurrent::parallel_map_threads);
+    /// each worker reuses one decode scratch across all its pairs, and
+    /// every pair reads the per-RSU caches (zero counts, sparse index
+    /// lists) extracted once at receive time. Entries are exactly what
+    /// [`estimate_or_degraded`](Self::estimate_or_degraded) returns for
+    /// the pair — measured where both uploads are decodable, degraded
+    /// where history must fill in. The batch path deliberately bypasses
+    /// the single-pair memo: it never re-reads a pair, and N²/2 lock
+    /// round-trips would serialize the workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MissingUpload`] if some covered pair has a
+    /// side with neither an upload nor history (cannot happen for RSUs
+    /// discovered from those two sources — defensive only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or a worker thread panics.
+    pub fn od_matrix_threads(&self, threads: usize) -> Result<OdMatrix, SimError> {
+        let rsus: Vec<RsuId> = self
+            .uploads
+            .keys()
+            .copied()
+            .chain(self.history.iter().map(|(rsu, _)| rsu))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let n = rsus.len();
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+            .collect();
+        let computed =
+            crate::concurrent::parallel_map_threads(pairs.clone(), threads, |&(i, j)| {
+                let (a, b) = (rsus[i], rsus[j]);
+                self.estimate_or_degraded_with(a, b, |server| {
+                    SCRATCH.with(|s| server.pair_counts_uncached(a, b, &mut s.borrow_mut()))
+                })
+            });
+        let mut entries = vec![None; n * n];
+        for (&(i, j), result) in pairs.iter().zip(computed) {
+            let estimate = result?;
+            entries[j * n + i] = Some(estimate.transposed());
+            entries[i * n + j] = Some(estimate);
+        }
+        Ok(OdMatrix { rsus, entries })
     }
 
     /// Ends the period: folds every upload's counter into the volume
@@ -289,6 +600,14 @@ impl CentralServer {
             sizes.insert(rsu, self.scheme.array_size_for(average)?);
         }
         self.uploads.clear();
+        // The decode caches were derived from the uploads just folded
+        // away; nothing of them may survive into the next period.
+        self.caches.sparse_ones.clear();
+        self.caches
+            .pair_memo
+            .get_mut()
+            .expect("pair memo poisoned")
+            .clear();
         Ok(sizes)
     }
 }
@@ -505,6 +824,133 @@ mod tests {
             server.estimate_or_degraded(RsuId(1), RsuId(2)),
             Err(SimError::MissingUpload { rsu: RsuId(1) })
         );
+    }
+
+    #[test]
+    fn repeated_estimates_hit_the_pair_memo() {
+        let mut server = server();
+        server.receive(upload(1, 64, &[1, 5], 2));
+        server.receive(upload(2, 256, &[1, 70], 2));
+        let first = server.estimate(RsuId(1), RsuId(2)).unwrap();
+        assert!(server
+            .caches
+            .pair_memo
+            .read()
+            .unwrap()
+            .get(&(RsuId(1), RsuId(2)))
+            .is_some());
+        // Repeat in both argument orders: same memo entry, same answer.
+        assert_eq!(server.estimate(RsuId(2), RsuId(1)).unwrap(), first);
+        assert_eq!(server.caches.pair_memo.read().unwrap().len(), 1);
+        assert_eq!(server.estimate_or_clamp(RsuId(1), RsuId(2)).unwrap(), first);
+    }
+
+    #[test]
+    fn new_upload_invalidates_only_its_pairs() {
+        let mut server = server();
+        server.receive(upload(1, 64, &[1], 1));
+        server.receive(upload(2, 64, &[2], 1));
+        server.receive(upload(3, 64, &[3], 1));
+        server.estimate(RsuId(1), RsuId(2)).unwrap();
+        server.estimate(RsuId(2), RsuId(3)).unwrap();
+        assert_eq!(server.caches.pair_memo.read().unwrap().len(), 2);
+        // RSU 3 re-uploads: the (2,3) entry must go, (1,2) must stay.
+        server.receive(upload(3, 64, &[3, 9], 2));
+        let memo = server.caches.pair_memo.read().unwrap();
+        assert!(memo.contains_key(&(RsuId(1), RsuId(2))));
+        assert!(!memo.contains_key(&(RsuId(2), RsuId(3))));
+        drop(memo);
+        // And the refreshed pair decodes against the new content.
+        let e = server.estimate(RsuId(2), RsuId(3)).unwrap();
+        assert_eq!(e.n_y, 2);
+    }
+
+    #[test]
+    fn sparse_cache_tracks_the_densify_threshold() {
+        let mut server = server();
+        // 2 ones in 256 bits (4 words): sparse.
+        server.receive(upload(1, 256, &[1, 200], 2));
+        assert_eq!(
+            server.caches.sparse_ones.get(&RsuId(1)),
+            Some(&vec![1u64, 200])
+        );
+        // Re-upload above the threshold: list dropped.
+        server.receive(upload(
+            1,
+            256,
+            &(0..8).map(|i| i * 30).collect::<Vec<_>>(),
+            8,
+        ));
+        assert!(!server.caches.sparse_ones.contains_key(&RsuId(1)));
+        // finish_period clears everything.
+        server.receive(upload(2, 256, &[7], 1));
+        server.estimate(RsuId(1), RsuId(2)).unwrap();
+        server.finish_period().unwrap();
+        assert!(server.caches.sparse_ones.is_empty());
+        assert!(server.caches.pair_memo.read().unwrap().is_empty());
+    }
+
+    #[test]
+    fn od_matrix_matches_pairwise_estimates() {
+        let mut server = server();
+        server.seed_history(RsuId(9), 120.0); // history-only RSU
+        server.receive(upload(1, 64, &[1, 5], 7));
+        server.receive(upload(2, 256, &[1, 70, 200], 9));
+        server.receive(upload(3, 64, &[2], 1));
+        let matrix = server.od_matrix().unwrap();
+        assert_eq!(
+            matrix.rsus(),
+            &[RsuId(1), RsuId(2), RsuId(3), RsuId(9)],
+            "uploads and history-only RSUs are both covered"
+        );
+        assert_eq!(matrix.len(), 4);
+        assert!(!matrix.is_empty());
+        for i in 0..matrix.len() {
+            assert!(matrix.at(i, i).is_none(), "diagonal is undefined");
+            for j in 0..matrix.len() {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = (matrix.rsus()[i], matrix.rsus()[j]);
+                let pairwise = server.estimate_or_degraded(a, b).unwrap();
+                assert_eq!(matrix.at(i, j), Some(&pairwise), "entry ({i}, {j})");
+                assert_eq!(
+                    matrix.at(i, j).map(PairEstimate::transposed).as_ref(),
+                    matrix.at(j, i),
+                    "mirror symmetry up to role swap"
+                );
+                assert_eq!(matrix.get(a, b), Some(&pairwise));
+            }
+        }
+        // The history-only column is degraded, the upload pairs measured.
+        assert!(matrix.get(RsuId(1), RsuId(9)).unwrap().is_degraded());
+        assert!(!matrix.get(RsuId(1), RsuId(2)).unwrap().is_degraded());
+        assert_eq!(matrix.iter_pairs().count(), 6);
+        assert_eq!(matrix.get(RsuId(1), RsuId(1)), None);
+        assert_eq!(matrix.get(RsuId(1), RsuId(77)), None);
+    }
+
+    #[test]
+    fn od_matrix_is_identical_across_thread_counts() {
+        let mut server = server();
+        for r in 0..12u64 {
+            let ones: Vec<usize> = (0..(r as usize * 3) % 7)
+                .map(|k| (k * 11 + 1) % 64)
+                .collect();
+            server.receive(upload(r, 64, &ones, ones.len() as u64));
+        }
+        let reference = server.od_matrix_threads(1).unwrap();
+        for threads in [2, 4, 8] {
+            assert_eq!(server.od_matrix_threads(threads).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn od_matrix_of_empty_server_is_empty() {
+        let server = server();
+        let matrix = server.od_matrix().unwrap();
+        assert!(matrix.is_empty());
+        assert_eq!(matrix.iter_pairs().count(), 0);
     }
 
     #[test]

@@ -225,3 +225,61 @@ proptest! {
         prop_assert_eq!(obs0.untraceable, obs0.both_set);
     }
 }
+
+// The batch O–D matrix decoder must be indistinguishable from the
+// pairwise estimate loop: same entries (up to the documented transpose
+// of degraded labels), at every thread count, for any mix of uploaded
+// and history-only RSUs.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn od_matrix_matches_pairwise_loop_at_every_thread_count(
+        specs in prop::collection::vec(
+            (
+                1u32..9,                                    // len = 2^k
+                prop::collection::vec(any::<u32>(), 0..48), // reported indices
+                1u64..5_000,                                // period counter
+                any::<bool>(),                              // history-only RSU?
+            ),
+            2..8,
+        ),
+        seed in any::<u64>(),
+    ) {
+        use vcps_sim::CentralServer;
+
+        let scheme = Scheme::variable(2, 3.0, seed).unwrap();
+        let mut server = CentralServer::new(scheme, 0.5).unwrap();
+        for (i, (k, ones, counter, history_only)) in specs.iter().enumerate() {
+            let rsu = RsuId(i as u64);
+            if *history_only {
+                server.seed_history(rsu, *counter as f64);
+            } else {
+                let len = 1usize << k;
+                let bits = vcps_bitarray::BitArray::from_indices(
+                    len,
+                    ones.iter().map(|&v| v as usize % len),
+                )
+                .unwrap();
+                server.receive(PeriodUpload { rsu, counter: *counter, bits });
+            }
+        }
+
+        for threads in [1usize, 2, 4] {
+            let matrix = server.od_matrix_threads(threads).unwrap();
+            prop_assert_eq!(matrix.len(), specs.len());
+            let rsus = matrix.rsus().to_vec();
+            for (i, &a) in rsus.iter().enumerate() {
+                for (j, &b) in rsus.iter().enumerate() {
+                    if i == j {
+                        prop_assert!(matrix.at(i, j).is_none());
+                        continue;
+                    }
+                    let pairwise = server.estimate_or_degraded(a, b).unwrap();
+                    prop_assert_eq!(matrix.at(i, j), Some(&pairwise));
+                    prop_assert_eq!(matrix.get(a, b), Some(&pairwise));
+                }
+            }
+        }
+    }
+}
