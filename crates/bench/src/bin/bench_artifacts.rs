@@ -9,6 +9,11 @@
 //!   dense-always word scan per load factor, and the cached all-pairs
 //!   `od_matrix` pipeline vs the per-pair clone-and-rescan baseline
 //!   across RSU counts, load factors, and thread counts (DESIGN.md §13).
+//! * `BENCH_obs.json` — observability overhead (DESIGN.md §14): the
+//!   per-call cost of a disabled vs enabled counter increment, and the
+//!   end-to-end ingest / od_matrix cost with observability off vs on.
+//!   The disabled path is the budgeted one: it must stay within a few
+//!   percent of the uninstrumented baseline.
 //!
 //! Timing is hand-rolled (median of repeated wall-clock samples) so the
 //! artifacts do not depend on any benchmark framework; the JSON is
@@ -25,7 +30,9 @@ use std::time::Instant;
 use vcps_bench::{ingest_mutex_parallel, ingest_workload, od_server, pairwise_dense_baseline};
 use vcps_bitarray::{combined_zero_count, combined_zero_count_adaptive, select_pair_kernel};
 use vcps_core::RsuId;
-use vcps_sim::concurrent::{default_threads, ingest_parallel, MutexRsu, SharedRsu};
+use vcps_sim::concurrent::{
+    default_threads, ingest_parallel, ingest_parallel_obs, MutexRsu, SharedRsu,
+};
 use vcps_sim::pki::TrustedAuthority;
 use vcps_sim::PeriodUpload;
 
@@ -297,6 +304,85 @@ fn bench_odmatrix(samples: usize) -> String {
     )
 }
 
+/// Per-call cost of `obs.add` on the given handle, in nanoseconds
+/// (median over `samples`, many calls per sample so sub-nanosecond
+/// dispatch is measurable).
+fn obs_call_ns(samples: usize, obs: &vcps_obs::Obs) -> f64 {
+    let reps = 1_000_000u32;
+    let ns = median_ns(samples, || {
+        for i in 0..reps {
+            obs.add(std::hint::black_box("bench.noop"), u64::from(i & 1));
+        }
+        std::hint::black_box(obs);
+    });
+    ns as f64 / f64::from(reps)
+}
+
+/// Observability overhead: no-op dispatch cost plus end-to-end ratios
+/// with the handle disabled and enabled. "disabled_ratio" is the number
+/// the ≤ 2% budget applies to; "enabled_ratio" is informational (the
+/// enabled path pays for real atomics and is allowed to cost more).
+fn bench_obs(reports: u64, samples: usize) -> String {
+    use vcps_obs::{Level, Obs};
+
+    let disabled = Obs::disabled();
+    let enabled = Obs::enabled(Level::Info);
+    let noop_ns = obs_call_ns(samples, &disabled);
+    let enabled_ns = obs_call_ns(samples, &enabled);
+    println!("obs     counter add     disabled {noop_ns:>8.3} ns/call   enabled {enabled_ns:>8.3} ns/call");
+
+    // End-to-end ingest: uninstrumented baseline vs the obs wrapper with
+    // a disabled handle (budgeted) and an enabled one (informational).
+    let ca = TrustedAuthority::new(1);
+    let batch = ingest_workload(reports, ARRAY_BITS as u64);
+    let threads = default_threads().min(4);
+    let base_ns = median_ns(samples, || {
+        let rsu = SharedRsu::new(RsuId(1), ARRAY_BITS, &ca).expect("valid size");
+        assert_eq!(ingest_parallel(&rsu, &batch, threads), 0);
+    });
+    let off_ns = median_ns(samples, || {
+        let rsu = SharedRsu::new(RsuId(1), ARRAY_BITS, &ca).expect("valid size");
+        assert_eq!(ingest_parallel_obs(&rsu, &batch, threads, &disabled), 0);
+    });
+    let on_ns = median_ns(samples, || {
+        let rsu = SharedRsu::new(RsuId(1), ARRAY_BITS, &ca).expect("valid size");
+        assert_eq!(ingest_parallel_obs(&rsu, &batch, threads, &enabled), 0);
+    });
+    let ingest_off_ratio = off_ns as f64 / base_ns as f64;
+    let ingest_on_ratio = on_ns as f64 / base_ns as f64;
+    println!(
+        "obs     ingest          baseline {base_ns:>11} ns   obs-off ratio {ingest_off_ratio:.4}   obs-on ratio {ingest_on_ratio:.4}"
+    );
+
+    // End-to-end od_matrix: same server state, obs off vs on.
+    let (plain_server, ids) = od_server(16, 1 << 17, 0.05, 42);
+    let mut obs_server = plain_server.clone();
+    obs_server.set_obs(enabled.clone());
+    let od_base_ns = median_ns(samples, || {
+        let matrix = plain_server.od_matrix_threads(threads).expect("decodable");
+        assert_eq!(matrix.len(), ids.len());
+    });
+    let od_on_ns = median_ns(samples, || {
+        let matrix = obs_server.od_matrix_threads(threads).expect("decodable");
+        assert_eq!(matrix.len(), ids.len());
+    });
+    let od_on_ratio = od_on_ns as f64 / od_base_ns as f64;
+    println!(
+        "obs     od_matrix       baseline {od_base_ns:>11} ns   obs-on ratio {od_on_ratio:.4}"
+    );
+
+    format!(
+        "{{\n  \"workload\": {{\"reports\": {reports}, \"array_bits\": {ARRAY_BITS}, \
+         \"threads\": {threads}, \"samples\": {samples}}},\n  \
+         \"counter_add\": {{\"disabled_ns\": {noop_ns:.4}, \"enabled_ns\": {enabled_ns:.4}}},\n  \
+         \"ingest\": {{\"baseline_ns\": {base_ns}, \"obs_disabled_ns\": {off_ns}, \
+         \"obs_enabled_ns\": {on_ns}, \"disabled_ratio\": {ingest_off_ratio:.4}, \
+         \"enabled_ratio\": {ingest_on_ratio:.4}}},\n  \
+         \"od_matrix\": {{\"baseline_ns\": {od_base_ns}, \"obs_enabled_ns\": {od_on_ns}, \
+         \"enabled_ratio\": {od_on_ratio:.4}}}\n}}\n"
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let (out, reports, samples) = match parse_args(&args) {
@@ -310,11 +396,14 @@ fn main() {
     let ingest = bench_ingest(reports, samples);
     let decode = bench_decode(samples);
     let odmatrix = bench_odmatrix(samples);
+    let obs = bench_obs(reports, samples);
     let ingest_path = format!("{out}/BENCH_ingest.json");
     let decode_path = format!("{out}/BENCH_decode.json");
     let odmatrix_path = format!("{out}/BENCH_odmatrix.json");
+    let obs_path = format!("{out}/BENCH_obs.json");
     std::fs::write(&ingest_path, ingest).expect("write BENCH_ingest.json");
     std::fs::write(&decode_path, decode).expect("write BENCH_decode.json");
     std::fs::write(&odmatrix_path, odmatrix).expect("write BENCH_odmatrix.json");
-    println!("wrote {ingest_path}, {decode_path}, and {odmatrix_path}");
+    std::fs::write(&obs_path, obs).expect("write BENCH_obs.json");
+    println!("wrote {ingest_path}, {decode_path}, {odmatrix_path}, and {obs_path}");
 }

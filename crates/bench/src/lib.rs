@@ -164,7 +164,7 @@ pub fn pairwise_dense_baseline(server: &CentralServer, rsus: &[RsuId]) -> Vec<Es
                 n_x: x.counter,
                 n_y: y.counter,
             };
-            out.push(estimate_from_counts_or_clamp(&counts, s));
+            out.push(estimate_from_counts_or_clamp(&counts, s).expect("decode domain is valid"));
         }
     }
     out

@@ -25,6 +25,17 @@ pub enum CoreError {
         /// The offending id.
         rsu: RsuId,
     },
+    /// A decode was asked to run on parameters outside the estimator's
+    /// domain (e.g. `m_y < 2` or `s < 1` smuggled in through a
+    /// hand-built [`PairCounts`](crate::estimator::PairCounts)). Unlike
+    /// [`CoreError::InvalidConfig`], which guards scheme construction,
+    /// this guards the decode-time inputs themselves.
+    InvalidParams {
+        /// Which parameter is out of domain.
+        parameter: &'static str,
+        /// Why it is out of domain.
+        reason: String,
+    },
     /// A bit array is fully saturated (no zero bits), so the estimator's
     /// logarithms are undefined. The paper's formula silently assumes
     /// `V > 0`; we surface the failure. Use
@@ -43,6 +54,9 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::InvalidConfig { parameter, reason } => {
                 write!(f, "invalid configuration: {parameter} {reason}")
+            }
+            CoreError::InvalidParams { parameter, reason } => {
+                write!(f, "invalid estimator parameter: {parameter} {reason}")
             }
             CoreError::UnknownRsu { rsu } => write!(f, "unknown RSU {rsu}"),
             CoreError::DuplicateRsu { rsu } => write!(f, "duplicate RSU {rsu}"),
@@ -86,6 +100,11 @@ mod tests {
         assert!(CoreError::Saturated { which: "B_x" }
             .to_string()
             .contains("B_x"));
+        let p = CoreError::InvalidParams {
+            parameter: "m_y",
+            reason: "must be at least 2 (got 1)".into(),
+        };
+        assert!(p.to_string().contains("m_y must be at least 2"));
     }
 
     #[test]

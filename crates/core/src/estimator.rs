@@ -294,8 +294,11 @@ pub fn first_plays_x(
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::Saturated`] if any of the three zero counts is
-/// zero.
+/// * [`CoreError::InvalidParams`] if the counts fall outside the
+///   estimator's domain (`m_x < 1`, `m_y < 2`, or `s < 1`) — possible
+///   with hand-built [`PairCounts`], never with counts produced by the
+///   decode paths;
+/// * [`CoreError::Saturated`] if any of the three zero counts is zero.
 pub fn estimate_from_counts(counts: &PairCounts, s: usize) -> Result<Estimate, CoreError> {
     estimate_from_counts_inner(counts, s, false)
 }
@@ -303,12 +306,34 @@ pub fn estimate_from_counts(counts: &PairCounts, s: usize) -> Result<Estimate, C
 /// Like [`estimate_from_counts`], but substitutes half a zero bit for
 /// any saturated count and sets [`Estimate::clamped`].
 ///
-/// Infallible in practice — saturated counts are clamped, and
-/// [`PairCounts`] are produced by decode paths that already validated
-/// array nesting.
-#[must_use]
-pub fn estimate_from_counts_or_clamp(counts: &PairCounts, s: usize) -> Estimate {
-    estimate_from_counts_inner(counts, s, true).expect("clamped decode cannot saturate")
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for out-of-domain counts, like
+/// [`estimate_from_counts`]. Saturation is clamped, never an error.
+pub fn estimate_from_counts_or_clamp(counts: &PairCounts, s: usize) -> Result<Estimate, CoreError> {
+    estimate_from_counts_inner(counts, s, true)
+}
+
+fn validate_decode_domain(m_x: usize, m_y: usize, s: usize) -> Result<(), CoreError> {
+    if m_x < 1 {
+        return Err(CoreError::InvalidParams {
+            parameter: "m_x",
+            reason: format!("must be at least 1 (got {m_x})"),
+        });
+    }
+    if m_y < 2 {
+        return Err(CoreError::InvalidParams {
+            parameter: "m_y",
+            reason: format!("must be at least 2 (got {m_y})"),
+        });
+    }
+    if s < 1 {
+        return Err(CoreError::InvalidParams {
+            parameter: "s",
+            reason: format!("must be at least 1 (got {s})"),
+        });
+    }
+    Ok(())
 }
 
 fn estimate_from_counts_inner(
@@ -325,6 +350,8 @@ fn estimate_from_counts_inner(
         n_x,
         n_y,
     } = counts;
+
+    validate_decode_domain(m_x, m_y, s)?;
 
     let mut clamped = false;
     let mut fraction = |u: usize, m: usize, which: &'static str| -> Result<f64, CoreError> {
@@ -364,15 +391,24 @@ fn estimate_from_counts_inner(
 ///
 /// # Panics
 ///
-/// Panics if `m_y < 2` or `s < 1` — both are enforced upstream by sketch
-/// and scheme construction.
+/// Panics if `m_y < 2` or `s < 1`. Decode paths validate first (see
+/// [`try_denominator`]), so the panic is reachable only by calling this
+/// directly with out-of-domain arguments.
 #[must_use]
 pub fn denominator(m_y: usize, s: usize) -> f64 {
-    assert!(m_y >= 2, "m_y must be at least 2");
-    assert!(s >= 1, "s must be at least 1");
+    try_denominator(m_y, s).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`denominator`]: returns
+/// [`CoreError::InvalidParams`] instead of panicking when `m_y < 2` or
+/// `s < 1`. This is the arm used by [`estimate_from_counts`], so hostile
+/// [`PairCounts`] surface as typed errors rather than aborting the
+/// decode thread.
+pub fn try_denominator(m_y: usize, s: usize) -> Result<f64, CoreError> {
+    validate_decode_domain(1, m_y, s)?;
     let m_y = m_y as f64;
     let t = (s as f64 - 1.0) / s as f64;
-    (-t / m_y).ln_1p() - (-1.0 / m_y).ln_1p()
+    Ok((-t / m_y).ln_1p() - (-1.0 / m_y).ln_1p())
 }
 
 /// Decodes a pair of sketches into an [`Estimate`] (paper Eq. 5).
@@ -587,7 +623,10 @@ mod tests {
             n_y: 3,
         };
         assert_eq!(estimate_from_counts(&counts, 2).unwrap(), via_sketches);
-        assert_eq!(estimate_from_counts_or_clamp(&counts, 2), via_sketches);
+        assert_eq!(
+            estimate_from_counts_or_clamp(&counts, 2).unwrap(),
+            via_sketches
+        );
     }
 
     #[test]
@@ -605,9 +644,81 @@ mod tests {
             estimate_from_counts(&counts, 2),
             Err(CoreError::Saturated { which: "B_x" })
         );
-        let clamped = estimate_from_counts_or_clamp(&counts, 2);
+        let clamped = estimate_from_counts_or_clamp(&counts, 2).unwrap();
         assert!(clamped.clamped);
         assert!(clamped.n_c.is_finite());
+    }
+
+    /// Regression: hostile `PairCounts` (out-of-domain `m_y`/`s`) used to
+    /// abort the decode thread through `denominator`'s `assert!`; they
+    /// must surface as typed `InvalidParams` errors through both public
+    /// entry points.
+    #[test]
+    fn hostile_counts_yield_invalid_params_not_panic() {
+        let hostile_m_y = PairCounts {
+            m_x: 8,
+            m_y: 1,
+            u_x: 4,
+            u_y: 1,
+            u_c: 1,
+            n_x: 3,
+            n_y: 5,
+        };
+        assert!(matches!(
+            estimate_from_counts(&hostile_m_y, 2),
+            Err(CoreError::InvalidParams {
+                parameter: "m_y",
+                ..
+            })
+        ));
+        assert!(matches!(
+            estimate_from_counts_or_clamp(&hostile_m_y, 2),
+            Err(CoreError::InvalidParams {
+                parameter: "m_y",
+                ..
+            })
+        ));
+
+        let hostile_s = PairCounts {
+            m_x: 8,
+            m_y: 16,
+            u_x: 4,
+            u_y: 8,
+            u_c: 6,
+            n_x: 3,
+            n_y: 5,
+        };
+        assert!(matches!(
+            estimate_from_counts(&hostile_s, 0),
+            Err(CoreError::InvalidParams { parameter: "s", .. })
+        ));
+
+        let hostile_m_x = PairCounts {
+            m_x: 0,
+            m_y: 16,
+            u_x: 0,
+            u_y: 8,
+            u_c: 6,
+            n_x: 3,
+            n_y: 5,
+        };
+        assert!(matches!(
+            estimate_from_counts_or_clamp(&hostile_m_x, 2),
+            Err(CoreError::InvalidParams {
+                parameter: "m_x",
+                ..
+            })
+        ));
+
+        assert!(matches!(
+            try_denominator(1, 2),
+            Err(CoreError::InvalidParams {
+                parameter: "m_y",
+                ..
+            })
+        ));
+        assert!(try_denominator(16, 2).is_ok());
+        assert_eq!(try_denominator(16, 2).unwrap(), denominator(16, 2));
     }
 
     #[test]

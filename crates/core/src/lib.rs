@@ -80,7 +80,7 @@ pub use deployment::Deployment;
 pub use error::CoreError;
 pub use estimator::{
     estimate_from_counts, estimate_from_counts_or_clamp, estimate_pair, first_plays_x,
-    DegradedEstimate, Estimate, PairCounts, PairEstimate,
+    try_denominator, DegradedEstimate, Estimate, PairCounts, PairEstimate,
 };
 pub use scheme::{Scheme, SchemeKind};
 pub use sizing::{Sizing, VolumeHistory};

@@ -23,14 +23,19 @@
 //!     [--report-loss R]   comma list of rates (default 0,0.05,0.1,0.2,0.3,0.5)
 //!     [--upload-loss R]   comma list of rates (default 0,0.25,0.5,0.75,1)
 //!     [--json]            machine-readable output (used by CI)
+//!     [--obs-json PATH]   record observability (retry/backoff profile,
+//!                         fault counters, phase timings) and write the
+//!                         registry snapshot as JSON to PATH
 
 use vcps_core::{PairEstimate, RsuId, Scheme};
 use vcps_experiments::{
-    arg_flag, arg_value, choose_novel_load_factor, default_threads, text_table, PRIVACY_TARGET,
+    arg_flag, arg_value, choose_novel_load_factor, default_threads, obs_from_args, text_table,
+    write_obs_json, PRIVACY_TARGET,
 };
+use vcps_obs::Obs;
 use vcps_roadnet::assignment::{all_or_nothing, pair_volumes, point_volumes};
 use vcps_roadnet::{expand_vehicle_trips, sioux_falls, RoadNetwork, VehicleTrip};
-use vcps_sim::engine::run_network_period_faulty_threads;
+use vcps_sim::engine::run_network_period_faulty_threads_obs;
 use vcps_sim::{FaultPlan, LinkFaults, RetryPolicy};
 
 /// The Table-I `R_x` node labels, measured against `R_y` = node 10.
@@ -39,7 +44,8 @@ const Y_LABEL: usize = 10;
 
 struct ReportLossPoint {
     rate: f64,
-    measured_loss: f64,
+    /// `None` when the link carried no frames at all (nothing to lose).
+    measured_loss: Option<f64>,
     mean_bias: f64,
     predicted_bias: f64,
     mean_abs_err: f64,
@@ -71,8 +77,9 @@ fn run_point(
     seed: u64,
     plan: &FaultPlan,
     threads: usize,
+    obs: &Obs,
 ) -> vcps_sim::engine::FaultyNetworkRun {
-    run_network_period_faulty_threads(
+    run_network_period_faulty_threads_obs(
         scheme,
         net,
         link_times,
@@ -83,6 +90,7 @@ fn run_point(
         plan,
         &RetryPolicy::default(),
         threads,
+        obs,
     )
     .expect("fault-injected period failed")
 }
@@ -102,6 +110,7 @@ fn main() {
         .map(|v| parse_rates(&v))
         .unwrap_or_else(|| vec![0.0, 0.25, 0.5, 0.75, 1.0]);
     let json = arg_flag(&args, "--json");
+    let (obs, obs_path) = obs_from_args(&args);
     let threads = default_threads();
 
     // Workload: Sioux Falls trips routed on free-flow times, one
@@ -151,6 +160,7 @@ fn main() {
                 seed,
                 &plan,
                 threads,
+                &obs,
             );
             let mut bias_sum = 0.0;
             let mut abs_sum = 0.0;
@@ -187,6 +197,7 @@ fn main() {
                 seed,
                 &plan,
                 threads,
+                &obs,
             );
             let mut degraded = 0usize;
             let mut answered = 0usize;
@@ -227,8 +238,15 @@ fn main() {
             .iter()
             .map(|p| {
                 format!(
-                    "{{\"rate\":{:.4},\"measured_loss\":{:.6},\"mean_bias\":{:.6},\"predicted_bias\":{:.6},\"mean_abs_err\":{:.6}}}",
-                    p.rate, p.measured_loss, p.mean_bias, p.predicted_bias, p.mean_abs_err
+                    "{{\"rate\":{:.4},\"measured_loss\":{},\"mean_bias\":{:.6},\"predicted_bias\":{:.6},\"mean_abs_err\":{:.6}}}",
+                    p.rate,
+                    match p.measured_loss {
+                        Some(l) => format!("{l:.6}"),
+                        None => "null".to_string(),
+                    },
+                    p.mean_bias,
+                    p.predicted_bias,
+                    p.mean_abs_err
                 )
             })
             .collect();
@@ -258,6 +276,9 @@ fn main() {
             report_json.join(","),
             upload_json.join(",")
         );
+        if let Some(path) = obs_path {
+            write_obs_json(&path, &obs).expect("write --obs-json output");
+        }
         return;
     }
 
@@ -266,7 +287,10 @@ fn main() {
         .map(|p| {
             vec![
                 format!("{:.2}", p.rate),
-                format!("{:.3}", p.measured_loss),
+                match p.measured_loss {
+                    Some(l) => format!("{l:.3}"),
+                    None => "n/a".to_string(),
+                },
                 format!("{:+.1}%", p.mean_bias * 100.0),
                 format!("{:+.1}%", p.predicted_bias * 100.0),
                 format!("{:.1}%", p.mean_abs_err * 100.0),
@@ -318,4 +342,8 @@ fn main() {
     println!(
         "(report loss biases n̂_c toward (1-p)^2·n_c because a common vehicle\n must survive the channel at both RSUs; upload loss costs nothing until\n the retry budget is exhausted, then the server degrades to history\n bounds instead of failing)"
     );
+
+    if let Some(path) = obs_path {
+        write_obs_json(&path, &obs).expect("write --obs-json output");
+    }
 }

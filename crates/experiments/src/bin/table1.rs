@@ -14,6 +14,9 @@
 //!     [--scale F]        scale all volumes by F (default 1.0)
 //!     [--runs R]         measurement periods to average (default 20)
 //!     [--seed N]
+//!     [--obs-json PATH]  record observability (phase timings, kernel
+//!                        choices, message counters) and write the
+//!                        registry snapshot as JSON to PATH
 //!
 //! Run with `--release`: a full row simulates ~1M vehicle reports per
 //! run.
@@ -31,8 +34,8 @@ use vcps_analysis::accuracy::{self, CovarianceMethod};
 use vcps_analysis::PairParams;
 use vcps_core::Scheme;
 use vcps_experiments::{
-    arg_flag, arg_value, choose_baseline_size, choose_novel_load_factor, parallel_map,
-    run_accuracy_point, text_table, PRIVACY_TARGET,
+    arg_flag, arg_value, choose_baseline_size, choose_novel_load_factor, obs_from_args,
+    parallel_map, run_accuracy_point_obs, text_table, write_obs_json, PRIVACY_TARGET,
 };
 use vcps_roadnet::assignment::{all_or_nothing, pair_volumes, point_volumes};
 use vcps_roadnet::sioux_falls;
@@ -141,12 +144,13 @@ fn main() {
             (0..runs).map(move |r| (label, n_x, n_c, r))
         })
         .collect();
+    let (obs, obs_path) = obs_from_args(&args);
     let trial_outcomes: Vec<(f64, f64, f64, f64)> =
         parallel_map(trials, |&(label, n_x, n_c, r)| {
             let point_seed = seed ^ (label as u64) << 32 ^ r;
-            let novel_out =
-                run_accuracy_point(&novel, n_x, n_y, n_c, point_seed).expect("simulation failed");
-            let base_out = run_accuracy_point(&baseline, n_x, n_y, n_c, point_seed)
+            let novel_out = run_accuracy_point_obs(&novel, n_x, n_y, n_c, point_seed, &obs)
+                .expect("simulation failed");
+            let base_out = run_accuracy_point_obs(&baseline, n_x, n_y, n_c, point_seed, &obs)
                 .expect("simulation failed");
             (
                 novel_out.estimate.n_c,
@@ -252,4 +256,8 @@ fn main() {
         results[0].abs_err_base * 100.0,
         last.abs_err_base * 100.0
     );
+
+    if let Some(path) = obs_path {
+        write_obs_json(&path, &obs).expect("write --obs-json output");
+    }
 }

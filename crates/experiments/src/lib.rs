@@ -30,6 +30,7 @@ use std::fmt::Write as _;
 
 use vcps_analysis::privacy;
 use vcps_core::{RsuId, Scheme};
+use vcps_obs::{Level, Obs};
 use vcps_sim::synthetic::SyntheticPair;
 use vcps_sim::{PairOutcome, PairRunner, SimError};
 
@@ -108,8 +109,58 @@ pub fn run_accuracy_point(
     n_c: u64,
     seed: u64,
 ) -> Result<PairOutcome, SimError> {
+    run_accuracy_point_obs(scheme, n_x, n_y, n_c, seed, &Obs::disabled())
+}
+
+/// [`run_accuracy_point`] recording into an observability handle (the
+/// handle is cheaply cloneable — workers in a sweep can each carry a
+/// clone and the lock-free registry merges their counts). Results are
+/// bit-identical with observability on or off.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_accuracy_point_obs(
+    scheme: &Scheme,
+    n_x: u64,
+    n_y: u64,
+    n_c: u64,
+    seed: u64,
+    obs: &Obs,
+) -> Result<PairOutcome, SimError> {
     let workload = SyntheticPair::generate(n_x, n_y, n_c, seed);
-    PairRunner::new(scheme.clone(), RsuId(1), RsuId(2)).run(&workload)
+    PairRunner::new(scheme.clone(), RsuId(1), RsuId(2))
+        .with_obs(obs.clone())
+        .run(&workload)
+}
+
+/// Builds the observability handle an experiment binary should use:
+/// enabled at `Info` when `--obs-json PATH` is present (returning the
+/// path), disabled — the zero-overhead fast path — otherwise.
+#[must_use]
+pub fn obs_from_args(args: &[String]) -> (Obs, Option<String>) {
+    match arg_value(args, "--obs-json") {
+        Some(path) => (Obs::enabled(Level::Info), Some(path)),
+        None => (Obs::disabled(), None),
+    }
+}
+
+/// Writes the registry snapshot of `obs` as JSON to `path` (see
+/// [`vcps_obs::snapshot_json`] for the schema) and prints a short
+/// confirmation line.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_obs_json(path: &str, obs: &Obs) -> std::io::Result<()> {
+    let snapshot = obs.snapshot();
+    std::fs::write(path, vcps_obs::snapshot_json(&snapshot))?;
+    eprintln!(
+        "wrote {path} ({} counters, {} histograms)",
+        snapshot.counters.len(),
+        snapshot.histograms.len()
+    );
+    Ok(())
 }
 
 /// Number of worker threads the experiment binaries use by default: one

@@ -1,0 +1,335 @@
+//! The structured tracing facade: level-filtered events and spans with
+//! monotonic wall time and simulation time, fanned out to a pluggable
+//! [`Subscriber`].
+//!
+//! Three subscribers cover the workspace's needs: [`NullSubscriber`]
+//! discards everything (the registry still records), a
+//! [`CollectingSubscriber`] keeps the last `capacity` events in a ring
+//! buffer and counts what it had to drop, and a [`JsonLinesSubscriber`]
+//! writes one JSON object per event to any `io::Write` sink.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::export::{fmt_f64_json, json_escape};
+
+/// Event severity / verbosity, ordered from most to least severe.
+///
+/// An event is recorded when its level is at or above the configured
+/// level's severity (`event.level <= configured` in this ordering);
+/// `Off` silences the facade entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Nothing is recorded.
+    Off,
+    /// Failures worth surfacing even in quiet runs.
+    Error,
+    /// Suspicious but non-fatal conditions.
+    Warn,
+    /// Phase boundaries and run-level milestones.
+    Info,
+    /// Per-decision detail (e.g. which kernel a pair selected and why).
+    Debug,
+    /// Per-span enter/exit firehose.
+    Trace,
+}
+
+impl Level {
+    /// Lower-case name, as emitted in JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    Enter,
+    /// A span closed (carries an `ns` duration field).
+    Exit,
+    /// A point-in-time event.
+    Instant,
+}
+
+impl EventKind {
+    /// Lower-case name, as emitted in JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+            EventKind::Instant => "instant",
+        }
+    }
+}
+
+/// A structured field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (NaN serializes as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Severity.
+    pub level: Level,
+    /// Span boundary or instant.
+    pub kind: EventKind,
+    /// Static event name.
+    pub name: &'static str,
+    /// Monotonic nanoseconds since the owning `Obs` was created.
+    pub wall_ns: u64,
+    /// Simulation clock at record time (NaN when the driver never set
+    /// one).
+    pub sim_time: f64,
+    /// Structured payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl TraceEvent {
+    /// One-line JSON rendering (the `JsonLinesSubscriber` format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"wall_ns\":");
+        out.push_str(&self.wall_ns.to_string());
+        out.push_str(",\"sim_time\":");
+        out.push_str(&fmt_f64_json(self.sim_time));
+        out.push_str(",\"level\":\"");
+        out.push_str(self.level.label());
+        out.push_str("\",\"kind\":\"");
+        out.push_str(self.kind.label());
+        out.push_str("\",\"name\":\"");
+        out.push_str(&json_escape(self.name));
+        out.push_str("\",\"fields\":{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json_escape(key));
+            out.push_str("\":");
+            match value {
+                Value::U64(v) => out.push_str(&v.to_string()),
+                Value::F64(v) => out.push_str(&fmt_f64_json(*v)),
+                Value::Str(s) => {
+                    out.push('"');
+                    out.push_str(&json_escape(s));
+                    out.push('"');
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// An event sink. Implementations must tolerate concurrent `record`
+/// calls (the facade hands out `&self` from many threads).
+pub trait Subscriber: Send + Sync + std::fmt::Debug {
+    /// Receives one already-level-filtered event.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// Discards every event (the registry alone carries the run's story).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSubscriber;
+
+impl Subscriber for NullSubscriber {
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Keeps the newest `capacity` events in a ring buffer; older events
+/// fall off the front and are tallied in [`dropped`](Self::dropped).
+#[derive(Debug)]
+pub struct CollectingSubscriber {
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl CollectingSubscriber {
+    /// A collector bounded at `capacity` events (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The buffered events, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the ring.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .expect("event ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// How many events the ring has evicted.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Subscriber for CollectingSubscriber {
+    fn record(&self, event: &TraceEvent) {
+        let mut ring = self.ring.lock().expect("event ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event.clone());
+    }
+}
+
+/// Writes each event as one JSON line to a wrapped writer.
+pub struct JsonLinesSubscriber<W: std::io::Write + Send> {
+    writer: Mutex<W>,
+    write_errors: AtomicU64,
+}
+
+impl<W: std::io::Write + Send> std::fmt::Debug for JsonLinesSubscriber<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesSubscriber")
+            .field("write_errors", &self.write_errors)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: std::io::Write + Send> JsonLinesSubscriber<W> {
+    /// Wraps `writer`.
+    #[must_use]
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+            write_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of failed writes (recording never propagates I/O errors
+    /// into the instrumented code).
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Unwraps the writer (e.g. to flush or inspect a `Vec<u8>` sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the writer.
+    #[must_use]
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().expect("json writer poisoned")
+    }
+}
+
+impl<W: std::io::Write + Send> Subscriber for JsonLinesSubscriber<W> {
+    fn record(&self, event: &TraceEvent) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut writer = self.writer.lock().expect("json writer poisoned");
+        if writer.write_all(line.as_bytes()).is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &'static str) -> TraceEvent {
+        TraceEvent {
+            level: Level::Debug,
+            kind: EventKind::Instant,
+            name,
+            wall_ns: 42,
+            sim_time: 1.5,
+            fields: vec![
+                ("count", Value::U64(3)),
+                ("ratio", Value::F64(0.25)),
+                ("label", Value::Str("a\"b".to_string())),
+            ],
+        }
+    }
+
+    #[test]
+    fn levels_order_by_verbosity() {
+        assert!(Level::Off < Level::Error);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn event_json_is_wellformed_and_escaped() {
+        let json = event("kernel_select").to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"name\":\"kernel_select\""));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("\"ratio\":0.25"));
+        assert!(json.contains("\"label\":\"a\\\"b\""));
+        assert!(json.contains("\"sim_time\":1.5"));
+    }
+
+    #[test]
+    fn nan_fields_serialize_as_null() {
+        let mut e = event("x");
+        e.sim_time = f64::NAN;
+        e.fields = vec![("v", Value::F64(f64::INFINITY))];
+        let json = e.to_json();
+        assert!(json.contains("\"sim_time\":null"));
+        assert!(json.contains("\"v\":null"));
+    }
+
+    #[test]
+    fn collecting_ring_drops_oldest() {
+        let sub = CollectingSubscriber::new(2);
+        for name in ["a", "b", "c"] {
+            sub.record(&event(name));
+        }
+        let events = sub.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "b");
+        assert_eq!(events[1].name, "c");
+        assert_eq!(sub.dropped(), 1);
+    }
+
+    #[test]
+    fn json_lines_writes_one_line_per_event() {
+        let sub = JsonLinesSubscriber::new(Vec::new());
+        sub.record(&event("a"));
+        sub.record(&event("b"));
+        assert_eq!(sub.write_errors(), 0);
+        let out = String::from_utf8(sub.into_inner()).unwrap();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the snapshot merge algebra: `RegistrySnapshot::merge`
+//! must be associative and commutative so per-worker snapshots can be
+//! reduced in any grouping or order (the guarantee the engine's
+//! thread-count-independence tests lean on).
+
+use proptest::prelude::*;
+use vcps_obs::{Registry, RegistrySnapshot};
+
+/// Small name pool so generated snapshots collide on keys (merging
+/// disjoint maps would never exercise the combining operators).
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// One randomly generated recording: `(kind, name index, value)`.
+type Op = (u8, u8, u64);
+
+fn build(ops: &[Op]) -> RegistrySnapshot {
+    let registry = Registry::new();
+    for &(kind, name, value) in ops {
+        let name = NAMES[name as usize % NAMES.len()];
+        match kind % 3 {
+            0 => registry.add(name, value),
+            1 => registry.set_gauge(name, value as f64 / 128.0),
+            _ => registry.observe(name, value),
+        }
+    }
+    registry.snapshot()
+}
+
+fn merged(mut a: RegistrySnapshot, b: &RegistrySnapshot) -> RegistrySnapshot {
+    a.merge(b);
+    a
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        ops_a in proptest::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..12),
+        ops_b in proptest::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..12),
+    ) {
+        let a = build(&ops_a);
+        let b = build(&ops_b);
+        prop_assert_eq!(merged(a.clone(), &b), merged(b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        ops_a in proptest::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..10),
+        ops_b in proptest::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..10),
+        ops_c in proptest::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..10),
+    ) {
+        let a = build(&ops_a);
+        let b = build(&ops_b);
+        let c = build(&ops_c);
+        let left = merged(merged(a.clone(), &b), &c);
+        let right = merged(a, &merged(b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn empty_snapshot_is_identity(
+        ops in proptest::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..12),
+    ) {
+        let a = build(&ops);
+        let empty = RegistrySnapshot::default();
+        prop_assert_eq!(merged(a.clone(), &empty), a.clone());
+        prop_assert_eq!(merged(empty, &a), a);
+    }
+}

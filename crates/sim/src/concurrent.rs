@@ -282,6 +282,31 @@ pub fn ingest_parallel_auto(rsu: &SharedRsu, reports: &[BitReport]) -> usize {
     ingest_parallel(rsu, reports, default_threads())
 }
 
+/// [`ingest_parallel`] wrapped in observability: the whole batch runs
+/// under a [`vcps_obs::Phase::Receive`] timer and the accepted/rejected
+/// totals land in the `ingest.reports` / `ingest.rejected` counters.
+///
+/// Recording happens once per *batch*, outside the worker loop, so the
+/// wrapper adds O(1) work regardless of batch size and the counters are
+/// deterministic for any thread count.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+#[must_use]
+pub fn ingest_parallel_obs(
+    rsu: &SharedRsu,
+    reports: &[BitReport],
+    threads: usize,
+    obs: &vcps_obs::Obs,
+) -> usize {
+    let _receive = obs.phase(vcps_obs::Phase::Receive);
+    let rejected = ingest_parallel(rsu, reports, threads);
+    obs.add("ingest.reports", reports.len() as u64);
+    obs.add("ingest.rejected", rejected as u64);
+    rejected
+}
+
 /// Like [`ingest_parallel`] but propagates the first ingestion error
 /// instead of counting rejects — the drop-in parallel replacement for a
 /// sequential `for r in reports { rsu.receive(r)?; }` loop.
@@ -441,6 +466,34 @@ mod tests {
         let b = par.upload();
         assert_eq!(a.counter, b.counter);
         assert_eq!(a.bits, b.bits, "bit-identical regardless of order");
+    }
+
+    #[test]
+    fn observed_ingest_matches_plain_and_counts_the_batch() {
+        let ca = TrustedAuthority::new(3);
+        let m = 1usize << 12;
+        let batch = reports(10_000, m as u64);
+
+        let plain = SharedRsu::new(RsuId(1), m, &ca).unwrap();
+        let plain_rejected = ingest_parallel(&plain, &batch, 4);
+
+        let obs = vcps_obs::Obs::enabled(vcps_obs::Level::Info);
+        let observed = SharedRsu::new(RsuId(1), m, &ca).unwrap();
+        let obs_rejected = ingest_parallel_obs(&observed, &batch, 4, &obs);
+
+        assert_eq!(obs_rejected, plain_rejected);
+        assert_eq!(observed.upload().bits, plain.upload().bits);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["ingest.reports"], batch.len() as u64);
+        assert_eq!(snap.counters["ingest.rejected"], plain_rejected as u64);
+        assert_eq!(snap.counters["phase.receive.calls"], 1);
+
+        // The disabled handle records nothing and changes nothing.
+        let disabled = vcps_obs::Obs::disabled();
+        let quiet = SharedRsu::new(RsuId(1), m, &ca).unwrap();
+        let _ = ingest_parallel_obs(&quiet, &batch, 4, &disabled);
+        assert_eq!(quiet.upload().bits, plain.upload().bits);
+        assert!(disabled.snapshot().is_empty());
     }
 
     #[test]

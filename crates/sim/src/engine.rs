@@ -16,6 +16,7 @@ use rand::{RngExt, SeedableRng};
 
 use vcps_core::{RsuId, Scheme, VehicleIdentity};
 use vcps_hash::splitmix64;
+use vcps_obs::{Obs, Phase};
 use vcps_roadnet::{RoadNetwork, VehicleTrip};
 
 use crate::concurrent::{self, SharedRsu};
@@ -197,6 +198,47 @@ pub fn run_network_period_threads(
     seed: u64,
     threads: usize,
 ) -> Result<NetworkRun, SimError> {
+    run_network_period_threads_obs(
+        scheme,
+        net,
+        link_times,
+        trips,
+        history,
+        period,
+        seed,
+        threads,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_network_period_threads`] with an observability handle: the
+/// exchange phase is profiled as [`Phase::Encode`], server ingestion as
+/// [`Phase::Receive`], and the returned server carries `obs` so later
+/// decodes record [`Phase::Decode`] / kernel-choice counters.
+///
+/// With [`Obs::disabled`] this is the exact code path of the plain
+/// variant; with observability enabled the estimates are still
+/// bit-identical — recording never influences control flow.
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures.
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()` or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_threads_obs(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    threads: usize,
+    obs: &Obs,
+) -> Result<NetworkRun, SimError> {
     assert_eq!(
         history.len(),
         net.node_count(),
@@ -218,28 +260,38 @@ pub fn run_network_period_threads(
         .map(|_| rng.random_range(0.0..period.max(f64::MIN_POSITIVE)))
         .collect();
     let arrivals = simulate_arrivals(net, link_times, trips, &departures);
+    if let Some(last) = arrivals.last() {
+        obs.set_sim_time(last.time);
+    }
 
-    let exchanges = drive_arrivals(
-        scheme,
-        &authority,
-        &rsus,
-        &queries,
-        trips,
-        &arrivals,
-        |t| {
-            SimVehicle::new(
-                VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
-                splitmix64(t.id ^ 0xACE0_FBA5E),
-            )
-        },
-        m_o,
-        threads,
-    )?;
+    let exchanges = {
+        let _encode = obs.phase(Phase::Encode);
+        drive_arrivals(
+            scheme,
+            &authority,
+            &rsus,
+            &queries,
+            trips,
+            &arrivals,
+            |t| {
+                SimVehicle::new(
+                    VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                    splitmix64(t.id ^ 0xACE0_FBA5E),
+                )
+            },
+            m_o,
+            threads,
+        )?
+    };
+    obs.add("engine.exchanges", exchanges as u64);
 
-    let mut server = CentralServer::new(scheme.clone(), 1.0)?;
-    for rsu in &rsus {
-        let wire = rsu.upload().encode();
-        server.receive(PeriodUpload::decode(&wire)?);
+    let mut server = CentralServer::new(scheme.clone(), 1.0)?.with_obs(obs.clone());
+    {
+        let _receive = obs.phase(Phase::Receive);
+        for rsu in &rsus {
+            let wire = rsu.upload().encode();
+            server.receive(PeriodUpload::decode(&wire)?);
+        }
     }
     Ok(NetworkRun { server, exchanges })
 }
@@ -363,7 +415,55 @@ pub fn run_network_period_faulty_threads(
     policy: &RetryPolicy,
     threads: usize,
 ) -> Result<FaultyNetworkRun, SimError> {
+    run_network_period_faulty_threads_obs(
+        scheme,
+        net,
+        link_times,
+        trips,
+        history,
+        period,
+        seed,
+        plan,
+        policy,
+        threads,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_network_period_faulty_threads`] with an observability handle:
+/// the exchange phase is profiled as [`Phase::Encode`], the retry loop
+/// as [`Phase::Retry`] (through the server's handle inside
+/// [`faults::upload_with_retry`]), and the merged [`FaultMetrics`] are
+/// bridged into the registry as `faults.*` counters at period end.
+///
+/// Every registry counter recorded through this path is deterministic
+/// for a fixed `(seed, plan)` — independent of thread count — because
+/// the per-worker fault counters are merged before being bridged and
+/// all other recording happens on the single-threaded control path.
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures, and invalid fault plans.
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()` or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_faulty_threads_obs(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    threads: usize,
+    obs: &Obs,
+) -> Result<FaultyNetworkRun, SimError> {
     plan.validate()?;
+    policy.validate()?;
     assert_eq!(
         history.len(),
         net.node_count(),
@@ -387,30 +487,37 @@ pub fn run_network_period_faulty_threads(
         .map(|_| rng.random_range(0.0..period.max(f64::MIN_POSITIVE)))
         .collect();
     let arrivals = simulate_arrivals(net, link_times, trips, &departures);
+    if let Some(last) = arrivals.last() {
+        obs.set_sim_time(last.time);
+    }
 
     let report_channel = plan.report_channel(0);
     let lost_windows = plan.lost_windows(net.node_count());
-    let (exchanges, mut faults) = drive_arrivals_faulty(
-        scheme,
-        &authority,
-        &rsus,
-        &queries,
-        trips,
-        &arrivals,
-        |t| {
-            SimVehicle::new(
-                VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
-                splitmix64(t.id ^ 0xACE0_FBA5E),
-            )
-        },
-        m_o,
-        threads,
-        &report_channel,
-        &lost_windows,
-    )?;
+    let (exchanges, mut faults) = {
+        let _encode = obs.phase(Phase::Encode);
+        drive_arrivals_faulty(
+            scheme,
+            &authority,
+            &rsus,
+            &queries,
+            trips,
+            &arrivals,
+            |t| {
+                SimVehicle::new(
+                    VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                    splitmix64(t.id ^ 0xACE0_FBA5E),
+                )
+            },
+            m_o,
+            threads,
+            &report_channel,
+            &lost_windows,
+        )?
+    };
     faults.crashes = plan.crashes.len() as u64;
+    obs.add("engine.exchanges", exchanges as u64);
 
-    let mut server = CentralServer::new(scheme.clone(), 1.0)?;
+    let mut server = CentralServer::new(scheme.clone(), 1.0)?.with_obs(obs.clone());
     for (node, &avg) in history.iter().enumerate() {
         server.seed_history(RsuId(node as u64), avg);
     }
@@ -430,6 +537,8 @@ pub fn run_network_period_faulty_threads(
             undelivered.push(upload.rsu);
         }
     }
+    faults.record_into(obs);
+    obs.add("engine.undelivered", undelivered.len() as u64);
     Ok(FaultyNetworkRun {
         server,
         exchanges,
@@ -715,6 +824,7 @@ pub fn run_periods_faulty_threads(
         seed,
     } = *settings;
     plan.validate()?;
+    policy.validate()?;
     assert!(!periods.is_empty(), "need at least one period");
     assert_eq!(
         initial_history.len(),
@@ -1269,5 +1379,95 @@ mod tests {
         let net = line_net();
         let trips = vec![trip(0, vec![0, 1])];
         let _ = simulate_arrivals(&net, &net.free_flow_times(), &trips, &[]);
+    }
+
+    #[test]
+    fn observed_engine_run_is_bit_identical_to_plain() {
+        let net = line_net();
+        let trips: Vec<VehicleTrip> = (0..200).map(|i| trip(i, vec![0, 1, 2])).collect();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let history = [200.0, 200.0, 200.0];
+        let plain = run_network_period(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &history,
+            60.0,
+            4,
+        )
+        .unwrap();
+        for threads in [1usize, 2, 4] {
+            let obs = Obs::enabled(vcps_obs::Level::Trace);
+            let observed = run_network_period_threads_obs(
+                &scheme,
+                &net,
+                &net.free_flow_times(),
+                &trips,
+                &history,
+                60.0,
+                4,
+                threads,
+                &obs,
+            )
+            .unwrap();
+            assert_eq!(observed.exchanges, plain.exchanges, "threads = {threads}");
+            for (a, b) in [(0u64, 1u64), (0, 2), (1, 2)] {
+                assert_eq!(
+                    observed.server.estimate(RsuId(a), RsuId(b)).unwrap(),
+                    plain.server.estimate(RsuId(a), RsuId(b)).unwrap(),
+                    "pair ({a},{b}) at threads = {threads}"
+                );
+            }
+            let snap = obs.snapshot();
+            assert_eq!(snap.counters["engine.exchanges"], plain.exchanges as u64);
+            assert_eq!(snap.counters["server.receive.fresh"], 3);
+        }
+    }
+
+    #[test]
+    fn fault_run_registry_counters_are_thread_count_independent() {
+        let net = line_net();
+        let trips: Vec<VehicleTrip> = (0..300).map(|i| trip(i, vec![0, 1, 2])).collect();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let history = [300.0, 300.0, 300.0];
+        let plan = FaultPlan::new(33)
+            .with_report_link(
+                crate::faults::LinkFaults::none()
+                    .with_drop(0.2)
+                    .with_duplicate(0.1)
+                    .with_bit_flip(0.05),
+            )
+            .with_upload_link(crate::faults::LinkFaults::none().with_drop(0.3));
+        let policy = RetryPolicy::default();
+        let mut snapshots = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let obs = Obs::enabled(vcps_obs::Level::Info);
+            let run = run_network_period_faulty_threads_obs(
+                &scheme,
+                &net,
+                &net.free_flow_times(),
+                &trips,
+                &history,
+                60.0,
+                4,
+                &plan,
+                &policy,
+                threads,
+                &obs,
+            )
+            .unwrap();
+            assert!(run.faults.report_link.dropped > 0, "plan actually injects");
+            snapshots.push(obs.snapshot());
+        }
+        // Wall-clock histograms (phase.*.ns) vary run to run, but every
+        // registry *counter* recorded by the fault path is deterministic
+        // and must not depend on the worker count.
+        let base = &snapshots[0];
+        assert!(base.counters["retry.attempts"] > 0);
+        assert!(base.counters["faults.report_link.dropped"] > 0);
+        for (i, other) in snapshots.iter().enumerate().skip(1) {
+            assert_eq!(other.counters, base.counters, "thread config {i}");
+        }
     }
 }

@@ -439,8 +439,8 @@ fn chance(rng: &mut SplitMix64, p: f64) -> bool {
 }
 
 /// Bounded-retry policy for the upload path: attempt, then wait
-/// `initial_backoff · multiplier^(k−1)` simulated seconds before retry
-/// `k`.
+/// `min(initial_backoff · multiplier^(k−1), max_backoff)` simulated
+/// seconds before retry `k`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RetryPolicy {
     /// Total send attempts (first try included); must be ≥ 1.
@@ -449,6 +449,11 @@ pub struct RetryPolicy {
     pub initial_backoff: f64,
     /// Backoff growth factor per retry.
     pub multiplier: f64,
+    /// Ceiling on any single backoff interval, in simulated seconds.
+    /// Without it, large retry budgets grow `multiplier^(k−1)` into
+    /// absurd or infinite simulated waits that dominate
+    /// `backoff_seconds`.
+    pub max_backoff: f64,
 }
 
 impl Default for RetryPolicy {
@@ -457,19 +462,51 @@ impl Default for RetryPolicy {
             max_attempts: 6,
             initial_backoff: 0.1,
             multiplier: 2.0,
+            max_backoff: 60.0,
         }
     }
 }
 
 impl RetryPolicy {
+    /// Checks the policy is usable: `max_attempts ≥ 1`, and the three
+    /// timing fields finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Core`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let check = |name: &'static str, v: f64| -> Result<(), SimError> {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(SimError::Core(vcps_core::CoreError::InvalidConfig {
+                    parameter: name,
+                    reason: format!("must be finite and non-negative, got {v}"),
+                }))
+            }
+        };
+        if self.max_attempts < 1 {
+            return Err(SimError::Core(vcps_core::CoreError::InvalidConfig {
+                parameter: "max_attempts",
+                reason: "must be at least 1".into(),
+            }));
+        }
+        check("initial_backoff", self.initial_backoff)?;
+        check("multiplier", self.multiplier)?;
+        check("max_backoff", self.max_backoff)
+    }
+
     /// The backoff slept before send attempt `attempt` (0-based); zero
-    /// for the first attempt.
+    /// for the first attempt, clamped to `max_backoff` thereafter.
     #[must_use]
     pub fn backoff_before(&self, attempt: u32) -> f64 {
         if attempt == 0 {
             0.0
         } else {
-            self.initial_backoff * self.multiplier.powi(attempt as i32 - 1)
+            let raw = self.initial_backoff * self.multiplier.powi(attempt as i32 - 1);
+            // `raw` can overflow to +inf for large attempts; min() with a
+            // finite ceiling also repairs that.
+            raw.min(self.max_backoff)
         }
     }
 }
@@ -489,7 +526,10 @@ pub struct UploadDelivery {
 /// ack or when the retry budget runs out.
 ///
 /// Fault counters (attempts, retries, lost acks, dedup outcomes,
-/// simulated backoff) accumulate into `metrics`.
+/// simulated backoff) accumulate into `metrics`; if the server carries
+/// an enabled observability handle ([`CentralServer::set_obs`]), the
+/// retry/backoff phase is additionally profiled through it (attempt and
+/// retry counters, per-wait backoff histogram in microseconds).
 pub fn upload_with_retry(
     upload: &PeriodUpload,
     seq: u64,
@@ -498,6 +538,8 @@ pub fn upload_with_retry(
     policy: &RetryPolicy,
     metrics: &mut FaultMetrics,
 ) -> UploadDelivery {
+    let obs = server.obs().clone();
+    let _timer = obs.phase(vcps_obs::Phase::Retry);
     let frame = SequencedUpload {
         seq,
         upload: upload.clone(),
@@ -506,9 +548,13 @@ pub fn upload_with_retry(
     let max_attempts = policy.max_attempts.max(1);
     for attempt in 0..max_attempts {
         metrics.upload_attempts += 1;
+        obs.inc("retry.attempts");
         if attempt > 0 {
             metrics.upload_retries += 1;
-            metrics.backoff_seconds += policy.backoff_before(attempt);
+            let backoff = policy.backoff_before(attempt);
+            metrics.backoff_seconds += backoff;
+            obs.inc("retry.retries");
+            obs.observe("retry.backoff_us", (backoff * 1e6).round() as u64);
         }
         let key = upload.rsu.0 ^ seq.rotate_left(24) ^ (u64::from(attempt) << 48);
         let tx = channel.transmit(&frame, key);
@@ -536,6 +582,7 @@ pub fn upload_with_retry(
             }
         }
         if acked {
+            obs.inc("retry.delivered");
             return UploadDelivery {
                 delivered: true,
                 attempts: attempt + 1,
@@ -543,6 +590,7 @@ pub fn upload_with_retry(
         }
     }
     metrics.uploads_abandoned += 1;
+    obs.inc("retry.abandoned");
     UploadDelivery {
         delivered: false,
         attempts: max_attempts,
@@ -757,6 +805,60 @@ mod tests {
         assert_eq!(p.backoff_before(0), 0.0);
         assert!((p.backoff_before(1) - 0.1).abs() < 1e-12);
         assert!((p.backoff_before(3) - 0.4).abs() < 1e-12);
+    }
+
+    /// Regression: uncapped exponential growth made large retry budgets
+    /// report absurd (or infinite) simulated backoff. Every interval is
+    /// now clamped to `max_backoff`, even where `multiplier^(k−1)`
+    /// overflows to +inf.
+    #[test]
+    fn retry_policy_backoff_is_capped() {
+        let p = RetryPolicy::default();
+        // 0.1 · 2^10 = 102.4 would exceed the 60 s default ceiling.
+        assert_eq!(p.backoff_before(11), 60.0);
+        // Deep into f64 overflow territory: still finite, still capped.
+        assert!(p.backoff_before(4_000).is_finite());
+        assert_eq!(p.backoff_before(4_000), 60.0);
+        let tight = RetryPolicy {
+            max_backoff: 0.25,
+            ..RetryPolicy::default()
+        };
+        assert!((tight.backoff_before(2) - 0.2).abs() < 1e-12);
+        assert_eq!(tight.backoff_before(3), 0.25);
+        // The cumulative budget of any policy is now bounded by
+        // attempts · max_backoff.
+        let total: f64 = (0..1_000).map(|a| p.backoff_before(a)).sum();
+        assert!(total <= 1_000.0 * p.max_backoff);
+    }
+
+    #[test]
+    fn retry_policy_validate_rejects_degenerate_fields() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        let bad = [
+            RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                initial_backoff: f64::NAN,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                multiplier: f64::INFINITY,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                max_backoff: -1.0,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                max_backoff: f64::NAN,
+                ..RetryPolicy::default()
+            },
+        ];
+        for p in bad {
+            assert!(p.validate().is_err(), "{p:?} must be rejected");
+        }
     }
 
     #[test]

@@ -52,24 +52,31 @@ impl CommunicationMetrics {
         self.upload_bytes_compact += upload.encode_compact().len() as u64;
     }
 
-    /// Vehicle-side bytes per passage (query down + report up); `0`
-    /// before any exchange.
+    /// Vehicle-side bytes per passage (query down + report up), or
+    /// `None` before any exchange.
+    ///
+    /// Earlier versions returned a `0.0` sentinel, which silently
+    /// dragged down averages when merged-period tables mixed idle and
+    /// busy periods; callers must now decide how to render "no data"
+    /// (the experiment tables print `n/a`).
     #[must_use]
-    pub fn bytes_per_passage(&self) -> f64 {
+    pub fn bytes_per_passage(&self) -> Option<f64> {
         if self.reports == 0 {
-            0.0
+            None
         } else {
-            (self.query_bytes + self.report_bytes) as f64 / self.reports as f64
+            Some((self.query_bytes + self.report_bytes) as f64 / self.reports as f64)
         }
     }
 
-    /// Fraction of upload bytes saved by the compact encoding.
+    /// Fraction of upload bytes saved by the compact encoding, or `None`
+    /// before any upload (previously a misleading `0.0` sentinel — "no
+    /// uploads" is not "zero savings").
     #[must_use]
-    pub fn upload_savings(&self) -> f64 {
+    pub fn upload_savings(&self) -> Option<f64> {
         if self.upload_bytes_dense == 0 {
-            0.0
+            None
         } else {
-            1.0 - self.upload_bytes_compact as f64 / self.upload_bytes_dense as f64
+            Some(1.0 - self.upload_bytes_compact as f64 / self.upload_bytes_dense as f64)
         }
     }
 
@@ -120,13 +127,14 @@ impl LinkMetrics {
     }
 
     /// Fraction of offered frames that never reached the receiver
-    /// (dropped or late); `0` before any traffic.
+    /// (dropped or late), or `None` before any traffic (a `0.0` sentinel
+    /// here read as "perfect link" for links that carried nothing).
     #[must_use]
-    pub fn loss_fraction(&self) -> f64 {
+    pub fn loss_fraction(&self) -> Option<f64> {
         if self.frames == 0 {
-            0.0
+            None
         } else {
-            (self.dropped + self.late) as f64 / self.frames as f64
+            Some((self.dropped + self.late) as f64 / self.frames as f64)
         }
     }
 }
@@ -199,6 +207,83 @@ impl FaultMetrics {
     }
 }
 
+// ---------------------------------------------------------------------
+// Bridges into the unified metrics registry (`vcps-obs`).
+//
+// The three structs above predate the registry and keep their typed,
+// serializable shape for return values; `record_into` folds each into
+// registry counters so one `RegistrySnapshot` (with its associative,
+// commutative merge) carries a whole run's story instead of three
+// bespoke `merge` implementations. Counter semantics are identical:
+// every field adds, so recording per-worker structs into a shared
+// registry commutes exactly like the hand-rolled merges did.
+// ---------------------------------------------------------------------
+
+impl CommunicationMetrics {
+    /// Folds these counters into `obs` under the `comm.` prefix (no-op
+    /// when `obs` is disabled).
+    pub fn record_into(&self, obs: &vcps_obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.add("comm.queries", self.queries);
+        obs.add("comm.reports", self.reports);
+        obs.add("comm.uploads", self.uploads);
+        obs.add("comm.query_bytes", self.query_bytes);
+        obs.add("comm.report_bytes", self.report_bytes);
+        obs.add("comm.upload_bytes_dense", self.upload_bytes_dense);
+        obs.add("comm.upload_bytes_compact", self.upload_bytes_compact);
+    }
+}
+
+impl LinkMetrics {
+    /// Folds these counters into `obs` under `faults.<link>.` for the
+    /// given link name (no-op when `obs` is disabled).
+    pub fn record_into(&self, obs: &vcps_obs::Obs, link: &str) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let put = |field: &str, v: u64| obs.add(&format!("faults.{link}.{field}"), v);
+        put("frames", self.frames);
+        put("delivered", self.delivered);
+        put("dropped", self.dropped);
+        put("duplicated", self.duplicated);
+        put("late", self.late);
+        put("truncated", self.truncated);
+        put("bit_flipped", self.bit_flipped);
+    }
+}
+
+impl FaultMetrics {
+    /// Folds these counters into `obs` under the `faults.` prefix; the
+    /// accumulated simulated backoff is also recorded as a microsecond
+    /// histogram sample (no-op when `obs` is disabled).
+    pub fn record_into(&self, obs: &vcps_obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        self.report_link.record_into(obs, "report_link");
+        self.upload_link.record_into(obs, "upload_link");
+        obs.add("faults.reports_undecodable", self.reports_undecodable);
+        obs.add("faults.reports_rejected", self.reports_rejected);
+        obs.add("faults.reports_lost_to_crash", self.reports_lost_to_crash);
+        obs.add("faults.crashes", self.crashes);
+        obs.add("faults.upload_attempts", self.upload_attempts);
+        obs.add("faults.upload_retries", self.upload_retries);
+        obs.add("faults.acks_lost", self.acks_lost);
+        obs.add("faults.uploads_abandoned", self.uploads_abandoned);
+        obs.add("faults.upload_duplicates", self.upload_duplicates);
+        obs.add("faults.upload_conflicts", self.upload_conflicts);
+        obs.add("faults.upload_stale", self.upload_stale);
+        if self.backoff_seconds > 0.0 {
+            obs.observe(
+                "faults.backoff_us",
+                (self.backoff_seconds * 1e6).round() as u64,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,7 +313,7 @@ mod tests {
         assert_eq!(m.queries, 2);
         assert_eq!(m.reports, 2);
         // Query frame: 33 bytes; report frame: 15 bytes.
-        assert_eq!(m.bytes_per_passage(), 48.0);
+        assert_eq!(m.bytes_per_passage(), Some(48.0));
     }
 
     #[test]
@@ -243,7 +328,7 @@ mod tests {
         });
         assert_eq!(m.uploads, 1);
         assert!(m.upload_bytes_compact < m.upload_bytes_dense);
-        assert!(m.upload_savings() > 0.9);
+        assert!(m.upload_savings().unwrap() > 0.9);
     }
 
     #[test]
@@ -262,11 +347,15 @@ mod tests {
         assert_eq!(a.upload_bytes_dense, 60);
     }
 
+    /// Regression: zero-denominator ratios used to come back as `0.0`
+    /// sentinels, indistinguishable from genuine measurements of zero;
+    /// they must now be absent.
     #[test]
-    fn empty_metrics_have_safe_ratios() {
+    fn empty_metrics_have_no_ratios() {
         let m = CommunicationMetrics::new();
-        assert_eq!(m.bytes_per_passage(), 0.0);
-        assert_eq!(m.upload_savings(), 0.0);
+        assert_eq!(m.bytes_per_passage(), None);
+        assert_eq!(m.upload_savings(), None);
+        assert_eq!(LinkMetrics::default().loss_fraction(), None);
     }
 
     #[test]
@@ -280,11 +369,10 @@ mod tests {
             truncated: 1,
             bit_flipped: 0,
         };
-        assert!((a.loss_fraction() - 0.3).abs() < 1e-12);
+        assert!((a.loss_fraction().unwrap() - 0.3).abs() < 1e-12);
         a.merge(&a.clone());
         assert_eq!(a.frames, 20);
         assert_eq!(a.dropped, 4);
-        assert_eq!(LinkMetrics::default().loss_fraction(), 0.0);
     }
 
     #[test]
@@ -300,5 +388,37 @@ mod tests {
         assert_eq!(g.reports_lost_to_crash, 6);
         assert_eq!(g.upload_retries, 4);
         assert!((g.backoff_seconds - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_into_mirrors_struct_counters() {
+        let mut comm = CommunicationMetrics::new();
+        comm.queries = 7;
+        comm.upload_bytes_compact = 90;
+        let mut faults = FaultMetrics::new();
+        faults.report_link.frames = 5;
+        faults.report_link.dropped = 2;
+        faults.upload_retries = 3;
+        faults.backoff_seconds = 0.5;
+
+        let obs = vcps_obs::Obs::enabled(vcps_obs::Level::Info);
+        comm.record_into(&obs);
+        faults.record_into(&obs);
+        // Recording twice sums, exactly like the struct merges.
+        faults.record_into(&obs);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["comm.queries"], 7);
+        assert_eq!(snap.counters["comm.upload_bytes_compact"], 90);
+        assert_eq!(snap.counters["faults.report_link.frames"], 10);
+        assert_eq!(snap.counters["faults.report_link.dropped"], 4);
+        assert_eq!(snap.counters["faults.upload_retries"], 6);
+        assert_eq!(snap.histograms["faults.backoff_us"].count, 2);
+        assert_eq!(snap.histograms["faults.backoff_us"].sum, 1_000_000);
+
+        // Disabled: nothing recorded, nothing allocated.
+        let off = vcps_obs::Obs::disabled();
+        comm.record_into(&off);
+        faults.record_into(&off);
+        assert!(off.snapshot().is_empty());
     }
 }

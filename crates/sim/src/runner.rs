@@ -1,6 +1,7 @@
 use vcps_core::estimator::Estimate;
 use vcps_core::{RsuId, Scheme, VehicleIdentity};
 use vcps_hash::splitmix64;
+use vcps_obs::{Obs, Phase};
 
 use crate::concurrent::{self, SharedRsu};
 use crate::pki::TrustedAuthority;
@@ -24,6 +25,7 @@ pub struct PairRunner {
     authority: TrustedAuthority,
     mac_seed: u64,
     threads: usize,
+    obs: Obs,
 }
 
 /// The result of one [`PairRunner::run`].
@@ -61,7 +63,20 @@ impl PairRunner {
             authority: TrustedAuthority::new(0xCA11_AB1E),
             mac_seed: 0xD15C_0DE5,
             threads: 1,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle: report generation is profiled
+    /// as [`Phase::Encode`], ingestion as [`Phase::Receive`], and the
+    /// server-side decode as [`Phase::Decode`] (plus kernel-choice
+    /// counters). Communication metrics are bridged into the registry as
+    /// `comm.*` counters after each run. Recording never changes the
+    /// outcome — results are bit-identical with observability on or off.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Uses `threads` workers for report generation and ingestion.
@@ -142,8 +157,13 @@ impl PairRunner {
         let identities_x: Vec<VehicleIdentity> = workload.at_x().copied().collect();
         let identities_y: Vec<VehicleIdentity> = workload.at_y().copied().collect();
         let base_y = identities_x.len() as u64;
-        let reports_a = self.make_reports(&query_a, identities_x, 0, m_o)?;
-        let reports_b = self.make_reports(&query_b, identities_y, base_y, m_o)?;
+        let (reports_a, reports_b) = {
+            let _encode = self.obs.phase(Phase::Encode);
+            (
+                self.make_reports(&query_a, identities_x, 0, m_o)?,
+                self.make_reports(&query_b, identities_y, base_y, m_o)?,
+            )
+        };
 
         let mut metrics = crate::CommunicationMetrics::new();
         for report in &reports_a {
@@ -152,10 +172,13 @@ impl PairRunner {
         for report in &reports_b {
             metrics.record_exchange(&query_b, report);
         }
-        self.ingest(&rsu_a, &reports_a)?;
-        self.ingest(&rsu_b, &reports_b)?;
+        {
+            let _receive = self.obs.phase(Phase::Receive);
+            self.ingest(&rsu_a, &reports_a)?;
+            self.ingest(&rsu_b, &reports_b)?;
+        }
 
-        let mut server = CentralServer::new(self.scheme.clone(), 1.0)?;
+        let mut server = CentralServer::new(self.scheme.clone(), 1.0)?.with_obs(self.obs.clone());
         for rsu in [&rsu_a, &rsu_b] {
             let upload = rsu.upload();
             metrics.record_upload(&upload);
@@ -163,6 +186,7 @@ impl PairRunner {
             server.receive(PeriodUpload::decode(&wire)?);
         }
         let estimate = server.estimate_or_clamp(self.rsu_a, self.rsu_b)?;
+        metrics.record_into(&self.obs);
         Ok((
             PairOutcome {
                 estimate,
@@ -291,7 +315,7 @@ mod tests {
         assert_eq!(metrics.queries, metrics.reports);
         assert_eq!(metrics.uploads, 2);
         // Query (33 B) + report (15 B) per passage.
-        assert_eq!(metrics.bytes_per_passage(), 48.0);
+        assert_eq!(metrics.bytes_per_passage(), Some(48.0));
         assert!(metrics.upload_bytes_compact <= metrics.upload_bytes_dense);
         assert_eq!(outcome.true_n_c, 100);
     }
@@ -322,5 +346,25 @@ mod tests {
     fn zero_threads_panics() {
         let scheme = Scheme::variable(2, 3.0, 5).unwrap();
         let _ = PairRunner::new(scheme, RsuId(1), RsuId(2)).with_threads(0);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_bridges_comm_metrics() {
+        let scheme = Scheme::variable(2, 3.0, 5).unwrap();
+        let workload = SyntheticPair::generate(800, 2_400, 200, 23);
+        let plain = PairRunner::new(scheme.clone(), RsuId(1), RsuId(2));
+        let (plain_out, plain_metrics) = plain.run_with_metrics(&workload).unwrap();
+        let obs = Obs::enabled(vcps_obs::Level::Trace);
+        let observed = PairRunner::new(scheme, RsuId(1), RsuId(2)).with_obs(obs.clone());
+        let (obs_out, obs_metrics) = observed.run_with_metrics(&workload).unwrap();
+        assert_eq!(obs_out.estimate, plain_out.estimate);
+        assert_eq!(obs_metrics, plain_metrics);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["comm.reports"], plain_metrics.reports);
+        assert_eq!(snap.counters["server.receive.fresh"], 2);
+        // One decode happened, under the Decode phase timer.
+        assert_eq!(snap.counters["phase.decode.calls"], 1);
+        assert_eq!(snap.counters["phase.encode.calls"], 1);
+        assert_eq!(snap.counters["phase.receive.calls"], 1);
     }
 }

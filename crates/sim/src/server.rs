@@ -4,11 +4,15 @@ use std::sync::RwLock;
 
 use serde::{Deserialize, Serialize};
 
-use vcps_bitarray::{combined_zero_count_adaptive, sparse_is_profitable, DecodeScratch};
+use vcps_bitarray::{
+    combined_zero_count_adaptive, select_pair_kernel, sparse_is_profitable, DecodeScratch,
+    PairKernel,
+};
 use vcps_core::estimator::{
     estimate_from_counts, estimate_from_counts_or_clamp, first_plays_x, Estimate, PairCounts,
 };
 use vcps_core::{CoreError, DegradedEstimate, PairEstimate, RsuId, Scheme, VolumeHistory};
+use vcps_obs::{Level, Obs, Phase, Value};
 
 use crate::protocol::{PeriodUpload, SequencedUpload};
 use crate::SimError;
@@ -96,6 +100,36 @@ impl Serialize for DecodeCaches {
 impl<'de> Deserialize<'de> for DecodeCaches {
     fn deserialize<D: serde::Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
         // Rebuilt lazily after restore.
+        Ok(Self::default())
+    }
+}
+
+/// The server's observability handle ([`vcps_obs::Obs`]), wrapped so it
+/// follows the same derived-state policy as [`DecodeCaches`]: ignored by
+/// equality (instrumentation never changes what a server answers),
+/// dropped through (de)serialization (a restored server comes back with
+/// observability off), and defaulting to the disabled no-op handle.
+#[derive(Debug, Clone, Default)]
+struct ObsCell(Obs);
+
+impl PartialEq for ObsCell {
+    fn eq(&self, _other: &Self) -> bool {
+        // Observability is side-channel state: two servers with equal
+        // uploads answer identically whatever either has recorded.
+        true
+    }
+}
+
+impl Serialize for ObsCell {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Side-channel state: nothing to persist.
+        serializer.serialize_stub()
+    }
+}
+
+impl<'de> Deserialize<'de> for ObsCell {
+    fn deserialize<D: serde::Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        // Restored servers start with observability disabled.
         Ok(Self::default())
     }
 }
@@ -212,6 +246,8 @@ pub struct CentralServer {
     upload_seqs: BTreeMap<RsuId, u64>,
     /// Decode caches derived from `uploads` (see [`DecodeCaches`]).
     caches: DecodeCaches,
+    /// Observability handle (see [`ObsCell`]); disabled by default.
+    obs: ObsCell,
 }
 
 impl CentralServer {
@@ -235,7 +271,30 @@ impl CentralServer {
             uploads: BTreeMap::new(),
             upload_seqs: BTreeMap::new(),
             caches: DecodeCaches::default(),
+            obs: ObsCell::default(),
         })
+    }
+
+    /// Attaches an observability handle: receive outcomes, decode phase
+    /// timings, and kernel selections are recorded through it from now
+    /// on. The default handle is disabled ([`Obs::disabled`]), in which
+    /// case every instrumentation point is a single pointer check.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = ObsCell(obs);
+    }
+
+    /// Builder-style [`set_obs`](Self::set_obs).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// The attached observability handle (disabled unless
+    /// [`set_obs`](Self::set_obs) was called).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs.0
     }
 
     /// Seeds an RSU's historical average (e.g. from past traffic
@@ -266,7 +325,7 @@ impl CentralServer {
     /// [`Conflicting`]: ReceiveOutcome::Conflicting
     pub fn receive(&mut self, upload: PeriodUpload) -> ReceiveOutcome {
         let rsu = upload.rsu;
-        match self.uploads.get(&rsu) {
+        let outcome = match self.uploads.get(&rsu) {
             None => {
                 self.uploads.insert(rsu, upload);
                 self.refresh_caches_for(rsu);
@@ -278,7 +337,20 @@ impl CentralServer {
                 self.refresh_caches_for(rsu);
                 ReceiveOutcome::Conflicting
             }
-        }
+        };
+        self.note_receive(outcome)
+    }
+
+    /// Records one receive outcome into the registry (a no-op with
+    /// observability disabled) and passes it through.
+    fn note_receive(&self, outcome: ReceiveOutcome) -> ReceiveOutcome {
+        self.obs.0.inc(match outcome {
+            ReceiveOutcome::Fresh => "server.receive.fresh",
+            ReceiveOutcome::Duplicate => "server.receive.duplicate",
+            ReceiveOutcome::Conflicting => "server.receive.conflicting",
+            ReceiveOutcome::Stale => "server.receive.stale",
+        });
+        outcome
     }
 
     /// Re-derives the decode caches for `rsu` after its upload changed:
@@ -310,7 +382,7 @@ impl CentralServer {
     /// — the latter must not resurrect as the *current* period's data.
     pub fn receive_sequenced(&mut self, sequenced: SequencedUpload) -> ReceiveOutcome {
         let rsu = sequenced.upload.rsu;
-        match self.upload_seqs.get(&rsu).copied() {
+        let outcome = match self.upload_seqs.get(&rsu).copied() {
             Some(seen) if sequenced.seq < seen => ReceiveOutcome::Stale,
             Some(seen) if sequenced.seq == seen => match self.uploads.get(&rsu) {
                 // Same sequence but the period already closed: the upload
@@ -329,7 +401,8 @@ impl CentralServer {
                 self.refresh_caches_for(rsu);
                 ReceiveOutcome::Fresh
             }
-        }
+        };
+        self.note_receive(outcome)
     }
 
     /// Number of uploads currently held.
@@ -374,6 +447,7 @@ impl CentralServer {
         b: RsuId,
         scratch: &mut DecodeScratch,
     ) -> Result<PairCounts, SimError> {
+        let _timer = self.obs.0.phase(Phase::Decode);
         let ua = self.decodable_upload(a)?;
         let ub = self.decodable_upload(b)?;
         let a_first = first_plays_x(
@@ -387,6 +461,9 @@ impl CentralServer {
         let (x, y) = if a_first { (ua, ub) } else { (ub, ua) };
         let ones_x = self.caches.sparse_ones.get(&x.rsu).map(Vec::as_slice);
         let ones_y = self.caches.sparse_ones.get(&y.rsu).map(Vec::as_slice);
+        if self.obs.0.is_enabled() {
+            self.note_kernel_choice(x.bits.len(), ones_x, y.bits.len(), ones_y);
+        }
         let u_c = combined_zero_count_adaptive(&x.bits, ones_x, &y.bits, ones_y, scratch)
             .map_err(CoreError::from)?;
         Ok(PairCounts {
@@ -398,6 +475,52 @@ impl CentralServer {
             n_x: x.counter,
             n_y: y.counter,
         })
+    }
+
+    /// Records which decode kernel [`select_pair_kernel`] picks for a
+    /// pair and why: a per-kernel counter always, and at `Debug` level a
+    /// `kernel_select` event carrying the cost-model inputs (the array
+    /// sizes and set-bit counts the selector weighed). Mirrors the exact
+    /// selection [`combined_zero_count_adaptive`] makes internally —
+    /// same function, same inputs — without touching the decode itself.
+    fn note_kernel_choice(
+        &self,
+        m_x: usize,
+        ones_x: Option<&[u64]>,
+        m_y: usize,
+        ones_y: Option<&[u64]>,
+    ) {
+        let kernel =
+            select_pair_kernel(m_x, ones_x.map(<[u64]>::len), m_y, ones_y.map(<[u64]>::len));
+        self.obs.0.inc(match kernel {
+            PairKernel::Dense => "kernel.dense",
+            PairKernel::SparseSparse => "kernel.sparse_sparse",
+            PairKernel::SparseDense => "kernel.sparse_dense",
+            PairKernel::DenseSparse => "kernel.dense_sparse",
+        });
+        if self.obs.0.enabled_at(Level::Debug) {
+            self.obs.0.event(
+                Level::Debug,
+                "kernel_select",
+                &[
+                    ("kernel", Value::Str(kernel.label().to_string())),
+                    ("m_x", Value::U64(m_x as u64)),
+                    ("m_y", Value::U64(m_y as u64)),
+                    (
+                        "sparse_ones_x",
+                        ones_x.map_or(Value::Str("dense".to_string()), |o| {
+                            Value::U64(o.len() as u64)
+                        }),
+                    ),
+                    (
+                        "sparse_ones_y",
+                        ones_y.map_or(Value::Str("dense".to_string()), |o| {
+                            Value::U64(o.len() as u64)
+                        }),
+                    ),
+                ],
+            );
+        }
     }
 
     /// [`pair_counts_uncached`](Self::pair_counts_uncached) behind the
@@ -452,7 +575,7 @@ impl CentralServer {
         Ok(estimate_from_counts_or_clamp(
             &self.pair_counts(a, b)?,
             self.scheme.s(),
-        ))
+        )?)
     }
 
     /// Answers a pair query even when uploads are missing: full decode
@@ -484,11 +607,10 @@ impl CentralServer {
         counts: impl FnOnce(&Self) -> Result<PairCounts, SimError>,
     ) -> Result<PairEstimate, SimError> {
         match (self.decodable_upload(a), self.decodable_upload(b)) {
-            (Ok(x), Ok(y)) => match counts(self) {
-                Ok(c) => Ok(PairEstimate::Measured(estimate_from_counts_or_clamp(
-                    &c,
-                    self.scheme.s(),
-                ))),
+            (Ok(x), Ok(y)) => match counts(self)
+                .and_then(|c| Ok(estimate_from_counts_or_clamp(&c, self.scheme.s())?))
+            {
+                Ok(e) => Ok(PairEstimate::Measured(e)),
                 // Uploads present but not comparable (e.g. a corrupted
                 // size that slipped through): counters still bound the
                 // overlap, so degrade rather than fail.
@@ -553,6 +675,7 @@ impl CentralServer {
     ///
     /// Panics if `threads == 0` or a worker thread panics.
     pub fn od_matrix_threads(&self, threads: usize) -> Result<OdMatrix, SimError> {
+        let _timer = self.obs.0.phase(Phase::OdMatrix);
         let rsus: Vec<RsuId> = self
             .uploads
             .keys()
@@ -565,6 +688,7 @@ impl CentralServer {
         let pairs: Vec<(usize, usize)> = (0..n)
             .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
             .collect();
+        self.obs.0.add("od_matrix.pairs", pairs.len() as u64);
         let computed =
             crate::concurrent::parallel_map_threads(pairs.clone(), threads, |&(i, j)| {
                 let (a, b) = (rsus[i], rsus[j]);
@@ -592,6 +716,7 @@ impl CentralServer {
     ///
     /// Returns [`SimError::Core`] if a size computation fails.
     pub fn finish_period(&mut self) -> Result<BTreeMap<RsuId, usize>, SimError> {
+        self.obs.0.inc("server.finish_period.calls");
         let mut sizes = BTreeMap::new();
         for (&rsu, upload) in &self.uploads {
             self.history.update(rsu, upload.counter as f64);
@@ -963,5 +1088,59 @@ mod tests {
         let p = server.estimate_or_degraded(RsuId(1), RsuId(2)).unwrap();
         assert!(!p.is_degraded());
         assert!(p.measured().is_some());
+    }
+
+    #[test]
+    fn observability_never_changes_answers() {
+        // Obs-on results (estimates and the full O-D matrix) must be
+        // bit-identical to obs-off, across thread counts.
+        let feed = |server: &mut CentralServer| {
+            for r in 0..10u64 {
+                let ones: Vec<usize> = (0..(r as usize * 5) % 9)
+                    .map(|k| (k * 13 + 2) % 64)
+                    .collect();
+                server.receive(upload(r, 64, &ones, ones.len() as u64 + 1));
+            }
+        };
+        let mut plain = server();
+        feed(&mut plain);
+        let mut observed = server().with_obs(vcps_obs::Obs::enabled(vcps_obs::Level::Trace));
+        feed(&mut observed);
+        assert_eq!(
+            plain.estimate_or_clamp(RsuId(1), RsuId(2)).unwrap(),
+            observed.estimate_or_clamp(RsuId(1), RsuId(2)).unwrap()
+        );
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                plain.od_matrix_threads(threads).unwrap(),
+                observed.od_matrix_threads(threads).unwrap(),
+                "threads = {threads}"
+            );
+        }
+        // PartialEq ignores the obs handle, like the decode caches.
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn obs_records_receive_outcomes_and_kernel_choices() {
+        let mut server = server().with_obs(vcps_obs::Obs::enabled(vcps_obs::Level::Info));
+        server.receive(upload(1, 64, &[1, 5], 2));
+        server.receive(upload(1, 64, &[1, 5], 2)); // duplicate
+        server.receive(upload(1, 64, &[1, 9], 2)); // conflicting
+        server.receive(upload(2, 256, &[3], 1));
+        let _ = server.estimate_or_clamp(RsuId(1), RsuId(2)).unwrap();
+        let _ = server.estimate_or_clamp(RsuId(1), RsuId(2)).unwrap(); // memo hit
+        let snap = server.obs().snapshot();
+        assert_eq!(snap.counters["server.receive.fresh"], 2);
+        assert_eq!(snap.counters["server.receive.duplicate"], 1);
+        assert_eq!(snap.counters["server.receive.conflicting"], 1);
+        // One uncached decode: exactly one kernel counter bump and one
+        // decode phase sample (the memoized repeat records nothing).
+        assert_eq!(
+            snap.counters_with_prefix("kernel.").values().sum::<u64>(),
+            1
+        );
+        assert_eq!(snap.histograms["phase.decode.ns"].count, 1);
+        assert_eq!(snap.counters["phase.decode.calls"], 1);
     }
 }

@@ -61,6 +61,7 @@ pub use vcps_analysis as analysis;
 pub use vcps_bitarray as bitarray;
 pub use vcps_core as core;
 pub use vcps_hash as hash;
+pub use vcps_obs as obs;
 pub use vcps_roadnet as roadnet;
 pub use vcps_sim as sim;
 
@@ -73,6 +74,7 @@ pub use vcps_core::{
 pub use vcps_hash::{
     HashFamily, PrivateKey, RsuId, Salts, SelectionRule, VehicleId, VehicleIdentity,
 };
+pub use vcps_obs::{Level, Obs, Phase, Registry, RegistrySnapshot};
 pub use vcps_roadnet::{RoadNetError, RoadNetwork, TripTable, VehicleTrip};
 pub use vcps_sim::{
     CentralServer, Channel, FaultPlan, LinkFaults, PairRunner, ReceiveOutcome, RetryPolicy,

@@ -85,8 +85,8 @@ fn communication_metrics_match_protocol_shape() {
     );
     // The under-filled giant array uploads sparse: big savings.
     assert!(
-        metrics.upload_savings() > 0.5,
-        "savings {}",
+        metrics.upload_savings().unwrap() > 0.5,
+        "savings {:?}",
         metrics.upload_savings()
     );
 }
