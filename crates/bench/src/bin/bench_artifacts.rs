@@ -14,6 +14,12 @@
 //!   end-to-end ingest / od_matrix cost with observability off vs on.
 //!   The disabled path is the budgeted one: it must stay within a few
 //!   percent of the uninstrumented baseline.
+//! * `BENCH_shard.json` — sharded vs monolithic batch ingestion
+//!   (DESIGN.md §15): one period's sequenced uploads into a monolithic
+//!   `CentralServer` loop vs `ShardedServer::receive_parallel` at 1, 2,
+//!   4, and 8 shards. Worker count is capped at the available cores, so
+//!   on a single-core box every shard count degenerates to the routed
+//!   sequential path and the speedup column reads ≈ 1.0 by design.
 //!
 //! Timing is hand-rolled (median of repeated wall-clock samples) so the
 //! artifacts do not depend on any benchmark framework; the JSON is
@@ -27,14 +33,17 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use vcps_bench::{ingest_mutex_parallel, ingest_workload, od_server, pairwise_dense_baseline};
+use vcps_bench::{
+    ingest_mutex_parallel, ingest_workload, od_server, pairwise_dense_baseline,
+    shard_ingest_workload,
+};
 use vcps_bitarray::{combined_zero_count, combined_zero_count_adaptive, select_pair_kernel};
-use vcps_core::RsuId;
+use vcps_core::{RsuId, Scheme};
 use vcps_sim::concurrent::{
     default_threads, ingest_parallel, ingest_parallel_obs, MutexRsu, SharedRsu,
 };
 use vcps_sim::pki::TrustedAuthority;
-use vcps_sim::PeriodUpload;
+use vcps_sim::{CentralServer, PeriodUpload, ShardedServer};
 
 const ARRAY_BITS: usize = 1 << 20;
 
@@ -383,6 +392,64 @@ fn bench_obs(reports: u64, samples: usize) -> String {
     )
 }
 
+/// Sharded vs monolithic batch ingestion (DESIGN.md §15). Each timed
+/// sample pops one pre-built batch from a pool and ingests it into a
+/// fresh server, so the timed region is pure ingestion — upload routing,
+/// dedup/sequence bookkeeping, and decode-cache refresh — on both sides
+/// of the comparison.
+fn bench_shard(samples: usize) -> String {
+    const SHARD_RSUS: usize = 256;
+    const SHARD_BITS: usize = 1 << 18;
+    const SHARD_FILL: f64 = 0.01;
+    let scheme = Scheme::variable(2, 3.0, 1).expect("valid scheme");
+    let calls = samples.max(1) + 1; // median_ns adds one warm-up call
+
+    let mut pool = shard_ingest_workload(SHARD_RSUS, SHARD_BITS, SHARD_FILL, calls);
+    let mono_ns = median_ns(samples, || {
+        let frames = pool.pop().expect("pool sized to the sample count");
+        let mut server = CentralServer::new(scheme.clone(), 1.0).expect("valid alpha");
+        for frame in frames {
+            server.receive_sequenced(frame);
+        }
+        assert_eq!(server.upload_count(), SHARD_RSUS);
+    });
+    let rate = |ns: u128| SHARD_RSUS as f64 * 1e9 / ns as f64; // uploads/s
+    println!(
+        "shard   monolithic      {mono_ns:>11} ns   {:>10.0} uploads/s",
+        rate(mono_ns)
+    );
+
+    let mut rows = String::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let mut pool = shard_ingest_workload(SHARD_RSUS, SHARD_BITS, SHARD_FILL, calls);
+        let sharded_ns = median_ns(samples, || {
+            let frames = pool.pop().expect("pool sized to the sample count");
+            let mut server =
+                ShardedServer::new(scheme.clone(), 1.0, shards).expect("valid shard count");
+            let outcomes = server.receive_parallel(frames);
+            assert_eq!(outcomes.len(), SHARD_RSUS);
+        });
+        let speedup = mono_ns as f64 / sharded_ns as f64;
+        let _ = write!(
+            rows,
+            "{}    {{\"shards\": {shards}, \"sharded_ns\": {sharded_ns}, \
+             \"sharded_uploads_per_s\": {:.0}, \"speedup_vs_monolithic\": {speedup:.3}}}",
+            if rows.is_empty() { "" } else { ",\n" },
+            rate(sharded_ns),
+        );
+        println!(
+            "shard   shards={shards:<3}      {sharded_ns:>11} ns   {:>10.0} uploads/s   speedup {speedup:.2}x",
+            rate(sharded_ns)
+        );
+    }
+    format!(
+        "{{\n  \"workload\": {{\"rsus\": {SHARD_RSUS}, \"array_bits\": {SHARD_BITS}, \
+         \"fill\": {SHARD_FILL}, \"samples\": {samples}, \"cores\": {}}},\n  \
+         \"monolithic_ns\": {mono_ns},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        default_threads(),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let (out, reports, samples) = match parse_args(&args) {
@@ -397,13 +464,16 @@ fn main() {
     let decode = bench_decode(samples);
     let odmatrix = bench_odmatrix(samples);
     let obs = bench_obs(reports, samples);
+    let shard = bench_shard(samples);
     let ingest_path = format!("{out}/BENCH_ingest.json");
     let decode_path = format!("{out}/BENCH_decode.json");
     let odmatrix_path = format!("{out}/BENCH_odmatrix.json");
     let obs_path = format!("{out}/BENCH_obs.json");
+    let shard_path = format!("{out}/BENCH_shard.json");
     std::fs::write(&ingest_path, ingest).expect("write BENCH_ingest.json");
     std::fs::write(&decode_path, decode).expect("write BENCH_decode.json");
     std::fs::write(&odmatrix_path, odmatrix).expect("write BENCH_odmatrix.json");
     std::fs::write(&obs_path, obs).expect("write BENCH_obs.json");
-    println!("wrote {ingest_path}, {decode_path}, {odmatrix_path}, and {obs_path}");
+    std::fs::write(&shard_path, shard).expect("write BENCH_shard.json");
+    println!("wrote {ingest_path}, {decode_path}, {odmatrix_path}, {obs_path}, and {shard_path}");
 }

@@ -28,7 +28,7 @@ use vcps_core::{
 };
 use vcps_hash::RsuId;
 use vcps_sim::concurrent::MutexRsu;
-use vcps_sim::{BitReport, CentralServer, MacAddress, PeriodUpload};
+use vcps_sim::{BitReport, CentralServer, MacAddress, PeriodUpload, SequencedUpload};
 
 /// Builds a sketch of size `m` with roughly `fill` fraction of distinct
 /// bits set, deterministically.
@@ -94,6 +94,41 @@ pub fn ingest_mutex_parallel(rsu: &MutexRsu, reports: &[BitReport], threads: usi
             });
         }
     });
+}
+
+/// Builds `copies` identical batches of `rsus` sequenced period uploads
+/// (sequence 0, `m`-bit arrays at roughly `fill` fraction set) — the
+/// shared workload of the sharded-ingestion bench (`BENCH_shard.json`).
+///
+/// The bench pops one pre-built batch per timed sample so the timed
+/// region is pure server-side ingestion — no clone or encode cost on
+/// either side of the comparison.
+///
+/// # Panics
+///
+/// Panics if `m < 2` or `fill` is not in `[0, 1]`.
+#[must_use]
+pub fn shard_ingest_workload(
+    rsus: usize,
+    m: usize,
+    fill: f64,
+    copies: usize,
+) -> Vec<Vec<SequencedUpload>> {
+    let batch: Vec<SequencedUpload> = (0..rsus)
+        .map(|i| {
+            let id = i as u64 + 1;
+            let sketch = filled_sketch(id, m, fill);
+            SequencedUpload {
+                seq: 0,
+                upload: PeriodUpload {
+                    rsu: RsuId(id),
+                    counter: sketch.count(),
+                    bits: sketch.bits().clone(),
+                },
+            }
+        })
+        .collect();
+    (0..copies).map(|_| batch.clone()).collect()
 }
 
 /// Builds a central server holding `rsus` period uploads, each with
@@ -201,6 +236,26 @@ mod tests {
     fn zero_fill_is_empty() {
         let s = filled_sketch(1, 64, 0.0);
         assert_eq!(s.bits().count_ones(), 0);
+    }
+
+    #[test]
+    fn shard_workload_batches_are_identical_and_ingestible() {
+        let pool = shard_ingest_workload(8, 512, 0.05, 3);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool[0], pool[1]);
+        assert_eq!(pool[1], pool[2]);
+        let scheme = Scheme::variable(2, 3.0, 1).unwrap();
+        let mut mono = CentralServer::new(scheme.clone(), 1.0).unwrap();
+        for frame in pool[0].clone() {
+            mono.receive_sequenced(frame);
+        }
+        let mut sharded = vcps_sim::ShardedServer::new(scheme, 1.0, 4).unwrap();
+        let outcomes = sharded.receive_parallel(pool[1].clone());
+        assert_eq!(outcomes.len(), 8);
+        assert_eq!(sharded.upload_count(), mono.upload_count());
+        for i in 1..=8u64 {
+            assert_eq!(sharded.upload(RsuId(i)), mono.upload(RsuId(i)));
+        }
     }
 
     #[test]

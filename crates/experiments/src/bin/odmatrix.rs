@@ -24,6 +24,10 @@
 //!     [--seed N]
 //!     [--sioux-falls]    decode the road-network period instead
 //!     [--subsample F]    trips per simulated vehicle (default 16)
+//!     [--shards K]       (with --sioux-falls) additionally run the same
+//!                        period through a K-shard batch-ingestion server
+//!                        and record whether its matrix is bit-identical
+//!                        (`"sharded_equal"` in the JSON; CI asserts it)
 //!     [--json]           machine-readable output (used by CI)
 //!     [--out FILE]       also write the JSON to FILE
 
@@ -34,10 +38,11 @@ use vcps_core::{PairEstimate, Scheme};
 use vcps_experiments::{
     arg_flag, arg_value, choose_novel_load_factor, default_threads, text_table, PRIVACY_TARGET,
 };
+use vcps_obs::Obs;
 use vcps_roadnet::assignment::all_or_nothing;
 use vcps_roadnet::assignment::point_volumes;
 use vcps_roadnet::{expand_vehicle_trips, sioux_falls};
-use vcps_sim::engine::run_network_period_threads;
+use vcps_sim::engine::{run_network_period_sharded_threads_obs, run_network_period_threads};
 use vcps_sim::OdMatrix;
 
 fn parse_list<T: std::str::FromStr>(raw: &str) -> Vec<T> {
@@ -124,8 +129,16 @@ fn sweep_json(rows: &[SweepRow], seed: u64, samples: usize) -> String {
 }
 
 /// The Sioux Falls matrix as JSON: `n̂_c` per ordered pair (`null` on
-/// the diagonal), plus how many entries took the degraded path.
-fn matrix_json(matrix: &OdMatrix, subsample: f64, seed: u64) -> String {
+/// the diagonal), plus how many entries took the degraded path and —
+/// when `--shards` is given — whether the sharded server reproduced the
+/// matrix bit for bit.
+fn matrix_json(
+    matrix: &OdMatrix,
+    subsample: f64,
+    seed: u64,
+    shards: Option<usize>,
+    sharded_equal: Option<bool>,
+) -> String {
     let n = matrix.len();
     let mut degraded = 0usize;
     let rows: Vec<String> = (0..n)
@@ -145,14 +158,16 @@ fn matrix_json(matrix: &OdMatrix, subsample: f64, seed: u64) -> String {
         })
         .collect();
     let ids: Vec<String> = matrix.rsus().iter().map(|r| r.0.to_string()).collect();
+    let shards_field = shards.map_or("null".to_string(), |k| k.to_string());
+    let equal_field = sharded_equal.map_or("null".to_string(), |e| e.to_string());
     format!(
-        "{{\"experiment\":\"odmatrix\",\"mode\":\"sioux_falls\",\"seed\":{seed},\"subsample\":{subsample},\"rsus\":[{}],\"degraded_entries\":{degraded},\"matrix\":[{}]}}",
+        "{{\"experiment\":\"odmatrix\",\"mode\":\"sioux_falls\",\"seed\":{seed},\"subsample\":{subsample},\"shards\":{shards_field},\"sharded_equal\":{equal_field},\"rsus\":[{}],\"degraded_entries\":{degraded},\"matrix\":[{}]}}",
         ids.join(","),
         rows.join(",")
     )
 }
 
-fn run_sioux_falls(subsample: f64, seed: u64) -> OdMatrix {
+fn run_sioux_falls(subsample: f64, seed: u64, shards: Option<usize>) -> (OdMatrix, Option<bool>) {
     let net = sioux_falls::network();
     let trips = sioux_falls::trip_table();
     let assignment = all_or_nothing(&net, &trips, &net.free_flow_times());
@@ -174,7 +189,33 @@ fn run_sioux_falls(subsample: f64, seed: u64) -> OdMatrix {
         default_threads(),
     )
     .expect("network period failed");
-    run.server.od_matrix().expect("all-pairs decode failed")
+    let matrix = run.server.od_matrix().expect("all-pairs decode failed");
+
+    // With --shards: replay the identical period through the sharded
+    // batch-ingestion server and record whether the two matrices are bit
+    // for bit equal — the DESIGN.md §15 conformance contract, checked by
+    // the shard-smoke CI job on real road-network traffic.
+    let sharded_equal = shards.map(|k| {
+        let sharded = run_network_period_sharded_threads_obs(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &vehicles,
+            &history,
+            3_600.0,
+            seed,
+            k,
+            default_threads(),
+            &Obs::disabled(),
+        )
+        .expect("sharded network period failed");
+        let sharded_matrix = sharded
+            .server
+            .od_matrix()
+            .expect("sharded all-pairs decode failed");
+        sharded_matrix == matrix
+    });
+    (matrix, sharded_equal)
 }
 
 fn main() {
@@ -192,14 +233,25 @@ fn main() {
         let subsample: f64 = arg_value(&args, "--subsample")
             .and_then(|v| v.parse().ok())
             .unwrap_or(16.0);
-        let matrix = run_sioux_falls(subsample, seed);
-        let payload = matrix_json(&matrix, subsample, seed);
+        let shards: Option<usize> = arg_value(&args, "--shards").and_then(|v| v.parse().ok());
+        let (matrix, sharded_equal) = run_sioux_falls(subsample, seed, shards);
+        let payload = matrix_json(&matrix, subsample, seed, shards, sharded_equal);
         if json {
             println!("{payload}");
         } else {
             println!("== O–D matrix: Sioux Falls, one period ==\n");
             let n = matrix.len();
             println!("{n} RSUs, {} decoded pairs", n * (n - 1) / 2);
+            if let (Some(k), Some(equal)) = (shards, sharded_equal) {
+                println!(
+                    "{k}-shard batch server: {}",
+                    if equal {
+                        "matrix bit-identical to monolithic"
+                    } else {
+                        "MATRIX DIVERGED from monolithic (conformance bug)"
+                    }
+                );
+            }
             let mut preview: Vec<Vec<String>> = Vec::new();
             for (a, b, e) in matrix.iter_pairs().take(8) {
                 preview.push(vec![

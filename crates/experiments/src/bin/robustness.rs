@@ -22,11 +22,16 @@
 //!     [--seed N]
 //!     [--report-loss R]   comma list of rates (default 0,0.05,0.1,0.2,0.3,0.5)
 //!     [--upload-loss R]   comma list of rates (default 0,0.25,0.5,0.75,1)
+//!     [--shards K]        run each point through a K-shard batch
+//!                         server instead of the monolithic one (same
+//!                         JSON shape; estimates and fault metrics are
+//!                         bit-identical by the DESIGN.md §15 contract)
 //!     [--json]            machine-readable output (used by CI)
 //!     [--obs-json PATH]   record observability (retry/backoff profile,
 //!                         fault counters, phase timings) and write the
 //!                         registry snapshot as JSON to PATH
 
+use vcps_core::estimator::Estimate;
 use vcps_core::{PairEstimate, RsuId, Scheme};
 use vcps_experiments::{
     arg_flag, arg_value, choose_novel_load_factor, default_threads, obs_from_args, text_table,
@@ -35,8 +40,11 @@ use vcps_experiments::{
 use vcps_obs::Obs;
 use vcps_roadnet::assignment::{all_or_nothing, pair_volumes, point_volumes};
 use vcps_roadnet::{expand_vehicle_trips, sioux_falls, RoadNetwork, VehicleTrip};
-use vcps_sim::engine::run_network_period_faulty_threads_obs;
-use vcps_sim::{FaultPlan, LinkFaults, RetryPolicy};
+use vcps_sim::engine::{
+    run_network_period_faulty_sharded_threads_obs, run_network_period_faulty_threads_obs,
+    FaultyNetworkRun, FaultyShardedNetworkRun,
+};
+use vcps_sim::{FaultMetrics, FaultPlan, LinkFaults, RetryPolicy, SimError};
 
 /// The Table-I `R_x` node labels, measured against `R_y` = node 10.
 const PAIR_LABELS: [usize; 8] = [15, 12, 7, 24, 6, 18, 2, 3];
@@ -67,6 +75,38 @@ fn parse_rates(raw: &str) -> Vec<f64> {
         .collect()
 }
 
+/// One fault-injected period, behind either server shape. The sweeps
+/// below only need estimates and fault metrics, which the sharding
+/// layer's conformance contract guarantees are bit-identical — so the
+/// two variants share this thin facade instead of duplicating sweeps.
+enum PointRun {
+    Mono(FaultyNetworkRun),
+    Sharded(FaultyShardedNetworkRun),
+}
+
+impl PointRun {
+    fn faults(&self) -> &FaultMetrics {
+        match self {
+            PointRun::Mono(run) => &run.faults,
+            PointRun::Sharded(run) => &run.faults,
+        }
+    }
+
+    fn estimate_or_clamp(&self, a: RsuId, b: RsuId) -> Result<Estimate, SimError> {
+        match self {
+            PointRun::Mono(run) => run.server.estimate_or_clamp(a, b),
+            PointRun::Sharded(run) => run.server.estimate_or_clamp(a, b),
+        }
+    }
+
+    fn estimate_or_degraded(&self, a: RsuId, b: RsuId) -> Result<PairEstimate, SimError> {
+        match self {
+            PointRun::Mono(run) => run.server.estimate_or_degraded(a, b),
+            PointRun::Sharded(run) => run.server.estimate_or_degraded(a, b),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_point(
     scheme: &Scheme,
@@ -77,22 +117,44 @@ fn run_point(
     seed: u64,
     plan: &FaultPlan,
     threads: usize,
+    shards: Option<usize>,
     obs: &Obs,
-) -> vcps_sim::engine::FaultyNetworkRun {
-    run_network_period_faulty_threads_obs(
-        scheme,
-        net,
-        link_times,
-        vehicles,
-        history,
-        3_600.0,
-        seed,
-        plan,
-        &RetryPolicy::default(),
-        threads,
-        obs,
-    )
-    .expect("fault-injected period failed")
+) -> PointRun {
+    match shards {
+        None => PointRun::Mono(
+            run_network_period_faulty_threads_obs(
+                scheme,
+                net,
+                link_times,
+                vehicles,
+                history,
+                3_600.0,
+                seed,
+                plan,
+                &RetryPolicy::default(),
+                threads,
+                obs,
+            )
+            .expect("fault-injected period failed"),
+        ),
+        Some(k) => PointRun::Sharded(
+            run_network_period_faulty_sharded_threads_obs(
+                scheme,
+                net,
+                link_times,
+                vehicles,
+                history,
+                3_600.0,
+                seed,
+                plan,
+                &RetryPolicy::default(),
+                k,
+                threads,
+                obs,
+            )
+            .expect("sharded fault-injected period failed"),
+        ),
+    }
 }
 
 fn main() {
@@ -110,6 +172,7 @@ fn main() {
         .map(|v| parse_rates(&v))
         .unwrap_or_else(|| vec![0.0, 0.25, 0.5, 0.75, 1.0]);
     let json = arg_flag(&args, "--json");
+    let shards: Option<usize> = arg_value(&args, "--shards").and_then(|v| v.parse().ok());
     let (obs, obs_path) = obs_from_args(&args);
     let threads = default_threads();
 
@@ -143,6 +206,9 @@ fn main() {
             "Sioux Falls, {} vehicles (subsample {subsample}), s = {s}, f̄ = {f_bar:.2}, seed = {seed}",
             vehicles.len()
         );
+        if let Some(k) = shards {
+            println!("ingestion: {k}-shard batch server (bit-identical to monolithic)");
+        }
         println!("pairs: eight Table-I R_x nodes vs node {Y_LABEL}\n");
     }
 
@@ -160,13 +226,13 @@ fn main() {
                 seed,
                 &plan,
                 threads,
+                shards,
                 &obs,
             );
             let mut bias_sum = 0.0;
             let mut abs_sum = 0.0;
             for &(x, truth) in &pairs {
                 let est = run
-                    .server
                     .estimate_or_clamp(RsuId(x as u64), RsuId(y as u64))
                     .expect("measured estimate under report loss");
                 let rel = (est.n_c - truth) / truth;
@@ -175,7 +241,7 @@ fn main() {
             }
             ReportLossPoint {
                 rate: p,
-                measured_loss: run.faults.report_link.loss_fraction(),
+                measured_loss: run.faults().report_link.loss_fraction(),
                 mean_bias: bias_sum / pairs.len() as f64,
                 predicted_bias: (1.0 - p) * (1.0 - p) - 1.0,
                 mean_abs_err: abs_sum / pairs.len() as f64,
@@ -197,6 +263,7 @@ fn main() {
                 seed,
                 &plan,
                 threads,
+                shards,
                 &obs,
             );
             let mut degraded = 0usize;
@@ -205,7 +272,6 @@ fn main() {
             let mut measured = 0usize;
             for &(x, truth) in &pairs {
                 let est = run
-                    .server
                     .estimate_or_degraded(RsuId(x as u64), RsuId(y as u64))
                     .expect("every pair answerable under upload loss");
                 answered += 1;
@@ -219,9 +285,9 @@ fn main() {
             }
             UploadLossPoint {
                 rate: p,
-                attempts: run.faults.upload_attempts,
-                retries: run.faults.upload_retries,
-                abandoned: run.faults.uploads_abandoned,
+                attempts: run.faults().upload_attempts,
+                retries: run.faults().upload_retries,
+                abandoned: run.faults().uploads_abandoned,
                 degraded_pairs: degraded,
                 answered_pairs: answered,
                 mean_abs_err_measured: if measured > 0 {

@@ -14,6 +14,9 @@
 //!     [--scale F]        scale all volumes by F (default 1.0)
 //!     [--runs R]         measurement periods to average (default 20)
 //!     [--seed N]
+//!     [--shards K]       ingest through a K-shard batch server instead
+//!                        of the monolithic path (bit-identical results;
+//!                        exercises the DESIGN.md §15 sharding layer)
 //!     [--obs-json PATH]  record observability (phase timings, kernel
 //!                        choices, message counters) and write the
 //!                        registry snapshot as JSON to PATH
@@ -35,7 +38,7 @@ use vcps_analysis::PairParams;
 use vcps_core::Scheme;
 use vcps_experiments::{
     arg_flag, arg_value, choose_baseline_size, choose_novel_load_factor, obs_from_args,
-    parallel_map, run_accuracy_point_obs, text_table, write_obs_json, PRIVACY_TARGET,
+    parallel_map, run_accuracy_point_sharded_obs, text_table, write_obs_json, PRIVACY_TARGET,
 };
 use vcps_roadnet::assignment::{all_or_nothing, pair_volumes, point_volumes};
 use vcps_roadnet::sioux_falls;
@@ -86,6 +89,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0x7AB1_E001);
     let from_network = arg_flag(&args, "--from-network");
+    let shards: Option<usize> = arg_value(&args, "--shards").and_then(|v| v.parse().ok());
     let s = 2usize;
 
     let rows = if from_network {
@@ -111,7 +115,11 @@ fn main() {
         }
     );
     println!("novel scheme: f̄ = {f_bar:.2} (privacy ≥ {PRIVACY_TARGET})");
-    println!("baseline [9]: m = {m_fixed} (privacy ≥ {PRIVACY_TARGET}, binds at n_min)\n");
+    println!("baseline [9]: m = {m_fixed} (privacy ≥ {PRIVACY_TARGET}, binds at n_min)");
+    if let Some(k) = shards {
+        println!("ingestion: {k}-shard batch server (bit-identical to monolithic)");
+    }
+    println!();
 
     let runs: u64 = arg_value(&args, "--runs")
         .and_then(|v| v.parse().ok())
@@ -148,10 +156,12 @@ fn main() {
     let trial_outcomes: Vec<(f64, f64, f64, f64)> =
         parallel_map(trials, |&(label, n_x, n_c, r)| {
             let point_seed = seed ^ (label as u64) << 32 ^ r;
-            let novel_out = run_accuracy_point_obs(&novel, n_x, n_y, n_c, point_seed, &obs)
-                .expect("simulation failed");
-            let base_out = run_accuracy_point_obs(&baseline, n_x, n_y, n_c, point_seed, &obs)
-                .expect("simulation failed");
+            let novel_out =
+                run_accuracy_point_sharded_obs(&novel, n_x, n_y, n_c, point_seed, shards, &obs)
+                    .expect("simulation failed");
+            let base_out =
+                run_accuracy_point_sharded_obs(&baseline, n_x, n_y, n_c, point_seed, shards, &obs)
+                    .expect("simulation failed");
             (
                 novel_out.estimate.n_c,
                 base_out.estimate.n_c,

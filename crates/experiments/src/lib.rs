@@ -128,10 +128,34 @@ pub fn run_accuracy_point_obs(
     seed: u64,
     obs: &Obs,
 ) -> Result<PairOutcome, SimError> {
+    run_accuracy_point_sharded_obs(scheme, n_x, n_y, n_c, seed, None, obs)
+}
+
+/// [`run_accuracy_point_obs`] with an optional sharded ingestion path:
+/// `Some(k)` routes the period uploads through a `k`-shard
+/// [`vcps_sim::ShardedServer`] in one batch frame
+/// ([`PairRunner::with_shards`]). The sharding layer's contract is
+/// bit-identical estimates, so this changes *which code path* the
+/// experiment exercises, never its numbers.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_accuracy_point_sharded_obs(
+    scheme: &Scheme,
+    n_x: u64,
+    n_y: u64,
+    n_c: u64,
+    seed: u64,
+    shards: Option<usize>,
+    obs: &Obs,
+) -> Result<PairOutcome, SimError> {
     let workload = SyntheticPair::generate(n_x, n_y, n_c, seed);
-    PairRunner::new(scheme.clone(), RsuId(1), RsuId(2))
-        .with_obs(obs.clone())
-        .run(&workload)
+    let mut runner = PairRunner::new(scheme.clone(), RsuId(1), RsuId(2)).with_obs(obs.clone());
+    if let Some(shards) = shards {
+        runner = runner.with_shards(shards);
+    }
+    runner.run(&workload)
 }
 
 /// Builds the observability handle an experiment binary should use:
@@ -300,6 +324,19 @@ mod tests {
         let out = run_accuracy_point(&scheme, 1_000, 1_000, 300, 5).unwrap();
         assert!(out.estimate.n_c.is_finite());
         assert_eq!(out.true_n_c, 300);
+    }
+
+    #[test]
+    fn sharded_accuracy_point_matches_monolithic() {
+        let scheme = Scheme::variable(2, 3.0, 1).unwrap();
+        let obs = Obs::disabled();
+        let mono = run_accuracy_point_sharded_obs(&scheme, 1_000, 1_000, 300, 5, None, &obs);
+        let sharded = run_accuracy_point_sharded_obs(&scheme, 1_000, 1_000, 300, 5, Some(4), &obs);
+        assert_eq!(
+            mono.unwrap().estimate,
+            sharded.unwrap().estimate,
+            "sharded ingestion must not change the estimate"
+        );
     }
 
     #[test]

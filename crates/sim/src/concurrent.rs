@@ -356,6 +356,94 @@ pub fn try_ingest_parallel(
     }
 }
 
+/// Fans `inputs` out over disjoint mutable `slots` and returns the
+/// per-slot results in slot order.
+///
+/// This is the write-side analogue of [`parallel_map_threads`] for state
+/// that is *partitioned* rather than shared: each worker gets exclusive
+/// `&mut` access to a contiguous group of slots (e.g. server shards)
+/// plus the inputs routed to them, so no locking is needed and the
+/// per-slot work is exactly the sequential code. The worker count is
+/// capped at [`default_threads`] — more slots than cores shares workers
+/// over slot groups instead of oversubscribing — and with a single
+/// group no thread is spawned at all, mirroring the spawn-free
+/// `threads == 1` path of the map.
+///
+/// # Panics
+///
+/// Panics if `slots` and `inputs` differ in length or a worker panics.
+pub fn for_each_slot_mut<T, I, R, F>(slots: &mut [T], inputs: Vec<I>, f: F) -> Vec<R>
+where
+    T: Send,
+    I: Send,
+    R: Send,
+    F: Fn(&mut T, I) -> R + Sync,
+{
+    for_each_slot_mut_threads(slots, inputs, default_threads(), f)
+}
+
+/// [`for_each_slot_mut`] with an explicit worker cap (the effective
+/// worker count is `threads.min(slots.len())`).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `slots` and `inputs` differ in length, or a
+/// worker panics.
+pub fn for_each_slot_mut_threads<T, I, R, F>(
+    slots: &mut [T],
+    inputs: Vec<I>,
+    threads: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    I: Send,
+    R: Send,
+    F: Fn(&mut T, I) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    assert_eq!(
+        slots.len(),
+        inputs.len(),
+        "one input bundle per slot required"
+    );
+    let workers = threads.min(slots.len());
+    if workers <= 1 {
+        return slots
+            .iter_mut()
+            .zip(inputs)
+            .map(|(slot, input)| f(slot, input))
+            .collect();
+    }
+    let chunk = slots.len().div_ceil(workers);
+    let mut input_groups: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut inputs = inputs;
+    while !inputs.is_empty() {
+        let rest = inputs.split_off(chunk.min(inputs.len()));
+        input_groups.push(std::mem::replace(&mut inputs, rest));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slots
+            .chunks_mut(chunk)
+            .zip(input_groups)
+            .map(|(slot_group, input_group)| {
+                scope.spawn(move || {
+                    slot_group
+                        .iter_mut()
+                        .zip(input_group)
+                        .map(|(slot, input)| f(slot, input))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("slot worker panicked"))
+            .collect()
+    })
+}
+
 /// Maps `f` over `items` in parallel with one worker per available core,
 /// preserving input order (see [`parallel_map_threads`]).
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
@@ -594,6 +682,58 @@ mod tests {
             assert_eq!(out, (0..1_000).map(|x| x * 3).collect::<Vec<_>>());
         }
         assert_eq!(parallel_map(Vec::<u64>::new(), |&x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn for_each_slot_mut_runs_each_input_on_its_own_slot() {
+        let mut slots = vec![0u64; 4];
+        let inputs: Vec<Vec<u64>> = (0..4u64).map(|i| vec![i, i + 10]).collect();
+        let sums = for_each_slot_mut(&mut slots, inputs, |slot, input| {
+            for v in input {
+                *slot += v;
+            }
+            *slot
+        });
+        assert_eq!(slots, vec![10, 12, 14, 16]);
+        assert_eq!(sums, slots);
+        // A single slot runs inline, spawn-free.
+        let mut one = vec![7u64];
+        let r = for_each_slot_mut(&mut one, vec![3u64], |s, i| {
+            *s += i;
+            *s
+        });
+        assert_eq!(r, vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input bundle per slot")]
+    fn for_each_slot_mut_rejects_mismatched_lengths() {
+        let mut slots = vec![0u64; 2];
+        let _ = for_each_slot_mut(&mut slots, vec![1u64], |s, i| *s + i);
+    }
+
+    #[test]
+    fn for_each_slot_mut_groups_slots_when_threads_are_scarce() {
+        // 5 slots over 2 workers: groups of 3 + 2, results still in
+        // slot order — and a worker cap above the slot count behaves
+        // like one worker per slot.
+        for threads in [1usize, 2, 3, 8] {
+            let mut slots = vec![0u64; 5];
+            let inputs: Vec<u64> = (0..5).map(|i| i + 100).collect();
+            let out = for_each_slot_mut_threads(&mut slots, inputs, threads, |slot, input| {
+                *slot = input;
+                input * 2
+            });
+            assert_eq!(slots, vec![100, 101, 102, 103, 104], "threads = {threads}");
+            assert_eq!(out, vec![200, 202, 204, 206, 208], "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn for_each_slot_mut_rejects_zero_threads() {
+        let mut slots = vec![0u64; 2];
+        let _ = for_each_slot_mut_threads(&mut slots, vec![1u64, 2], 0, |s, i| *s + i);
     }
 
     #[test]

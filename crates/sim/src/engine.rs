@@ -23,8 +23,8 @@ use crate::concurrent::{self, SharedRsu};
 use crate::faults::{self, Channel, FaultPlan, RetryPolicy};
 use crate::metrics::FaultMetrics;
 use crate::pki::TrustedAuthority;
-use crate::protocol::{BitReport, PeriodUpload, Query};
-use crate::{CentralServer, SimError, SimVehicle};
+use crate::protocol::{BatchUpload, BitReport, PeriodUpload, Query, SequencedUpload};
+use crate::{CentralServer, ShardedServer, SimError, SimVehicle};
 
 /// One vehicle reaching one RSU site.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -613,6 +613,328 @@ where
         faults.merge(&local);
     }
     Ok((exchanges, faults))
+}
+
+/// The outcome of a full-network measurement period ingested by a
+/// sharded server (see [`run_network_period_sharded`]).
+#[derive(Debug, Clone)]
+pub struct ShardedNetworkRun {
+    /// The sharded server holding every RSU's upload — query it with
+    /// [`ShardedServer::estimate`]; answers are bit-identical to the
+    /// monolithic [`NetworkRun`]'s.
+    pub server: ShardedServer,
+    /// Total query/answer exchanges performed.
+    pub exchanges: usize,
+}
+
+/// [`run_network_period`] ingested by a [`ShardedServer`]: the period's
+/// uploads travel as one [`BatchUpload`] wire frame (encoded and decoded
+/// end to end) instead of one frame per RSU, and land on `shards`
+/// hash-partitioned receiver shards.
+///
+/// Estimates from the returned server are bit-identical to the
+/// monolithic run's at every shard count — the exchange phase is the
+/// same code, the batch frame carries byte-identical uploads, and the
+/// sharded decode path borrows the same kernels.
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures (including a zero
+/// `shards`).
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_sharded(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    shards: usize,
+) -> Result<ShardedNetworkRun, SimError> {
+    run_network_period_sharded_threads_obs(
+        scheme,
+        net,
+        link_times,
+        trips,
+        history,
+        period,
+        seed,
+        shards,
+        1,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_network_period_sharded`] with `threads` exchange workers and an
+/// observability handle (see [`run_network_period_threads_obs`] for the
+/// phase/counter layout — the sharded run fires the same registry names,
+/// plus the `shard.*` / `batch.*` series).
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures (including a zero `shards`).
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()` or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_sharded_threads_obs(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    shards: usize,
+    threads: usize,
+    obs: &Obs,
+) -> Result<ShardedNetworkRun, SimError> {
+    assert_eq!(
+        history.len(),
+        net.node_count(),
+        "one history volume per node"
+    );
+    // Setup is byte-identical to the monolithic run: same authority,
+    // array sizes, departures, and exchange phase — only the ingestion
+    // framing and receiver topology differ.
+    let authority = TrustedAuthority::new(seed ^ 0x0CA0_17E5);
+    let mut rsus = Vec::with_capacity(net.node_count());
+    let mut m_o = 0usize;
+    for (node, &avg) in history.iter().enumerate() {
+        let m = scheme.array_size_for(avg)?;
+        m_o = m_o.max(m);
+        rsus.push(SharedRsu::new(RsuId(node as u64), m, &authority)?);
+    }
+    let queries: Vec<Query> = rsus.iter().map(SharedRsu::query).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let departures: Vec<f64> = trips
+        .iter()
+        .map(|_| rng.random_range(0.0..period.max(f64::MIN_POSITIVE)))
+        .collect();
+    let arrivals = simulate_arrivals(net, link_times, trips, &departures);
+    if let Some(last) = arrivals.last() {
+        obs.set_sim_time(last.time);
+    }
+
+    let exchanges = {
+        let _encode = obs.phase(Phase::Encode);
+        drive_arrivals(
+            scheme,
+            &authority,
+            &rsus,
+            &queries,
+            trips,
+            &arrivals,
+            |t| {
+                SimVehicle::new(
+                    VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                    splitmix64(t.id ^ 0xACE0_FBA5E),
+                )
+            },
+            m_o,
+            threads,
+        )?
+    };
+    obs.add("engine.exchanges", exchanges as u64);
+
+    let mut server = ShardedServer::new(scheme.clone(), 1.0, shards)?.with_obs(obs.clone());
+    {
+        let _receive = obs.phase(Phase::Receive);
+        let frames: Vec<SequencedUpload> = rsus
+            .iter()
+            .map(|rsu| SequencedUpload {
+                seq: 0,
+                upload: rsu.upload(),
+            })
+            .collect();
+        // One wire frame for the whole period, round-tripped through the
+        // codec so the batch layout is exercised end to end.
+        let wire = BatchUpload::new(frames)?.encode();
+        let _ = server.receive_batch(BatchUpload::decode(&wire)?);
+    }
+    Ok(ShardedNetworkRun { server, exchanges })
+}
+
+/// The outcome of a measurement period run under fault injection with a
+/// sharded server (see [`run_network_period_faulty_sharded`]).
+#[derive(Debug, Clone)]
+pub struct FaultyShardedNetworkRun {
+    /// The sharded server holding whatever uploads survived — query it
+    /// with [`ShardedServer::estimate_or_degraded`].
+    pub server: ShardedServer,
+    /// Total query/answer exchanges performed.
+    pub exchanges: usize,
+    /// What the channels, crashes, and the retry loop did — identical
+    /// to the monolithic [`FaultyNetworkRun`]'s for the same inputs.
+    pub faults: FaultMetrics,
+    /// RSUs whose upload exhausted the retry budget.
+    pub undelivered: Vec<RsuId>,
+}
+
+/// [`run_network_period_faulty`] delivering into a [`ShardedServer`].
+///
+/// The upload path deliberately sends the *same* per-RSU
+/// [`SequencedUpload`] frames with the same channel keys as the
+/// monolithic faulty run (through the generic
+/// [`faults::upload_with_retry`] sink), so every drop, corruption, and
+/// lost-ack decision is replayed identically and the surviving state —
+/// uploads, fault metrics, undelivered set — matches the monolith
+/// byte for byte. Batch-framed uploads over a faulty channel are
+/// exercised separately by [`faults::batch_upload_with_retry`].
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures, invalid fault plans, and a
+/// zero `shards`.
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_faulty_sharded(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    shards: usize,
+) -> Result<FaultyShardedNetworkRun, SimError> {
+    run_network_period_faulty_sharded_threads_obs(
+        scheme,
+        net,
+        link_times,
+        trips,
+        history,
+        period,
+        seed,
+        plan,
+        policy,
+        shards,
+        1,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_network_period_faulty_sharded`] with `threads` workers and an
+/// observability handle (the sharded analogue of
+/// [`run_network_period_faulty_threads_obs`], firing the same registry
+/// names plus the `shard.*` series).
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures, invalid fault plans, and a
+/// zero `shards`.
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()` or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_faulty_sharded_threads_obs(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    shards: usize,
+    threads: usize,
+    obs: &Obs,
+) -> Result<FaultyShardedNetworkRun, SimError> {
+    plan.validate()?;
+    policy.validate()?;
+    assert_eq!(
+        history.len(),
+        net.node_count(),
+        "one history volume per node"
+    );
+    let authority = TrustedAuthority::new(seed ^ 0x0CA0_17E5);
+    let mut rsus = Vec::with_capacity(net.node_count());
+    let mut m_o = 0usize;
+    for (node, &avg) in history.iter().enumerate() {
+        let m = scheme.array_size_for(avg)?;
+        m_o = m_o.max(m);
+        rsus.push(SharedRsu::new(RsuId(node as u64), m, &authority)?);
+    }
+    let queries: Vec<Query> = rsus.iter().map(SharedRsu::query).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let departures: Vec<f64> = trips
+        .iter()
+        .map(|_| rng.random_range(0.0..period.max(f64::MIN_POSITIVE)))
+        .collect();
+    let arrivals = simulate_arrivals(net, link_times, trips, &departures);
+    if let Some(last) = arrivals.last() {
+        obs.set_sim_time(last.time);
+    }
+
+    let report_channel = plan.report_channel(0);
+    let lost_windows = plan.lost_windows(net.node_count());
+    let (exchanges, mut faults) = {
+        let _encode = obs.phase(Phase::Encode);
+        drive_arrivals_faulty(
+            scheme,
+            &authority,
+            &rsus,
+            &queries,
+            trips,
+            &arrivals,
+            |t| {
+                SimVehicle::new(
+                    VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                    splitmix64(t.id ^ 0xACE0_FBA5E),
+                )
+            },
+            m_o,
+            threads,
+            &report_channel,
+            &lost_windows,
+        )?
+    };
+    faults.crashes = plan.crashes.len() as u64;
+    obs.add("engine.exchanges", exchanges as u64);
+
+    let mut server = ShardedServer::new(scheme.clone(), 1.0, shards)?.with_obs(obs.clone());
+    for (node, &avg) in history.iter().enumerate() {
+        server.seed_history(RsuId(node as u64), avg);
+    }
+    let upload_channel = plan.upload_channel(0);
+    let mut undelivered = Vec::new();
+    for rsu in &rsus {
+        let upload = rsu.upload();
+        let delivery = faults::upload_with_retry(
+            &upload,
+            0,
+            &upload_channel,
+            &mut server,
+            policy,
+            &mut faults,
+        );
+        if !delivery.delivered {
+            undelivered.push(upload.rsu);
+        }
+    }
+    faults.record_into(obs);
+    obs.add("engine.undelivered", undelivered.len() as u64);
+    Ok(FaultyShardedNetworkRun {
+        server,
+        exchanges,
+        faults,
+        undelivered,
+    })
 }
 
 /// The outcome of a multi-period simulation (see [`run_periods`]).
@@ -1468,6 +1790,155 @@ mod tests {
         assert!(base.counters["faults.report_link.dropped"] > 0);
         for (i, other) in snapshots.iter().enumerate().skip(1) {
             assert_eq!(other.counters, base.counters, "thread config {i}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_monolithic_at_every_shard_count() {
+        let net = line_net();
+        let trips: Vec<VehicleTrip> = (0..200).map(|i| trip(i, vec![0, 1, 2])).collect();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let history = [200.0, 200.0, 200.0];
+        let mono = run_network_period(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &history,
+            60.0,
+            4,
+        )
+        .unwrap();
+        for shards in [1usize, 2, 4, 8] {
+            let sharded = run_network_period_sharded(
+                &scheme,
+                &net,
+                &net.free_flow_times(),
+                &trips,
+                &history,
+                60.0,
+                4,
+                shards,
+            )
+            .unwrap();
+            assert_eq!(sharded.exchanges, mono.exchanges, "shards = {shards}");
+            assert_eq!(sharded.server.upload_count(), 3);
+            for (a, b) in [(0u64, 1u64), (0, 2), (1, 2)] {
+                assert_eq!(
+                    sharded.server.estimate(RsuId(a), RsuId(b)).unwrap(),
+                    mono.server.estimate(RsuId(a), RsuId(b)).unwrap(),
+                    "pair ({a},{b}) at shards = {shards}"
+                );
+            }
+            assert_eq!(
+                sharded.server.od_matrix_threads(2).unwrap(),
+                mono.server.od_matrix_threads(2).unwrap(),
+                "shards = {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_sharded_run_replays_the_monolithic_fault_sequence() {
+        let net = line_net();
+        let trips: Vec<VehicleTrip> = (0..300).map(|i| trip(i, vec![0, 1, 2])).collect();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let history = [300.0, 300.0, 300.0];
+        let plan = FaultPlan::new(33)
+            .with_report_link(
+                crate::faults::LinkFaults::none()
+                    .with_drop(0.2)
+                    .with_duplicate(0.1)
+                    .with_bit_flip(0.05),
+            )
+            .with_upload_link(crate::faults::LinkFaults::none().with_drop(0.4));
+        let policy = RetryPolicy::default();
+        let mono = run_network_period_faulty(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &history,
+            60.0,
+            4,
+            &plan,
+            &policy,
+        )
+        .unwrap();
+        assert!(mono.faults.report_link.dropped > 0, "plan actually injects");
+        for shards in [1usize, 2, 4, 8] {
+            let sharded = run_network_period_faulty_sharded(
+                &scheme,
+                &net,
+                &net.free_flow_times(),
+                &trips,
+                &history,
+                60.0,
+                4,
+                &plan,
+                &policy,
+                shards,
+            )
+            .unwrap();
+            assert_eq!(sharded.exchanges, mono.exchanges);
+            assert_eq!(sharded.faults, mono.faults, "shards = {shards}");
+            assert_eq!(sharded.undelivered, mono.undelivered);
+            for node in 0..3u64 {
+                assert_eq!(
+                    sharded.server.upload(RsuId(node)),
+                    mono.server.upload(RsuId(node)),
+                    "node {node} at shards = {shards}"
+                );
+            }
+            for (a, b) in [(0u64, 1u64), (0, 2), (1, 2)] {
+                assert_eq!(
+                    sharded.server.estimate_or_degraded(RsuId(a), RsuId(b)),
+                    mono.server.estimate_or_degraded(RsuId(a), RsuId(b)),
+                    "pair ({a},{b}) at shards = {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_registry_counters_match_monolith_modulo_shard_series() {
+        let net = line_net();
+        let trips: Vec<VehicleTrip> = (0..200).map(|i| trip(i, vec![0, 1, 2])).collect();
+        let scheme = Scheme::variable(2, 3.0, 9).unwrap();
+        let history = [200.0, 200.0, 200.0];
+        let mono_obs = Obs::enabled(vcps_obs::Level::Info);
+        let mono = run_network_period_threads_obs(
+            &scheme,
+            &net,
+            &net.free_flow_times(),
+            &trips,
+            &history,
+            60.0,
+            4,
+            2,
+            &mono_obs,
+        )
+        .unwrap();
+        let _ = mono.server.od_matrix_threads(2).unwrap();
+        for shards in [1usize, 4] {
+            let obs = Obs::enabled(vcps_obs::Level::Info);
+            let sharded = run_network_period_sharded_threads_obs(
+                &scheme,
+                &net,
+                &net.free_flow_times(),
+                &trips,
+                &history,
+                60.0,
+                4,
+                shards,
+                2,
+                &obs,
+            )
+            .unwrap();
+            let _ = sharded.server.od_matrix_threads(2).unwrap();
+            let mut counters = obs.snapshot().counters;
+            counters.retain(|name, _| !name.starts_with("shard.") && !name.starts_with("batch."));
+            assert_eq!(counters, mono_obs.snapshot().counters, "shards = {shards}");
         }
     }
 }

@@ -46,7 +46,7 @@ use vcps_hash::{splitmix64, SplitMix64};
 
 use crate::metrics::{FaultMetrics, LinkMetrics};
 use crate::pki::Certificate;
-use crate::protocol::{PeriodUpload, SequencedUpload};
+use crate::protocol::{BatchUpload, PeriodUpload, SequencedUpload};
 use crate::server::ReceiveOutcome;
 use crate::{CentralServer, SimError, SimRsu};
 
@@ -520,6 +520,69 @@ pub struct UploadDelivery {
     pub attempts: u32,
 }
 
+/// Anything the retrying upload path can deliver into: the monolithic
+/// [`CentralServer`] and the sharded [`crate::ShardedServer`] both
+/// implement it, so [`upload_with_retry`] and [`batch_upload_with_retry`]
+/// run the *identical* frame/key/ack sequence against either — the
+/// foundation of the sharded-vs-monolithic fault equivalence the
+/// differential suite verifies.
+pub trait SequencedSink {
+    /// Ingests one sequence-numbered upload, classifying it against the
+    /// sink's held state (see [`CentralServer::receive_sequenced`]).
+    fn ingest_sequenced(&mut self, sequenced: SequencedUpload) -> ReceiveOutcome;
+
+    /// Ingests every frame of a decoded batch, in frame order. The
+    /// default just loops [`ingest_sequenced`](Self::ingest_sequenced);
+    /// sinks with a native batch path (the sharded server's
+    /// `receive_batch`, which also fires `batch.*` counters) override.
+    fn ingest_batch(&mut self, batch: BatchUpload) -> Vec<ReceiveOutcome> {
+        batch
+            .into_frames()
+            .into_iter()
+            .map(|f| self.ingest_sequenced(f))
+            .collect()
+    }
+
+    /// The sink's observability handle — retry counters and the backoff
+    /// histogram are recorded through it.
+    fn sink_obs(&self) -> &vcps_obs::Obs;
+}
+
+impl SequencedSink for CentralServer {
+    fn ingest_sequenced(&mut self, sequenced: SequencedUpload) -> ReceiveOutcome {
+        self.receive_sequenced(sequenced)
+    }
+
+    fn sink_obs(&self) -> &vcps_obs::Obs {
+        self.obs()
+    }
+}
+
+impl SequencedSink for crate::ShardedServer {
+    fn ingest_sequenced(&mut self, sequenced: SequencedUpload) -> ReceiveOutcome {
+        self.receive_sequenced(sequenced)
+    }
+
+    fn ingest_batch(&mut self, batch: BatchUpload) -> Vec<ReceiveOutcome> {
+        self.receive_batch(batch)
+    }
+
+    fn sink_obs(&self) -> &vcps_obs::Obs {
+        self.obs()
+    }
+}
+
+/// Tallies one dedup outcome from a delivered (re-)send into the fault
+/// counters — shared by the single-frame and batch retry paths.
+fn note_ingest_outcome(outcome: ReceiveOutcome, metrics: &mut FaultMetrics) {
+    match outcome {
+        ReceiveOutcome::Fresh => {}
+        ReceiveOutcome::Duplicate => metrics.upload_duplicates += 1,
+        ReceiveOutcome::Conflicting => metrics.upload_conflicts += 1,
+        ReceiveOutcome::Stale => metrics.upload_stale += 1,
+    }
+}
+
 /// Drives one RSU's end-of-period upload through a lossy channel with
 /// stop-and-wait retries: encode a [`SequencedUpload`], transmit, let the
 /// server ingest every surviving copy, and stop on the first surviving
@@ -530,15 +593,19 @@ pub struct UploadDelivery {
 /// an enabled observability handle ([`CentralServer::set_obs`]), the
 /// retry/backoff phase is additionally profiled through it (attempt and
 /// retry counters, per-wait backoff histogram in microseconds).
-pub fn upload_with_retry(
+///
+/// Generic over the [`SequencedSink`]: delivering into a sharded server
+/// replays byte-for-byte the frames, channel keys, and ack decisions of
+/// the monolithic run, so fault outcomes cannot diverge between the two.
+pub fn upload_with_retry<S: SequencedSink + ?Sized>(
     upload: &PeriodUpload,
     seq: u64,
     channel: &Channel,
-    server: &mut CentralServer,
+    server: &mut S,
     policy: &RetryPolicy,
     metrics: &mut FaultMetrics,
 ) -> UploadDelivery {
-    let obs = server.obs().clone();
+    let obs = server.sink_obs().clone();
     let _timer = obs.phase(vcps_obs::Phase::Retry);
     let frame = SequencedUpload {
         seq,
@@ -566,15 +633,80 @@ pub fn upload_with_retry(
             let Ok(sequenced) = SequencedUpload::decode(copy) else {
                 continue;
             };
-            match server.receive_sequenced(sequenced) {
-                ReceiveOutcome::Fresh => {}
-                ReceiveOutcome::Duplicate => metrics.upload_duplicates += 1,
-                ReceiveOutcome::Conflicting => metrics.upload_conflicts += 1,
-                ReceiveOutcome::Stale => metrics.upload_stale += 1,
-            }
+            note_ingest_outcome(server.ingest_sequenced(sequenced), metrics);
             // The server acks everything it processed (including
             // duplicates — idempotent ack); the ack rides the same lossy
             // link back.
+            if channel.ack_lost(key) {
+                metrics.acks_lost += 1;
+            } else {
+                acked = true;
+            }
+        }
+        if acked {
+            obs.inc("retry.delivered");
+            return UploadDelivery {
+                delivered: true,
+                attempts: attempt + 1,
+            };
+        }
+    }
+    metrics.uploads_abandoned += 1;
+    obs.inc("retry.abandoned");
+    UploadDelivery {
+        delivered: false,
+        attempts: max_attempts,
+    }
+}
+
+/// [`upload_with_retry`] for a whole [`BatchUpload`]: one wire frame
+/// carries every RSU's sequenced upload for the period, the channel's
+/// faults (drop / truncate / bit-flip / duplicate) hit the batch as a
+/// unit, and a surviving ack acknowledges all of it at once.
+///
+/// The per-attempt channel key folds every inner frame's identity
+/// (`rsu ^ rotl(seq, 24)` XOR-combined) so distinct batches draw
+/// independent fault decisions, exactly as distinct single uploads do. A
+/// delivered copy that no longer decodes as a [`BatchUpload`] — a
+/// truncation or bit-flip caught by the length prefix, per-record
+/// checksums, or ordering invariant — is silently discarded without an
+/// ack, like a corrupted single frame.
+pub fn batch_upload_with_retry<S: SequencedSink + ?Sized>(
+    batch: &BatchUpload,
+    channel: &Channel,
+    server: &mut S,
+    policy: &RetryPolicy,
+    metrics: &mut FaultMetrics,
+) -> UploadDelivery {
+    let obs = server.sink_obs().clone();
+    let _timer = obs.phase(vcps_obs::Phase::Retry);
+    let frame = batch.encode();
+    let batch_key = batch
+        .frames()
+        .iter()
+        .fold(0u64, |acc, f| acc ^ f.upload.rsu.0 ^ f.seq.rotate_left(24));
+    let max_attempts = policy.max_attempts.max(1);
+    for attempt in 0..max_attempts {
+        metrics.upload_attempts += 1;
+        obs.inc("retry.attempts");
+        if attempt > 0 {
+            metrics.upload_retries += 1;
+            let backoff = policy.backoff_before(attempt);
+            metrics.backoff_seconds += backoff;
+            obs.inc("retry.retries");
+            obs.observe("retry.backoff_us", (backoff * 1e6).round() as u64);
+        }
+        let key = batch_key ^ (u64::from(attempt) << 48);
+        let tx = channel.transmit(&frame, key);
+        tx.record(&mut metrics.upload_link);
+        let mut acked = false;
+        for copy in &tx.delivered {
+            let Ok(decoded) = BatchUpload::decode(copy) else {
+                continue;
+            };
+            for outcome in server.ingest_batch(decoded) {
+                note_ingest_outcome(outcome, metrics);
+            }
             if channel.ack_lost(key) {
                 metrics.acks_lost += 1;
             } else {
@@ -956,6 +1088,133 @@ mod tests {
             }
         }
         panic!("no seed in range exercised a lost ack followed by delivery");
+    }
+
+    fn period_batch(rsus: u64) -> BatchUpload {
+        let frames: Vec<SequencedUpload> = (0..rsus)
+            .map(|r| {
+                let mut bits = BitArray::new(64);
+                bits.set((r as usize * 7) % 64);
+                SequencedUpload {
+                    seq: 0,
+                    upload: PeriodUpload {
+                        rsu: RsuId(r),
+                        counter: r + 1,
+                        bits,
+                    },
+                }
+            })
+            .collect();
+        BatchUpload::new(frames).unwrap()
+    }
+
+    #[test]
+    fn batch_retry_delivers_a_whole_period_in_one_frame() {
+        let scheme = Scheme::variable(2, 3.0, 1).unwrap();
+        let batch = period_batch(12);
+        let ch = FaultPlan::none().upload_channel(0);
+        // The identical session against the monolith and the sharded
+        // server: same state either way.
+        let mut mono = CentralServer::new(scheme.clone(), 0.5).unwrap();
+        let mut metrics = FaultMetrics::new();
+        let outcome = batch_upload_with_retry(
+            &batch,
+            &ch,
+            &mut mono,
+            &RetryPolicy::default(),
+            &mut metrics,
+        );
+        assert!(outcome.delivered);
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(mono.upload_count(), 12);
+
+        let mut sharded = crate::ShardedServer::new(scheme, 0.5, 4).unwrap();
+        let mut metrics2 = FaultMetrics::new();
+        let outcome2 = batch_upload_with_retry(
+            &batch,
+            &ch,
+            &mut sharded,
+            &RetryPolicy::default(),
+            &mut metrics2,
+        );
+        assert_eq!(outcome2, outcome);
+        assert_eq!(sharded.upload_count(), 12);
+        for r in 0..12u64 {
+            assert_eq!(sharded.upload(RsuId(r)), mono.upload(RsuId(r)));
+        }
+    }
+
+    #[test]
+    fn batch_retry_survives_loss_identically_on_both_server_shapes() {
+        let scheme = Scheme::variable(2, 3.0, 1).unwrap();
+        let batch = period_batch(8);
+        let plan = FaultPlan::new(77).with_upload_link(LinkFaults::none().with_drop(0.5));
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            ..RetryPolicy::default()
+        };
+        let mut mono = CentralServer::new(scheme.clone(), 0.5).unwrap();
+        let mut m1 = FaultMetrics::new();
+        let o1 =
+            batch_upload_with_retry(&batch, &plan.upload_channel(0), &mut mono, &policy, &mut m1);
+        let mut sharded = crate::ShardedServer::new(scheme, 0.5, 4).unwrap();
+        let mut m2 = FaultMetrics::new();
+        let o2 = batch_upload_with_retry(
+            &batch,
+            &plan.upload_channel(0),
+            &mut sharded,
+            &policy,
+            &mut m2,
+        );
+        assert!(o1.delivered, "16 attempts at 50% loss must land");
+        assert_eq!(o1, o2, "identical frames and keys, identical session");
+        assert_eq!(m1, m2);
+        assert_eq!(mono.upload_count(), sharded.upload_count());
+        for r in 0..8u64 {
+            assert_eq!(mono.upload(RsuId(r)), sharded.upload(RsuId(r)));
+        }
+    }
+
+    #[test]
+    fn corrupted_batch_copies_are_discarded_without_ack() {
+        // Every delivered copy takes a bit flip somewhere in the frame;
+        // the length prefix / per-record checksums / ordering invariant
+        // must catch all of them, so nothing is ingested and no ack
+        // comes back.
+        let scheme = Scheme::variable(2, 3.0, 1).unwrap();
+        let batch = period_batch(6);
+        let plan = FaultPlan::new(5).with_upload_link(LinkFaults::none().with_bit_flip(1.0));
+        let mut server = CentralServer::new(scheme, 0.5).unwrap();
+        let mut metrics = FaultMetrics::new();
+        let outcome = batch_upload_with_retry(
+            &batch,
+            &plan.upload_channel(0),
+            &mut server,
+            &RetryPolicy::default(),
+            &mut metrics,
+        );
+        assert!(!outcome.delivered);
+        assert_eq!(server.upload_count(), 0, "no corrupted copy was accepted");
+        assert_eq!(metrics.uploads_abandoned, 1);
+        assert_eq!(metrics.acks_lost, 0, "a discarded frame is never acked");
+    }
+
+    #[test]
+    fn truncated_batch_copies_are_discarded_without_ack() {
+        let scheme = Scheme::variable(2, 3.0, 1).unwrap();
+        let batch = period_batch(6);
+        let plan = FaultPlan::new(9).with_upload_link(LinkFaults::none().with_truncate(1.0));
+        let mut server = CentralServer::new(scheme, 0.5).unwrap();
+        let mut metrics = FaultMetrics::new();
+        let outcome = batch_upload_with_retry(
+            &batch,
+            &plan.upload_channel(0),
+            &mut server,
+            &RetryPolicy::default(),
+            &mut metrics,
+        );
+        assert!(!outcome.delivered);
+        assert_eq!(server.upload_count(), 0);
     }
 
     #[test]

@@ -62,18 +62,20 @@ pub mod protocol;
 mod rsu;
 mod runner;
 mod server;
+mod shard;
 pub mod synthetic;
 mod vehicle;
 
 pub use error::SimError;
 pub use faults::{
-    upload_with_retry, Channel, CrashMode, FaultPlan, LinkFaults, RetryPolicy, RsuCheckpoint,
-    RsuCrash,
+    batch_upload_with_retry, upload_with_retry, Channel, CrashMode, FaultPlan, LinkFaults,
+    RetryPolicy, RsuCheckpoint, RsuCrash, SequencedSink,
 };
 pub use mac::MacAddress;
 pub use metrics::{CommunicationMetrics, FaultMetrics, LinkMetrics};
-pub use protocol::{BitReport, PeriodUpload, Query, SequencedUpload};
+pub use protocol::{BatchUpload, BitReport, PeriodUpload, Query, SequencedUpload};
 pub use rsu::SimRsu;
 pub use runner::{PairOutcome, PairRunner};
 pub use server::{CentralServer, OdMatrix, ReceiveOutcome};
+pub use shard::{shard_for, ShardedServer};
 pub use vehicle::SimVehicle;

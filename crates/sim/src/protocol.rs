@@ -31,11 +31,32 @@ use crate::{MacAddress, SimError};
 /// a malicious frame from demanding an absurd allocation.
 const MAX_UPLOAD_BITS: usize = 1 << 32;
 
+/// Upper bound on the inner-frame count a decoded [`BatchUpload`] may
+/// claim, mirroring [`MAX_UPLOAD_BITS`]: one frame per RSU per period
+/// means even a continental deployment stays far below 2^16, while a
+/// hostile 9-byte header must not be able to promise four billion
+/// frames and drive a quadratic validation loop.
+const MAX_BATCH_FRAMES: usize = 1 << 16;
+
 const TAG_QUERY: u8 = 1;
 const TAG_REPORT: u8 = 2;
 const TAG_UPLOAD: u8 = 3;
 const TAG_UPLOAD_SPARSE: u8 = 4;
 const TAG_UPLOAD_SEQ: u8 = 5;
+const TAG_BATCH: u8 = 6;
+
+/// FNV-1a 64 over a byte slice — the per-frame checksum inside a
+/// [`BatchUpload`]. Hand-rolled (no new dependency) and byte-order
+/// free; it only needs to catch channel corruption, not adversaries
+/// (authenticity comes from the PKI layer).
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// The periodic broadcast an RSU sends to passing vehicles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -331,6 +352,149 @@ impl SequencedUpload {
     }
 }
 
+/// A batched end-of-period flush: every [`SequencedUpload`] an RSU
+/// shard aggregated this period, in one wire frame.
+///
+/// The monolithic path sends one frame per upload; at hundreds of RSUs
+/// per shard that is hundreds of radio/backhaul round trips per period.
+/// A batch carries a length-prefixed vector of inner frames, each
+/// guarded by an FNV-1a 64 checksum so a single flipped bit is
+/// attributed to the frame it corrupted instead of desynchronizing the
+/// rest of the batch parse.
+///
+/// Invariant: inner frames are sorted by `(rsu, seq)` and the keys are
+/// strictly increasing (no duplicates). [`BatchUpload::new`] establishes
+/// it, [`BatchUpload::decode`] enforces it — which is what lets the
+/// mutation tests demand that a duplicated or reordered inner frame is
+/// *rejected* rather than silently re-ingested.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchUpload {
+    frames: Vec<SequencedUpload>,
+}
+
+impl BatchUpload {
+    /// Builds a batch from inner frames, sorting them into canonical
+    /// `(rsu, seq)` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] if two frames share a
+    /// `(rsu, seq)` key (the batch would not round-trip: decode rejects
+    /// non-strictly-increasing keys) or if the batch exceeds the
+    /// `MAX_BATCH_FRAMES` wire bound.
+    pub fn new(mut frames: Vec<SequencedUpload>) -> Result<Self, SimError> {
+        if frames.len() > MAX_BATCH_FRAMES {
+            return Err(SimError::MalformedMessage {
+                reason: "batch frame count over limit",
+            });
+        }
+        frames.sort_by_key(|f| (f.upload.rsu, f.seq));
+        if frames
+            .windows(2)
+            .any(|w| (w[0].upload.rsu, w[0].seq) == (w[1].upload.rsu, w[1].seq))
+        {
+            return Err(SimError::MalformedMessage {
+                reason: "duplicate (rsu, seq) in batch",
+            });
+        }
+        Ok(Self { frames })
+    }
+
+    /// The inner frames in canonical `(rsu, seq)` order.
+    #[must_use]
+    pub fn frames(&self) -> &[SequencedUpload] {
+        &self.frames
+    }
+
+    /// Consumes the batch, yielding the inner frames in canonical order.
+    #[must_use]
+    pub fn into_frames(self) -> Vec<SequencedUpload> {
+        self.frames
+    }
+
+    /// Serializes to the wire form: a count header followed by one
+    /// `length ‖ checksum ‖ frame` record per inner upload.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let inner: Vec<Bytes> = self.frames.iter().map(SequencedUpload::encode).collect();
+        let total: usize = inner.iter().map(|f| 16 + f.len()).sum();
+        let mut buf = BytesMut::with_capacity(1 + 8 + total);
+        buf.put_u8(TAG_BATCH);
+        buf.put_u64(self.frames.len() as u64);
+        for frame in &inner {
+            buf.put_u64(frame.len() as u64);
+            buf.put_u64(fnv1a_64(frame));
+            buf.put_slice(frame);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a batch from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] on truncation, a wrong tag
+    /// byte, a frame count over `MAX_BATCH_FRAMES`, a record length
+    /// exceeding the remaining bytes, a checksum mismatch, a malformed
+    /// inner frame, inner keys out of canonical order, or trailing
+    /// bytes.
+    pub fn decode(mut wire: &[u8]) -> Result<Self, SimError> {
+        if wire.len() < 1 + 8 || wire[0] != TAG_BATCH {
+            return Err(SimError::MalformedMessage {
+                reason: "bad batch frame",
+            });
+        }
+        wire.advance(1);
+        let count = wire.get_u64() as usize;
+        if count > MAX_BATCH_FRAMES {
+            return Err(SimError::MalformedMessage {
+                reason: "batch frame count over limit",
+            });
+        }
+        let mut frames = Vec::with_capacity(count.min(1024));
+        let mut prev: Option<(RsuId, u64)> = None;
+        for _ in 0..count {
+            if wire.len() < 16 {
+                return Err(SimError::MalformedMessage {
+                    reason: "truncated batch record header",
+                });
+            }
+            let frame_len = wire.get_u64() as usize;
+            let checksum = wire.get_u64();
+            // `frame_len` comes straight off the wire: compare against
+            // the remaining byte count (no multiplication, no overflow)
+            // before slicing.
+            if frame_len > wire.len() {
+                return Err(SimError::MalformedMessage {
+                    reason: "batch record length exceeds frame",
+                });
+            }
+            let frame = &wire[..frame_len];
+            if fnv1a_64(frame) != checksum {
+                return Err(SimError::MalformedMessage {
+                    reason: "batch record checksum mismatch",
+                });
+            }
+            let inner = SequencedUpload::decode(frame)?;
+            let key = (inner.upload.rsu, inner.seq);
+            if prev.is_some_and(|p| key <= p) {
+                return Err(SimError::MalformedMessage {
+                    reason: "batch records not strictly increasing",
+                });
+            }
+            prev = Some(key);
+            frames.push(inner);
+            wire.advance(frame_len);
+        }
+        if !wire.is_empty() {
+            return Err(SimError::MalformedMessage {
+                reason: "trailing bytes after batch",
+            });
+        }
+        Ok(Self { frames })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,5 +694,123 @@ mod tests {
             };
             assert_eq!(PeriodUpload::decode(&u.encode()).unwrap(), u, "len {len}");
         }
+    }
+
+    fn sequenced(rsu: u64, seq: u64, ones: &[usize]) -> SequencedUpload {
+        let mut bits = BitArray::new(256);
+        for &i in ones {
+            bits.set(i);
+        }
+        SequencedUpload {
+            seq,
+            upload: PeriodUpload {
+                rsu: RsuId(rsu),
+                counter: ones.len() as u64,
+                bits,
+            },
+        }
+    }
+
+    #[test]
+    fn batch_roundtrips_and_canonicalizes_order() {
+        // Construct out of order; the batch sorts by (rsu, seq).
+        let b = BatchUpload::new(vec![
+            sequenced(7, 0, &[1, 2]),
+            sequenced(3, 1, &[9]),
+            sequenced(3, 0, &[4, 200]),
+        ])
+        .unwrap();
+        let keys: Vec<(u64, u64)> = b.frames().iter().map(|f| (f.upload.rsu.0, f.seq)).collect();
+        assert_eq!(keys, [(3, 0), (3, 1), (7, 0)]);
+        assert_eq!(BatchUpload::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let b = BatchUpload::new(Vec::new()).unwrap();
+        assert_eq!(b.encode().len(), 9);
+        assert_eq!(BatchUpload::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn batch_constructor_rejects_duplicate_keys() {
+        assert!(BatchUpload::new(vec![sequenced(3, 0, &[1]), sequenced(3, 0, &[2])]).is_err());
+    }
+
+    #[test]
+    fn batch_rejects_truncation_wrong_tag_and_trailing_bytes() {
+        let b = BatchUpload::new(vec![sequenced(1, 0, &[5]), sequenced(2, 0, &[6])]).unwrap();
+        let wire = b.encode();
+        for cut in 1..wire.len() {
+            assert!(BatchUpload::decode(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = wire.to_vec();
+        bad[0] = TAG_UPLOAD_SEQ;
+        assert!(BatchUpload::decode(&bad).is_err());
+        let mut trailing = wire.to_vec();
+        trailing.push(0);
+        assert!(BatchUpload::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn batch_rejects_absurd_count_claim() {
+        let mut wire = BytesMut::new();
+        wire.put_u8(TAG_BATCH);
+        wire.put_u64(u64::MAX);
+        assert!(matches!(
+            BatchUpload::decode(&wire.freeze()),
+            Err(SimError::MalformedMessage {
+                reason: "batch frame count over limit"
+            })
+        ));
+    }
+
+    #[test]
+    fn batch_rejects_checksum_mismatch() {
+        let b = BatchUpload::new(vec![sequenced(1, 0, &[5])]).unwrap();
+        let mut wire = b.encode().to_vec();
+        // Flip a bit inside the inner frame body (past the 25-byte
+        // batch + record headers): the checksum must catch it.
+        let n = wire.len();
+        wire[n - 1] ^= 0x01;
+        assert!(matches!(
+            BatchUpload::decode(&wire),
+            Err(SimError::MalformedMessage {
+                reason: "batch record checksum mismatch"
+            })
+        ));
+    }
+
+    #[test]
+    fn batch_rejects_duplicated_and_reordered_records() {
+        let a = sequenced(1, 0, &[5]);
+        let b = sequenced(2, 0, &[6]);
+        // Hand-assemble wires so both records are individually valid —
+        // only the ordering invariant can reject them.
+        let assemble = |frames: &[&SequencedUpload]| {
+            let mut buf = BytesMut::new();
+            buf.put_u8(TAG_BATCH);
+            buf.put_u64(frames.len() as u64);
+            for f in frames {
+                let inner = f.encode();
+                buf.put_u64(inner.len() as u64);
+                buf.put_u64(fnv1a_64(&inner));
+                buf.put_slice(&inner);
+            }
+            buf.freeze()
+        };
+        assert!(BatchUpload::decode(&assemble(&[&a, &b])).is_ok());
+        assert!(matches!(
+            BatchUpload::decode(&assemble(&[&a, &a])),
+            Err(SimError::MalformedMessage {
+                reason: "batch records not strictly increasing"
+            })
+        ));
+        assert!(matches!(
+            BatchUpload::decode(&assemble(&[&b, &a])),
+            Err(SimError::MalformedMessage {
+                reason: "batch records not strictly increasing"
+            })
+        ));
     }
 }

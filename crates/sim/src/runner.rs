@@ -5,9 +5,9 @@ use vcps_obs::{Obs, Phase};
 
 use crate::concurrent::{self, SharedRsu};
 use crate::pki::TrustedAuthority;
-use crate::protocol::{BitReport, PeriodUpload};
+use crate::protocol::{BatchUpload, BitReport, PeriodUpload, SequencedUpload};
 use crate::synthetic::SyntheticPair;
-use crate::{CentralServer, SimError, SimVehicle};
+use crate::{CentralServer, ShardedServer, SimError, SimVehicle};
 
 /// Runs the complete protocol for one two-RSU measurement period:
 /// queries, certificate checks, bit reports, wire-encoded uploads, and
@@ -25,6 +25,7 @@ pub struct PairRunner {
     authority: TrustedAuthority,
     mac_seed: u64,
     threads: usize,
+    shards: Option<usize>,
     obs: Obs,
 }
 
@@ -63,6 +64,7 @@ impl PairRunner {
             authority: TrustedAuthority::new(0xCA11_AB1E),
             mac_seed: 0xD15C_0DE5,
             threads: 1,
+            shards: None,
             obs: Obs::disabled(),
         }
     }
@@ -95,6 +97,24 @@ impl PairRunner {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one thread");
         self.threads = threads;
+        self
+    }
+
+    /// Ingests through a [`ShardedServer`] with `shards` shards instead
+    /// of the monolithic [`CentralServer`]: both period uploads ride a
+    /// single wire-encoded [`BatchUpload`] frame into the sharded path.
+    /// Estimates are bit-identical to the monolithic run — that is the
+    /// sharding layer's core contract (DESIGN.md §15) — so this switch
+    /// exists to exercise the batch ingestion path end to end from the
+    /// accuracy experiments, not to change results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        self.shards = Some(shards);
         self
     }
 
@@ -178,14 +198,35 @@ impl PairRunner {
             self.ingest(&rsu_b, &reports_b)?;
         }
 
-        let mut server = CentralServer::new(self.scheme.clone(), 1.0)?.with_obs(self.obs.clone());
-        for rsu in [&rsu_a, &rsu_b] {
-            let upload = rsu.upload();
-            metrics.record_upload(&upload);
-            let wire = upload.encode_compact();
-            server.receive(PeriodUpload::decode(&wire)?);
+        let uploads: Vec<PeriodUpload> = [&rsu_a, &rsu_b].map(|rsu| rsu.upload()).into();
+        for upload in &uploads {
+            metrics.record_upload(upload);
         }
-        let estimate = server.estimate_or_clamp(self.rsu_a, self.rsu_b)?;
+        let estimate = match self.shards {
+            None => {
+                let mut server =
+                    CentralServer::new(self.scheme.clone(), 1.0)?.with_obs(self.obs.clone());
+                for upload in &uploads {
+                    let wire = upload.encode_compact();
+                    server.receive(PeriodUpload::decode(&wire)?);
+                }
+                server.estimate_or_clamp(self.rsu_a, self.rsu_b)?
+            }
+            Some(shards) => {
+                let mut server = ShardedServer::new(self.scheme.clone(), 1.0, shards)?
+                    .with_obs(self.obs.clone());
+                let frames: Vec<SequencedUpload> = uploads
+                    .iter()
+                    .map(|upload| SequencedUpload {
+                        seq: 0,
+                        upload: upload.clone(),
+                    })
+                    .collect();
+                let wire = BatchUpload::new(frames)?.encode();
+                let _ = server.receive_batch(BatchUpload::decode(&wire)?);
+                server.estimate_or_clamp(self.rsu_a, self.rsu_b)?
+            }
+        };
         metrics.record_into(&self.obs);
         Ok((
             PairOutcome {
@@ -339,6 +380,27 @@ mod tests {
             assert_eq!(out.estimate, seq_out.estimate, "threads = {threads}");
             assert_eq!(metrics, seq_metrics, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn sharded_ingestion_is_bit_identical_to_monolithic() {
+        let scheme = Scheme::variable(2, 3.0, 5).unwrap();
+        let workload = SyntheticPair::generate(2_000, 6_000, 400, 31);
+        let mono = PairRunner::new(scheme.clone(), RsuId(1), RsuId(2));
+        let (mono_out, mono_metrics) = mono.run_with_metrics(&workload).unwrap();
+        for shards in [1usize, 2, 4, 8] {
+            let runner = PairRunner::new(scheme.clone(), RsuId(1), RsuId(2)).with_shards(shards);
+            let (out, metrics) = runner.run_with_metrics(&workload).unwrap();
+            assert_eq!(out.estimate, mono_out.estimate, "shards = {shards}");
+            assert_eq!(metrics, mono_metrics, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let scheme = Scheme::variable(2, 3.0, 5).unwrap();
+        let _ = PairRunner::new(scheme, RsuId(1), RsuId(2)).with_shards(0);
     }
 
     #[test]

@@ -24,6 +24,72 @@ thread_local! {
     static SCRATCH: RefCell<DecodeScratch> = RefCell::new(DecodeScratch::new());
 }
 
+/// Runs `f` with this thread's decode scratch — the same per-worker
+/// buffer the monolithic estimate and O–D paths use, shared with the
+/// sharded server so both paths reuse identical kernel state.
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut DecodeScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// The registry counter a receive outcome maps to — shared by the
+/// monolithic and sharded receive paths so both fire the exact same
+/// names and the differential suite can compare snapshots verbatim.
+pub(crate) fn receive_counter_name(outcome: ReceiveOutcome) -> &'static str {
+    match outcome {
+        ReceiveOutcome::Fresh => "server.receive.fresh",
+        ReceiveOutcome::Duplicate => "server.receive.duplicate",
+        ReceiveOutcome::Conflicting => "server.receive.conflicting",
+        ReceiveOutcome::Stale => "server.receive.stale",
+    }
+}
+
+/// Records which decode kernel [`select_pair_kernel`] picks for a
+/// pair and why: a per-kernel counter always, and at `Debug` level a
+/// `kernel_select` event carrying the cost-model inputs (the array
+/// sizes and set-bit counts the selector weighed). Mirrors the exact
+/// selection [`combined_zero_count_adaptive`] makes internally — same
+/// function, same inputs — without touching the decode itself. Takes
+/// the handle explicitly so the monolithic and sharded decode paths
+/// attribute to their respective registries through one code path.
+fn note_kernel_choice(
+    obs: &Obs,
+    m_x: usize,
+    ones_x: Option<&[u64]>,
+    m_y: usize,
+    ones_y: Option<&[u64]>,
+) {
+    let kernel = select_pair_kernel(m_x, ones_x.map(<[u64]>::len), m_y, ones_y.map(<[u64]>::len));
+    obs.inc(match kernel {
+        PairKernel::Dense => "kernel.dense",
+        PairKernel::SparseSparse => "kernel.sparse_sparse",
+        PairKernel::SparseDense => "kernel.sparse_dense",
+        PairKernel::DenseSparse => "kernel.dense_sparse",
+    });
+    if obs.enabled_at(Level::Debug) {
+        obs.event(
+            Level::Debug,
+            "kernel_select",
+            &[
+                ("kernel", Value::Str(kernel.label().to_string())),
+                ("m_x", Value::U64(m_x as u64)),
+                ("m_y", Value::U64(m_y as u64)),
+                (
+                    "sparse_ones_x",
+                    ones_x.map_or(Value::Str("dense".to_string()), |o| {
+                        Value::U64(o.len() as u64)
+                    }),
+                ),
+                (
+                    "sparse_ones_y",
+                    ones_y.map_or(Value::Str("dense".to_string()), |o| {
+                        Value::U64(o.len() as u64)
+                    }),
+                ),
+            ],
+        );
+    }
+}
+
 /// How the server classified one incoming upload relative to what it
 /// already holds (see [`CentralServer::receive`] and
 /// [`CentralServer::receive_sequenced`]).
@@ -151,6 +217,25 @@ pub struct OdMatrix {
 }
 
 impl OdMatrix {
+    /// Assembles a matrix from the upper-triangle estimates computed by
+    /// a decode fan-out (monolithic or sharded): each `(i, j)` estimate
+    /// fills its entry and its transposed mirror, exactly as
+    /// [`CentralServer::od_matrix_threads`] has always laid them out.
+    pub(crate) fn from_pair_estimates(
+        rsus: Vec<RsuId>,
+        pairs: &[(usize, usize)],
+        computed: Vec<Result<PairEstimate, SimError>>,
+    ) -> Result<Self, SimError> {
+        let n = rsus.len();
+        let mut entries = vec![None; n * n];
+        for (&(i, j), result) in pairs.iter().zip(computed) {
+            let estimate = result?;
+            entries[j * n + i] = Some(estimate.transposed());
+            entries[i * n + j] = Some(estimate);
+        }
+        Ok(Self { rsus, entries })
+    }
+
     /// The RSUs covered, in ascending id order (the matrix axes).
     #[must_use]
     pub fn rsus(&self) -> &[RsuId] {
@@ -344,12 +429,7 @@ impl CentralServer {
     /// Records one receive outcome into the registry (a no-op with
     /// observability disabled) and passes it through.
     fn note_receive(&self, outcome: ReceiveOutcome) -> ReceiveOutcome {
-        self.obs.0.inc(match outcome {
-            ReceiveOutcome::Fresh => "server.receive.fresh",
-            ReceiveOutcome::Duplicate => "server.receive.duplicate",
-            ReceiveOutcome::Conflicting => "server.receive.conflicting",
-            ReceiveOutcome::Stale => "server.receive.stale",
-        });
+        self.obs.0.inc(receive_counter_name(outcome));
         outcome
     }
 
@@ -417,10 +497,15 @@ impl CentralServer {
         self.uploads.get(&rsu)
     }
 
+    /// The RSUs with an upload currently held, in ascending id order.
+    pub(crate) fn upload_rsus(&self) -> impl Iterator<Item = RsuId> + '_ {
+        self.uploads.keys().copied()
+    }
+
     /// Fetches the upload for one side of a pair decode, enforcing the
     /// same validity the sketch-based path did (an array of fewer than
     /// 2 bits cannot be decoded).
-    fn decodable_upload(&self, rsu: RsuId) -> Result<&PeriodUpload, SimError> {
+    pub(crate) fn decodable_upload(&self, rsu: RsuId) -> Result<&PeriodUpload, SimError> {
         let upload = self
             .uploads
             .get(&rsu)
@@ -447,9 +532,30 @@ impl CentralServer {
         b: RsuId,
         scratch: &mut DecodeScratch,
     ) -> Result<PairCounts, SimError> {
-        let _timer = self.obs.0.phase(Phase::Decode);
+        self.pair_counts_across(self, a, b, scratch, &self.obs.0)
+    }
+
+    /// The cross-holder form of
+    /// [`pair_counts_uncached`](Self::pair_counts_uncached): `a`'s upload
+    /// and sparse index list come from `self`, `b`'s from `other`. With
+    /// `other == self` this *is* the monolithic decode; the sharded
+    /// server ([`crate::ShardedServer`]) passes the two shards that own
+    /// the pair, borrowing both shards' caches without copying either.
+    /// Instrumentation goes to the explicit `obs` handle (the sharded
+    /// server's shards carry disabled handles; the composite owns the
+    /// real one), so the counters fired per decode are identical on both
+    /// paths.
+    pub(crate) fn pair_counts_across(
+        &self,
+        other: &CentralServer,
+        a: RsuId,
+        b: RsuId,
+        scratch: &mut DecodeScratch,
+        obs: &Obs,
+    ) -> Result<PairCounts, SimError> {
+        let _timer = obs.phase(Phase::Decode);
         let ua = self.decodable_upload(a)?;
-        let ub = self.decodable_upload(b)?;
+        let ub = other.decodable_upload(b)?;
         let a_first = first_plays_x(
             ua.bits.len(),
             ua.counter,
@@ -458,11 +564,15 @@ impl CentralServer {
             ub.counter,
             ub.rsu,
         );
-        let (x, y) = if a_first { (ua, ub) } else { (ub, ua) };
-        let ones_x = self.caches.sparse_ones.get(&x.rsu).map(Vec::as_slice);
-        let ones_y = self.caches.sparse_ones.get(&y.rsu).map(Vec::as_slice);
-        if self.obs.0.is_enabled() {
-            self.note_kernel_choice(x.bits.len(), ones_x, y.bits.len(), ones_y);
+        let ((x, xs), (y, ys)) = if a_first {
+            ((ua, self), (ub, other))
+        } else {
+            ((ub, other), (ua, self))
+        };
+        let ones_x = xs.caches.sparse_ones.get(&x.rsu).map(Vec::as_slice);
+        let ones_y = ys.caches.sparse_ones.get(&y.rsu).map(Vec::as_slice);
+        if obs.is_enabled() {
+            note_kernel_choice(obs, x.bits.len(), ones_x, y.bits.len(), ones_y);
         }
         let u_c = combined_zero_count_adaptive(&x.bits, ones_x, &y.bits, ones_y, scratch)
             .map_err(CoreError::from)?;
@@ -475,52 +585,6 @@ impl CentralServer {
             n_x: x.counter,
             n_y: y.counter,
         })
-    }
-
-    /// Records which decode kernel [`select_pair_kernel`] picks for a
-    /// pair and why: a per-kernel counter always, and at `Debug` level a
-    /// `kernel_select` event carrying the cost-model inputs (the array
-    /// sizes and set-bit counts the selector weighed). Mirrors the exact
-    /// selection [`combined_zero_count_adaptive`] makes internally —
-    /// same function, same inputs — without touching the decode itself.
-    fn note_kernel_choice(
-        &self,
-        m_x: usize,
-        ones_x: Option<&[u64]>,
-        m_y: usize,
-        ones_y: Option<&[u64]>,
-    ) {
-        let kernel =
-            select_pair_kernel(m_x, ones_x.map(<[u64]>::len), m_y, ones_y.map(<[u64]>::len));
-        self.obs.0.inc(match kernel {
-            PairKernel::Dense => "kernel.dense",
-            PairKernel::SparseSparse => "kernel.sparse_sparse",
-            PairKernel::SparseDense => "kernel.sparse_dense",
-            PairKernel::DenseSparse => "kernel.dense_sparse",
-        });
-        if self.obs.0.enabled_at(Level::Debug) {
-            self.obs.0.event(
-                Level::Debug,
-                "kernel_select",
-                &[
-                    ("kernel", Value::Str(kernel.label().to_string())),
-                    ("m_x", Value::U64(m_x as u64)),
-                    ("m_y", Value::U64(m_y as u64)),
-                    (
-                        "sparse_ones_x",
-                        ones_x.map_or(Value::Str("dense".to_string()), |o| {
-                            Value::U64(o.len() as u64)
-                        }),
-                    ),
-                    (
-                        "sparse_ones_y",
-                        ones_y.map_or(Value::Str("dense".to_string()), |o| {
-                            Value::U64(o.len() as u64)
-                        }),
-                    ),
-                ],
-            );
-        }
     }
 
     /// [`pair_counts_uncached`](Self::pair_counts_uncached) behind the
@@ -593,46 +657,54 @@ impl CentralServer {
     /// an upload nor any volume history — the server knows nothing at all
     /// about that RSU.
     pub fn estimate_or_degraded(&self, a: RsuId, b: RsuId) -> Result<PairEstimate, SimError> {
-        self.estimate_or_degraded_with(a, b, |server| server.pair_counts(a, b))
+        self.estimate_or_degraded_across(self, a, b, || self.pair_counts(a, b))
     }
 
     /// The shared degradation ladder behind
     /// [`estimate_or_degraded`](Self::estimate_or_degraded) and
     /// [`od_matrix`](Self::od_matrix), parameterized over how the pair's
-    /// counts are produced (memoized vs matrix-local scratch).
-    fn estimate_or_degraded_with(
+    /// counts are produced (memoized vs matrix-local scratch) and over
+    /// where `b`'s state lives: `self` holds side `a`, `other` holds
+    /// side `b` (`other == self` on the monolithic path; the two owning
+    /// shards on the sharded one, which keeps each RSU's upload and
+    /// history in exactly one place).
+    pub(crate) fn estimate_or_degraded_across(
         &self,
+        other: &CentralServer,
         a: RsuId,
         b: RsuId,
-        counts: impl FnOnce(&Self) -> Result<PairCounts, SimError>,
+        counts: impl FnOnce() -> Result<PairCounts, SimError>,
     ) -> Result<PairEstimate, SimError> {
-        match (self.decodable_upload(a), self.decodable_upload(b)) {
-            (Ok(x), Ok(y)) => match counts(self)
-                .and_then(|c| Ok(estimate_from_counts_or_clamp(&c, self.scheme.s())?))
-            {
-                Ok(e) => Ok(PairEstimate::Measured(e)),
-                // Uploads present but not comparable (e.g. a corrupted
-                // size that slipped through): counters still bound the
-                // overlap, so degrade rather than fail.
-                Err(_) => Ok(PairEstimate::Degraded(DegradedEstimate::from_volumes(
-                    x.counter as f64,
-                    y.counter as f64,
-                    false,
-                    false,
-                ))),
-            },
+        match (self.decodable_upload(a), other.decodable_upload(b)) {
+            (Ok(x), Ok(y)) => {
+                match counts().and_then(|c| Ok(estimate_from_counts_or_clamp(&c, self.scheme.s())?))
+                {
+                    Ok(e) => Ok(PairEstimate::Measured(e)),
+                    // Uploads present but not comparable (e.g. a corrupted
+                    // size that slipped through): counters still bound the
+                    // overlap, so degrade rather than fail.
+                    Err(_) => Ok(PairEstimate::Degraded(DegradedEstimate::from_volumes(
+                        x.counter as f64,
+                        y.counter as f64,
+                        false,
+                        false,
+                    ))),
+                }
+            }
             (ra, rb) => {
                 let missing_a = ra.is_err();
                 let missing_b = rb.is_err();
-                let volume_of = |rsu: RsuId, r: Result<&PeriodUpload, SimError>| match r {
-                    Ok(u) => Ok(u.counter as f64),
-                    Err(_) => self
-                        .history
-                        .average(rsu)
-                        .ok_or(SimError::MissingUpload { rsu }),
-                };
-                let va = volume_of(a, ra)?;
-                let vb = volume_of(b, rb)?;
+                let volume_of =
+                    |holder: &CentralServer, rsu: RsuId, r: Result<&PeriodUpload, SimError>| match r
+                    {
+                        Ok(u) => Ok(u.counter as f64),
+                        Err(_) => holder
+                            .history
+                            .average(rsu)
+                            .ok_or(SimError::MissingUpload { rsu }),
+                    };
+                let va = volume_of(self, a, ra)?;
+                let vb = volume_of(other, b, rb)?;
                 Ok(PairEstimate::Degraded(DegradedEstimate::from_volumes(
                     va, vb, missing_a, missing_b,
                 )))
@@ -692,17 +764,11 @@ impl CentralServer {
         let computed =
             crate::concurrent::parallel_map_threads(pairs.clone(), threads, |&(i, j)| {
                 let (a, b) = (rsus[i], rsus[j]);
-                self.estimate_or_degraded_with(a, b, |server| {
-                    SCRATCH.with(|s| server.pair_counts_uncached(a, b, &mut s.borrow_mut()))
+                self.estimate_or_degraded_across(self, a, b, || {
+                    with_thread_scratch(|s| self.pair_counts_uncached(a, b, s))
                 })
             });
-        let mut entries = vec![None; n * n];
-        for (&(i, j), result) in pairs.iter().zip(computed) {
-            let estimate = result?;
-            entries[j * n + i] = Some(estimate.transposed());
-            entries[i * n + j] = Some(estimate);
-        }
-        Ok(OdMatrix { rsus, entries })
+        OdMatrix::from_pair_estimates(rsus, &pairs, computed)
     }
 
     /// Ends the period: folds every upload's counter into the volume

@@ -6,9 +6,9 @@ use proptest::prelude::*;
 use vcps_core::{RsuId, Scheme};
 use vcps_sim::adversary::observe_pair;
 use vcps_sim::pki::TrustedAuthority;
-use vcps_sim::protocol::{BitReport, PeriodUpload, Query, SequencedUpload};
+use vcps_sim::protocol::{BatchUpload, BitReport, PeriodUpload, Query, SequencedUpload};
 use vcps_sim::synthetic::SyntheticPair;
-use vcps_sim::MacAddress;
+use vcps_sim::{MacAddress, SimError};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -223,6 +223,206 @@ proptest! {
         let disjoint = SyntheticPair::generate(n_x, n_y, 0, seed);
         let obs0 = observe_pair(&scheme, &disjoint, RsuId(1), RsuId(2)).unwrap();
         prop_assert_eq!(obs0.untraceable, obs0.both_set);
+    }
+}
+
+/// Mirror of the wire checksum (`protocol::fnv1a_64`), used to splice
+/// batch records with *valid* checksums so the splice tests exercise the
+/// ordering invariant rather than tripping the checksum guard first.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Assembles a raw batch wire frame from pre-encoded inner records,
+/// declaring `count` frames regardless of how many records follow.
+fn splice_batch_wire(records: &[Vec<u8>], count: u64) -> Vec<u8> {
+    let mut wire = vec![6u8]; // TAG_BATCH
+    wire.extend_from_slice(&count.to_be_bytes());
+    for record in records {
+        wire.extend_from_slice(&(record.len() as u64).to_be_bytes());
+        wire.extend_from_slice(&fnv1a_64(record).to_be_bytes());
+        wire.extend_from_slice(record);
+    }
+    wire
+}
+
+fn malformed_reason(err: &SimError) -> &'static str {
+    match err {
+        SimError::MalformedMessage { reason } => reason,
+        other => panic!("expected MalformedMessage, got {other:?}"),
+    }
+}
+
+/// Builds a batch with strictly increasing `(rsu, seq)` keys from the
+/// proptest spec: per-frame `(rsu gap, seq, counter, 2^k length, ones)`.
+fn batch_from_specs(specs: &[(u64, u64, u64, u32, Vec<u32>)]) -> BatchUpload {
+    let mut rsu = 0u64;
+    let frames = specs
+        .iter()
+        .map(|(gap, seq, counter, k, ones)| {
+            rsu += gap;
+            let len = 1usize << k;
+            SequencedUpload {
+                seq: *seq,
+                upload: PeriodUpload {
+                    rsu: RsuId(rsu),
+                    counter: *counter,
+                    bits: vcps_bitarray::BitArray::from_indices(
+                        len,
+                        ones.iter().map(|&v| v as usize % len),
+                    )
+                    .unwrap(),
+                },
+            }
+        })
+        .collect();
+    BatchUpload::new(frames).expect("keys are strictly increasing by construction")
+}
+
+// Decoder-mutation properties for the batch frame (tag 6): a corrupted,
+// truncated, reordered, or duplicated batch must surface as a typed
+// `SimError::MalformedMessage` — never a panic, never a silent accept of
+// content that differs from what a healthy sender produced.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batch_wire_roundtrip(
+        specs in prop::collection::vec(
+            (1u64..40, any::<u64>(), any::<u64>(), 1u32..9,
+             prop::collection::vec(any::<u32>(), 0..24)),
+            0..12,
+        ),
+    ) {
+        let batch = batch_from_specs(&specs);
+        let decoded = BatchUpload::decode(&batch.encode()).unwrap();
+        prop_assert_eq!(&decoded, &batch);
+        // Canonical order survives the trip: keys strictly increase.
+        let keys: Vec<_> = decoded.frames().iter().map(|f| (f.upload.rsu, f.seq)).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mutated_batch_frames_never_panic_or_bogus_accept(
+        specs in prop::collection::vec(
+            (1u64..40, any::<u64>(), any::<u64>(), 1u32..8,
+             prop::collection::vec(any::<u32>(), 0..16)),
+            1..8,
+        ),
+        cut_frac in 0.0f64..1.0, trailing in 1usize..32,
+        flip_pos in any::<usize>(), flip_bit in 0u8..8,
+    ) {
+        let batch = batch_from_specs(&specs);
+        let wire = batch.encode().to_vec();
+
+        // Any strict prefix is rejected.
+        let cut = ((wire.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(BatchUpload::decode(&wire[..cut]).is_err());
+
+        // Trailing bytes are rejected by name.
+        let mut padded = wire.clone();
+        padded.extend(std::iter::repeat_n(0xAA, trailing));
+        let err = BatchUpload::decode(&padded).unwrap_err();
+        prop_assert_eq!(malformed_reason(&err), "trailing bytes after batch");
+
+        // A wrong tag is rejected outright.
+        let mut wrong = wire.clone();
+        wrong[0] ^= 0x80;
+        prop_assert!(BatchUpload::decode(&wrong).is_err());
+
+        // A flipped bit never panics; if the frame somehow still parses
+        // it must round-trip through its own canonical encoding.
+        let mut flipped = wire.clone();
+        let pos = flip_pos % wire.len();
+        flipped[pos] ^= 1 << flip_bit;
+        match BatchUpload::decode(&flipped) {
+            Ok(d) => prop_assert_eq!(BatchUpload::decode(&d.encode()).unwrap(), d),
+            Err(SimError::MalformedMessage { .. }) => {}
+            Err(other) => prop_assert!(false, "untyped decode error: {other:?}"),
+        }
+
+        // A flip inside a record's payload (past its 16-byte header) is
+        // *always* caught: that is exactly what the per-record checksum
+        // buys over the plain concatenated encoding.
+        let mut offset = 9usize; // tag + count header
+        for frame in batch.frames() {
+            let len = frame.encode().len();
+            let payload = offset + 16..offset + 16 + len;
+            if payload.contains(&pos) {
+                let err = BatchUpload::decode(&flipped).unwrap_err();
+                prop_assert_eq!(
+                    malformed_reason(&err),
+                    "batch record checksum mismatch"
+                );
+            }
+            offset = payload.end;
+        }
+    }
+
+    #[test]
+    fn reordered_or_duplicated_batch_records_are_rejected(
+        specs in prop::collection::vec(
+            (1u64..40, any::<u64>(), any::<u64>(), 1u32..8,
+             prop::collection::vec(any::<u32>(), 0..16)),
+            2..8,
+        ),
+        swap_a in any::<usize>(),
+        swap_b in any::<usize>(),
+        dup in any::<usize>(),
+    ) {
+        let batch = batch_from_specs(&specs);
+        let records: Vec<Vec<u8>> =
+            batch.frames().iter().map(|f| f.encode().to_vec()).collect();
+        let count = records.len() as u64;
+
+        // The spliced wire with untouched records decodes to the batch —
+        // the splicer is faithful, so rejections below are real.
+        let control = splice_batch_wire(&records, count);
+        prop_assert_eq!(BatchUpload::decode(&control).unwrap(), batch.clone());
+
+        // Swapping two records keeps every checksum valid but breaks the
+        // strictly-increasing key order.
+        let (i, j) = (swap_a % records.len(), swap_b % records.len());
+        if i != j {
+            let mut swapped = records.clone();
+            swapped.swap(i, j);
+            let err = BatchUpload::decode(&splice_batch_wire(&swapped, count)).unwrap_err();
+            prop_assert_eq!(
+                malformed_reason(&err),
+                "batch records not strictly increasing"
+            );
+        }
+
+        // Replaying a record (a re-sent shard bucket, say) is rejected
+        // for the same reason: its key is not greater than its twin's.
+        let mut doubled = records.clone();
+        let d = dup % records.len();
+        doubled.insert(d, records[d].clone());
+        let err = BatchUpload::decode(&splice_batch_wire(&doubled, count + 1)).unwrap_err();
+        prop_assert_eq!(
+            malformed_reason(&err),
+            "batch records not strictly increasing"
+        );
+
+        // A count header that disagrees with the records present fails
+        // on the side it errs: short count leaves trailing bytes, long
+        // count runs out of record headers.
+        let err = BatchUpload::decode(&splice_batch_wire(&records, count - 1)).unwrap_err();
+        prop_assert_eq!(malformed_reason(&err), "trailing bytes after batch");
+        let err = BatchUpload::decode(&splice_batch_wire(&records, count + 1)).unwrap_err();
+        prop_assert_eq!(malformed_reason(&err), "truncated batch record header");
+
+        // The constructor enforces the same invariant the decoder does:
+        // handing it a duplicated frame is a typed error, not a panic.
+        let mut frames = batch.frames().to_vec();
+        frames.push(frames[dup % frames.len()].clone());
+        let err = BatchUpload::new(frames).unwrap_err();
+        prop_assert_eq!(malformed_reason(&err), "duplicate (rsu, seq) in batch");
     }
 }
 

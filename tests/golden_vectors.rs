@@ -1,0 +1,163 @@
+//! Golden wire vectors: one frozen binary frame per protocol tag.
+//!
+//! The `tests/data/*.bin` files are the wire format's source of truth —
+//! a deployed fleet of RSUs and servers can only interoperate across
+//! versions if these bytes never change. Each test re-encodes a fixed
+//! frame and asserts it is byte-identical to the checked-in vector, then
+//! decodes the vector and round-trips it. A mismatch means the wire
+//! format changed: that is a breaking protocol revision, not a test to
+//! update casually.
+//!
+//! To regenerate after a *deliberate* format change:
+//! `cargo test --test golden_vectors -- --ignored regenerate`
+
+use std::path::PathBuf;
+
+use vcps::sim::pki::TrustedAuthority;
+use vcps::sim::protocol::{BatchUpload, BitReport, PeriodUpload, Query, SequencedUpload};
+use vcps::sim::{MacAddress, SimRsu};
+use vcps::{BitArray, RsuId};
+
+fn data_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+/// Tag 1 — a query from a deterministic RSU/authority pair (the
+/// certificate is a keyed hash, so fixed seeds give fixed bytes).
+fn golden_query() -> Query {
+    let authority = TrustedAuthority::new(0x60_1D);
+    SimRsu::new(RsuId(3), 1 << 10, &authority)
+        .expect("valid size")
+        .query()
+}
+
+/// Tag 2 — a bit report with a locally-administered one-time MAC.
+fn golden_report() -> BitReport {
+    BitReport {
+        mac: MacAddress([0x02, 0xDE, 0xAD, 0xBE, 0xEF, 0x01]),
+        index: 0x0123_4567,
+    }
+}
+
+/// Tag 3 — a dense period upload (fill well above the sparse cutoff).
+fn golden_upload_dense() -> PeriodUpload {
+    PeriodUpload {
+        rsu: RsuId(7),
+        counter: 40,
+        bits: BitArray::from_indices(64, (0..32usize).map(|i| i * 2)).expect("in range"),
+    }
+}
+
+/// Tag 4 — a sparse period upload (3 set bits in 1024 forces the
+/// index-list encoding in `encode_compact`).
+fn golden_upload_sparse() -> PeriodUpload {
+    PeriodUpload {
+        rsu: RsuId(9),
+        counter: 3,
+        bits: BitArray::from_indices(1024, [5usize, 600, 1023]).expect("in range"),
+    }
+}
+
+/// Tag 5 — a sequenced upload wrapping the sparse frame.
+fn golden_sequenced() -> SequencedUpload {
+    SequencedUpload {
+        seq: 11,
+        upload: golden_upload_sparse(),
+    }
+}
+
+/// Tag 6 — a batch of two sequenced uploads (ascending RSU ids, mixed
+/// dense/sparse inner encodings, per-record checksums).
+fn golden_batch() -> BatchUpload {
+    BatchUpload::new(vec![
+        SequencedUpload {
+            seq: 4,
+            upload: golden_upload_dense(),
+        },
+        golden_sequenced(),
+    ])
+    .expect("strictly increasing (rsu, seq)")
+}
+
+/// Every golden vector: `(file name, frozen wire bytes)`.
+fn vectors() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("query.bin", golden_query().encode().to_vec()),
+        ("report.bin", golden_report().encode().to_vec()),
+        ("upload_dense.bin", golden_upload_dense().encode().to_vec()),
+        (
+            "upload_sparse.bin",
+            golden_upload_sparse().encode_compact().to_vec(),
+        ),
+        ("sequenced.bin", golden_sequenced().encode().to_vec()),
+        ("batch.bin", golden_batch().encode().to_vec()),
+    ]
+}
+
+#[test]
+fn golden_vectors_freeze_the_wire_format() {
+    for (name, encoded) in vectors() {
+        let frozen = std::fs::read(data_path(name)).unwrap_or_else(|e| {
+            panic!("missing golden vector {name}: {e} (run the ignored `regenerate` test once)")
+        });
+        assert_eq!(
+            encoded, frozen,
+            "{name}: encoder output diverged from the frozen wire bytes — \
+             this is a breaking protocol change"
+        );
+    }
+}
+
+#[test]
+fn golden_vectors_decode_and_round_trip() {
+    let query = Query::decode(&std::fs::read(data_path("query.bin")).unwrap()).unwrap();
+    assert_eq!(query.rsu, RsuId(3));
+    assert_eq!(query.encode().to_vec(), golden_query().encode().to_vec());
+
+    let report = BitReport::decode(&std::fs::read(data_path("report.bin")).unwrap()).unwrap();
+    assert_eq!(report, golden_report());
+    assert_eq!(report.encode(), golden_report().encode());
+
+    let dense =
+        PeriodUpload::decode(&std::fs::read(data_path("upload_dense.bin")).unwrap()).unwrap();
+    assert_eq!(dense, golden_upload_dense());
+
+    // The sparse frame decodes to the *same* upload a dense frame would —
+    // the compact encoding is a transport detail, not a data change.
+    let sparse =
+        PeriodUpload::decode(&std::fs::read(data_path("upload_sparse.bin")).unwrap()).unwrap();
+    assert_eq!(sparse, golden_upload_sparse());
+    assert_eq!(
+        PeriodUpload::decode(&golden_upload_sparse().encode()).unwrap(),
+        sparse
+    );
+
+    let sequenced =
+        SequencedUpload::decode(&std::fs::read(data_path("sequenced.bin")).unwrap()).unwrap();
+    assert_eq!(sequenced, golden_sequenced());
+
+    let batch = BatchUpload::decode(&std::fs::read(data_path("batch.bin")).unwrap()).unwrap();
+    assert_eq!(batch.frames(), golden_batch().frames());
+    assert_eq!(batch.encode(), golden_batch().encode());
+}
+
+#[test]
+fn golden_vectors_cover_every_protocol_tag() {
+    let tags: Vec<u8> = vectors().iter().map(|(_, bytes)| bytes[0]).collect();
+    assert_eq!(tags, vec![1, 2, 3, 4, 5, 6], "one vector per wire tag");
+}
+
+/// Regenerates every golden vector. Ignored by default: running it is a
+/// deliberate act that rewrites the protocol's source of truth.
+#[test]
+#[ignore = "rewrites the frozen wire vectors"]
+fn regenerate() {
+    let dir = data_path("");
+    std::fs::create_dir_all(&dir).expect("create tests/data");
+    for (name, encoded) in vectors() {
+        std::fs::write(data_path(name), &encoded).expect("write golden vector");
+        println!("wrote {name} ({} bytes)", encoded.len());
+    }
+}

@@ -234,3 +234,78 @@ proptest! {
         prop_assert_eq!(Salts::generate(s, seed).len(), s);
     }
 }
+
+// ---- promoted regressions ----------------------------------------------
+//
+// Each test below pins a shrunken counterexample proptest once found
+// (see `property.proptest-regressions`, which stays checked in as a
+// second line of defense). Promoting them to named tests keeps the
+// failure mode documented and re-run on every `cargo test`, even if the
+// regressions file is lost or the generator strategies change shape.
+mod regressions {
+    use vcps::analysis::{accuracy, privacy, stats, PairParams};
+    use vcps::{estimate_pair, RsuId, RsuSketch};
+
+    /// Shrunk from `estimate_is_symmetric_in_arguments`: the minimal
+    /// equal-size pair (m_x = m_y = 16) where both RSUs saw only bit 0.
+    /// The orientation tie-break (`first_plays_x`) must fall back to RSU
+    /// id when sizes and counters alone cannot order the pair, or the
+    /// two call orders decode different (x, y) roles.
+    #[test]
+    fn estimate_symmetry_holds_on_identical_single_bit_sketches() {
+        let mut a = RsuSketch::new(RsuId(1), 16).unwrap();
+        a.record(0).unwrap();
+        let mut b = RsuSketch::new(RsuId(2), 16).unwrap();
+        b.record(0).unwrap();
+        b.record(0).unwrap();
+        assert_eq!(estimate_pair(&a, &b, 2), estimate_pair(&b, &a, 2));
+    }
+
+    /// Shrunk from `privacy_closed_form_equals_direct_sum`: near-total
+    /// overlap (99.94%) at a load factor of 0.2 drives the direct
+    /// summation (Eqs. 37–39) through terms that nearly cancel; the
+    /// closed form (Eq. 40) must still agree to 1e-7.
+    #[test]
+    fn privacy_closed_form_agrees_under_near_total_overlap() {
+        let n_x: f64 = 2521.572393523587;
+        let n_c = (0.9993622293283656 * n_x).floor();
+        let p = PairParams::from_load_factor(0.2, n_x, n_x, n_c, 2.0).unwrap();
+        let closed = privacy::prob_not_both_set(&p);
+        let direct = privacy::prob_not_both_set_direct(&p);
+        assert!(
+            (closed - direct).abs() < 1e-7,
+            "closed {closed} vs direct {direct}"
+        );
+        assert!((0.0..=1.0).contains(&privacy::preserved_privacy(&p)));
+    }
+
+    /// Shrunk from `binomial_pmf_is_a_distribution`: p close to 1 with a
+    /// three-digit n concentrates the mass in the last few terms, where
+    /// the recurrence's (1-p) factors are tiny — the masses must still
+    /// stay in [0, 1] and sum to 1.
+    #[test]
+    fn binomial_pmf_sums_to_one_with_probability_near_one() {
+        let masses: Vec<f64> = stats::binomial_pmf(156, 0.9910595392348122).collect();
+        assert_eq!(masses.len(), 157);
+        assert!(masses.iter().all(|&m| (-1e-12..=1.0 + 1e-9).contains(&m)));
+        let total: f64 = masses.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+    }
+
+    /// Shrunk from `estimator_bias_is_small_relative_to_point_volume`:
+    /// the worst corner of the bias bound — smallest allowed n_x with
+    /// extreme skew (n_y ≈ 19.7 n_x) and s ≈ 8.78 shrinking the
+    /// denominator of Eq. 23. The expected estimate must stay within 3%
+    /// of n_x of the true overlap.
+    #[test]
+    fn estimator_bias_stays_bounded_at_extreme_skew() {
+        let (n_x, skew, s) = (1000.0, 19.714_007_188_741_7, 8.777_198_127_287_51);
+        let n_c = n_x * 0.2;
+        let p = PairParams::from_load_factor(4.0, n_x, n_x * skew, n_c, s).unwrap();
+        let abs_bias = (accuracy::expected_estimate(&p) - n_c).abs();
+        assert!(
+            abs_bias < 0.03 * n_x,
+            "bias {abs_bias} vehicles on n_x {n_x}"
+        );
+    }
+}
