@@ -274,18 +274,57 @@ fn bench_odmatrix_pipeline(samples: usize) -> String {
         thread_counts.push(n);
     }
     let mut rows = String::new();
-    for &rsus in &[8usize, 24] {
+    // 8 RSUs sits under the sequential-fallback threshold (the parallel
+    // and sequential rows must tie), 24 straddles it by load, and 256 is
+    // the pool's headline scaling case (32 640 pairs; the CI bench-smoke
+    // gate asserts its threads>1 rows never lose to threads==1).
+    for &rsus in &[8usize, 24, 256] {
         for &load in &[0.0005f64, 0.005, 0.3] {
             let (server, ids) = od_server(rsus, 1 << 17, load, 42);
             let pairwise_ns = median_ns(samples, || {
                 let estimates = pairwise_dense_baseline(&server, &ids);
                 assert_eq!(estimates.len(), rsus * (rsus - 1) / 2);
             });
+            // Sample thread counts round-robin, not back to back: the
+            // thread-scaling gate compares rows against each other, and
+            // interleaving makes slow drift (frequency scaling, noisy
+            // neighbors) hit every row equally instead of whichever
+            // count happened to run during the slow window.
+            let mut times: Vec<Vec<u128>> = vec![Vec::new(); thread_counts.len()];
+            // Untimed warm-up pass: fault in pages, spawn pool workers.
             for &threads in &thread_counts {
-                let od_ns = median_ns(samples, || {
+                let matrix = server.od_matrix_threads(threads).expect("decodable");
+                assert_eq!(matrix.len(), rsus);
+            }
+            // Run-to-run noise swings (shared runners, frequency
+            // scaling) dwarf any real thread effect, so take enough
+            // interleaved rounds for the per-row minima to converge:
+            // small triangles finish in ~100 µs and can afford many
+            // rounds; the 256-RSU triangle costs ~5-20 ms per run, so
+            // a smaller floor keeps the bench under a minute while
+            // still riding out multi-run slow windows.
+            let group_samples = if rsus <= 24 {
+                samples.max(25)
+            } else {
+                samples.max(15)
+            };
+            for _ in 0..group_samples {
+                for (t, &threads) in thread_counts.iter().enumerate() {
+                    let start = Instant::now();
                     let matrix = server.od_matrix_threads(threads).expect("decodable");
+                    let elapsed = start.elapsed().as_nanos();
                     assert_eq!(matrix.len(), rsus);
-                });
+                    times[t].push(elapsed);
+                }
+            }
+            for (t, &threads) in thread_counts.iter().enumerate() {
+                // Minimum, not median: the decode is deterministic
+                // CPU-bound work, so the fastest observation is the
+                // closest to its true cost — medians still carry bursty
+                // scheduler noise that can differ across rows even with
+                // interleaved sampling, which the thread-scaling gate
+                // would misread as a regression.
+                let od_ns = *times[t].iter().min().expect("sampled");
                 let speedup = pairwise_ns as f64 / od_ns.max(1) as f64;
                 let _ = write!(
                     rows,

@@ -1,0 +1,63 @@
+//! Re-measures the kernel-selection cost model on this machine.
+//!
+//! For every point of the calibration grid (nested size pairs × fills
+//! on both sides of the densify threshold) this binary times each
+//! candidate decode kernel, compares the committed
+//! `select_pair_kernel` choice against the empirically fastest, and
+//! prints suggested `COST_BIT_PROBE` / `COST_SETUP` values for this
+//! box. Run it release-built on a quiet machine:
+//!
+//! ```text
+//! cargo run --release -p vcps-bench --bin calibrate
+//! ```
+//!
+//! The ignored integration test (`cargo test -p vcps-bench --release
+//! -- --ignored`) runs the same measurement and asserts the committed
+//! constants stay within tolerance; this binary is the human-readable
+//! version for deciding whether to update them.
+
+use vcps_bench::calibrate::{agreement, measure, sample_grid, suggest_constants, DEFAULT_SLACK};
+
+fn main() {
+    let grid = sample_grid();
+    eprintln!("calibrating {} decode points...", grid.len());
+    let measurements: Vec<_> = grid.iter().map(measure).collect();
+
+    println!(
+        "{:>8} {:>8} {:>7} {:>7}  {:<13} {:<13} {:>8}  ok",
+        "m_x", "m_y", "ones_x", "ones_y", "picked", "fastest", "pick/min"
+    );
+    for m in &measurements {
+        let (fastest, fastest_ns) = m.fastest();
+        let ratio = m.picked_time() / fastest_ns;
+        println!(
+            "{:>8} {:>8} {:>7} {:>7}  {:<13} {:<13} {:>7.2}x  {}",
+            m.point.m_x,
+            m.point.m_y,
+            m.ones.0,
+            m.ones.1,
+            m.picked.label(),
+            fastest.label(),
+            ratio,
+            if m.picked_within(DEFAULT_SLACK) {
+                "yes"
+            } else {
+                "NO"
+            },
+        );
+    }
+
+    let frac = agreement(&measurements, DEFAULT_SLACK);
+    println!(
+        "\nagreement: {:.1}% of {} points within {DEFAULT_SLACK}x of fastest",
+        frac * 100.0,
+        measurements.len(),
+    );
+    match suggest_constants(&measurements) {
+        Some((probe, setup)) => println!(
+            "suggested COST_BIT_PROBE ~ {probe:.1} word-units, COST_SETUP ~ {setup:.1} word-units\n\
+             (committed: COST_BIT_PROBE = 8, COST_SETUP = 16 — see vcps-bitarray kernels.rs)"
+        ),
+        None => println!("not enough samples to suggest constants"),
+    }
+}

@@ -205,6 +205,323 @@ pub fn pairwise_dense_baseline(server: &CentralServer, rsus: &[RsuId]) -> Vec<Es
     out
 }
 
+pub mod calibrate {
+    //! Empirical calibration of the kernel-selection cost model.
+    //!
+    //! [`select_pair_kernel`] ranks the four decode kernels with two
+    //! compile-time weights, `COST_BIT_PROBE` and `COST_SETUP`
+    //! (word-units per random single-bit probe and per call). Those
+    //! weights are machine-dependent: the dense scan's throughput moves
+    //! with the vector ISA (`target-cpu=native` buys AVX-512
+    //! `vpopcntq` where available) while a probe is a dependent,
+    //! possibly cache-missing load. This module re-measures every
+    //! candidate kernel on a grid of (sizes × fills) decode points so
+    //! the committed constants can be checked against reality:
+    //!
+    //! * the `calibrate` binary prints the full table plus suggested
+    //!   constants;
+    //! * the ignored `calibrate` integration test asserts the
+    //!   committed constants pick a kernel within [`DEFAULT_SLACK`] of
+    //!   the empirically fastest on at least 90% of points.
+    //!
+    //! Near a cost crossover two kernels take about the same time, so
+    //! "picked the fastest" is graded with multiplicative slack: a pick
+    //! is correct when its measured time is within `slack ×` the
+    //! fastest candidate's. Without slack the test would coin-flip on
+    //! every crossover point no matter how good the constants are.
+
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    use vcps_bitarray::{
+        combined_zero_count, combined_zero_count_dense_sparse, combined_zero_count_sparse_dense,
+        combined_zero_count_sparse_sparse_with, select_pair_kernel, sparse_is_profitable, BitArray,
+        DecodeScratch, PairKernel,
+    };
+
+    /// Multiplicative tolerance for grading a pick (see module docs).
+    pub const DEFAULT_SLACK: f64 = 1.25;
+
+    /// One decode point of the calibration grid: a nested pair of array
+    /// sizes and a target fill fraction per side.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SamplePoint {
+        /// Smaller (unfolded) array length in bits; divides `m_y`.
+        pub m_x: usize,
+        /// Fill fraction of the smaller array.
+        pub load_x: f64,
+        /// Larger array length in bits.
+        pub m_y: usize,
+        /// Fill fraction of the larger array.
+        pub load_y: f64,
+    }
+
+    /// Measured mean times of every candidate kernel at one point, plus
+    /// what the committed cost model picked there.
+    #[derive(Debug, Clone)]
+    pub struct Measurement {
+        /// The sampled point.
+        pub point: SamplePoint,
+        /// Actual set-bit counts of the two generated arrays.
+        pub ones: (usize, usize),
+        /// The committed model's choice given the available index lists.
+        pub picked: PairKernel,
+        /// Mean nanoseconds per call for each candidate kernel.
+        pub timings: Vec<(PairKernel, f64)>,
+    }
+
+    impl Measurement {
+        /// The empirically fastest candidate at this point.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the measurement holds no timings (cannot happen
+        /// for values produced by [`measure`]: the dense kernel is
+        /// always a candidate).
+        #[must_use]
+        pub fn fastest(&self) -> (PairKernel, f64) {
+            self.timings
+                .iter()
+                .copied()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("dense kernel is always a candidate")
+        }
+
+        /// Mean time of the kernel the committed model picked.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the picked kernel was not timed (cannot happen for
+        /// values produced by [`measure`]: every selectable kernel is a
+        /// candidate).
+        #[must_use]
+        pub fn picked_time(&self) -> f64 {
+            self.timings
+                .iter()
+                .find(|(k, _)| *k == self.picked)
+                .expect("the selector only picks timed candidates")
+                .1
+        }
+
+        /// `true` when the picked kernel is within `slack ×` the
+        /// fastest candidate's measured time.
+        #[must_use]
+        pub fn picked_within(&self, slack: f64) -> bool {
+            self.picked_time() <= self.fastest().1 * slack
+        }
+    }
+
+    /// The calibration grid: nested size pairs crossed with fills on
+    /// both sides of the densify threshold (1/64), so every kernel wins
+    /// somewhere and every crossover is straddled.
+    #[must_use]
+    pub fn sample_grid() -> Vec<SamplePoint> {
+        let sizes = [1usize << 12, 1 << 15, 1 << 18];
+        let loads = [0.001, 0.008, 0.05, 0.3];
+        let mut grid = Vec::new();
+        for &m_x in &sizes {
+            for &m_y in &sizes {
+                if m_y < m_x {
+                    continue;
+                }
+                for &load_x in &loads {
+                    for &load_y in &loads {
+                        grid.push(SamplePoint {
+                            m_x,
+                            load_x,
+                            m_y,
+                            load_y,
+                        });
+                    }
+                }
+            }
+        }
+        grid
+    }
+
+    /// Deterministic scattered fill: `load · m` distinct bits via a
+    /// coprime stride (same scheme as [`filled_sketch`](super::filled_sketch),
+    /// with a salt so the two sides of a pair differ).
+    fn scattered(m: usize, load: f64, salt: usize) -> BitArray {
+        let mut array = BitArray::new(m);
+        let target = (m as f64 * load) as usize;
+        let stride = (m / 2 + 1) | 1;
+        let mut idx = salt % m;
+        for _ in 0..target {
+            idx = (idx + stride) % m;
+            array.set(idx);
+        }
+        array
+    }
+
+    /// Mean nanoseconds per call, measured over a fixed time budget
+    /// (2 ms) after a short warmup.
+    fn time_ns(mut f: impl FnMut() -> usize) -> f64 {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..16 {
+                black_box(f());
+            }
+            iters += 16;
+            let elapsed = start.elapsed();
+            if elapsed.as_nanos() >= 2_000_000 || iters >= 1 << 20 {
+                return elapsed.as_nanos() as f64 / iters as f64;
+            }
+        }
+    }
+
+    /// Builds the point's arrays, derives index lists exactly where the
+    /// server would keep them (below the densify threshold), times every
+    /// candidate kernel, and records the committed model's pick.
+    ///
+    /// All candidates compute the same combined zero count, which is
+    /// checked — a calibration that timed disagreeing kernels would be
+    /// meaningless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernels disagree on the combined zero count (a
+    /// correctness bug, not a calibration artifact).
+    #[must_use]
+    pub fn measure(point: &SamplePoint) -> Measurement {
+        let ax = scattered(point.m_x, point.load_x, 1);
+        let ay = scattered(point.m_y, point.load_y, 5);
+        let ones_x: Option<Vec<u64>> = sparse_is_profitable(point.m_x, ax.count_ones())
+            .then(|| ax.ones().map(|i| i as u64).collect());
+        let ones_y: Option<Vec<u64>> = sparse_is_profitable(point.m_y, ay.count_ones())
+            .then(|| ay.ones().map(|i| i as u64).collect());
+        let picked = select_pair_kernel(
+            point.m_x,
+            ones_x.as_ref().map(Vec::len),
+            point.m_y,
+            ones_y.as_ref().map(Vec::len),
+        );
+
+        let reference = combined_zero_count(&ax, &ay).expect("nested sizes");
+        let mut timings = vec![(
+            PairKernel::Dense,
+            time_ns(|| combined_zero_count(&ax, &ay).expect("nested sizes")),
+        )];
+        if let (Some(sx), Some(sy)) = (&ones_x, &ones_y) {
+            let mut scratch = DecodeScratch::new();
+            assert_eq!(
+                combined_zero_count_sparse_sparse_with(&mut scratch, point.m_x, sx, point.m_y, sy)
+                    .expect("valid lists"),
+                reference,
+                "kernel disagreement at {point:?}"
+            );
+            timings.push((
+                PairKernel::SparseSparse,
+                time_ns(|| {
+                    combined_zero_count_sparse_sparse_with(
+                        &mut scratch,
+                        point.m_x,
+                        sx,
+                        point.m_y,
+                        sy,
+                    )
+                    .expect("valid lists")
+                }),
+            ));
+        }
+        if let Some(sx) = &ones_x {
+            assert_eq!(
+                combined_zero_count_sparse_dense(point.m_x, sx, &ay).expect("valid list"),
+                reference,
+                "kernel disagreement at {point:?}"
+            );
+            timings.push((
+                PairKernel::SparseDense,
+                time_ns(|| combined_zero_count_sparse_dense(point.m_x, sx, &ay).expect("valid")),
+            ));
+        }
+        if let Some(sy) = &ones_y {
+            assert_eq!(
+                combined_zero_count_dense_sparse(&ax, point.m_y, sy).expect("valid list"),
+                reference,
+                "kernel disagreement at {point:?}"
+            );
+            timings.push((
+                PairKernel::DenseSparse,
+                time_ns(|| combined_zero_count_dense_sparse(&ax, point.m_y, sy).expect("valid")),
+            ));
+        }
+
+        Measurement {
+            point: *point,
+            ones: (ax.count_ones(), ay.count_ones()),
+            picked,
+            timings,
+        }
+    }
+
+    /// Fraction of measurements whose pick is within `slack ×` the
+    /// fastest candidate (1.0 for an empty slice).
+    #[must_use]
+    pub fn agreement(measurements: &[Measurement], slack: f64) -> f64 {
+        if measurements.is_empty() {
+            return 1.0;
+        }
+        let ok = measurements
+            .iter()
+            .filter(|m| m.picked_within(slack))
+            .count();
+        ok as f64 / measurements.len() as f64
+    }
+
+    /// Suggests `(COST_BIT_PROBE, COST_SETUP)` from the measurements:
+    /// the probe weight is the median ratio of a `DenseSparse` probe's
+    /// time to a dense-scan word's time (both computed per element from
+    /// points large enough to amortize call overhead), and the setup
+    /// weight is the median dense-kernel time at the smallest points,
+    /// expressed in word-units.
+    ///
+    /// Returns `None` when the grid produced no usable samples for
+    /// either weight (it always does for [`sample_grid`]).
+    #[must_use]
+    pub fn suggest_constants(measurements: &[Measurement]) -> Option<(f64, f64)> {
+        let mut word_ns = Vec::new();
+        let mut probe_ns = Vec::new();
+        let mut setup_words = Vec::new();
+        for m in measurements {
+            for &(kernel, ns) in &m.timings {
+                match kernel {
+                    PairKernel::Dense if m.point.m_y >= 1 << 15 => {
+                        word_ns.push(ns / (m.point.m_y / 64) as f64);
+                    }
+                    PairKernel::DenseSparse if m.ones.1 >= 64 => {
+                        probe_ns.push(ns / m.ones.1 as f64);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let word = median(&mut word_ns)?;
+        for m in measurements {
+            if m.point.m_y <= 1 << 12 {
+                if let Some(&(_, ns)) = m.timings.iter().find(|(k, _)| *k == PairKernel::Dense) {
+                    setup_words.push((ns / word - (m.point.m_y / 64) as f64).max(0.0));
+                }
+            }
+        }
+        let probe = median(&mut probe_ns)?;
+        let setup = median(&mut setup_words).unwrap_or(0.0);
+        Some((probe / word, setup))
+    }
+
+    fn median(samples: &mut [f64]) -> Option<f64> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(f64::total_cmp);
+        Some(samples[samples.len() / 2])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,45 @@
+//! Ignored-by-default conformance run for the kernel cost model.
+//!
+//! Timing-sensitive by nature, so it does not run in the default test
+//! sweep; CI and developers invoke it explicitly on a release build:
+//!
+//! ```text
+//! cargo test -p vcps-bench --release --test calibrate -- --ignored
+//! ```
+
+use vcps_bench::calibrate::{agreement, measure, sample_grid, DEFAULT_SLACK};
+
+/// The committed `COST_BIT_PROBE` / `COST_SETUP` constants must pick a
+/// kernel whose measured time is within [`DEFAULT_SLACK`] of the
+/// empirically fastest candidate on at least 90% of grid points.
+///
+/// The slack grades crossover points fairly: where two kernels cost
+/// about the same, either pick is fine and neither should count
+/// against the model (see the `calibrate` module docs).
+#[test]
+#[ignore = "timing-sensitive; run release-built on a quiet box with -- --ignored"]
+fn committed_cost_constants_pick_fast_kernels() {
+    let measurements: Vec<_> = sample_grid().iter().map(measure).collect();
+    let frac = agreement(&measurements, DEFAULT_SLACK);
+    let misses: Vec<String> = measurements
+        .iter()
+        .filter(|m| !m.picked_within(DEFAULT_SLACK))
+        .map(|m| {
+            format!(
+                "{:?} ones={:?}: picked {} at {:.0}ns, fastest {} at {:.0}ns",
+                m.point,
+                m.ones,
+                m.picked.label(),
+                m.picked_time(),
+                m.fastest().0.label(),
+                m.fastest().1,
+            )
+        })
+        .collect();
+    assert!(
+        frac >= 0.90,
+        "cost model picked a slow kernel on {:.1}% of points (need <= 10%):\n{}",
+        (1.0 - frac) * 100.0,
+        misses.join("\n"),
+    );
+}

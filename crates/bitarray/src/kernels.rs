@@ -92,6 +92,50 @@ pub fn validate_sparse_indices(len: usize, ones: &[u64]) -> Result<(), BitArrayE
     Ok(())
 }
 
+/// Reads bit `p` of a word slice: 1 if set, 0 if clear.
+#[inline]
+fn bit_at(words: &[u64], p: usize) -> usize {
+    (words[p / WORD_BITS] >> (p % WORD_BITS) & 1) as usize
+}
+
+/// Counts how many probe positions `pos(index)` land on a *set* bit of
+/// `words`, keeping four independent probes in flight per iteration.
+///
+/// The probes are random-access single-bit reads (positions come from a
+/// modulo reduction of sorted indices), so unlike the streaming popcount
+/// loops — where manual unrolling defeats the autovectorizer — the win
+/// here is memory-level parallelism: four independent loads per
+/// iteration hide cache latency behind each other.
+#[inline]
+fn count_set_probes(words: &[u64], indices: &[u64], pos: impl Fn(u64) -> usize) -> usize {
+    let mut it = indices.chunks_exact(4);
+    let (mut a, mut b, mut c, mut d) = (0usize, 0usize, 0usize, 0usize);
+    for q in it.by_ref() {
+        a += bit_at(words, pos(q[0]));
+        b += bit_at(words, pos(q[1]));
+        c += bit_at(words, pos(q[2]));
+        d += bit_at(words, pos(q[3]));
+    }
+    let mut total = a + b + c + d;
+    for &j in it.remainder() {
+        total += bit_at(words, pos(j));
+    }
+    total
+}
+
+/// `count_set_probes` with the position map `j mod m_x`, routed through
+/// a shift-free mask when `m_x` is a power of two (the scheme's usual
+/// case) — a hardware `div` per probe costs more than the probe itself.
+#[inline]
+fn count_set_probes_mod(words: &[u64], indices: &[u64], m_x: usize) -> usize {
+    if m_x.is_power_of_two() {
+        let mask = (m_x - 1) as u64;
+        count_set_probes(words, indices, |j| (j & mask) as usize)
+    } else {
+        count_set_probes(words, indices, |j| (j % m_x as u64) as usize)
+    }
+}
+
 /// Reusable scratch for [`combined_zero_count_sparse_sparse_with`]: an
 /// `m_x`-bit membership mask that is zeroed *surgically* (only the words
 /// an `S_x` actually touched) after each call, so a long run of pair
@@ -164,13 +208,7 @@ pub fn combined_zero_count_sparse_sparse_with(
     for &i in ones_x {
         scratch.mask[i as usize / WORD_BITS] |= 1u64 << (i as usize % WORD_BITS);
     }
-    let mut intersection = 0usize;
-    for &j in ones_y {
-        let p = j as usize % m_x;
-        if scratch.mask[p / WORD_BITS] >> (p % WORD_BITS) & 1 == 1 {
-            intersection += 1;
-        }
-    }
+    let intersection = count_set_probes_mod(&scratch.mask, ones_y, m_x);
     // Surgical clear: only the words S_x touched, keeping the steady
     // state O(|S_x|) instead of O(m_x/64).
     for &i in ones_x {
@@ -207,13 +245,43 @@ pub fn combined_zero_count_sparse_dense(
     // every unfolded one either lands on a one of B_y (already excluded
     // from U_y) or knocks out one of B_y's zeros.
     let mut knocked_out = 0usize;
-    for &i in ones_x {
-        let mut p = i as usize;
-        for _ in 0..r {
-            if !large.get(p) {
-                knocked_out += 1;
+    if m_x.is_multiple_of(WORD_BITS) {
+        // Word-aligned stride: each unfolded index revisits the same bit
+        // offset every m_x/64 words, so probe raw words with a constant
+        // shift — and keep four strided loads in flight to hide the
+        // cache latency of the large-array walk.
+        let words = large.as_words();
+        let stride = m_x / WORD_BITS;
+        for &i in ones_x {
+            let shift = i as usize % WORD_BITS;
+            let mut w = i as usize / WORD_BITS;
+            let mut hits = 0usize;
+            let mut k = 0usize;
+            while k + 4 <= r {
+                let h0 = words[w] >> shift & 1;
+                let h1 = words[w + stride] >> shift & 1;
+                let h2 = words[w + 2 * stride] >> shift & 1;
+                let h3 = words[w + 3 * stride] >> shift & 1;
+                hits += (h0 + h1 + h2 + h3) as usize;
+                w += 4 * stride;
+                k += 4;
             }
-            p += m_x;
+            while k < r {
+                hits += (words[w] >> shift & 1) as usize;
+                w += stride;
+                k += 1;
+            }
+            knocked_out += r - hits;
+        }
+    } else {
+        for &i in ones_x {
+            let mut p = i as usize;
+            for _ in 0..r {
+                if !large.get(p) {
+                    knocked_out += 1;
+                }
+                p += m_x;
+            }
         }
     }
     Ok(large.count_zeros() - knocked_out)
@@ -242,12 +310,7 @@ pub fn combined_zero_count_dense_sparse(
     // |unfold(S_x) ∪ S_y| = |S_x|·r + |{j ∈ S_y : B_x[j mod m_x] = 0}|:
     // a one of S_y either coincides with an unfolded one (already
     // counted) or adds a new member.
-    let mut extra = 0usize;
-    for &j in ones_y {
-        if !small.get(j as usize % m_x) {
-            extra += 1;
-        }
-    }
+    let extra = ones_y.len() - count_set_probes_mod(small.as_words(), ones_y, m_x);
     Ok(m_y - (small.count_ones() * r + extra))
 }
 
@@ -285,12 +348,16 @@ impl PairKernel {
 /// one sequential 64-bit word scanned by the dense kernel. A sparse
 /// index costs several word-units: it is validated (ordered, in range),
 /// reduced mod `m_x`, and probed at a random bit, where the dense scan
-/// streams whole words through a popcount. Measured on the
-/// `bench_artifacts` kernel sweep the ratio is ≈ 3; erring high only
-/// forfeits marginal wins near the crossover, where the kernels cost
-/// about the same anyway. The constant 16 absorbs per-call setup.
-const COST_BIT_PROBE: usize = 3;
-const COST_SETUP: usize = 16;
+/// streams whole words through a vectorized OR+popcount. Calibrated by
+/// the `vcps-bench` `calibrate` binary (see its ignored conformance
+/// test): with the tiled/`target-cpu` dense scan streaming several words
+/// per cycle and a probe costing a (possibly cache-missing) dependent
+/// load, the measured ratio on the reference box is ≈ 6–10 word-units
+/// per probe; erring high only forfeits marginal wins near the
+/// crossover, where the kernels cost about the same anyway. The setup
+/// constant absorbs per-call validation and dispatch.
+pub(crate) const COST_BIT_PROBE: usize = 8;
+pub(crate) const COST_SETUP: usize = 16;
 
 /// Picks the cheapest kernel for a pair from the array sizes and the
 /// (optional) sparse index-list lengths; `None` means that side has no
@@ -314,8 +381,25 @@ pub fn select_pair_kernel(
     m_y: usize,
     ones_y: Option<usize>,
 ) -> PairKernel {
+    select_pair_kernel_with_cost(m_x, ones_x, m_y, ones_y).0
+}
+
+/// [`select_pair_kernel`] plus the modeled cost of the winning kernel,
+/// in word-units (one sequential 64-bit word of dense scan ≈ 1).
+///
+/// The cost is how the all-pairs decoder estimates triangle work before
+/// deciding whether parallel fan-out is worth a pool dispatch, and what
+/// the `calibrate` harness compares against measured kernel times — so
+/// it is part of the public contract, not an implementation detail.
+#[must_use]
+pub fn select_pair_kernel_with_cost(
+    m_x: usize,
+    ones_x: Option<usize>,
+    m_y: usize,
+    ones_y: Option<usize>,
+) -> (PairKernel, usize) {
     if m_x == 0 || !m_y.is_multiple_of(m_x) {
-        return PairKernel::Dense;
+        return (PairKernel::Dense, m_y / WORD_BITS + COST_SETUP);
     }
     let r = m_y / m_x;
     let mut best = (PairKernel::Dense, m_y / WORD_BITS + COST_SETUP);
@@ -339,7 +423,7 @@ pub fn select_pair_kernel(
     if let Some(sy) = ones_y {
         consider(PairKernel::DenseSparse, COST_BIT_PROBE * sy + COST_SETUP);
     }
-    best.0
+    best
 }
 
 /// Combined zero count through the per-pair kernel selector: given the

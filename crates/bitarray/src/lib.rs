@@ -65,8 +65,9 @@ pub use error::BitArrayError;
 pub use kernels::{
     combined_zero_count_adaptive, combined_zero_count_dense_sparse,
     combined_zero_count_sparse_dense, combined_zero_count_sparse_sparse,
-    combined_zero_count_sparse_sparse_with, select_pair_kernel, sparse_is_profitable,
-    validate_sparse_indices, DecodeScratch, PairKernel, SPARSE_DENSIFY_BITS_PER_ONE,
+    combined_zero_count_sparse_sparse_with, select_pair_kernel, select_pair_kernel_with_cost,
+    sparse_is_profitable, validate_sparse_indices, DecodeScratch, PairKernel,
+    SPARSE_DENSIFY_BITS_PER_ONE,
 };
 pub use ops::{combined_zero_count, combined_zero_count_naive};
 pub use pow2::Pow2;

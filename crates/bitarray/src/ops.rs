@@ -68,12 +68,39 @@ pub fn combined_zero_count(small: &BitArray, large: &BitArray) -> Result<usize, 
         // Word-aligned blocks: B_x word j pairs with B_y word (block, j).
         // Iterate block-wise with zip (not an indexed `%` per word, which
         // defeats auto-vectorization — measured 2x slower).
+        //
+        // When the small side spans only a few words, the inner zip's trip
+        // count is too short for the vectorizer to win (a 2-word B_x gives
+        // 2-iteration inner loops around per-block overhead). Unfold the
+        // pattern once into a cache-line-aligned-sized tile — the same
+        // words repeated up to `TILE_WORDS` — so every inner loop runs
+        // dozens of iterations of pure OR+popcount that LLVM lifts to
+        // vpand/vpopcnt blocks. The tile is the only materialization this
+        // path ever does: ≤ 512 bytes on the stack, independent of m_y.
+        const TILE_WORDS: usize = 64;
         let src_words = small.as_words();
         let large_words = large.as_words();
         let mut ones = 0usize;
-        for block in large_words.chunks(src_words.len()) {
-            for (&w, &s) in block.iter().zip(src_words) {
-                ones += (w | s).count_ones() as usize;
+        if src_words.len() < TILE_WORDS {
+            let reps = TILE_WORDS / src_words.len();
+            let tile_len = reps * src_words.len();
+            let mut tile = [0u64; TILE_WORDS];
+            for rep in 0..reps {
+                tile[rep * src_words.len()..(rep + 1) * src_words.len()].copy_from_slice(src_words);
+            }
+            // Chunk starts are multiples of tile_len, itself a multiple of
+            // the pattern length, so the phase stays aligned; a short last
+            // chunk just zips against a prefix of the tile.
+            for block in large_words.chunks(tile_len) {
+                for (&w, &s) in block.iter().zip(&tile[..tile_len]) {
+                    ones += (w | s).count_ones() as usize;
+                }
+            }
+        } else {
+            for block in large_words.chunks(src_words.len()) {
+                for (&w, &s) in block.iter().zip(src_words) {
+                    ones += (w | s).count_ones() as usize;
+                }
             }
         }
         // Words beyond m_y bits are zero in both arrays, so no tail fixup

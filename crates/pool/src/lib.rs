@@ -1,0 +1,452 @@
+//! Persistent worker pool for the VCPS decode and ingestion hot paths.
+//!
+//! The simulator's previous parallel harness spawned fresh scoped threads on
+//! every `parallel_map_threads` call. Thread creation plus join costs tens of
+//! microseconds per call, which swamps the small all-pairs triangles the
+//! estimator decodes each period (`BENCH_odmatrix.json` showed 8-RSU matrices
+//! decoding *slower* at 2/4 threads than at 1). This crate replaces that with
+//! a process-wide pool: workers are spawned lazily the first time they are
+//! needed, parked on a condvar between calls, and fed *borrowed* jobs through
+//! an epoch-stamped rendezvous. Steady-state dispatch cost is one mutex
+//! handshake per participating worker — no spawn, no join, no allocation.
+//!
+//! # Execution model
+//!
+//! [`run`] publishes a `&(dyn Fn(usize) + Sync)` job, wakes up to
+//! `extra_workers` parked workers, runs the job itself as participant `0`,
+//! and returns once every participant has finished. Participants receive
+//! distinct indices `0..=extra_workers`; work distribution (chunked range
+//! claiming off an atomic cursor) is the *caller's* business and lives inside
+//! the closure, which keeps the pool itself oblivious to item types.
+//!
+//! The job closure must therefore be written so that **any subset of
+//! participants completes all work**: a late-waking worker may find the
+//! cursor exhausted and return immediately, and a nested [`run`] call (see
+//! below) collapses to the caller alone invoking `f(0)`. Completion is
+//! *eager*: the job is retired as soon as the caller's own share returns
+//! and every worker that actually claimed a share has finished — workers
+//! that never woke up in time simply miss the epoch, so a fast job never
+//! stalls waiting for sleepy threads (on an oversubscribed machine, a
+//! forced full rendezvous costs more than the job itself).
+//!
+//! # Safety design
+//!
+//! The single `unsafe` trick is lifetime erasure of the borrowed job: the
+//! `&dyn Fn` reference is transmuted to a `'static` raw pointer so parked
+//! worker threads (which outlive any one call) can reach it. Soundness hangs
+//! on one invariant, enforced by [`run`]'s completion wait:
+//!
+//! > [`run`] does not return — **and does not unwind** — until the job
+//! > slot is cleared and every participant that claimed the job has
+//! > finished executing it. (Workers only dereference the pointer after
+//! > claiming under the state lock; a worker that finds the slot already
+//! > cleared never touches it.)
+//!
+//! Both the caller's own share and each worker's share execute under
+//! `catch_unwind`; panics are stashed and re-raised by [`run`] only *after*
+//! the rendezvous count shows no participant can still be touching the
+//! borrowed closure. Workers never die from a job panic, so one poisoned job
+//! cannot degrade later calls.
+//!
+//! # Re-entrancy
+//!
+//! A thread that is already executing a pool job (a worker, or a caller
+//! inside its own share) and calls [`run`] again would deadlock waiting for
+//! a second rendezvous the single job slot cannot serve. Such nested calls
+//! are detected via a thread-local flag and run `f(0)` inline on the calling
+//! thread — correct by the "any subset of participants" contract above.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread;
+
+/// Upper bound on pool workers regardless of what callers request.
+///
+/// Requests beyond the machine's available parallelism still execute
+/// correctly (participants just claim bigger shares of the cursor), so the
+/// cap only bounds resident threads, not semantics. 63 workers + the caller
+/// covers a 64-way machine.
+const MAX_WORKERS: usize = 63;
+
+/// Lifetime-erased pointer to a borrowed job closure.
+///
+/// The pointee is only dereferenced between a participant's claim
+/// (`started += 1` under the state lock, slot still occupied) and its
+/// completion signal (`active -= 1` under the state lock), and [`run`]
+/// keeps the real referent alive until the slot is cleared *and*
+/// `active == 0`. See the crate-level safety notes.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointer is only ever dereferenced while `run` — which holds
+// the actual `&dyn Fn` with its real lifetime — is blocked waiting for all
+// participants. Sending the pointer to worker threads does not extend the
+// pointee's actual use beyond that window.
+unsafe impl Send for JobPtr {}
+
+struct State {
+    /// Current job, present only while a `run` call is in flight.
+    job: Option<JobPtr>,
+    /// Bumped once per published job so parked workers can tell a fresh job
+    /// from the one they just finished.
+    epoch: u64,
+    /// Participants requested for the current job (including the caller).
+    want: usize,
+    /// Participants that have claimed the current job so far.
+    started: usize,
+    /// Participants currently executing the current job.
+    active: usize,
+    /// First panic payload captured from any participant of the current job.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Worker threads spawned so far (monotone, ≤ `MAX_WORKERS`).
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<State>,
+    /// Workers park here waiting for a new epoch.
+    work: Condvar,
+    /// `run` parks here waiting for all participants to finish.
+    done: Condvar,
+    /// Serializes concurrent `run` calls from distinct threads; the pool has
+    /// a single job slot by design (one decode pipeline at a time).
+    submit: Mutex<()>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(State {
+            job: None,
+            epoch: 0,
+            want: 0,
+            started: 0,
+            active: 0,
+            panic: None,
+            spawned: 0,
+        }),
+        work: Condvar::new(),
+        done: Condvar::new(),
+        submit: Mutex::new(()),
+    })
+}
+
+/// All lock acquisitions go through this: job panics are caught before they
+/// can poison the state mutex, so a poisoned guard here would only mean a
+/// panic inside the pool's own bookkeeping — recover the guard and continue.
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// True while this thread is executing a pool job (worker share or the
+    /// caller's own share). Used to collapse nested `run` calls inline.
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII reset for `IN_POOL_JOB` so the flag clears even on unwind.
+struct InJobGuard(bool);
+
+impl InJobGuard {
+    fn enter() -> Self {
+        let prev = IN_POOL_JOB.with(|f| f.replace(true));
+        InJobGuard(prev)
+    }
+}
+
+impl Drop for InJobGuard {
+    fn drop(&mut self) {
+        IN_POOL_JOB.with(|f| f.set(self.0));
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut seen_epoch = 0u64;
+    loop {
+        // Claim a share of the next unseen job, or park.
+        let (job, epoch, index) = {
+            let mut s = lock(&pool.state);
+            loop {
+                if s.epoch != seen_epoch {
+                    if let Some(job) = s.job {
+                        if s.started < s.want {
+                            s.started += 1;
+                            s.active += 1;
+                            break (job, s.epoch, s.started);
+                        }
+                    }
+                    // Fully staffed (or already cleared): not our job.
+                    seen_epoch = s.epoch;
+                }
+                s = pool.work.wait(s).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        seen_epoch = epoch;
+
+        // SAFETY: we incremented `started`/`active` under the lock, so the
+        // `run` call that published `job` is still blocked in its completion
+        // wait and the pointee is alive. We signal `active -= 1` only after
+        // the closure returns (or its panic is caught).
+        let f = unsafe { &*job.0 };
+        let _guard = InJobGuard::enter();
+        let result = catch_unwind(AssertUnwindSafe(|| f(index)));
+        drop(_guard);
+
+        let mut s = lock(&pool.state);
+        if let Err(payload) = result {
+            if s.panic.is_none() {
+                s.panic = Some(payload);
+            }
+        }
+        s.active -= 1;
+        if s.active == 0 {
+            pool.done.notify_one();
+        }
+    }
+}
+
+/// Ensure at least `n` workers exist (capped at [`MAX_WORKERS`]); returns the
+/// number actually resident. Spawn failures degrade capacity instead of
+/// failing the call.
+fn ensure_spawned(pool: &'static Pool, n: usize) -> usize {
+    let target = n.min(MAX_WORKERS);
+    let mut s = lock(&pool.state);
+    while s.spawned < target {
+        let builder = thread::Builder::new().name(format!("vcps-pool-{}", s.spawned));
+        match builder.spawn(move || worker_loop(pool)) {
+            Ok(_) => s.spawned += 1,
+            Err(_) => break,
+        }
+    }
+    s.spawned
+}
+
+/// Number of worker threads currently resident in the pool (exposed for
+/// lifecycle tests and diagnostics; the caller thread is not counted).
+pub fn spawned_workers() -> usize {
+    lock(&pool().state).spawned
+}
+
+/// Run `f` on the calling thread plus up to `extra_workers` pool workers.
+///
+/// Participants get distinct indices: the caller runs `f(0)`, workers run
+/// `f(1)..=f(k)`. `f` must distribute work internally (e.g. via an atomic
+/// cursor) such that any subset of participants — including the caller
+/// alone — completes it; fewer than `extra_workers` may show up if the pool
+/// is at capacity, and a nested call from inside a pool job runs `f(0)`
+/// inline with no workers at all.
+///
+/// If any participant panics, the first panic payload is re-raised on the
+/// calling thread — but only after every participant has finished, so the
+/// borrowed closure is never touched after `run` unwinds. The pool survives
+/// job panics; subsequent calls behave normally.
+pub fn run(extra_workers: usize, f: &(dyn Fn(usize) + Sync)) {
+    if extra_workers == 0 || IN_POOL_JOB.with(|flag| flag.get()) {
+        // Nothing to fan out to, or we *are* a pool participant already:
+        // run the whole job inline (see crate docs on re-entrancy).
+        let guard = InJobGuard::enter();
+        f(0);
+        drop(guard);
+        return;
+    }
+
+    let pool = pool();
+    // `ensure_spawned` reports total residents, which an earlier larger
+    // request may have grown past what this call wants — never enlist more
+    // participants than the caller asked for.
+    let workers = ensure_spawned(pool, extra_workers).min(extra_workers);
+    if workers == 0 {
+        let guard = InJobGuard::enter();
+        f(0);
+        drop(guard);
+        return;
+    }
+
+    // One job slot: serialize distinct submitting threads.
+    let _submit = pool.submit.lock().unwrap_or_else(PoisonError::into_inner);
+
+    // SAFETY: transmutes only the (unnameable) lifetime of the trait-object
+    // pointee to 'static; metadata and layout are unchanged. The pointer is
+    // retired (job slot cleared, all participants drained) before this
+    // function returns or unwinds, so no use-after-free is possible.
+    let job = JobPtr(unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+    });
+
+    {
+        let mut s = lock(&pool.state);
+        s.job = Some(job);
+        s.epoch = s.epoch.wrapping_add(1);
+        s.want = workers;
+        s.started = 0;
+        s.active = 0;
+        s.panic = None;
+        pool.work.notify_all();
+    }
+
+    // Run our own share as participant 0.
+    let guard = InJobGuard::enter();
+    let own = catch_unwind(AssertUnwindSafe(|| f(0)));
+    drop(guard);
+
+    // Completion — the soundness linchpin. Retire the job slot first (a
+    // worker that wakes from here on sees an empty slot and never touches
+    // the pointer), then wait until every worker that *did* claim a share
+    // has finished with the borrowed closure. Workers that never woke
+    // simply miss the epoch; not waiting for them keeps dispatch cheap on
+    // oversubscribed machines.
+    let worker_panic = {
+        let mut s = lock(&pool.state);
+        s.job = None;
+        while s.active > 0 {
+            s = pool.done.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        s.panic.take()
+    };
+
+    drop(_submit);
+
+    if let Err(payload) = own {
+        std::panic::resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Chunked-claim sum over 0..n, the same shape the simulator uses.
+    fn cursor_sum(extra_workers: usize, n: usize) -> usize {
+        let cursor = AtomicUsize::new(0);
+        let total = AtomicUsize::new(0);
+        run(extra_workers, &|_idx| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        total.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn computes_and_reuses_workers_across_calls() {
+        let expected = 999 * 1000 / 2;
+        assert_eq!(cursor_sum(3, 1000), expected);
+        let resident = spawned_workers();
+        assert!(resident >= 1, "first call should have spawned workers");
+        for _ in 0..50 {
+            assert_eq!(cursor_sum(3, 1000), expected);
+        }
+        // Reuse: repeat calls must not grow the pool past the first request's
+        // high-water mark (other tests in this process may have grown it).
+        assert!(spawned_workers() <= MAX_WORKERS);
+        assert!(spawned_workers() >= resident);
+    }
+
+    #[test]
+    fn zero_extra_workers_runs_inline() {
+        let hits = AtomicUsize::new(0);
+        run(0, &|idx| {
+            assert_eq!(idx, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn nested_call_runs_inline_without_deadlock() {
+        let inner_hits = AtomicUsize::new(0);
+        let outer_hits = AtomicUsize::new(0);
+        run(2, &|_| {
+            outer_hits.fetch_add(1, Ordering::Relaxed);
+            // A nested submission must not wait on the (occupied) job slot.
+            run(2, &|idx| {
+                assert_eq!(idx, 0, "nested call must collapse to inline f(0)");
+                inner_hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        let outer = outer_hits.load(Ordering::Relaxed);
+        assert!((1..=3).contains(&outer));
+        // Each outer participant ran exactly one inline nested job.
+        assert_eq!(inner_hits.load(Ordering::Relaxed), outer);
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        use std::sync::atomic::AtomicBool;
+        // Completion is eager — a worker that never wakes in time simply
+        // misses the job — so the caller's share parks until a worker has
+        // demonstrably joined; the job stays published while its caller
+        // share is still running, and claimed shares are always drained.
+        let worker_joined = AtomicBool::new(false);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run(2, &|idx| {
+                if idx == 0 {
+                    while !worker_joined.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                } else {
+                    worker_joined.store(true, Ordering::Release);
+                    panic!("worker share exploded");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker panic must propagate to the caller");
+
+        // The pool must keep functioning after a job panic.
+        let expected = 99 * 100 / 2;
+        for _ in 0..10 {
+            assert_eq!(cursor_sum(2, 100), expected);
+        }
+    }
+
+    #[test]
+    fn caller_panic_propagates_after_drain() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run(2, &|idx| {
+                if idx == 0 {
+                    panic!("caller share exploded");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(cursor_sum(2, 100), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn distinct_participant_indices() {
+        let seen = Mutex::new(Vec::new());
+        run(3, &|idx| {
+            seen.lock().unwrap().push(idx);
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen[0], 0, "caller participates as index 0");
+        for pair in seen.windows(2) {
+            assert_ne!(pair[0], pair[1], "participant indices must be unique");
+        }
+        assert!(seen.len() <= 4);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_correctly() {
+        let results: Vec<usize> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| scope.spawn(|| cursor_sum(2, 500)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in results {
+            assert_eq!(r, 499 * 500 / 2);
+        }
+    }
+}

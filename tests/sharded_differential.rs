@@ -25,7 +25,7 @@ use vcps::sim::{CentralServer, FaultPlan, LinkFaults, RetryPolicy, ShardedServer
 use vcps::{BitArray, RsuId, Scheme};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Strips the sharded server's own progress series, leaving exactly the
 /// counters the monolith also fires.
