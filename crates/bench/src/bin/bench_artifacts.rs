@@ -20,6 +20,12 @@
 //!   4, and 8 shards. Worker count is capped at the available cores, so
 //!   on a single-core box every shard count degenerates to the routed
 //!   sequential path and the speedup column reads ≈ 1.0 by design.
+//! * `BENCH_wal.json` — durability cost (DESIGN.md §17): one period's
+//!   sequenced uploads into a sharded server with the write-ahead log
+//!   off, on (append + fsync per record), and on with periodic
+//!   checkpoints. The slowdown columns price what crash recovery costs
+//!   per upload; fsync latency dominates, so absolute rates are
+//!   filesystem-dependent.
 //!
 //! Timing is hand-rolled (median of repeated wall-clock samples) so the
 //! artifacts do not depend on any benchmark framework; the JSON is
@@ -489,6 +495,87 @@ fn bench_shard(samples: usize) -> String {
     )
 }
 
+/// Write-ahead-logged vs plain ingestion (DESIGN.md §17). All three
+/// modes drive the same sequential `receive_sequenced` loop into a
+/// 4-shard server, so the only variable is the durability work: nothing,
+/// append+fsync per record, or append+fsync plus a checkpoint every 64
+/// records.
+fn bench_wal(samples: usize) -> String {
+    use vcps_sim::{DurableOptions, DurableServer};
+
+    const WAL_RSUS: usize = 256;
+    const WAL_BITS: usize = 1 << 18;
+    const WAL_FILL: f64 = 0.01;
+    const WAL_SHARDS: usize = 4;
+    const CHECKPOINT_EVERY: u64 = 64;
+    let scheme = Scheme::variable(2, 3.0, 1).expect("valid scheme");
+    let calls = samples.max(1) + 1;
+    let obs = vcps_obs::Obs::disabled();
+    let dir = std::env::temp_dir().join(format!("vcps-bench-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create wal bench dir");
+
+    let mut pool = shard_ingest_workload(WAL_RSUS, WAL_BITS, WAL_FILL, calls);
+    let off_ns = median_ns(samples, || {
+        let frames = pool.pop().expect("pool sized to the sample count");
+        let mut server =
+            ShardedServer::new(scheme.clone(), 1.0, WAL_SHARDS).expect("valid shard count");
+        for frame in frames {
+            server.receive_sequenced(frame);
+        }
+        assert_eq!(server.upload_count(), WAL_RSUS);
+    });
+    let rate = |ns: u128| WAL_RSUS as f64 * 1e9 / ns as f64; // uploads/s
+    println!(
+        "wal     off             {off_ns:>11} ns   {:>10.0} uploads/s",
+        rate(off_ns)
+    );
+
+    let mut rows = format!(
+        "    {{\"mode\": \"off\", \"ns\": {off_ns}, \
+         \"uploads_per_s\": {:.0}, \"slowdown_vs_off\": 1.000}}",
+        rate(off_ns)
+    );
+    for (mode, options) in [
+        ("wal", DurableOptions::log_only()),
+        (
+            "wal+checkpoint",
+            DurableOptions::log_only().with_checkpoint_every(CHECKPOINT_EVERY),
+        ),
+    ] {
+        // `create` truncates the log, so reusing one directory across
+        // samples keeps the timed region free of setup work.
+        let mut pool = shard_ingest_workload(WAL_RSUS, WAL_BITS, WAL_FILL, calls);
+        let wal_ns = median_ns(samples, || {
+            let frames = pool.pop().expect("pool sized to the sample count");
+            let mut server =
+                DurableServer::create(scheme.clone(), 1.0, WAL_SHARDS, &dir, options, &obs)
+                    .expect("create durable server");
+            for frame in frames {
+                server.receive_sequenced(frame).expect("logged ingest");
+            }
+            assert_eq!(server.server().upload_count(), WAL_RSUS);
+        });
+        let slowdown = wal_ns as f64 / off_ns as f64;
+        let _ = write!(
+            rows,
+            ",\n    {{\"mode\": \"{mode}\", \"ns\": {wal_ns}, \
+             \"uploads_per_s\": {:.0}, \"slowdown_vs_off\": {slowdown:.3}}}",
+            rate(wal_ns),
+        );
+        println!(
+            "wal     {mode:<15} {wal_ns:>11} ns   {:>10.0} uploads/s   slowdown {slowdown:.2}x",
+            rate(wal_ns)
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    format!(
+        "{{\n  \"workload\": {{\"rsus\": {WAL_RSUS}, \"array_bits\": {WAL_BITS}, \
+         \"fill\": {WAL_FILL}, \"shards\": {WAL_SHARDS}, \
+         \"checkpoint_every\": {CHECKPOINT_EVERY}, \"samples\": {samples}}},\n  \
+         \"results\": [\n{rows}\n  ]\n}}\n"
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let (out, reports, samples) = match parse_args(&args) {
@@ -504,15 +591,20 @@ fn main() {
     let odmatrix = bench_odmatrix(samples);
     let obs = bench_obs(reports, samples);
     let shard = bench_shard(samples);
+    let wal = bench_wal(samples);
     let ingest_path = format!("{out}/BENCH_ingest.json");
     let decode_path = format!("{out}/BENCH_decode.json");
     let odmatrix_path = format!("{out}/BENCH_odmatrix.json");
     let obs_path = format!("{out}/BENCH_obs.json");
     let shard_path = format!("{out}/BENCH_shard.json");
+    let wal_path = format!("{out}/BENCH_wal.json");
     std::fs::write(&ingest_path, ingest).expect("write BENCH_ingest.json");
     std::fs::write(&decode_path, decode).expect("write BENCH_decode.json");
     std::fs::write(&odmatrix_path, odmatrix).expect("write BENCH_odmatrix.json");
     std::fs::write(&obs_path, obs).expect("write BENCH_obs.json");
     std::fs::write(&shard_path, shard).expect("write BENCH_shard.json");
-    println!("wrote {ingest_path}, {decode_path}, {odmatrix_path}, {obs_path}, and {shard_path}");
+    std::fs::write(&wal_path, wal).expect("write BENCH_wal.json");
+    println!(
+        "wrote {ingest_path}, {decode_path}, {odmatrix_path}, {obs_path}, {shard_path}, and {wal_path}"
+    );
 }

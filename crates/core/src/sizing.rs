@@ -147,6 +147,12 @@ impl VolumeHistory {
         *entry = (1.0 - self.alpha) * *entry + self.alpha * observed;
     }
 
+    /// The smoothing factor this history was constructed with.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
     /// The current historical average, if the RSU has been seen.
     #[must_use]
     pub fn average(&self, rsu: RsuId) -> Option<f64> {

@@ -26,11 +26,17 @@
 //!                         server instead of the monolithic one (same
 //!                         JSON shape; estimates and fault metrics are
 //!                         bit-identical by the DESIGN.md §15 contract)
+//!     [--wal-dir PATH]    write-ahead log every upload frame under
+//!                         PATH (DESIGN.md §17; implies sharded
+//!                         ingestion, default 1 shard — estimates stay
+//!                         bit-identical, the sweep just leaves a
+//!                         recoverable log behind)
 //!     [--json]            machine-readable output (used by CI)
 //!     [--obs-json PATH]   record observability (retry/backoff profile,
 //!                         fault counters, phase timings) and write the
 //!                         registry snapshot as JSON to PATH
 
+use std::path::Path;
 use vcps_core::estimator::Estimate;
 use vcps_core::{PairEstimate, RsuId, Scheme};
 use vcps_experiments::{
@@ -40,11 +46,13 @@ use vcps_experiments::{
 use vcps_obs::Obs;
 use vcps_roadnet::assignment::{all_or_nothing, pair_volumes, point_volumes};
 use vcps_roadnet::{expand_vehicle_trips, sioux_falls, RoadNetwork, VehicleTrip};
+
 use vcps_sim::engine::{
+    run_network_period_durable_faulty_sharded_threads_obs,
     run_network_period_faulty_sharded_threads_obs, run_network_period_faulty_threads_obs,
-    FaultyNetworkRun, FaultyShardedNetworkRun,
+    DurableFaultyShardedNetworkRun, FaultyNetworkRun, FaultyShardedNetworkRun,
 };
-use vcps_sim::{FaultMetrics, FaultPlan, LinkFaults, RetryPolicy, SimError};
+use vcps_sim::{DurableOptions, FaultMetrics, FaultPlan, LinkFaults, RetryPolicy, SimError};
 
 /// The Table-I `R_x` node labels, measured against `R_y` = node 10.
 const PAIR_LABELS: [usize; 8] = [15, 12, 7, 24, 6, 18, 2, 3];
@@ -82,6 +90,7 @@ fn parse_rates(raw: &str) -> Vec<f64> {
 enum PointRun {
     Mono(FaultyNetworkRun),
     Sharded(FaultyShardedNetworkRun),
+    Durable(DurableFaultyShardedNetworkRun),
 }
 
 impl PointRun {
@@ -89,6 +98,7 @@ impl PointRun {
         match self {
             PointRun::Mono(run) => &run.faults,
             PointRun::Sharded(run) => &run.faults,
+            PointRun::Durable(run) => &run.faults,
         }
     }
 
@@ -96,6 +106,7 @@ impl PointRun {
         match self {
             PointRun::Mono(run) => run.server.estimate_or_clamp(a, b),
             PointRun::Sharded(run) => run.server.estimate_or_clamp(a, b),
+            PointRun::Durable(run) => run.server.estimate_or_clamp(a, b),
         }
     }
 
@@ -103,6 +114,7 @@ impl PointRun {
         match self {
             PointRun::Mono(run) => run.server.estimate_or_degraded(a, b),
             PointRun::Sharded(run) => run.server.estimate_or_degraded(a, b),
+            PointRun::Durable(run) => run.server.estimate_or_degraded(a, b),
         }
     }
 }
@@ -118,8 +130,31 @@ fn run_point(
     plan: &FaultPlan,
     threads: usize,
     shards: Option<usize>,
+    wal_dir: Option<&Path>,
     obs: &Obs,
 ) -> PointRun {
+    if let Some(dir) = wal_dir {
+        return PointRun::Durable(
+            run_network_period_durable_faulty_sharded_threads_obs(
+                scheme,
+                net,
+                link_times,
+                vehicles,
+                history,
+                3_600.0,
+                seed,
+                plan,
+                &RetryPolicy::default(),
+                shards.unwrap_or(1),
+                dir,
+                DurableOptions::log_only(),
+                None,
+                threads,
+                obs,
+            )
+            .expect("durable fault-injected period failed"),
+        );
+    }
     match shards {
         None => PointRun::Mono(
             run_network_period_faulty_threads_obs(
@@ -173,6 +208,8 @@ fn main() {
         .unwrap_or_else(|| vec![0.0, 0.25, 0.5, 0.75, 1.0]);
     let json = arg_flag(&args, "--json");
     let shards: Option<usize> = arg_value(&args, "--shards").and_then(|v| v.parse().ok());
+    let wal_dir: Option<std::path::PathBuf> =
+        arg_value(&args, "--wal-dir").map(std::path::PathBuf::from);
     let (obs, obs_path) = obs_from_args(&args);
     let threads = default_threads();
 
@@ -209,6 +246,12 @@ fn main() {
         if let Some(k) = shards {
             println!("ingestion: {k}-shard batch server (bit-identical to monolithic)");
         }
+        if let Some(dir) = &wal_dir {
+            println!(
+                "durability: write-ahead log under {} (bit-identical)",
+                dir.display()
+            );
+        }
         println!("pairs: eight Table-I R_x nodes vs node {Y_LABEL}\n");
     }
 
@@ -227,6 +270,7 @@ fn main() {
                 &plan,
                 threads,
                 shards,
+                wal_dir.as_deref(),
                 &obs,
             );
             let mut bias_sum = 0.0;
@@ -264,6 +308,7 @@ fn main() {
                 &plan,
                 threads,
                 shards,
+                wal_dir.as_deref(),
                 &obs,
             );
             let mut degraded = 0usize;

@@ -84,6 +84,10 @@ pub enum Phase {
     OdMatrix,
     /// Upload retry/backoff handling.
     Retry,
+    /// Write-ahead-log append + fsync on the durable ingest path.
+    WalAppend,
+    /// Crash recovery: checkpoint load + WAL tail replay.
+    WalRecover,
 }
 
 impl Phase {
@@ -96,6 +100,8 @@ impl Phase {
             Phase::Decode => "decode",
             Phase::OdMatrix => "od_matrix",
             Phase::Retry => "retry",
+            Phase::WalAppend => "wal_append",
+            Phase::WalRecover => "wal_recover",
         }
     }
 
@@ -108,6 +114,8 @@ impl Phase {
             Phase::Decode => "phase.decode.ns",
             Phase::OdMatrix => "phase.od_matrix.ns",
             Phase::Retry => "phase.retry.ns",
+            Phase::WalAppend => "phase.wal_append.ns",
+            Phase::WalRecover => "phase.wal_recover.ns",
         }
     }
 
@@ -120,6 +128,8 @@ impl Phase {
             Phase::Decode => "phase.decode.calls",
             Phase::OdMatrix => "phase.od_matrix.calls",
             Phase::Retry => "phase.retry.calls",
+            Phase::WalAppend => "phase.wal_append.calls",
+            Phase::WalRecover => "phase.wal_recover.calls",
         }
     }
 }

@@ -1,0 +1,744 @@
+//! Durable ingestion: [`DurableServer`] wraps a [`ShardedServer`] with
+//! a write-ahead frame log and periodic whole-deployment checkpoints
+//! (both from `vcps-durable`), so a process crash between `receive` and
+//! `finish_period` no longer loses the period's masked uploads.
+//!
+//! # Recovery model
+//!
+//! Every wire frame that reaches ingestion is appended to the WAL (and
+//! fsynced) *before* it is applied — any outcome, not just `Fresh`:
+//! replaying the full arrival stream through the very same
+//! [`ShardedServer::receive_sequenced`] / [`receive_batch`] paths
+//! reproduces dedup and sequencing decisions *by construction*, instead
+//! of re-implementing them in a recovery routine that could drift.
+//! Recovery is therefore:
+//!
+//! 1. load the newest checkpoint that validates **and** is covered by
+//!    the WAL's surviving prefix (a checkpoint ahead of a mid-file
+//!    corruption is ignored — state is only trusted when the log that
+//!    produced it is);
+//! 2. replay the WAL records past the checkpoint through the normal
+//!    receive paths, silently (the rebuilt server carries a disabled
+//!    observability handle during replay — every replayed frame was
+//!    already counted when it was first accepted, so counters fire
+//!    exactly once per live event and a crashed-and-recovered run's
+//!    registry matches an uninterrupted run's, modulo the `wal.*`
+//!    series);
+//! 3. truncate any torn tail so future appends land after the last
+//!    valid record, and re-attach the real observability handle.
+//!
+//! Torn writes, truncated tails, and bit-flipped records come back as
+//! typed [`DurabilityError`]s in the [`RecoveryReport`] — the scan
+//! stops at the first corrupt record, never panics, and never applies
+//! a record that failed its checksum. See DESIGN.md §17.
+
+use std::path::{Path, PathBuf};
+
+use vcps_core::CoreError;
+use vcps_durable::{read_wal, CheckpointStore, DurabilityError, WalWriter};
+use vcps_obs::{Obs, Phase};
+
+use crate::protocol::{BatchUpload, CheckpointSet, SequencedUpload};
+use crate::{ReceiveOutcome, ShardedServer, SimError};
+
+/// File name of the frame log inside a durability directory.
+pub const WAL_FILE: &str = "frames.wal";
+
+/// Subdirectory holding published checkpoints.
+pub const CHECKPOINT_DIR: &str = "checkpoints";
+
+/// Durability tuning for a [`DurableServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurableOptions {
+    /// Publish a whole-deployment checkpoint every this many WAL
+    /// records (`None`: log-only, recovery replays from the start).
+    /// Must be positive when set.
+    pub checkpoint_interval: Option<u64>,
+}
+
+impl DurableOptions {
+    /// Log-only durability: every frame is persisted, no checkpoints.
+    #[must_use]
+    pub fn log_only() -> Self {
+        Self::default()
+    }
+
+    /// Checkpoint every `interval` WAL records.
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.checkpoint_interval == Some(0) {
+            return Err(SimError::Core(CoreError::InvalidConfig {
+                parameter: "checkpoint_interval",
+                reason: "must be positive when set".to_string(),
+            }));
+        }
+        Ok(())
+    }
+}
+
+/// What [`DurableServer::recover`] found on disk and did about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// WAL records covered by the restored checkpoint (0: no usable
+    /// checkpoint, full replay).
+    pub checkpoint_records: u64,
+    /// WAL records replayed through the live receive paths.
+    pub replayed_records: u64,
+    /// Bytes of torn/corrupt WAL tail discarded before resuming
+    /// appends.
+    pub truncated_bytes: u64,
+    /// Why the WAL scan stopped early, if it did (`None`: the log ended
+    /// cleanly on a record boundary).
+    pub tail_error: Option<DurabilityError>,
+}
+
+/// A [`ShardedServer`] whose ingestion is write-ahead logged and
+/// periodically checkpointed, recoverable bit-identically after a
+/// process crash (see the module docs for the recovery model).
+///
+/// Reads go straight to the wrapped server via [`server`](Self::server)
+/// — durability is an ingest-side concern only.
+#[derive(Debug)]
+pub struct DurableServer {
+    inner: ShardedServer,
+    wal: WalWriter,
+    store: CheckpointStore,
+    options: DurableOptions,
+    records_logged: u64,
+    last_checkpoint: u64,
+}
+
+impl DurableServer {
+    /// Starts a fresh durable server in `dir` (created if needed): a
+    /// new WAL (truncating any previous one) and an empty deployment.
+    /// Use [`recover`](Self::recover) to resume from existing state
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Core`] for an invalid shard count, alpha,
+    /// or checkpoint interval, and [`SimError::Durability`] if the
+    /// directory or log cannot be created.
+    pub fn create(
+        scheme: vcps_core::Scheme,
+        history_alpha: f64,
+        shard_count: usize,
+        dir: &Path,
+        options: DurableOptions,
+        obs: &Obs,
+    ) -> Result<Self, SimError> {
+        options.validate()?;
+        // Opening the checkpoint store first creates `dir` itself (the
+        // store's directory is nested inside it).
+        let store = CheckpointStore::open(dir.join(CHECKPOINT_DIR))?;
+        let wal = WalWriter::create(dir.join(WAL_FILE))?;
+        let inner = ShardedServer::new(scheme, history_alpha, shard_count)?.with_obs(obs.clone());
+        Ok(Self {
+            inner,
+            wal,
+            store,
+            options,
+            records_logged: 0,
+            last_checkpoint: 0,
+        })
+    }
+
+    /// Rebuilds a durable server from what `dir` holds: newest usable
+    /// checkpoint plus a silent WAL-tail replay (see the module docs),
+    /// tolerating torn writes, truncated tails, and bit-flipped records
+    /// — the scan stops at the first corrupt record and the tail is
+    /// discarded, reported in the [`RecoveryReport`]. A missing WAL is
+    /// an empty one (the crash may have landed before the first
+    /// append).
+    ///
+    /// `history_alpha` and `shard_count` describe the deployment being
+    /// recovered; a checkpoint whose topology disagrees with
+    /// `shard_count` is rejected rather than silently re-routing RSUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Durability`] for hard I/O failures or a
+    /// non-WAL file where the log should be, [`SimError::Core`] for a
+    /// topology mismatch or invalid parameters, and
+    /// [`SimError::MalformedMessage`] if a checksummed WAL record or
+    /// checkpoint payload does not parse (possible only for a foreign
+    /// or logically corrupted store — checksums catch random damage
+    /// first). Never panics.
+    pub fn recover(
+        scheme: vcps_core::Scheme,
+        history_alpha: f64,
+        shard_count: usize,
+        dir: &Path,
+        options: DurableOptions,
+        obs: &Obs,
+    ) -> Result<(Self, RecoveryReport), SimError> {
+        options.validate()?;
+        let _timer = obs.phase(Phase::WalRecover);
+        let store = CheckpointStore::open(dir.join(CHECKPOINT_DIR))?;
+        let wal_path = dir.join(WAL_FILE);
+        let (records, tail_error, truncated_bytes, wal) = if wal_path.exists() {
+            let file_len = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+            let scan = read_wal(&wal_path)?;
+            let truncated = file_len.saturating_sub(scan.valid_len);
+            let wal = WalWriter::resume(&wal_path, &scan)?;
+            (scan.records, scan.tail_error, truncated, wal)
+        } else {
+            (Vec::new(), None, 0, WalWriter::create(&wal_path)?)
+        };
+        let total = records.len() as u64;
+        // A checkpoint is only usable if the surviving log prefix
+        // covers it: state is trusted exactly as far as the log that
+        // produced it.
+        let checkpoint = store.latest_valid()?.filter(|c| c.seq <= total);
+        let (mut inner, start) = match checkpoint {
+            Some(c) => {
+                let set = CheckpointSet::decode(&c.payload)?;
+                if set.frames_applied != c.seq {
+                    return Err(SimError::MalformedMessage {
+                        reason: "checkpoint sequence disagrees with its payload",
+                    });
+                }
+                if set.shards.len() != shard_count {
+                    return Err(SimError::Core(CoreError::InvalidConfig {
+                        parameter: "shard_count",
+                        reason: format!(
+                            "checkpoint holds {} shards, deployment expects {shard_count}",
+                            set.shards.len()
+                        ),
+                    }));
+                }
+                (
+                    ShardedServer::restore_from_checkpoint(scheme, &set)?,
+                    set.frames_applied,
+                )
+            }
+            None => (ShardedServer::new(scheme, history_alpha, shard_count)?, 0),
+        };
+        // Silent replay: `inner` carries a disabled observability
+        // handle here (both construction paths leave it disabled), so
+        // replayed frames are not double-counted.
+        let mut replayed = 0u64;
+        for frame in &records[start as usize..] {
+            Self::replay_frame(&mut inner, frame)?;
+            replayed += 1;
+        }
+        inner.set_obs(obs.clone());
+        obs.inc("wal.recover");
+        obs.add("wal.replay.records", replayed);
+        let report = RecoveryReport {
+            checkpoint_records: start,
+            replayed_records: replayed,
+            truncated_bytes,
+            tail_error,
+        };
+        Ok((
+            Self {
+                inner,
+                wal,
+                store,
+                options,
+                records_logged: total,
+                last_checkpoint: start,
+            },
+            report,
+        ))
+    }
+
+    /// Applies one logged wire frame through the normal receive paths,
+    /// dispatching on its tag byte.
+    fn replay_frame(inner: &mut ShardedServer, frame: &[u8]) -> Result<(), SimError> {
+        match frame.first() {
+            Some(5) => {
+                let _ = inner.receive_sequenced(SequencedUpload::decode(frame)?);
+            }
+            Some(6) => {
+                let _ = inner.receive_batch(BatchUpload::decode(frame)?);
+            }
+            _ => {
+                return Err(SimError::MalformedMessage {
+                    reason: "unknown WAL frame tag",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends one frame to the WAL and fsyncs it — the write-ahead
+    /// step, always before the in-memory apply.
+    fn log_frame(&mut self, frame: &[u8]) -> Result<(), SimError> {
+        let obs = self.inner.obs().clone();
+        let _timer = obs.phase(Phase::WalAppend);
+        self.wal.append(frame)?;
+        self.wal.sync()?;
+        self.records_logged += 1;
+        obs.inc("wal.append");
+        obs.add("wal.append.bytes", frame.len() as u64);
+        obs.inc("wal.fsync");
+        Ok(())
+    }
+
+    /// Publishes a checkpoint if the configured cadence is due.
+    fn maybe_checkpoint(&mut self) -> Result<(), SimError> {
+        if let Some(interval) = self.options.checkpoint_interval {
+            if self.records_logged - self.last_checkpoint >= interval {
+                self.checkpoint_now()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Publishes a whole-deployment checkpoint covering everything
+    /// logged so far, unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Durability`] if publication fails.
+    pub fn checkpoint_now(&mut self) -> Result<(), SimError> {
+        let set = self.inner.checkpoint(self.records_logged);
+        self.store.publish(self.records_logged, &set.encode())?;
+        self.last_checkpoint = self.records_logged;
+        self.inner.obs().inc("wal.checkpoint");
+        Ok(())
+    }
+
+    /// [`ShardedServer::receive_sequenced`], write-ahead logged (one
+    /// WAL record per frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Durability`] if the append, fsync, or a due
+    /// checkpoint fails — in which case the frame was **not** applied
+    /// (log first, apply second).
+    pub fn receive_sequenced(
+        &mut self,
+        sequenced: SequencedUpload,
+    ) -> Result<ReceiveOutcome, SimError> {
+        self.log_frame(&sequenced.encode())?;
+        let outcome = self.inner.receive_sequenced(sequenced);
+        self.maybe_checkpoint()?;
+        Ok(outcome)
+    }
+
+    /// [`ShardedServer::receive_batch`], write-ahead logged as a
+    /// *single* WAL record carrying the whole batch frame — replay
+    /// re-ingests it through the same batch path.
+    ///
+    /// # Errors
+    ///
+    /// As [`receive_sequenced`](Self::receive_sequenced).
+    pub fn receive_batch(&mut self, batch: BatchUpload) -> Result<Vec<ReceiveOutcome>, SimError> {
+        self.log_frame(&batch.encode())?;
+        let outcomes = self.inner.receive_batch(batch);
+        self.maybe_checkpoint()?;
+        Ok(outcomes)
+    }
+
+    /// [`ShardedServer::receive_parallel_threads`], write-ahead logged:
+    /// every frame is appended (in input order — the log's order is
+    /// deterministic at every thread count) and fsynced once before the
+    /// parallel apply, so the log never trails the in-memory state.
+    ///
+    /// # Errors
+    ///
+    /// As [`receive_sequenced`](Self::receive_sequenced).
+    ///
+    /// # Panics
+    ///
+    /// As the wrapped method (`threads == 0`, worker panic).
+    pub fn receive_parallel_threads(
+        &mut self,
+        uploads: Vec<SequencedUpload>,
+        threads: usize,
+    ) -> Result<Vec<ReceiveOutcome>, SimError> {
+        for sequenced in &uploads {
+            self.log_frame(&sequenced.encode())?;
+        }
+        let outcomes = self.inner.receive_parallel_threads(uploads, threads);
+        self.maybe_checkpoint()?;
+        Ok(outcomes)
+    }
+
+    /// [`ShardedServer::finish_period`], followed by a mandatory
+    /// checkpoint: closing a period folds uploads into history and
+    /// drops them, a transition the WAL does not record — the
+    /// checkpoint is what keeps recovery from resurrecting the closed
+    /// period's uploads as current.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sizing failures and [`SimError::Durability`] from the
+    /// checkpoint publication.
+    pub fn finish_period(
+        &mut self,
+    ) -> Result<std::collections::BTreeMap<vcps_core::RsuId, usize>, SimError> {
+        let sizes = self.inner.finish_period()?;
+        self.checkpoint_now()?;
+        Ok(sizes)
+    }
+
+    /// The wrapped server — all reads (estimates, O–D matrices) go
+    /// through here and are bit-identical to a non-durable server's.
+    #[must_use]
+    pub fn server(&self) -> &ShardedServer {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, yielding the wrapped server (the WAL file
+    /// and checkpoints stay on disk).
+    #[must_use]
+    pub fn into_server(self) -> ShardedServer {
+        self.inner
+    }
+
+    /// The attached observability handle (the wrapped server's).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        self.inner.obs()
+    }
+
+    /// Re-seeds an RSU's historical average (see
+    /// [`ShardedServer::seed_history`]). Seeds are engine-provided
+    /// configuration, not logged state — a recovering driver re-applies
+    /// them after [`recover`](Self::recover).
+    pub fn seed_history(&mut self, rsu: vcps_core::RsuId, average: f64) {
+        self.inner.seed_history(rsu, average);
+    }
+
+    /// WAL records appended so far (including those found by
+    /// recovery).
+    #[must_use]
+    pub fn records_logged(&self) -> u64 {
+        self.records_logged
+    }
+
+    /// The WAL file's path.
+    #[must_use]
+    pub fn wal_path(&self) -> &Path {
+        self.wal.path()
+    }
+
+    /// The checkpoint directory.
+    #[must_use]
+    pub fn checkpoint_dir(&self) -> PathBuf {
+        self.store.dir().to_path_buf()
+    }
+}
+
+/// Adapts a [`DurableServer`] to the infallible
+/// [`crate::faults::SequencedSink`] trait so the retrying upload path
+/// ([`crate::faults::upload_with_retry`]) can deliver into it: the
+/// trait returns plain outcomes, so a WAL failure is *stashed* instead
+/// of propagated — the sink stops applying frames (returning a
+/// placeholder [`ReceiveOutcome::Stale`]) and the driver must check
+/// [`take_error`](DurableSink::take_error) after each delivery session
+/// and abort the run on `Some`.
+#[derive(Debug)]
+pub struct DurableSink<'a> {
+    server: &'a mut DurableServer,
+    error: Option<SimError>,
+}
+
+impl<'a> DurableSink<'a> {
+    /// Wraps a durable server for one delivery session.
+    pub fn new(server: &'a mut DurableServer) -> Self {
+        Self {
+            server,
+            error: None,
+        }
+    }
+
+    /// The first durability failure since construction (or the last
+    /// [`take_error`](Self::take_error)), if any. Once set, subsequent
+    /// frames were not logged or applied.
+    pub fn take_error(&mut self) -> Option<SimError> {
+        self.error.take()
+    }
+}
+
+impl crate::faults::SequencedSink for DurableSink<'_> {
+    fn ingest_sequenced(&mut self, sequenced: SequencedUpload) -> ReceiveOutcome {
+        if self.error.is_some() {
+            return ReceiveOutcome::Stale;
+        }
+        match self.server.receive_sequenced(sequenced) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.error = Some(e);
+                ReceiveOutcome::Stale
+            }
+        }
+    }
+
+    fn ingest_batch(&mut self, batch: BatchUpload) -> Vec<ReceiveOutcome> {
+        if self.error.is_some() {
+            return Vec::new();
+        }
+        match self.server.receive_batch(batch) {
+            Ok(outcomes) => outcomes,
+            Err(e) => {
+                self.error = Some(e);
+                Vec::new()
+            }
+        }
+    }
+
+    fn sink_obs(&self) -> &Obs {
+        self.server.obs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcps_core::{BitArray, RsuId, Scheme};
+
+    use crate::protocol::PeriodUpload;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vcps-sim-durable-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn scheme() -> Scheme {
+        Scheme::variable(2, 3.0, 9).unwrap()
+    }
+
+    fn sequenced(rsu: u64, seq: u64, ones: &[usize]) -> SequencedUpload {
+        let mut bits = BitArray::new(256);
+        for &i in ones {
+            bits.set(i);
+        }
+        SequencedUpload {
+            seq,
+            upload: PeriodUpload {
+                rsu: RsuId(rsu),
+                counter: ones.len() as u64,
+                bits,
+            },
+        }
+    }
+
+    #[test]
+    fn options_reject_zero_interval() {
+        let dir = temp_dir("opts");
+        assert!(DurableServer::create(
+            scheme(),
+            1.0,
+            2,
+            &dir,
+            DurableOptions::log_only().with_checkpoint_every(0),
+            &Obs::disabled(),
+        )
+        .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_and_recover_reproduces_state_bit_identically() {
+        let dir = temp_dir("recover");
+        let obs = Obs::disabled();
+        let mut reference = ShardedServer::new(scheme(), 1.0, 4).unwrap();
+        let mut durable = DurableServer::create(
+            scheme(),
+            1.0,
+            4,
+            &dir,
+            DurableOptions::log_only().with_checkpoint_every(3),
+            &obs,
+        )
+        .unwrap();
+        // A stream exercising every verdict: fresh, duplicate,
+        // conflicting, stale.
+        let frames = vec![
+            sequenced(1, 0, &[3, 77]),
+            sequenced(2, 0, &[9]),
+            sequenced(1, 0, &[3, 77]), // duplicate
+            sequenced(2, 0, &[9, 10]), // conflicting
+            sequenced(3, 2, &[0]),
+            sequenced(3, 1, &[200]), // stale
+            sequenced(9, 5, &[8, 16, 32]),
+        ];
+        for f in &frames {
+            let expected = reference.receive_sequenced(f.clone());
+            let got = durable.receive_sequenced(f.clone()).unwrap();
+            assert_eq!(got, expected);
+        }
+        let logged = durable.records_logged();
+        drop(durable); // the crash: all in-memory state gone
+        let (recovered, report) =
+            DurableServer::recover(scheme(), 1.0, 4, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        assert_eq!(report.tail_error, None);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(report.checkpoint_records + report.replayed_records, logged);
+        assert!(report.checkpoint_records > 0, "interval 3 must have fired");
+        assert_eq!(recovered.records_logged(), logged);
+        // Durable-state equality via the checkpoint image (PartialEq on
+        // the wrapped servers' snapshots — derived caches excluded).
+        assert_eq!(
+            recovered.server().checkpoint(0),
+            reference.checkpoint(0),
+            "recovered state must be bit-identical"
+        );
+        // And the recovered server keeps ingesting correctly.
+        let mut recovered = recovered;
+        let f = sequenced(3, 1, &[200]);
+        assert_eq!(
+            recovered.receive_sequenced(f.clone()).unwrap(),
+            reference.receive_sequenced(f)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_tolerates_torn_tail() {
+        let dir = temp_dir("torn");
+        let obs = Obs::disabled();
+        let mut durable =
+            DurableServer::create(scheme(), 1.0, 2, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        let mut reference = ShardedServer::new(scheme(), 1.0, 2).unwrap();
+        for i in 0..4u64 {
+            let f = sequenced(i + 1, 0, &[i as usize]);
+            durable.receive_sequenced(f.clone()).unwrap();
+            if i < 3 {
+                reference.receive_sequenced(f);
+            }
+        }
+        let wal = durable.wal_path().to_path_buf();
+        drop(durable);
+        // Tear the last record mid-payload.
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+        let (recovered, report) =
+            DurableServer::recover(scheme(), 1.0, 2, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        assert!(matches!(
+            report.tail_error,
+            Some(DurabilityError::TruncatedRecord { .. })
+        ));
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(recovered.records_logged(), 3);
+        assert_eq!(recovered.server().checkpoint(0), reference.checkpoint(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_rejects_topology_mismatch() {
+        let dir = temp_dir("topology");
+        let obs = Obs::disabled();
+        let mut durable = DurableServer::create(
+            scheme(),
+            1.0,
+            4,
+            &dir,
+            DurableOptions::log_only().with_checkpoint_every(1),
+            &obs,
+        )
+        .unwrap();
+        durable.receive_sequenced(sequenced(1, 0, &[5])).unwrap();
+        drop(durable);
+        assert!(matches!(
+            DurableServer::recover(scheme(), 1.0, 2, &dir, DurableOptions::log_only(), &obs),
+            Err(SimError::Core(CoreError::InvalidConfig {
+                parameter: "shard_count",
+                ..
+            }))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_of_missing_directory_starts_fresh() {
+        let dir = temp_dir("fresh").join("never-written");
+        let obs = Obs::disabled();
+        let (server, report) =
+            DurableServer::recover(scheme(), 1.0, 2, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(report.checkpoint_records, 0);
+        assert_eq!(server.records_logged(), 0);
+        std::fs::remove_dir_all(dir.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn batch_frames_log_as_one_record_and_replay() {
+        let dir = temp_dir("batch");
+        let obs = Obs::disabled();
+        let mut durable =
+            DurableServer::create(scheme(), 1.0, 2, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        let mut reference = ShardedServer::new(scheme(), 1.0, 2).unwrap();
+        let batch =
+            BatchUpload::new(vec![sequenced(1, 0, &[5]), sequenced(2, 0, &[6, 7])]).unwrap();
+        let expected = reference.receive_batch(batch.clone());
+        assert_eq!(durable.receive_batch(batch).unwrap(), expected);
+        assert_eq!(durable.records_logged(), 1, "one record per batch");
+        drop(durable);
+        let (recovered, report) =
+            DurableServer::recover(scheme(), 1.0, 2, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(recovered.server().checkpoint(0), reference.checkpoint(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_ingest_logs_in_input_order() {
+        let dir = temp_dir("parallel");
+        let obs = Obs::disabled();
+        let mut durable =
+            DurableServer::create(scheme(), 1.0, 4, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        let mut reference = ShardedServer::new(scheme(), 1.0, 4).unwrap();
+        let uploads: Vec<SequencedUpload> =
+            (1..=8u64).map(|r| sequenced(r, 0, &[r as usize])).collect();
+        let expected = reference.receive_parallel_threads(uploads.clone(), 1);
+        assert_eq!(
+            durable
+                .receive_parallel_threads(uploads.clone(), 4)
+                .unwrap(),
+            expected
+        );
+        drop(durable);
+        let (recovered, report) =
+            DurableServer::recover(scheme(), 1.0, 4, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        assert_eq!(report.replayed_records, 8);
+        assert_eq!(recovered.server().checkpoint(0), reference.checkpoint(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn finish_period_checkpoint_prevents_upload_resurrection() {
+        let dir = temp_dir("finish");
+        let obs = Obs::disabled();
+        let mut durable =
+            DurableServer::create(scheme(), 1.0, 2, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        let mut reference = ShardedServer::new(scheme(), 1.0, 2).unwrap();
+        for f in [sequenced(1, 0, &[5]), sequenced(2, 0, &[6])] {
+            durable.receive_sequenced(f.clone()).unwrap();
+            reference.receive_sequenced(f);
+        }
+        durable.finish_period().unwrap();
+        reference.finish_period().unwrap();
+        drop(durable);
+        let (recovered, _) =
+            DurableServer::recover(scheme(), 1.0, 2, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        assert_eq!(recovered.server().upload_count(), 0);
+        assert_eq!(recovered.server().checkpoint(0), reference.checkpoint(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -19,8 +19,11 @@ use vcps_hash::splitmix64;
 use vcps_obs::{Obs, Phase};
 use vcps_roadnet::{RoadNetwork, VehicleTrip};
 
+use std::path::Path;
+
 use crate::concurrent::{self, SharedRsu};
-use crate::faults::{self, Channel, FaultPlan, RetryPolicy};
+use crate::durable::{DurableOptions, DurableServer, DurableSink, RecoveryReport};
+use crate::faults::{self, Channel, FaultPlan, RetryPolicy, ServerCrash};
 use crate::metrics::FaultMetrics;
 use crate::pki::TrustedAuthority;
 use crate::protocol::{BatchUpload, BitReport, PeriodUpload, Query, SequencedUpload};
@@ -934,6 +937,394 @@ pub fn run_network_period_faulty_sharded_threads_obs(
         exchanges,
         faults,
         undelivered,
+    })
+}
+
+/// The outcome of a durably-ingested measurement period (see
+/// [`run_network_period_durable_sharded`]).
+#[derive(Debug)]
+pub struct DurableShardedNetworkRun {
+    /// The recovered (or never-crashed) server — estimates and O–D
+    /// matrices are bit-identical to the non-durable
+    /// [`ShardedNetworkRun`]'s.
+    pub server: ShardedServer,
+    /// Total query/answer exchanges performed.
+    pub exchanges: usize,
+    /// WAL records appended over the period.
+    pub wal_records: u64,
+    /// What recovery found, when a [`ServerCrash`] was injected.
+    pub recovery: Option<RecoveryReport>,
+}
+
+/// [`run_network_period_sharded`] with write-ahead-logged ingestion and
+/// an optional injected server-process crash: all in-memory server
+/// state is dropped at the crash point and rebuilt from `wal_dir`
+/// (checkpoint + WAL-tail replay), after which the run continues.
+/// Estimates from the returned server are bit-identical to the
+/// non-durable sharded run's, crash or no crash.
+///
+/// # Errors
+///
+/// Propagates sizing, protocol, and durability failures (including a
+/// zero `shards` and an invalid checkpoint interval).
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_durable_sharded(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    shards: usize,
+    wal_dir: &Path,
+    options: DurableOptions,
+    crash: Option<ServerCrash>,
+) -> Result<DurableShardedNetworkRun, SimError> {
+    run_network_period_durable_sharded_threads_obs(
+        scheme,
+        net,
+        link_times,
+        trips,
+        history,
+        period,
+        seed,
+        shards,
+        wal_dir,
+        options,
+        crash,
+        1,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_network_period_durable_sharded`] with `threads` exchange
+/// workers and an observability handle. Fires the sharded run's
+/// registry names plus the `wal.*` series (append/fsync/replay/
+/// checkpoint counters and the `wal_append`/`wal_recover` phase
+/// timers); everything else matches the non-durable sharded run.
+///
+/// # Errors
+///
+/// As [`run_network_period_durable_sharded`].
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()` or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_durable_sharded_threads_obs(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    shards: usize,
+    wal_dir: &Path,
+    options: DurableOptions,
+    crash: Option<ServerCrash>,
+    threads: usize,
+    obs: &Obs,
+) -> Result<DurableShardedNetworkRun, SimError> {
+    assert_eq!(
+        history.len(),
+        net.node_count(),
+        "one history volume per node"
+    );
+    let authority = TrustedAuthority::new(seed ^ 0x0CA0_17E5);
+    let mut rsus = Vec::with_capacity(net.node_count());
+    let mut m_o = 0usize;
+    for (node, &avg) in history.iter().enumerate() {
+        let m = scheme.array_size_for(avg)?;
+        m_o = m_o.max(m);
+        rsus.push(SharedRsu::new(RsuId(node as u64), m, &authority)?);
+    }
+    let queries: Vec<Query> = rsus.iter().map(SharedRsu::query).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let departures: Vec<f64> = trips
+        .iter()
+        .map(|_| rng.random_range(0.0..period.max(f64::MIN_POSITIVE)))
+        .collect();
+    let arrivals = simulate_arrivals(net, link_times, trips, &departures);
+    if let Some(last) = arrivals.last() {
+        obs.set_sim_time(last.time);
+    }
+
+    let exchanges = {
+        let _encode = obs.phase(Phase::Encode);
+        drive_arrivals(
+            scheme,
+            &authority,
+            &rsus,
+            &queries,
+            trips,
+            &arrivals,
+            |t| {
+                SimVehicle::new(
+                    VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                    splitmix64(t.id ^ 0xACE0_FBA5E),
+                )
+            },
+            m_o,
+            threads,
+        )?
+    };
+    obs.add("engine.exchanges", exchanges as u64);
+
+    let mut server = DurableServer::create(scheme.clone(), 1.0, shards, wal_dir, options, obs)?;
+    let mut recovery = None;
+    {
+        let _receive = obs.phase(Phase::Receive);
+        // The whole period travels as one batch frame, so there is one
+        // WAL record and two crash points: before it (empty-log
+        // recovery) or after it (full-log recovery).
+        if crash.is_some_and(|c| c.at_record == 0) {
+            drop(server);
+            let (recovered, report) =
+                DurableServer::recover(scheme.clone(), 1.0, shards, wal_dir, options, obs)?;
+            server = recovered;
+            recovery = Some(report);
+        }
+        let frames: Vec<SequencedUpload> = rsus
+            .iter()
+            .map(|rsu| SequencedUpload {
+                seq: 0,
+                upload: rsu.upload(),
+            })
+            .collect();
+        let wire = BatchUpload::new(frames)?.encode();
+        let _ = server.receive_batch(BatchUpload::decode(&wire)?)?;
+        if crash.is_some() && recovery.is_none() {
+            drop(server);
+            let (recovered, report) =
+                DurableServer::recover(scheme.clone(), 1.0, shards, wal_dir, options, obs)?;
+            server = recovered;
+            recovery = Some(report);
+        }
+    }
+    let wal_records = server.records_logged();
+    Ok(DurableShardedNetworkRun {
+        server: server.into_server(),
+        exchanges,
+        wal_records,
+        recovery,
+    })
+}
+
+/// The outcome of a durably-ingested period under fault injection (see
+/// [`run_network_period_durable_faulty_sharded`]).
+#[derive(Debug)]
+pub struct DurableFaultyShardedNetworkRun {
+    /// The recovered (or never-crashed) server.
+    pub server: ShardedServer,
+    /// Total query/answer exchanges performed.
+    pub exchanges: usize,
+    /// What the channels and the retry loop did — identical to the
+    /// non-durable [`FaultyShardedNetworkRun`]'s for the same inputs.
+    pub faults: FaultMetrics,
+    /// RSUs whose upload exhausted the retry budget.
+    pub undelivered: Vec<RsuId>,
+    /// WAL records appended over the period.
+    pub wal_records: u64,
+    /// What recovery found, when a [`ServerCrash`] was injected.
+    pub recovery: Option<RecoveryReport>,
+}
+
+/// [`run_network_period_faulty_sharded`] with write-ahead-logged
+/// ingestion and an optional injected server-process crash.
+///
+/// The crash fires at the first RSU upload-session boundary at or
+/// after [`ServerCrash::at_record`] appended WAL records (or at period
+/// end if the log never grows that far): the whole server is dropped —
+/// every shard's uploads, dedup state, and history — and rebuilt from
+/// `wal_dir`. History seeds are engine configuration, not logged state,
+/// so the engine re-applies them after recovery. Surviving state, fault
+/// metrics, and the undelivered set match the non-durable faulty
+/// sharded run byte for byte.
+///
+/// # Errors
+///
+/// Propagates sizing, protocol, fault-plan, and durability failures.
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_durable_faulty_sharded(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    shards: usize,
+    wal_dir: &Path,
+    options: DurableOptions,
+    crash: Option<ServerCrash>,
+) -> Result<DurableFaultyShardedNetworkRun, SimError> {
+    run_network_period_durable_faulty_sharded_threads_obs(
+        scheme,
+        net,
+        link_times,
+        trips,
+        history,
+        period,
+        seed,
+        plan,
+        policy,
+        shards,
+        wal_dir,
+        options,
+        crash,
+        1,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_network_period_durable_faulty_sharded`] with `threads` workers
+/// and an observability handle (fires the faulty sharded run's registry
+/// names plus the `wal.*` series).
+///
+/// # Errors
+///
+/// As [`run_network_period_durable_faulty_sharded`].
+///
+/// # Panics
+///
+/// Panics if `history.len() != net.node_count()` or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_period_durable_faulty_sharded_threads_obs(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    trips: &[VehicleTrip],
+    history: &[f64],
+    period: f64,
+    seed: u64,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    shards: usize,
+    wal_dir: &Path,
+    options: DurableOptions,
+    crash: Option<ServerCrash>,
+    threads: usize,
+    obs: &Obs,
+) -> Result<DurableFaultyShardedNetworkRun, SimError> {
+    plan.validate()?;
+    policy.validate()?;
+    assert_eq!(
+        history.len(),
+        net.node_count(),
+        "one history volume per node"
+    );
+    let authority = TrustedAuthority::new(seed ^ 0x0CA0_17E5);
+    let mut rsus = Vec::with_capacity(net.node_count());
+    let mut m_o = 0usize;
+    for (node, &avg) in history.iter().enumerate() {
+        let m = scheme.array_size_for(avg)?;
+        m_o = m_o.max(m);
+        rsus.push(SharedRsu::new(RsuId(node as u64), m, &authority)?);
+    }
+    let queries: Vec<Query> = rsus.iter().map(SharedRsu::query).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let departures: Vec<f64> = trips
+        .iter()
+        .map(|_| rng.random_range(0.0..period.max(f64::MIN_POSITIVE)))
+        .collect();
+    let arrivals = simulate_arrivals(net, link_times, trips, &departures);
+    if let Some(last) = arrivals.last() {
+        obs.set_sim_time(last.time);
+    }
+
+    let report_channel = plan.report_channel(0);
+    let lost_windows = plan.lost_windows(net.node_count());
+    let (exchanges, mut faults) = {
+        let _encode = obs.phase(Phase::Encode);
+        drive_arrivals_faulty(
+            scheme,
+            &authority,
+            &rsus,
+            &queries,
+            trips,
+            &arrivals,
+            |t| {
+                SimVehicle::new(
+                    VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                    splitmix64(t.id ^ 0xACE0_FBA5E),
+                )
+            },
+            m_o,
+            threads,
+            &report_channel,
+            &lost_windows,
+        )?
+    };
+    faults.crashes = plan.crashes.len() as u64;
+    obs.add("engine.exchanges", exchanges as u64);
+
+    let mut server = DurableServer::create(scheme.clone(), 1.0, shards, wal_dir, options, obs)?;
+    for (node, &avg) in history.iter().enumerate() {
+        server.seed_history(RsuId(node as u64), avg);
+    }
+    let upload_channel = plan.upload_channel(0);
+    let mut undelivered = Vec::new();
+    let mut recovery = None;
+    for rsu in &rsus {
+        if let Some(c) = crash {
+            if recovery.is_none() && server.records_logged() >= c.at_record {
+                drop(server);
+                let (recovered, report) =
+                    DurableServer::recover(scheme.clone(), 1.0, shards, wal_dir, options, obs)?;
+                server = recovered;
+                for (node, &avg) in history.iter().enumerate() {
+                    server.seed_history(RsuId(node as u64), avg);
+                }
+                recovery = Some(report);
+            }
+        }
+        let upload = rsu.upload();
+        let mut sink = DurableSink::new(&mut server);
+        let delivery =
+            faults::upload_with_retry(&upload, 0, &upload_channel, &mut sink, policy, &mut faults);
+        if let Some(e) = sink.take_error() {
+            return Err(e);
+        }
+        if !delivery.delivered {
+            undelivered.push(upload.rsu);
+        }
+    }
+    // A crash point past the final record fires at period end — the
+    // differential suite leans on this to prove end-state recovery.
+    if crash.is_some() && recovery.is_none() {
+        drop(server);
+        let (recovered, report) =
+            DurableServer::recover(scheme.clone(), 1.0, shards, wal_dir, options, obs)?;
+        server = recovered;
+        for (node, &avg) in history.iter().enumerate() {
+            server.seed_history(RsuId(node as u64), avg);
+        }
+        recovery = Some(report);
+    }
+    faults.record_into(obs);
+    obs.add("engine.undelivered", undelivered.len() as u64);
+    let wal_records = server.records_logged();
+    Ok(DurableFaultyShardedNetworkRun {
+        server: server.into_server(),
+        exchanges,
+        faults,
+        undelivered,
+        wal_records,
+        recovery,
     })
 }
 

@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use vcps_core::{CoreError, RsuId};
+use vcps_durable::DurabilityError;
 
 /// Errors produced by the simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +25,9 @@ pub enum SimError {
         /// The absent RSU.
         rsu: RsuId,
     },
+    /// A durable-storage operation (WAL append, checkpoint publish,
+    /// recovery scan) failed.
+    Durability(DurabilityError),
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +43,7 @@ impl fmt::Display for SimError {
             SimError::MissingUpload { rsu } => {
                 write!(f, "no period upload received from {rsu}")
             }
+            SimError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -47,6 +52,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Core(e) => Some(e),
+            SimError::Durability(e) => Some(e),
             _ => None,
         }
     }
@@ -55,6 +61,12 @@ impl Error for SimError {
 impl From<CoreError> for SimError {
     fn from(e: CoreError) -> Self {
         SimError::Core(e)
+    }
+}
+
+impl From<DurabilityError> for SimError {
+    fn from(e: DurabilityError) -> Self {
+        SimError::Durability(e)
     }
 }
 

@@ -165,6 +165,27 @@ pub enum CrashMode {
     },
 }
 
+impl CrashMode {
+    /// Builds [`CrashMode::Checkpoint`], rejecting a non-positive or
+    /// non-finite interval at construction instead of deferring to
+    /// [`FaultPlan::validate`] (which still checks, for plans built
+    /// with struct literals).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Core`] if `interval` is not positive and
+    /// finite (NaN included).
+    pub fn checkpoint(interval: f64) -> Result<Self, SimError> {
+        if !(interval.is_finite() && interval > 0.0) {
+            return Err(SimError::Core(CoreError::InvalidConfig {
+                parameter: "checkpoint_interval",
+                reason: format!("must be positive and finite, got {interval}"),
+            }));
+        }
+        Ok(CrashMode::Checkpoint { interval })
+    }
+}
+
 /// One RSU crash/restart event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RsuCrash {
@@ -188,6 +209,44 @@ impl RsuCrash {
                 let last = (self.at / interval).floor() * interval;
                 (last, self.at)
             }
+        }
+    }
+}
+
+/// A seeded server-process crash: the durable engine variants kill the
+/// whole server — dropping *all* in-memory state, every shard at once —
+/// after `at_record` WAL records have been appended, then recover from
+/// disk (latest valid checkpoint + WAL-tail replay) and continue. The
+/// server-side analogue of [`RsuCrash`].
+///
+/// The crash fires at the first ingestion boundary at or after
+/// `at_record`, which keeps the recovered byte stream identical at
+/// every shard and thread count: the WAL records frames in arrival
+/// order regardless of how ingestion is parallelized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerCrash {
+    /// Kill once at least this many WAL records have been appended
+    /// (`0` crashes before any ingestion — recovery from an empty log).
+    pub at_record: u64,
+}
+
+const SERVER_CRASH_SALT: u64 = 0x5EED_FACE_0000_0003;
+
+impl ServerCrash {
+    /// A crash pinned at an exact record index.
+    #[must_use]
+    pub fn at_record(at_record: u64) -> Self {
+        Self { at_record }
+    }
+
+    /// A seeded crash point uniform over `0..=records` — the two
+    /// endpoints (crash before anything was logged, crash after
+    /// everything was) are deliberately reachable, as both are edge
+    /// cases recovery must survive.
+    #[must_use]
+    pub fn seeded(seed: u64, records: u64) -> Self {
+        Self {
+            at_record: splitmix64(seed ^ SERVER_CRASH_SALT) % (records + 1),
         }
     }
 }
@@ -910,6 +969,41 @@ mod tests {
             .is_err());
         assert!(FaultPlan::none().validate().is_ok());
         assert!(FaultPlan::none().is_ideal());
+    }
+
+    #[test]
+    fn crash_mode_constructor_rejects_bad_intervals() {
+        assert_eq!(
+            CrashMode::checkpoint(30.0).unwrap(),
+            CrashMode::Checkpoint { interval: 30.0 }
+        );
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    CrashMode::checkpoint(bad),
+                    Err(SimError::Core(CoreError::InvalidConfig {
+                        parameter: "checkpoint_interval",
+                        ..
+                    }))
+                ),
+                "interval {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn server_crash_seeding_is_deterministic_and_covers_endpoints() {
+        assert_eq!(ServerCrash::seeded(7, 100), ServerCrash::seeded(7, 100));
+        assert_eq!(ServerCrash::seeded(0, 0).at_record, 0);
+        for seed in 0..64u64 {
+            let crash = ServerCrash::seeded(seed, 10);
+            assert!(crash.at_record <= 10);
+        }
+        // The spread actually varies with the seed.
+        let points: std::collections::BTreeSet<u64> = (0..64)
+            .map(|s| ServerCrash::seeded(s, 10).at_record)
+            .collect();
+        assert!(points.len() > 3);
     }
 
     #[test]

@@ -52,6 +52,7 @@
 
 pub mod adversary;
 pub mod concurrent;
+pub mod durable;
 pub mod engine;
 mod error;
 pub mod faults;
@@ -66,14 +67,17 @@ mod shard;
 pub mod synthetic;
 mod vehicle;
 
+pub use durable::{DurableOptions, DurableServer, DurableSink, RecoveryReport};
 pub use error::SimError;
 pub use faults::{
     batch_upload_with_retry, upload_with_retry, Channel, CrashMode, FaultPlan, LinkFaults,
-    RetryPolicy, RsuCheckpoint, RsuCrash, SequencedSink,
+    RetryPolicy, RsuCheckpoint, RsuCrash, SequencedSink, ServerCrash,
 };
 pub use mac::MacAddress;
 pub use metrics::{CommunicationMetrics, FaultMetrics, LinkMetrics};
-pub use protocol::{BatchUpload, BitReport, PeriodUpload, Query, SequencedUpload};
+pub use protocol::{
+    BatchUpload, BitReport, CheckpointSet, PeriodUpload, Query, SequencedUpload, ServerCheckpoint,
+};
 pub use rsu::SimRsu;
 pub use runner::{PairOutcome, PairRunner};
 pub use server::{CentralServer, OdMatrix, ReceiveOutcome};

@@ -38,12 +38,20 @@ const MAX_UPLOAD_BITS: usize = 1 << 32;
 /// frames and drive a quadratic validation loop.
 const MAX_BATCH_FRAMES: usize = 1 << 16;
 
+/// Upper bound on the shard count a decoded [`CheckpointSet`] may
+/// claim. [`crate::ShardedServer`] deployments run single digits of
+/// shards; 2^10 is generous while keeping a hostile header from
+/// promising billions of inner checkpoints.
+const MAX_CHECKPOINT_SHARDS: usize = 1 << 10;
+
 const TAG_QUERY: u8 = 1;
 const TAG_REPORT: u8 = 2;
 const TAG_UPLOAD: u8 = 3;
 const TAG_UPLOAD_SPARSE: u8 = 4;
 const TAG_UPLOAD_SEQ: u8 = 5;
 const TAG_BATCH: u8 = 6;
+const TAG_CHECKPOINT: u8 = 7;
+const TAG_CHECKPOINT_SET: u8 = 8;
 
 /// FNV-1a 64 over a byte slice — the per-frame checksum inside a
 /// [`BatchUpload`]. Hand-rolled (no new dependency) and byte-order
@@ -495,6 +503,272 @@ impl BatchUpload {
     }
 }
 
+/// A serialized snapshot of one [`crate::CentralServer`]'s durable
+/// state (wire tag 7): the history smoothing factor, per-RSU historical
+/// averages, per-RSU accepted sequence numbers, and the accumulated
+/// period uploads — everything `receive`/`finish_period` semantics
+/// depend on. Derived state (decode caches, observability handles) is
+/// deliberately absent; it is rebuilt on restore.
+///
+/// The scheme itself is *not* serialized: a checkpoint is only
+/// meaningful to the deployment that wrote it, and the restoring caller
+/// supplies the scheme (see `CentralServer::restore_from_checkpoint`).
+///
+/// Invariant: each section's RSU keys are strictly increasing.
+/// [`crate::CentralServer::checkpoint`] establishes it (the fields are
+/// `BTreeMap`-ordered), [`ServerCheckpoint::decode`] enforces it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerCheckpoint {
+    /// The [`vcps_core::VolumeHistory`] smoothing factor `α ∈ (0, 1]`.
+    pub alpha: f64,
+    /// Per-RSU historical averages, strictly increasing by RSU.
+    pub history: Vec<(RsuId, f64)>,
+    /// Per-RSU accepted sequence numbers, strictly increasing by RSU.
+    pub seqs: Vec<(RsuId, u64)>,
+    /// Accumulated uploads for the open period, strictly increasing by
+    /// RSU (a `BTreeMap` image: at most one upload per RSU).
+    pub uploads: Vec<PeriodUpload>,
+}
+
+impl ServerCheckpoint {
+    /// Serializes to the wire form: the alpha bits, then three
+    /// length-prefixed sections (history, sequence numbers, uploads);
+    /// `f64` values travel as their IEEE-754 bit patterns so restore is
+    /// exact, and uploads as length-prefixed compact frames.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let frames: Vec<Bytes> = self
+            .uploads
+            .iter()
+            .map(PeriodUpload::encode_compact)
+            .collect();
+        let upload_bytes: usize = frames.iter().map(|f| 8 + f.len()).sum();
+        let mut buf = BytesMut::with_capacity(
+            1 + 8 * 4 + 16 * (self.history.len() + self.seqs.len()) + upload_bytes,
+        );
+        buf.put_u8(TAG_CHECKPOINT);
+        buf.put_u64(self.alpha.to_bits());
+        buf.put_u64(self.history.len() as u64);
+        for &(rsu, avg) in &self.history {
+            buf.put_u64(rsu.0);
+            buf.put_u64(avg.to_bits());
+        }
+        buf.put_u64(self.seqs.len() as u64);
+        for &(rsu, seq) in &self.seqs {
+            buf.put_u64(rsu.0);
+            buf.put_u64(seq);
+        }
+        buf.put_u64(frames.len() as u64);
+        for frame in &frames {
+            buf.put_u64(frame.len() as u64);
+            buf.put_slice(frame);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a checkpoint from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] on truncation, a wrong
+    /// tag byte, a non-finite or out-of-range alpha, a section count
+    /// over `MAX_BATCH_FRAMES`, RSU keys out of strictly increasing
+    /// order, a non-finite average, a malformed inner upload, or
+    /// trailing bytes. Never panics: every length is validated against
+    /// the remaining byte count before it is trusted.
+    pub fn decode(mut wire: &[u8]) -> Result<Self, SimError> {
+        if wire.len() < 1 + 8 * 2 || wire[0] != TAG_CHECKPOINT {
+            return Err(SimError::MalformedMessage {
+                reason: "bad checkpoint frame",
+            });
+        }
+        wire.advance(1);
+        let alpha = f64::from_bits(wire.get_u64());
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(SimError::MalformedMessage {
+                reason: "checkpoint alpha outside (0, 1]",
+            });
+        }
+        let read_count = |wire: &mut &[u8], reason: &'static str| -> Result<usize, SimError> {
+            if wire.len() < 8 {
+                return Err(SimError::MalformedMessage { reason });
+            }
+            let count = wire.get_u64() as usize;
+            if count > MAX_BATCH_FRAMES {
+                return Err(SimError::MalformedMessage {
+                    reason: "checkpoint section count over limit",
+                });
+            }
+            Ok(count)
+        };
+        let history_count = read_count(&mut wire, "truncated checkpoint history")?;
+        let mut history = Vec::with_capacity(history_count.min(1024));
+        let mut prev: Option<RsuId> = None;
+        for _ in 0..history_count {
+            if wire.len() < 16 {
+                return Err(SimError::MalformedMessage {
+                    reason: "truncated checkpoint history",
+                });
+            }
+            let rsu = RsuId(wire.get_u64());
+            let avg = f64::from_bits(wire.get_u64());
+            if prev.is_some_and(|p| rsu <= p) {
+                return Err(SimError::MalformedMessage {
+                    reason: "checkpoint history not strictly increasing",
+                });
+            }
+            if !avg.is_finite() || avg < 0.0 {
+                return Err(SimError::MalformedMessage {
+                    reason: "checkpoint history average not finite",
+                });
+            }
+            prev = Some(rsu);
+            history.push((rsu, avg));
+        }
+        let seq_count = read_count(&mut wire, "truncated checkpoint sequences")?;
+        let mut seqs = Vec::with_capacity(seq_count.min(1024));
+        let mut prev: Option<RsuId> = None;
+        for _ in 0..seq_count {
+            if wire.len() < 16 {
+                return Err(SimError::MalformedMessage {
+                    reason: "truncated checkpoint sequences",
+                });
+            }
+            let rsu = RsuId(wire.get_u64());
+            let seq = wire.get_u64();
+            if prev.is_some_and(|p| rsu <= p) {
+                return Err(SimError::MalformedMessage {
+                    reason: "checkpoint sequences not strictly increasing",
+                });
+            }
+            prev = Some(rsu);
+            seqs.push((rsu, seq));
+        }
+        let upload_count = read_count(&mut wire, "truncated checkpoint uploads")?;
+        let mut uploads = Vec::with_capacity(upload_count.min(1024));
+        let mut prev: Option<RsuId> = None;
+        for _ in 0..upload_count {
+            if wire.len() < 8 {
+                return Err(SimError::MalformedMessage {
+                    reason: "truncated checkpoint uploads",
+                });
+            }
+            let frame_len = wire.get_u64() as usize;
+            // Straight off the wire: compare against the remaining byte
+            // count (no multiplication, no overflow) before slicing.
+            if frame_len > wire.len() {
+                return Err(SimError::MalformedMessage {
+                    reason: "checkpoint upload length exceeds frame",
+                });
+            }
+            let upload = PeriodUpload::decode(&wire[..frame_len])?;
+            if prev.is_some_and(|p| upload.rsu <= p) {
+                return Err(SimError::MalformedMessage {
+                    reason: "checkpoint uploads not strictly increasing",
+                });
+            }
+            prev = Some(upload.rsu);
+            uploads.push(upload);
+            wire.advance(frame_len);
+        }
+        if !wire.is_empty() {
+            return Err(SimError::MalformedMessage {
+                reason: "trailing bytes after checkpoint",
+            });
+        }
+        Ok(Self {
+            alpha,
+            history,
+            seqs,
+            uploads,
+        })
+    }
+}
+
+/// A whole-deployment snapshot (wire tag 8): one [`ServerCheckpoint`]
+/// per shard plus the WAL record count the snapshot covers, so recovery
+/// knows which log suffix still needs replaying.
+///
+/// This is the payload `vcps-durable`'s checkpoint store persists (the
+/// store adds its own header and checksum; see `DurableServer`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSet {
+    /// How many WAL records had been applied when the snapshot was
+    /// taken: recovery replays the log from this index.
+    pub frames_applied: u64,
+    /// Per-shard snapshots, in shard order. The shard count is part of
+    /// the deployment's identity: restoring under a different count
+    /// would re-route RSUs across shards.
+    pub shards: Vec<ServerCheckpoint>,
+}
+
+impl CheckpointSet {
+    /// Serializes to the wire form: the applied-record count, then one
+    /// `length ‖ checkpoint frame` record per shard.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let inner: Vec<Bytes> = self.shards.iter().map(ServerCheckpoint::encode).collect();
+        let total: usize = inner.iter().map(|f| 8 + f.len()).sum();
+        let mut buf = BytesMut::with_capacity(1 + 8 * 2 + total);
+        buf.put_u8(TAG_CHECKPOINT_SET);
+        buf.put_u64(self.frames_applied);
+        buf.put_u64(self.shards.len() as u64);
+        for frame in &inner {
+            buf.put_u64(frame.len() as u64);
+            buf.put_slice(frame);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a checkpoint set from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] on truncation, a wrong
+    /// tag byte, a shard count of zero or over `MAX_CHECKPOINT_SHARDS`,
+    /// a malformed inner checkpoint, or trailing bytes.
+    pub fn decode(mut wire: &[u8]) -> Result<Self, SimError> {
+        if wire.len() < 1 + 8 * 2 || wire[0] != TAG_CHECKPOINT_SET {
+            return Err(SimError::MalformedMessage {
+                reason: "bad checkpoint set frame",
+            });
+        }
+        wire.advance(1);
+        let frames_applied = wire.get_u64();
+        let count = wire.get_u64() as usize;
+        if count == 0 || count > MAX_CHECKPOINT_SHARDS {
+            return Err(SimError::MalformedMessage {
+                reason: "invalid checkpoint set shard count",
+            });
+        }
+        let mut shards = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            if wire.len() < 8 {
+                return Err(SimError::MalformedMessage {
+                    reason: "truncated checkpoint set record",
+                });
+            }
+            let frame_len = wire.get_u64() as usize;
+            if frame_len > wire.len() {
+                return Err(SimError::MalformedMessage {
+                    reason: "checkpoint set record length exceeds frame",
+                });
+            }
+            shards.push(ServerCheckpoint::decode(&wire[..frame_len])?);
+            wire.advance(frame_len);
+        }
+        if !wire.is_empty() {
+            return Err(SimError::MalformedMessage {
+                reason: "trailing bytes after checkpoint set",
+            });
+        }
+        Ok(Self {
+            frames_applied,
+            shards,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,5 +1086,146 @@ mod tests {
                 reason: "batch records not strictly increasing"
             })
         ));
+    }
+
+    fn checkpoint() -> ServerCheckpoint {
+        let upload = |rsu: u64, ones: &[usize]| {
+            let mut bits = BitArray::new(256);
+            for &i in ones {
+                bits.set(i);
+            }
+            PeriodUpload {
+                rsu: RsuId(rsu),
+                counter: ones.len() as u64,
+                bits,
+            }
+        };
+        ServerCheckpoint {
+            alpha: 0.25,
+            history: vec![(RsuId(1), 1_500.0), (RsuId(4), 0.0), (RsuId(9), 33.5)],
+            seqs: vec![(RsuId(1), 0), (RsuId(9), 7)],
+            uploads: vec![upload(1, &[3, 77]), upload(9, &[0, 128, 255])],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_including_empty_sections() {
+        let c = checkpoint();
+        assert_eq!(ServerCheckpoint::decode(&c.encode()).unwrap(), c);
+        let empty = ServerCheckpoint {
+            alpha: 1.0,
+            history: Vec::new(),
+            seqs: Vec::new(),
+            uploads: Vec::new(),
+        };
+        assert_eq!(ServerCheckpoint::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn checkpoint_rejects_truncation_wrong_tag_and_trailing_bytes() {
+        let wire = checkpoint().encode();
+        for cut in 0..wire.len() {
+            assert!(ServerCheckpoint::decode(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = wire.to_vec();
+        bad[0] = TAG_BATCH;
+        assert!(ServerCheckpoint::decode(&bad).is_err());
+        let mut trailing = wire.to_vec();
+        trailing.push(0);
+        assert!(ServerCheckpoint::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn checkpoint_rejects_bad_alpha_and_section_order() {
+        let mut c = checkpoint();
+        c.alpha = 0.0;
+        assert!(matches!(
+            ServerCheckpoint::decode(&c.encode()),
+            Err(SimError::MalformedMessage {
+                reason: "checkpoint alpha outside (0, 1]"
+            })
+        ));
+        c.alpha = f64::NAN;
+        assert!(ServerCheckpoint::decode(&c.encode()).is_err());
+        let mut unsorted = checkpoint();
+        unsorted.history.swap(0, 1);
+        assert!(matches!(
+            ServerCheckpoint::decode(&unsorted.encode()),
+            Err(SimError::MalformedMessage {
+                reason: "checkpoint history not strictly increasing"
+            })
+        ));
+        let mut dup_seq = checkpoint();
+        dup_seq.seqs.push((RsuId(9), 8));
+        assert!(ServerCheckpoint::decode(&dup_seq.encode()).is_err());
+        let mut dup_upload = checkpoint();
+        let again = dup_upload.uploads[0].clone();
+        dup_upload.uploads.push(again);
+        assert!(matches!(
+            ServerCheckpoint::decode(&dup_upload.encode()),
+            Err(SimError::MalformedMessage {
+                reason: "checkpoint uploads not strictly increasing"
+            })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_rejects_absurd_count_claim() {
+        // A 17-byte frame must not be able to promise 2^60 history
+        // entries and drive a giant validation loop.
+        let mut wire = BytesMut::new();
+        wire.put_u8(TAG_CHECKPOINT);
+        wire.put_u64(0.5f64.to_bits());
+        wire.put_u64(1 << 60);
+        assert!(matches!(
+            ServerCheckpoint::decode(&wire.freeze()),
+            Err(SimError::MalformedMessage {
+                reason: "checkpoint section count over limit"
+            })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_set_roundtrips_and_rejects_corruption() {
+        let set = CheckpointSet {
+            frames_applied: 12,
+            shards: vec![
+                checkpoint(),
+                ServerCheckpoint {
+                    alpha: 1.0,
+                    history: Vec::new(),
+                    seqs: Vec::new(),
+                    uploads: Vec::new(),
+                },
+            ],
+        };
+        let wire = set.encode();
+        assert_eq!(CheckpointSet::decode(&wire).unwrap(), set);
+        for cut in 0..wire.len() {
+            assert!(CheckpointSet::decode(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = wire.to_vec();
+        bad[0] = TAG_CHECKPOINT;
+        assert!(CheckpointSet::decode(&bad).is_err());
+        let mut trailing = wire.to_vec();
+        trailing.push(0);
+        assert!(CheckpointSet::decode(&trailing).is_err());
+        // Zero shards is not a deployment.
+        let mut empty = BytesMut::new();
+        empty.put_u8(TAG_CHECKPOINT_SET);
+        empty.put_u64(0);
+        empty.put_u64(0);
+        assert!(matches!(
+            CheckpointSet::decode(&empty.freeze()),
+            Err(SimError::MalformedMessage {
+                reason: "invalid checkpoint set shard count"
+            })
+        ));
+        // An absurd shard-count claim dies before any allocation.
+        let mut absurd = BytesMut::new();
+        absurd.put_u8(TAG_CHECKPOINT_SET);
+        absurd.put_u64(0);
+        absurd.put_u64(u64::MAX);
+        assert!(CheckpointSet::decode(&absurd.freeze()).is_err());
     }
 }

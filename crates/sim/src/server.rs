@@ -14,7 +14,7 @@ use vcps_core::estimator::{
 use vcps_core::{CoreError, DegradedEstimate, PairEstimate, RsuId, Scheme, VolumeHistory};
 use vcps_obs::{Level, Obs, Phase, Value};
 
-use crate::protocol::{PeriodUpload, SequencedUpload};
+use crate::protocol::{PeriodUpload, SequencedUpload, ServerCheckpoint};
 use crate::SimError;
 
 thread_local! {
@@ -676,6 +676,55 @@ impl CentralServer {
     /// The RSUs with an upload currently held, in ascending id order.
     pub(crate) fn upload_rsus(&self) -> impl Iterator<Item = RsuId> + '_ {
         self.uploads.keys().copied()
+    }
+
+    /// Captures the server's durable state as a wire-serializable
+    /// [`ServerCheckpoint`]: history, accepted sequence numbers, and the
+    /// open period's uploads. Derived state (decode caches, the
+    /// observability handle) is excluded — [`restore_from_checkpoint`]
+    /// rebuilds the former and the caller re-attaches the latter, the
+    /// same contract the `serde` impls follow.
+    ///
+    /// [`restore_from_checkpoint`]: Self::restore_from_checkpoint
+    #[must_use]
+    pub fn checkpoint(&self) -> ServerCheckpoint {
+        ServerCheckpoint {
+            alpha: self.history.alpha(),
+            history: self.history.iter().collect(),
+            seqs: self.upload_seqs.iter().map(|(&r, &s)| (r, s)).collect(),
+            uploads: self.uploads.values().cloned().collect(),
+        }
+    }
+
+    /// Rebuilds a server from a [`ServerCheckpoint`] and the
+    /// deployment's scheme (checkpoints deliberately do not carry the
+    /// scheme: a snapshot is only meaningful to the deployment that
+    /// wrote it). Decode caches are re-derived from the restored
+    /// uploads; the observability handle starts disabled, exactly as
+    /// after a `serde` round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Core`] if the checkpoint's alpha is outside
+    /// `(0, 1]` (possible only for hand-built checkpoints — the wire
+    /// decoder already rejects it).
+    pub fn restore_from_checkpoint(
+        scheme: Scheme,
+        checkpoint: &ServerCheckpoint,
+    ) -> Result<Self, SimError> {
+        let mut server = Self::new(scheme, checkpoint.alpha)?;
+        for &(rsu, avg) in &checkpoint.history {
+            server.history.seed(rsu, avg);
+        }
+        for &(rsu, seq) in &checkpoint.seqs {
+            server.upload_seqs.insert(rsu, seq);
+        }
+        for upload in &checkpoint.uploads {
+            let rsu = upload.rsu;
+            server.uploads.insert(rsu, upload.clone());
+            server.refresh_caches_for(rsu);
+        }
+        Ok(server)
     }
 
     /// Fetches the upload for one side of a pair decode, enforcing the

@@ -33,7 +33,7 @@ use vcps_core::{CoreError, PairEstimate, RsuId, Scheme};
 use vcps_hash::splitmix64;
 use vcps_obs::{Obs, Phase};
 
-use crate::protocol::{BatchUpload, PeriodUpload, SequencedUpload};
+use crate::protocol::{BatchUpload, CheckpointSet, PeriodUpload, SequencedUpload};
 use crate::server::{
     od_effective_threads, pair_counts_prefetched, receive_counter_name, with_thread_scratch,
     RsuDecodeRef,
@@ -207,6 +207,50 @@ impl ShardedServer {
     #[must_use]
     pub fn upload(&self, rsu: RsuId) -> Option<&PeriodUpload> {
         self.shards[self.shard_of(rsu)].upload(rsu)
+    }
+
+    /// Captures every shard's durable state as a [`CheckpointSet`]
+    /// covering `frames_applied` WAL records (see
+    /// [`CentralServer::checkpoint`] for what each snapshot carries and
+    /// omits). Shards appear in shard order, so the set restores under
+    /// the same topology only — which is the point: the shard count is
+    /// part of the deployment's identity.
+    #[must_use]
+    pub fn checkpoint(&self, frames_applied: u64) -> CheckpointSet {
+        CheckpointSet {
+            frames_applied,
+            shards: self.shards.iter().map(CentralServer::checkpoint).collect(),
+        }
+    }
+
+    /// Rebuilds a sharded server from a [`CheckpointSet`] and the
+    /// deployment's scheme. The composite pair memo starts empty (it is
+    /// derived state) and the observability handle starts disabled,
+    /// exactly as after [`ShardedServer::new`] — re-attach with
+    /// [`set_obs`](Self::set_obs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Core`] if the set holds no shards, or
+    /// propagates [`CentralServer::restore_from_checkpoint`] failures.
+    pub fn restore_from_checkpoint(scheme: Scheme, set: &CheckpointSet) -> Result<Self, SimError> {
+        if set.shards.is_empty() {
+            return Err(SimError::Core(CoreError::InvalidConfig {
+                parameter: "shard_count",
+                reason: "checkpoint set holds no shards".to_string(),
+            }));
+        }
+        let shards = set
+            .shards
+            .iter()
+            .map(|c| CentralServer::restore_from_checkpoint(scheme.clone(), c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            scheme,
+            shards,
+            pair_memo: RwLock::new(BTreeMap::new()),
+            obs: Obs::disabled(),
+        })
     }
 
     /// Routes one period upload to its owning shard (the sharded

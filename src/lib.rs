@@ -18,6 +18,7 @@
 //! | [`analysis`] | `vcps-analysis` | accuracy & privacy closed forms, parameter solvers |
 //! | [`roadnet`] | `vcps-roadnet` | graphs, Dijkstra, BPR, assignment, Sioux Falls |
 //! | [`sim`] | `vcps-sim` | vehicles, RSUs, server, protocol, DES engine, fault injection, adversary |
+//! | [`durable`] | `vcps-durable` | checksummed write-ahead log and atomic checkpoint store |
 //!
 //! The most common types are additionally re-exported at the crate root.
 //!
@@ -60,6 +61,7 @@
 pub use vcps_analysis as analysis;
 pub use vcps_bitarray as bitarray;
 pub use vcps_core as core;
+pub use vcps_durable as durable;
 pub use vcps_hash as hash;
 pub use vcps_obs as obs;
 pub use vcps_roadnet as roadnet;

@@ -1,0 +1,117 @@
+//! Property suite for checkpoint capture/restore (DESIGN.md §17).
+//!
+//! A [`ShardedServer`] checkpoint must be a *complete* serialization of
+//! dedup and sequence state: restoring it — including through the wire
+//! encoding — must reproduce the original server exactly, and a second
+//! wave of uploads must draw the same verdict (Fresh / Duplicate /
+//! Conflicting / Stale) from the restored server as from one that never
+//! left memory.
+
+use proptest::prelude::*;
+
+use vcps::hash::splitmix64;
+use vcps::sim::protocol::{CheckpointSet, PeriodUpload, SequencedUpload};
+use vcps::sim::ShardedServer;
+use vcps::{BitArray, RsuId, Scheme};
+
+/// One seed-derived upload per RSU with varying sizes, fills, and
+/// sequence numbers (same shape as the differential suites' workload).
+fn wave(rsus: u64, seed: u64) -> Vec<SequencedUpload> {
+    (1..=rsus)
+        .map(|r| {
+            let h = splitmix64(seed ^ r);
+            let m = 1usize << (6 + (h % 5) as usize);
+            let ones = (h >> 8) % (m as u64 / 2);
+            let bits = BitArray::from_indices(
+                m,
+                (0..ones).map(|i| (splitmix64(h ^ i) % m as u64) as usize),
+            )
+            .expect("indices in range");
+            SequencedUpload {
+                seq: h % 3,
+                upload: PeriodUpload {
+                    rsu: RsuId(r),
+                    counter: bits.count_ones() as u64 + h % 7,
+                    bits,
+                },
+            }
+        })
+        .collect()
+}
+
+/// A follow-up wave engineered to hit every dedup verdict against the
+/// first: re-sends (Duplicate), same-sequence rewrites (Conflicting),
+/// lower sequences (Stale), higher sequences and new RSUs (Fresh).
+fn probe_wave(first: &[SequencedUpload], seed: u64) -> Vec<SequencedUpload> {
+    let mut probes = Vec::new();
+    for (i, frame) in first.iter().enumerate() {
+        let h = splitmix64(seed ^ i as u64 ^ 0x9E3779B9);
+        let mut probe = frame.clone();
+        match h % 4 {
+            0 => {}                                       // identical -> Duplicate
+            1 => probe.upload.counter ^= 1,               // same seq, new bytes -> Conflicting
+            2 => probe.seq += 1,                          // advance -> Fresh
+            _ => probe.seq = probe.seq.saturating_sub(1), // -> Stale (or Duplicate at 0)
+        }
+        probes.push(probe);
+    }
+    // An RSU the first wave never mentioned -> Fresh on both servers.
+    probes.push(SequencedUpload {
+        seq: 0,
+        upload: PeriodUpload {
+            rsu: RsuId(first.len() as u64 + 100),
+            counter: 1,
+            bits: BitArray::from_indices(64, [7usize]).expect("in range"),
+        },
+    });
+    probes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Capture → wire round-trip → restore is the identity on server
+    /// state, and dedup verdicts are history-free: the restored server
+    /// judges a probe wave exactly as the original does.
+    #[test]
+    fn checkpoint_restore_round_trips_dedup_and_sequence_state(
+        rsus in 1u64..16,
+        shards in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let scheme = Scheme::variable(2, 3.0, 9).expect("valid scheme");
+        let mut original = ShardedServer::new(scheme.clone(), 1.0, shards).expect("valid shards");
+        for r in 1..=rsus {
+            original.seed_history(RsuId(r), (splitmix64(r) % 1_000 + 10) as f64);
+        }
+        for frame in wave(rsus, seed) {
+            original.receive_sequenced(frame);
+        }
+
+        // Capture, push through the frozen wire format, restore.
+        let set = original.checkpoint(rsus);
+        let decoded = CheckpointSet::decode(&set.encode()).expect("wire round-trip");
+        prop_assert_eq!(&decoded, &set);
+        let mut restored =
+            ShardedServer::restore_from_checkpoint(scheme, &decoded).expect("restore");
+
+        // The restored server *is* the original, byte for byte.
+        prop_assert_eq!(restored.checkpoint(rsus), set);
+        prop_assert_eq!(restored.upload_count(), original.upload_count());
+        for r in 1..=rsus {
+            prop_assert_eq!(restored.upload(RsuId(r)), original.upload(RsuId(r)));
+        }
+
+        // And it keeps judging like the original: every probe draws the
+        // same verdict from both, leaving both in the same state.
+        for probe in probe_wave(&wave(rsus, seed), seed) {
+            let expected = original.receive_sequenced(probe.clone());
+            let got = restored.receive_sequenced(probe.clone());
+            prop_assert_eq!(
+                got, expected,
+                "verdict diverged for rsu {:?} seq {}", probe.upload.rsu, probe.seq
+            );
+        }
+        prop_assert_eq!(restored.checkpoint(0), original.checkpoint(0));
+    }
+}

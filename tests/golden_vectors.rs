@@ -14,7 +14,9 @@
 use std::path::PathBuf;
 
 use vcps::sim::pki::TrustedAuthority;
-use vcps::sim::protocol::{BatchUpload, BitReport, PeriodUpload, Query, SequencedUpload};
+use vcps::sim::protocol::{
+    BatchUpload, BitReport, CheckpointSet, PeriodUpload, Query, SequencedUpload, ServerCheckpoint,
+};
 use vcps::sim::{MacAddress, SimRsu};
 use vcps::{BitArray, RsuId};
 
@@ -81,6 +83,34 @@ fn golden_batch() -> BatchUpload {
     .expect("strictly increasing (rsu, seq)")
 }
 
+/// Tag 7 — one shard's durable snapshot: EWMA alpha, history and
+/// sequence tables keyed by ascending RSU id, and both upload shapes.
+fn golden_checkpoint() -> ServerCheckpoint {
+    ServerCheckpoint {
+        alpha: 0.5,
+        history: vec![(RsuId(7), 40.0), (RsuId(9), 3.0)],
+        seqs: vec![(RsuId(7), 4), (RsuId(9), 11)],
+        uploads: vec![golden_upload_dense(), golden_upload_sparse()],
+    }
+}
+
+/// Tag 8 — a two-shard checkpoint set (one populated shard, one empty)
+/// stamped with the WAL position it covers.
+fn golden_checkpoint_set() -> CheckpointSet {
+    CheckpointSet {
+        frames_applied: 2,
+        shards: vec![
+            golden_checkpoint(),
+            ServerCheckpoint {
+                alpha: 0.5,
+                history: Vec::new(),
+                seqs: Vec::new(),
+                uploads: Vec::new(),
+            },
+        ],
+    }
+}
+
 /// Every golden vector: `(file name, frozen wire bytes)`.
 fn vectors() -> Vec<(&'static str, Vec<u8>)> {
     vec![
@@ -93,6 +123,8 @@ fn vectors() -> Vec<(&'static str, Vec<u8>)> {
         ),
         ("sequenced.bin", golden_sequenced().encode().to_vec()),
         ("batch.bin", golden_batch().encode().to_vec()),
+        ("ckpt_server.bin", golden_checkpoint().encode().to_vec()),
+        ("ckpt_set.bin", golden_checkpoint_set().encode().to_vec()),
     ]
 }
 
@@ -141,12 +173,25 @@ fn golden_vectors_decode_and_round_trip() {
     let batch = BatchUpload::decode(&std::fs::read(data_path("batch.bin")).unwrap()).unwrap();
     assert_eq!(batch.frames(), golden_batch().frames());
     assert_eq!(batch.encode(), golden_batch().encode());
+
+    let ckpt =
+        ServerCheckpoint::decode(&std::fs::read(data_path("ckpt_server.bin")).unwrap()).unwrap();
+    assert_eq!(ckpt, golden_checkpoint());
+    assert_eq!(ckpt.encode(), golden_checkpoint().encode());
+
+    let set = CheckpointSet::decode(&std::fs::read(data_path("ckpt_set.bin")).unwrap()).unwrap();
+    assert_eq!(set, golden_checkpoint_set());
+    assert_eq!(set.encode(), golden_checkpoint_set().encode());
 }
 
 #[test]
 fn golden_vectors_cover_every_protocol_tag() {
     let tags: Vec<u8> = vectors().iter().map(|(_, bytes)| bytes[0]).collect();
-    assert_eq!(tags, vec![1, 2, 3, 4, 5, 6], "one vector per wire tag");
+    assert_eq!(
+        tags,
+        vec![1, 2, 3, 4, 5, 6, 7, 8],
+        "one vector per wire tag"
+    );
 }
 
 /// Regenerates every golden vector. Ignored by default: running it is a
