@@ -49,7 +49,7 @@ use vcps_sim::concurrent::{
     default_threads, ingest_parallel, ingest_parallel_obs, MutexRsu, SharedRsu,
 };
 use vcps_sim::pki::TrustedAuthority;
-use vcps_sim::{CentralServer, PeriodUpload, ShardedServer};
+use vcps_sim::{BatchUpload, BatchUploadRef, CentralServer, PeriodUpload, ShardedServer};
 
 const ARRAY_BITS: usize = 1 << 20;
 
@@ -105,6 +105,29 @@ fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> u128 {
         .collect();
     times.sort_unstable();
     times[times.len() / 2]
+}
+
+/// Interleaved sampling shared by the decode/shard/wal comparisons:
+/// one untimed warm-up call per mode, then `rounds` round-robin passes
+/// keeping each mode's MINIMUM observation. Round-robin makes slow
+/// drift (frequency scaling, noisy neighbors) hit every mode equally
+/// instead of whichever one happened to run during the slow window,
+/// and the minimum of a deterministic region is the observation
+/// closest to its true cost (same rationale as
+/// `bench_odmatrix_pipeline`). Each mode closure performs its own
+/// untimed setup (e.g. cloning a workload) and returns the wall-clock
+/// nanoseconds of just its hot region.
+fn interleaved_min_ns(rounds: usize, modes: &mut [Box<dyn FnMut() -> u128 + '_>]) -> Vec<u128> {
+    for mode in modes.iter_mut() {
+        mode();
+    }
+    let mut mins = vec![u128::MAX; modes.len()];
+    for _ in 0..rounds.max(1) {
+        for (t, mode) in modes.iter_mut().enumerate() {
+            mins[t] = mins[t].min(mode());
+        }
+    }
+    mins
 }
 
 fn bench_ingest(reports: u64, samples: usize) -> String {
@@ -209,7 +232,66 @@ fn bench_decode(samples: usize) -> String {
             "decode  m=2^{k:<3} dense {dense_ns:>9} ns   sparse {sparse_ns:>7} ns   zero-count cached {cached_ns} ns vs rescan {rescan_ns} ns"
         );
     }
-    format!("{{\n  \"samples\": {samples},\n  \"results\": [\n{rows}\n  ]\n}}\n")
+
+    // Batch decode, owned vs borrowed: the owned path materializes a
+    // `Vec` of frames plus one heap-backed `BitArray` per inner upload;
+    // the borrowed view validates the same wire once and then walks it
+    // in place. Both sides do equivalent read work (sum the per-frame
+    // ones counts) so the gap measured here is the allocation and copy
+    // tax alone — the number the CI decode-smoke gate rides on.
+    const BATCH_RSUS: usize = 256;
+    const BATCH_BITS: usize = 1 << 18;
+    const BATCH_FILL: f64 = 0.01;
+    let frames = shard_ingest_workload(BATCH_RSUS, BATCH_BITS, BATCH_FILL, 1)
+        .pop()
+        .expect("one copy");
+    let batch = BatchUpload::new(frames).expect("distinct keys");
+    let wire = batch.encode();
+    let expected_ones: usize = batch
+        .frames()
+        .iter()
+        .map(|f| f.upload.bits.count_ones())
+        .sum();
+    let rounds = samples.max(15);
+    let mut modes: Vec<Box<dyn FnMut() -> u128 + '_>> = vec![
+        Box::new(|| {
+            let start = Instant::now();
+            let decoded = BatchUpload::decode(&wire).expect("valid batch");
+            let ones: usize = decoded
+                .frames()
+                .iter()
+                .map(|f| f.upload.bits.count_ones())
+                .sum();
+            let ns = start.elapsed().as_nanos();
+            assert_eq!(ones, expected_ones);
+            ns
+        }),
+        Box::new(|| {
+            let start = Instant::now();
+            let view = BatchUploadRef::decode_ref(&wire).expect("valid batch");
+            let ones: usize = view.frames().map(|f| f.upload().count_ones()).sum();
+            let ns = start.elapsed().as_nanos();
+            assert_eq!(ones, expected_ones);
+            ns
+        }),
+    ];
+    let mins = interleaved_min_ns(rounds, &mut modes);
+    drop(modes);
+    let (owned_ns, borrowed_ns) = (mins[0], mins[1]);
+    let speedup = owned_ns as f64 / borrowed_ns.max(1) as f64;
+    println!(
+        "decode  batch rsus={BATCH_RSUS} owned {owned_ns:>9} ns   borrowed {borrowed_ns:>9} ns   speedup {speedup:.2}x"
+    );
+    let batch_row = format!(
+        "{{\"rsus\": {BATCH_RSUS}, \"array_bits\": {BATCH_BITS}, \"fill\": {BATCH_FILL}, \
+         \"wire_bytes\": {}, \"owned_decode_ns\": {owned_ns}, \
+         \"borrowed_decode_ns\": {borrowed_ns}, \"speedup_borrowed_vs_owned\": {speedup:.3}}}",
+        wire.len(),
+    );
+    format!(
+        "{{\n  \"samples\": {samples},\n  \"results\": [\n{rows}\n  ],\n  \
+         \"batch\": {batch_row}\n}}\n"
+    )
 }
 
 /// One nested pair per load factor: dense word scan vs the adaptive
@@ -438,26 +520,59 @@ fn bench_obs(reports: u64, samples: usize) -> String {
 }
 
 /// Sharded vs monolithic batch ingestion (DESIGN.md §15). Each timed
-/// sample pops one pre-built batch from a pool and ingests it into a
+/// sample clones one pre-built batch (untimed) and ingests it into a
 /// fresh server, so the timed region is pure ingestion — upload routing,
 /// dedup/sequence bookkeeping, and decode-cache refresh — on both sides
-/// of the comparison.
+/// of the comparison. All five modes (monolithic plus each shard count)
+/// are sampled round-robin with per-mode minima: the shard-smoke gate
+/// compares rows against each other, and back-to-back block sampling
+/// once let a slow window land entirely on the 4-shard block, reading
+/// as a spurious loss to 2 shards.
 fn bench_shard(samples: usize) -> String {
     const SHARD_RSUS: usize = 256;
     const SHARD_BITS: usize = 1 << 18;
     const SHARD_FILL: f64 = 0.01;
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
     let scheme = Scheme::variable(2, 3.0, 1).expect("valid scheme");
-    let calls = samples.max(1) + 1; // median_ns adds one warm-up call
+    let master = shard_ingest_workload(SHARD_RSUS, SHARD_BITS, SHARD_FILL, 1)
+        .pop()
+        .expect("one copy");
+    let rounds = samples.max(15);
 
-    let mut pool = shard_ingest_workload(SHARD_RSUS, SHARD_BITS, SHARD_FILL, calls);
-    let mono_ns = median_ns(samples, || {
-        let frames = pool.pop().expect("pool sized to the sample count");
-        let mut server = CentralServer::new(scheme.clone(), 1.0).expect("valid alpha");
-        for frame in frames {
-            server.receive_sequenced(frame);
+    let mut modes: Vec<Box<dyn FnMut() -> u128 + '_>> = Vec::new();
+    modes.push(Box::new({
+        let scheme = scheme.clone();
+        let master = master.clone();
+        move || {
+            let frames = master.clone();
+            let start = Instant::now();
+            let mut server = CentralServer::new(scheme.clone(), 1.0).expect("valid alpha");
+            for frame in frames {
+                server.receive_sequenced(frame);
+            }
+            assert_eq!(server.upload_count(), SHARD_RSUS);
+            start.elapsed().as_nanos()
         }
-        assert_eq!(server.upload_count(), SHARD_RSUS);
-    });
+    }));
+    for &shards in &SHARD_COUNTS {
+        modes.push(Box::new({
+            let scheme = scheme.clone();
+            let master = master.clone();
+            move || {
+                let frames = master.clone();
+                let start = Instant::now();
+                let mut server =
+                    ShardedServer::new(scheme.clone(), 1.0, shards).expect("valid shard count");
+                let outcomes = server.receive_parallel(frames);
+                assert_eq!(outcomes.len(), SHARD_RSUS);
+                start.elapsed().as_nanos()
+            }
+        }));
+    }
+    let mins = interleaved_min_ns(rounds, &mut modes);
+    drop(modes);
+
+    let mono_ns = mins[0];
     let rate = |ns: u128| SHARD_RSUS as f64 * 1e9 / ns as f64; // uploads/s
     println!(
         "shard   monolithic      {mono_ns:>11} ns   {:>10.0} uploads/s",
@@ -465,15 +580,8 @@ fn bench_shard(samples: usize) -> String {
     );
 
     let mut rows = String::new();
-    for &shards in &[1usize, 2, 4, 8] {
-        let mut pool = shard_ingest_workload(SHARD_RSUS, SHARD_BITS, SHARD_FILL, calls);
-        let sharded_ns = median_ns(samples, || {
-            let frames = pool.pop().expect("pool sized to the sample count");
-            let mut server =
-                ShardedServer::new(scheme.clone(), 1.0, shards).expect("valid shard count");
-            let outcomes = server.receive_parallel(frames);
-            assert_eq!(outcomes.len(), SHARD_RSUS);
-        });
+    for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
+        let sharded_ns = mins[i + 1];
         let speedup = mono_ns as f64 / sharded_ns as f64;
         let _ = write!(
             rows,
@@ -495,35 +603,114 @@ fn bench_shard(samples: usize) -> String {
     )
 }
 
-/// Write-ahead-logged vs plain ingestion (DESIGN.md §17). All three
-/// modes drive the same sequential `receive_sequenced` loop into a
-/// 4-shard server, so the only variable is the durability work: nothing,
-/// append+fsync per record, or append+fsync plus a checkpoint every 64
-/// records.
+/// Write-ahead-logged vs plain ingestion (DESIGN.md §17/§18). Every
+/// mode drives the same sequential `receive_sequenced` loop into a
+/// 4-shard server, so the only variable is the durability work:
+/// nothing, append+fsync per record, per-record fsync plus a
+/// checkpoint every 64 records, or group commit (append buffered,
+/// one fsync every N records plus a final `flush_wal` inside the
+/// timed region so every mode ends equally durable). Modes are
+/// sampled round-robin with per-mode minima so filesystem slow
+/// windows (journal flushes, dirty-page writeback) hit every row
+/// equally instead of whichever mode ran during them.
+///
+/// The workload is deliberately shaped so fsync *latency* — the cost
+/// group commit amortizes — dominates the durability tax, not log
+/// *bandwidth*, which no flush policy can batch away. At the shard
+/// bench's 1% fill a sparse frame is ~21 KB and the 5.4 MB log is
+/// bandwidth-bound: every flush policy converges on the disk's
+/// streaming rate and the slowdown floor sits near 10× regardless of
+/// cadence. Here each RSU uploads a large (2^20-bit), lightly loaded
+/// array, so a sparse frame is ~2 KB, the per-record durability cost
+/// is dominated by the ~0.2 ms fsync round-trip, and the flush
+/// cadence is the variable actually being measured.
 fn bench_wal(samples: usize) -> String {
-    use vcps_sim::{DurableOptions, DurableServer};
+    use vcps_sim::{DurableOptions, DurableServer, FlushPolicy};
 
     const WAL_RSUS: usize = 256;
-    const WAL_BITS: usize = 1 << 18;
-    const WAL_FILL: f64 = 0.01;
+    const WAL_BITS: usize = 1 << 20;
+    const WAL_FILL: f64 = 0.00025;
     const WAL_SHARDS: usize = 4;
     const CHECKPOINT_EVERY: u64 = 64;
+    const GROUP_COMMIT: [u64; 4] = [1, 16, 64, 256];
     let scheme = Scheme::variable(2, 3.0, 1).expect("valid scheme");
-    let calls = samples.max(1) + 1;
     let obs = vcps_obs::Obs::disabled();
     let dir = std::env::temp_dir().join(format!("vcps-bench-wal-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create wal bench dir");
+    let master = shard_ingest_workload(WAL_RSUS, WAL_BITS, WAL_FILL, 1)
+        .pop()
+        .expect("one copy");
 
-    let mut pool = shard_ingest_workload(WAL_RSUS, WAL_BITS, WAL_FILL, calls);
-    let off_ns = median_ns(samples, || {
-        let frames = pool.pop().expect("pool sized to the sample count");
-        let mut server =
-            ShardedServer::new(scheme.clone(), 1.0, WAL_SHARDS).expect("valid shard count");
-        for frame in frames {
-            server.receive_sequenced(frame);
+    let mut durable_modes: Vec<(String, DurableOptions)> = vec![
+        ("wal".to_string(), DurableOptions::log_only()),
+        (
+            "wal+checkpoint".to_string(),
+            DurableOptions::log_only().with_checkpoint_every(CHECKPOINT_EVERY),
+        ),
+    ];
+    for &every in &GROUP_COMMIT {
+        durable_modes.push((
+            format!("group_commit_{every}"),
+            DurableOptions::log_only().with_flush(FlushPolicy::EveryRecords(every)),
+        ));
+    }
+
+    let rounds = samples.max(5);
+    let mut modes: Vec<Box<dyn FnMut() -> u128 + '_>> = Vec::new();
+    // Server construction happens before the clock starts on every
+    // mode: `DurableServer::create` truncates the log, rewrites the
+    // magic, and fsyncs — fixed setup cost, not the per-upload
+    // steady-state durability work these rows price.
+    modes.push(Box::new({
+        let scheme = scheme.clone();
+        let master = master.clone();
+        move || {
+            let frames = master.clone();
+            let mut server =
+                ShardedServer::new(scheme.clone(), 1.0, WAL_SHARDS).expect("valid shard count");
+            let start = Instant::now();
+            for frame in frames {
+                server.receive_sequenced(frame);
+            }
+            assert_eq!(server.upload_count(), WAL_RSUS);
+            start.elapsed().as_nanos()
         }
-        assert_eq!(server.upload_count(), WAL_RSUS);
-    });
+    }));
+    for (label, options) in &durable_modes {
+        // One directory per mode; `create` truncates the log on every
+        // sample, so the timed region stays free of cross-sample state.
+        let mode_dir = dir.join(label);
+        std::fs::create_dir_all(&mode_dir).expect("create wal mode dir");
+        modes.push(Box::new({
+            let scheme = scheme.clone();
+            let master = master.clone();
+            let obs = obs.clone();
+            let options = *options;
+            move || {
+                let frames = master.clone();
+                let mut server = DurableServer::create(
+                    scheme.clone(),
+                    1.0,
+                    WAL_SHARDS,
+                    &mode_dir,
+                    options,
+                    &obs,
+                )
+                .expect("create durable server");
+                let start = Instant::now();
+                for frame in frames {
+                    server.receive_sequenced(frame).expect("logged ingest");
+                }
+                server.flush_wal().expect("flush buffered tail");
+                assert_eq!(server.server().upload_count(), WAL_RSUS);
+                start.elapsed().as_nanos()
+            }
+        }));
+    }
+    let mins = interleaved_min_ns(rounds, &mut modes);
+    drop(modes);
+
+    let off_ns = mins[0];
     let rate = |ns: u128| WAL_RSUS as f64 * 1e9 / ns as f64; // uploads/s
     println!(
         "wal     off             {off_ns:>11} ns   {:>10.0} uploads/s",
@@ -535,26 +722,8 @@ fn bench_wal(samples: usize) -> String {
          \"uploads_per_s\": {:.0}, \"slowdown_vs_off\": 1.000}}",
         rate(off_ns)
     );
-    for (mode, options) in [
-        ("wal", DurableOptions::log_only()),
-        (
-            "wal+checkpoint",
-            DurableOptions::log_only().with_checkpoint_every(CHECKPOINT_EVERY),
-        ),
-    ] {
-        // `create` truncates the log, so reusing one directory across
-        // samples keeps the timed region free of setup work.
-        let mut pool = shard_ingest_workload(WAL_RSUS, WAL_BITS, WAL_FILL, calls);
-        let wal_ns = median_ns(samples, || {
-            let frames = pool.pop().expect("pool sized to the sample count");
-            let mut server =
-                DurableServer::create(scheme.clone(), 1.0, WAL_SHARDS, &dir, options, &obs)
-                    .expect("create durable server");
-            for frame in frames {
-                server.receive_sequenced(frame).expect("logged ingest");
-            }
-            assert_eq!(server.server().upload_count(), WAL_RSUS);
-        });
+    for (i, (mode, _)) in durable_modes.iter().enumerate() {
+        let wal_ns = mins[i + 1];
         let slowdown = wal_ns as f64 / off_ns as f64;
         let _ = write!(
             rows,
@@ -571,7 +740,8 @@ fn bench_wal(samples: usize) -> String {
     format!(
         "{{\n  \"workload\": {{\"rsus\": {WAL_RSUS}, \"array_bits\": {WAL_BITS}, \
          \"fill\": {WAL_FILL}, \"shards\": {WAL_SHARDS}, \
-         \"checkpoint_every\": {CHECKPOINT_EVERY}, \"samples\": {samples}}},\n  \
+         \"checkpoint_every\": {CHECKPOINT_EVERY}, \
+         \"group_commit\": [1, 16, 64, 256], \"samples\": {samples}}},\n  \
          \"results\": [\n{rows}\n  ]\n}}\n"
     )
 }

@@ -73,6 +73,48 @@ const RECORD_HEADER: usize = 16;
 /// length ‖ `u64` checksum.
 const CHECKPOINT_HEADER: usize = 8 + 24;
 
+/// When a [`WalWriter`] flushes its append buffer (writes it to the
+/// file and fsyncs) — the group-commit knob (DESIGN.md §18).
+///
+/// Durability is a *prefix* property under every policy: records reach
+/// stable storage strictly in append order, so a crash loses at most
+/// the buffered tail past the last flush boundary — never a record in
+/// the middle. The trade is explicit: per-record flushing pays one
+/// fsync per record; grouped policies amortize that fsync over many
+/// records at the cost of a bounded, caller-chosen window of
+/// acknowledged-but-volatile appends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Flush and fsync after every appended record: maximum durability,
+    /// one fsync per record. The default, and the pre-group-commit
+    /// behavior of the durable server.
+    #[default]
+    PerRecord,
+    /// Flush and fsync once this many records have accumulated in the
+    /// buffer (group commit). Must be positive; `EveryRecords(1)` is
+    /// equivalent to [`PerRecord`](FlushPolicy::PerRecord).
+    EveryRecords(u64),
+    /// Flush and fsync once the buffer holds at least this many bytes
+    /// (headers included). Must be positive.
+    EveryBytes(u64),
+    /// Flush only on an explicit [`WalWriter::sync`] — the caller owns
+    /// the boundary (e.g. once per period).
+    Manual,
+}
+
+impl FlushPolicy {
+    /// Whether the buffer state (`records` buffered records spanning
+    /// `bytes` bytes) makes a flush due under this policy.
+    fn due(self, records: u64, bytes: u64) -> bool {
+        match self {
+            FlushPolicy::PerRecord => true,
+            FlushPolicy::EveryRecords(n) => records >= n,
+            FlushPolicy::EveryBytes(t) => bytes >= t,
+            FlushPolicy::Manual => false,
+        }
+    }
+}
+
 /// FNV-1a 64 over a byte slice — the same hand-rolled checksum the
 /// batch wire format uses (`vcps-sim` keeps its own private copy; the
 /// constants are the algorithm, so the two cannot drift). It catches
@@ -169,22 +211,41 @@ fn io_err(op: &'static str, path: &Path, e: &std::io::Error) -> DurabilityError 
     }
 }
 
-/// An append-only write-ahead log file.
+/// An append-only write-ahead log file with group commit.
 ///
 /// Records are `u64 length ‖ u64 fnv1a-64 ‖ payload`, big-endian,
-/// after an 8-byte magic prefix. [`append`](WalWriter::append) buffers
-/// through the OS; call [`sync`](WalWriter::sync) to force the record
-/// to stable storage before acknowledging whatever it logs.
+/// after an 8-byte magic prefix. [`append`](WalWriter::append) stages
+/// each record in a user-space buffer and flushes (file write + fsync)
+/// according to the writer's [`FlushPolicy`]; [`sync`](WalWriter::sync)
+/// forces an immediate flush. Records become durable strictly in
+/// append order, so the on-disk log is always a prefix of the appended
+/// sequence.
+///
+/// Dropping the writer deliberately does **not** flush: a process
+/// crash is exactly the event group commit trades against, and the
+/// drop path models it — only records covered by a completed flush
+/// survive.
 #[derive(Debug)]
 pub struct WalWriter {
     file: File,
     path: PathBuf,
     len: u64,
     records: u64,
+    policy: FlushPolicy,
+    buf: Vec<u8>,
+    buffered_records: u64,
+    flushes: u64,
+    /// Bytes have reached the file since the last fsync (so the next
+    /// [`sync`](WalWriter::sync) must actually fsync).
+    dirty: bool,
 }
 
 impl WalWriter {
     /// Creates (or truncates) a WAL file and writes the magic prefix.
+    /// The writer starts under [`FlushPolicy::PerRecord`]; use
+    /// [`with_flush_policy`](WalWriter::with_flush_policy) or
+    /// [`set_flush_policy`](WalWriter::set_flush_policy) to opt into
+    /// group commit.
     ///
     /// # Errors
     ///
@@ -205,6 +266,11 @@ impl WalWriter {
             path,
             len: WAL_MAGIC.len() as u64,
             records: 0,
+            policy: FlushPolicy::default(),
+            buf: Vec::new(),
+            buffered_records: 0,
+            flushes: 0,
+            dirty: true,
         })
     }
 
@@ -234,48 +300,122 @@ impl WalWriter {
             path,
             len: scan.valid_len,
             records: scan.records.len() as u64,
+            policy: FlushPolicy::default(),
+            buf: Vec::new(),
+            buffered_records: 0,
+            flushes: 0,
+            dirty: true,
         })
     }
 
-    /// Appends one record. The bytes reach the OS; durability against
-    /// power loss additionally needs [`sync`](WalWriter::sync).
+    /// Sets the flush policy, builder-style.
+    #[must_use]
+    pub fn with_flush_policy(mut self, policy: FlushPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the flush policy in place. Already-buffered records keep
+    /// waiting for the next flush trigger (or explicit
+    /// [`sync`](WalWriter::sync)); tightening the policy only governs
+    /// subsequent appends.
+    pub fn set_flush_policy(&mut self, policy: FlushPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active flush policy.
+    #[must_use]
+    pub fn flush_policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// Appends one record to the group-commit buffer, flushing (file
+    /// write + fsync) if the writer's [`FlushPolicy`] says the batch is
+    /// due. Under [`FlushPolicy::PerRecord`] (the default) the record
+    /// is durable when this returns; under grouped policies it is
+    /// durable once a later flush covers it.
     ///
     /// # Errors
     ///
-    /// Returns [`DurabilityError::Io`] on a write failure (the writer
-    /// should be considered poisoned: the file may hold a torn record,
-    /// which the next tolerant scan will discard).
+    /// Returns [`DurabilityError::Io`] on a write or fsync failure (the
+    /// writer should be considered poisoned: the file may hold a torn
+    /// record, which the next tolerant scan will discard).
     pub fn append(&mut self, payload: &[u8]) -> Result<(), DurabilityError> {
-        let mut record = Vec::with_capacity(RECORD_HEADER + payload.len());
-        record.extend_from_slice(&(payload.len() as u64).to_be_bytes());
-        record.extend_from_slice(&fnv1a_64(payload).to_be_bytes());
-        record.extend_from_slice(payload);
-        self.file
-            .write_all(&record)
-            .map_err(|e| io_err("append", &self.path, &e))?;
-        self.len += record.len() as u64;
+        self.buf.reserve(RECORD_HEADER + payload.len());
+        self.buf
+            .extend_from_slice(&(payload.len() as u64).to_be_bytes());
+        self.buf.extend_from_slice(&fnv1a_64(payload).to_be_bytes());
+        self.buf.extend_from_slice(payload);
+        self.len += (RECORD_HEADER + payload.len()) as u64;
         self.records += 1;
+        self.buffered_records += 1;
+        if self
+            .policy
+            .due(self.buffered_records, self.buf.len() as u64)
+        {
+            self.sync()?;
+        }
         Ok(())
     }
 
-    /// Forces everything appended so far to stable storage.
+    /// Flushes the group-commit buffer and forces everything appended
+    /// so far to stable storage. A no-op (no fsync counted) when
+    /// nothing new reached the file since the last flush.
     ///
     /// # Errors
     ///
-    /// Returns [`DurabilityError::Io`] if the fsync fails.
+    /// Returns [`DurabilityError::Io`] if the write or fsync fails.
     pub fn sync(&mut self) -> Result<(), DurabilityError> {
-        self.file
-            .sync_data()
-            .map_err(|e| io_err("fsync", &self.path, &e))
+        if !self.buf.is_empty() {
+            self.file
+                .write_all(&self.buf)
+                .map_err(|e| io_err("append", &self.path, &e))?;
+            self.buf.clear();
+            self.buffered_records = 0;
+            self.dirty = true;
+        }
+        if self.dirty {
+            self.file
+                .sync_data()
+                .map_err(|e| io_err("fsync", &self.path, &e))?;
+            self.dirty = false;
+            self.flushes += 1;
+        }
+        Ok(())
     }
 
-    /// Records appended (including those found by a resume scan).
+    /// Records appended (including those found by a resume scan and
+    /// those still waiting in the group-commit buffer).
     #[must_use]
     pub fn record_count(&self) -> u64 {
         self.records
     }
 
-    /// Current file length in bytes (magic prefix included).
+    /// Completed flushes (buffer write + fsync) so far — the metric
+    /// group commit exists to shrink.
+    #[must_use]
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Records currently staged in the group-commit buffer — appended
+    /// and acknowledged, but not yet durable. A crash now loses exactly
+    /// these.
+    #[must_use]
+    pub fn buffered_records(&self) -> u64 {
+        self.buffered_records
+    }
+
+    /// Bytes currently staged in the group-commit buffer (record
+    /// headers included).
+    #[must_use]
+    pub fn buffered_bytes(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Logical log length in bytes (magic prefix and buffered records
+    /// included). After [`sync`](WalWriter::sync) this equals the file
+    /// length on disk.
     #[must_use]
     pub fn len(&self) -> u64 {
         self.len
@@ -685,6 +825,132 @@ mod tests {
         let rescan = read_wal(&path).unwrap();
         assert_eq!(rescan.records, vec![b"alpha".to_vec(), b"gamma".to_vec()]);
         assert_eq!(rescan.tail_error, None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Per-record (default) policy: every append is flushed, so the
+    /// on-disk log always matches the logical log.
+    #[test]
+    fn per_record_policy_flushes_every_append() {
+        let dir = temp_dir("flush-per-record");
+        let path = dir.join("frames.wal");
+        let mut writer = WalWriter::create(&path).unwrap();
+        assert_eq!(writer.flush_policy(), FlushPolicy::PerRecord);
+        for i in 0u8..4 {
+            writer.append(&[i; 9]).unwrap();
+            assert_eq!(writer.buffered_records(), 0);
+            assert_eq!(fs::metadata(&path).unwrap().len(), writer.len());
+        }
+        assert_eq!(writer.flushes(), 4);
+        // A redundant sync with nothing new is a no-op, not an fsync.
+        writer.sync().unwrap();
+        assert_eq!(writer.flushes(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Manual policy: appends stay invisible to the file until an
+    /// explicit sync, then everything lands at once.
+    #[test]
+    fn manual_policy_buffers_until_explicit_sync() {
+        let dir = temp_dir("flush-manual");
+        let path = dir.join("frames.wal");
+        let mut writer = WalWriter::create(&path)
+            .unwrap()
+            .with_flush_policy(FlushPolicy::Manual);
+        let payloads: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; 7]).collect();
+        for p in &payloads {
+            writer.append(p).unwrap();
+        }
+        assert_eq!(writer.buffered_records(), 5);
+        assert!(writer.buffered_bytes() > 0);
+        assert_eq!(writer.flushes(), 0);
+        // Only the magic prefix is on disk so far.
+        assert_eq!(fs::metadata(&path).unwrap().len(), WAL_MAGIC.len() as u64);
+        writer.sync().unwrap();
+        assert_eq!(writer.buffered_records(), 0);
+        assert_eq!(writer.buffered_bytes(), 0);
+        assert_eq!(writer.flushes(), 1);
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records, payloads);
+        assert_eq!(scan.valid_len, writer.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// EveryRecords(n): one flush per n appends, and the on-disk log is
+    /// always the longest flushed prefix.
+    #[test]
+    fn every_records_policy_groups_appends() {
+        let dir = temp_dir("flush-every-records");
+        let path = dir.join("frames.wal");
+        let mut writer = WalWriter::create(&path)
+            .unwrap()
+            .with_flush_policy(FlushPolicy::EveryRecords(3));
+        for i in 0u8..7 {
+            writer.append(&[i; 5]).unwrap();
+            let on_disk = read_wal(&path).unwrap().records.len() as u64;
+            assert_eq!(on_disk, writer.record_count() - writer.buffered_records());
+            assert_eq!(on_disk, (u64::from(i) + 1) / 3 * 3);
+        }
+        assert_eq!(writer.flushes(), 2);
+        assert_eq!(writer.buffered_records(), 1);
+        writer.sync().unwrap();
+        assert_eq!(writer.flushes(), 3);
+        assert_eq!(read_wal(&path).unwrap().records.len(), 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// EveryBytes(t): flushes trigger on buffered byte volume, headers
+    /// included.
+    #[test]
+    fn every_bytes_policy_groups_by_volume() {
+        let dir = temp_dir("flush-every-bytes");
+        let path = dir.join("frames.wal");
+        // Each record is 16 + 10 = 26 bytes; threshold 52 → flush every
+        // second append.
+        let mut writer = WalWriter::create(&path)
+            .unwrap()
+            .with_flush_policy(FlushPolicy::EveryBytes(52));
+        writer.append(&[1; 10]).unwrap();
+        assert_eq!(writer.buffered_records(), 1);
+        assert_eq!(writer.flushes(), 0);
+        writer.append(&[2; 10]).unwrap();
+        assert_eq!(writer.buffered_records(), 0);
+        assert_eq!(writer.flushes(), 1);
+        // A single oversized record flushes immediately.
+        writer.append(&[3; 100]).unwrap();
+        assert_eq!(writer.buffered_records(), 0);
+        assert_eq!(writer.flushes(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Dropping a writer with a buffered tail models a crash: exactly
+    /// the unflushed records are lost, and the survivors are a clean
+    /// prefix a resumed writer can extend.
+    #[test]
+    fn drop_without_sync_loses_exactly_the_buffered_tail() {
+        let dir = temp_dir("flush-crash");
+        let path = dir.join("frames.wal");
+        let payloads: Vec<Vec<u8>> = (0u8..8).map(|i| vec![i; 12]).collect();
+        {
+            let mut writer = WalWriter::create(&path)
+                .unwrap()
+                .with_flush_policy(FlushPolicy::EveryRecords(3));
+            for p in &payloads {
+                writer.append(p).unwrap();
+            }
+            assert_eq!(writer.buffered_records(), 2);
+            // Crash: drop without sync.
+        }
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records, payloads[..6].to_vec());
+        assert_eq!(scan.tail_error, None, "a lost tail is not a torn tail");
+        let mut resumed = WalWriter::resume(&path, &scan)
+            .unwrap()
+            .with_flush_policy(FlushPolicy::EveryRecords(3));
+        assert_eq!(resumed.record_count(), 6);
+        resumed.append(b"after-crash").unwrap();
+        resumed.sync().unwrap();
+        assert_eq!(read_wal(&path).unwrap().records.len(), 7);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -5,8 +5,10 @@
 //!
 //! # Recovery model
 //!
-//! Every wire frame that reaches ingestion is appended to the WAL (and
-//! fsynced) *before* it is applied — any outcome, not just `Fresh`:
+//! Every wire frame that reaches ingestion is appended to the WAL
+//! *before* it is applied (fsynced per record by default, or batched
+//! under a group-commit [`FlushPolicy`] — see DESIGN.md §18) — any
+//! outcome, not just `Fresh`:
 //! replaying the full arrival stream through the very same
 //! [`ShardedServer::receive_sequenced`] / [`receive_batch`] paths
 //! reproduces dedup and sequencing decisions *by construction*, instead
@@ -35,10 +37,10 @@
 use std::path::{Path, PathBuf};
 
 use vcps_core::CoreError;
-use vcps_durable::{read_wal, CheckpointStore, DurabilityError, WalWriter};
+use vcps_durable::{read_wal, CheckpointStore, DurabilityError, FlushPolicy, WalWriter};
 use vcps_obs::{Obs, Phase};
 
-use crate::protocol::{BatchUpload, CheckpointSet, SequencedUpload};
+use crate::protocol::{BatchUpload, BatchUploadRef, CheckpointSet, SequencedUpload};
 use crate::{ReceiveOutcome, ShardedServer, SimError};
 
 /// File name of the frame log inside a durability directory.
@@ -54,6 +56,13 @@ pub struct DurableOptions {
     /// records (`None`: log-only, recovery replays from the start).
     /// Must be positive when set.
     pub checkpoint_interval: Option<u64>,
+    /// When WAL appends are flushed to stable storage (group commit,
+    /// DESIGN.md §18). The default, [`FlushPolicy::PerRecord`], keeps
+    /// the original acknowledge-after-fsync semantics; grouped policies
+    /// trade a bounded window of acknowledged-but-volatile frames for
+    /// an order-of-magnitude fsync reduction. Thresholded policies must
+    /// be positive.
+    pub flush: FlushPolicy,
 }
 
 impl DurableOptions {
@@ -70,11 +79,27 @@ impl DurableOptions {
         self
     }
 
+    /// Sets the WAL group-commit flush policy.
+    #[must_use]
+    pub fn with_flush(mut self, flush: FlushPolicy) -> Self {
+        self.flush = flush;
+        self
+    }
+
     fn validate(&self) -> Result<(), SimError> {
         if self.checkpoint_interval == Some(0) {
             return Err(SimError::Core(CoreError::InvalidConfig {
                 parameter: "checkpoint_interval",
                 reason: "must be positive when set".to_string(),
+            }));
+        }
+        if matches!(
+            self.flush,
+            FlushPolicy::EveryRecords(0) | FlushPolicy::EveryBytes(0)
+        ) {
+            return Err(SimError::Core(CoreError::InvalidConfig {
+                parameter: "flush",
+                reason: "flush threshold must be positive".to_string(),
             }));
         }
         Ok(())
@@ -136,7 +161,7 @@ impl DurableServer {
         // Opening the checkpoint store first creates `dir` itself (the
         // store's directory is nested inside it).
         let store = CheckpointStore::open(dir.join(CHECKPOINT_DIR))?;
-        let wal = WalWriter::create(dir.join(WAL_FILE))?;
+        let wal = WalWriter::create(dir.join(WAL_FILE))?.with_flush_policy(options.flush);
         let inner = ShardedServer::new(scheme, history_alpha, shard_count)?.with_obs(obs.clone());
         Ok(Self {
             inner,
@@ -185,10 +210,15 @@ impl DurableServer {
             let file_len = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
             let scan = read_wal(&wal_path)?;
             let truncated = file_len.saturating_sub(scan.valid_len);
-            let wal = WalWriter::resume(&wal_path, &scan)?;
+            let wal = WalWriter::resume(&wal_path, &scan)?.with_flush_policy(options.flush);
             (scan.records, scan.tail_error, truncated, wal)
         } else {
-            (Vec::new(), None, 0, WalWriter::create(&wal_path)?)
+            (
+                Vec::new(),
+                None,
+                0,
+                WalWriter::create(&wal_path)?.with_flush_policy(options.flush),
+            )
         };
         let total = records.len() as u64;
         // A checkpoint is only usable if the surviving log prefix
@@ -250,14 +280,17 @@ impl DurableServer {
     }
 
     /// Applies one logged wire frame through the normal receive paths,
-    /// dispatching on its tag byte.
+    /// dispatching on its tag byte. Replay runs the zero-copy decode —
+    /// the same validation the owned decoders perform, without the
+    /// per-frame materialization.
     fn replay_frame(inner: &mut ShardedServer, frame: &[u8]) -> Result<(), SimError> {
         match frame.first() {
             Some(5) => {
-                let _ = inner.receive_sequenced(SequencedUpload::decode(frame)?);
+                let view = crate::protocol::SequencedUploadRef::decode_ref(frame)?;
+                let _ = inner.receive_sequenced_ref(&view);
             }
             Some(6) => {
-                let _ = inner.receive_batch(BatchUpload::decode(frame)?);
+                let _ = inner.receive_batch_wire(frame)?;
             }
             _ => {
                 return Err(SimError::MalformedMessage {
@@ -268,17 +301,20 @@ impl DurableServer {
         Ok(())
     }
 
-    /// Appends one frame to the WAL and fsyncs it — the write-ahead
-    /// step, always before the in-memory apply.
+    /// Appends one frame to the WAL — the write-ahead step, always
+    /// before the in-memory apply. Whether the append is fsynced here
+    /// (per-record) or batched into a later group commit is the
+    /// [`FlushPolicy`]'s call; `wal.fsync` counts the flushes that
+    /// actually happened.
     fn log_frame(&mut self, frame: &[u8]) -> Result<(), SimError> {
         let obs = self.inner.obs().clone();
         let _timer = obs.phase(Phase::WalAppend);
+        let flushes_before = self.wal.flushes();
         self.wal.append(frame)?;
-        self.wal.sync()?;
         self.records_logged += 1;
         obs.inc("wal.append");
         obs.add("wal.append.bytes", frame.len() as u64);
-        obs.inc("wal.fsync");
+        obs.add("wal.fsync", self.wal.flushes() - flushes_before);
         Ok(())
     }
 
@@ -292,13 +328,35 @@ impl DurableServer {
         Ok(())
     }
 
-    /// Publishes a whole-deployment checkpoint covering everything
-    /// logged so far, unconditionally.
+    /// Flushes any group-commit-buffered WAL records to stable storage
+    /// — the explicit flush boundary for [`FlushPolicy::Manual`] (and
+    /// an early boundary for the thresholded policies). Every frame
+    /// acknowledged before this call is durable once it returns.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Durability`] if publication fails.
+    /// Returns [`SimError::Durability`] if the write or fsync fails.
+    pub fn flush_wal(&mut self) -> Result<(), SimError> {
+        let flushes_before = self.wal.flushes();
+        self.wal.sync()?;
+        self.inner
+            .obs()
+            .add("wal.fsync", self.wal.flushes() - flushes_before);
+        Ok(())
+    }
+
+    /// Publishes a whole-deployment checkpoint covering everything
+    /// logged so far, unconditionally. The WAL is flushed first so the
+    /// checkpoint never claims records the log does not durably hold
+    /// (recovery trusts a checkpoint only as far as the surviving log
+    /// prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Durability`] if the flush or publication
+    /// fails.
     pub fn checkpoint_now(&mut self) -> Result<(), SimError> {
+        self.flush_wal()?;
         let set = self.inner.checkpoint(self.records_logged);
         self.store.publish(self.records_logged, &set.encode())?;
         self.last_checkpoint = self.records_logged;
@@ -334,6 +392,27 @@ impl DurableServer {
     pub fn receive_batch(&mut self, batch: BatchUpload) -> Result<Vec<ReceiveOutcome>, SimError> {
         self.log_frame(&batch.encode())?;
         let outcomes = self.inner.receive_batch(batch);
+        self.maybe_checkpoint()?;
+        Ok(outcomes)
+    }
+
+    /// [`ShardedServer::receive_batch_wire`], write-ahead logged: the
+    /// raw wire bytes are validated once (zero-copy), logged verbatim
+    /// as a single WAL record — no re-encode, the log *is* the wire —
+    /// and applied straight from the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] for a frame
+    /// [`BatchUpload::decode`] would reject (nothing is logged or
+    /// applied), otherwise as
+    /// [`receive_sequenced`](Self::receive_sequenced).
+    pub fn receive_batch_wire(&mut self, wire: &[u8]) -> Result<Vec<ReceiveOutcome>, SimError> {
+        // Validate before logging: a malformed frame must never enter
+        // the log, or replay would fail on it.
+        let batch = BatchUploadRef::decode_ref(wire)?;
+        self.log_frame(wire)?;
+        let outcomes = self.inner.receive_batch_ref(&batch);
         self.maybe_checkpoint()?;
         Ok(outcomes)
     }
@@ -715,6 +794,128 @@ mod tests {
             DurableServer::recover(scheme(), 1.0, 4, &dir, DurableOptions::log_only(), &obs)
                 .unwrap();
         assert_eq!(report.replayed_records, 8);
+        assert_eq!(recovered.server().checkpoint(0), reference.checkpoint(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The wire batch path logs the raw wire bytes as one record —
+    /// byte-identical to the frame that arrived — and replays to the
+    /// same state as the owned path.
+    #[test]
+    fn batch_wire_logs_raw_bytes_and_replays() {
+        let dir = temp_dir("batch-wire");
+        let obs = Obs::disabled();
+        let mut durable =
+            DurableServer::create(scheme(), 1.0, 2, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        let mut reference = ShardedServer::new(scheme(), 1.0, 2).unwrap();
+        let batch =
+            BatchUpload::new(vec![sequenced(1, 0, &[5]), sequenced(2, 0, &[6, 7])]).unwrap();
+        let wire = batch.encode();
+        let expected = reference.receive_batch(batch);
+        assert_eq!(durable.receive_batch_wire(&wire).unwrap(), expected);
+        assert_eq!(durable.records_logged(), 1, "one record per batch");
+        // The log holds the wire bytes verbatim — no re-encode drift.
+        let logged = read_wal(durable.wal_path()).unwrap();
+        assert_eq!(logged.records, vec![wire.to_vec()]);
+        // A malformed wire is rejected without logging anything.
+        assert!(durable.receive_batch_wire(&wire[..wire.len() - 1]).is_err());
+        assert_eq!(durable.records_logged(), 1);
+        drop(durable);
+        let (recovered, report) =
+            DurableServer::recover(scheme(), 1.0, 2, &dir, DurableOptions::log_only(), &obs)
+                .unwrap();
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(recovered.server().checkpoint(0), reference.checkpoint(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn options_reject_zero_flush_thresholds() {
+        let dir = temp_dir("flush-opts");
+        for flush in [FlushPolicy::EveryRecords(0), FlushPolicy::EveryBytes(0)] {
+            assert!(DurableServer::create(
+                scheme(),
+                1.0,
+                2,
+                &dir,
+                DurableOptions::log_only().with_flush(flush),
+                &Obs::disabled(),
+            )
+            .is_err());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Group commit: a crash loses exactly the buffered (unflushed)
+    /// tail, and recovery reproduces the state of a reference server
+    /// fed the surviving prefix. `finish_period` (checkpoint) is a
+    /// flush boundary, so a closed period is never lost.
+    #[test]
+    fn group_commit_crash_loses_only_the_buffered_tail() {
+        let dir = temp_dir("group-commit");
+        let obs = Obs::disabled();
+        let options = DurableOptions::log_only().with_flush(FlushPolicy::EveryRecords(3));
+        let mut durable = DurableServer::create(scheme(), 1.0, 2, &dir, options, &obs).unwrap();
+        // 8 frames under flush-every-3: records 1..=6 are flushed, 7–8
+        // sit in the buffer when the crash hits.
+        let frames: Vec<SequencedUpload> =
+            (1..=8u64).map(|r| sequenced(r, 0, &[r as usize])).collect();
+        for f in &frames {
+            durable.receive_sequenced(f.clone()).unwrap();
+        }
+        drop(durable); // crash: buffered tail gone
+        let (recovered, report) =
+            DurableServer::recover(scheme(), 1.0, 2, &dir, options, &obs).unwrap();
+        assert_eq!(report.tail_error, None, "a lost tail is not a torn tail");
+        assert_eq!(recovered.records_logged(), 6);
+        let mut reference = ShardedServer::new(scheme(), 1.0, 2).unwrap();
+        for f in &frames[..6] {
+            reference.receive_sequenced(f.clone());
+        }
+        assert_eq!(recovered.server().checkpoint(0), reference.checkpoint(0));
+
+        // Same stream, but with an explicit flush boundary before the
+        // crash: nothing is lost.
+        let dir2 = temp_dir("group-commit-flushed");
+        let mut durable = DurableServer::create(scheme(), 1.0, 2, &dir2, options, &obs).unwrap();
+        let mut reference = ShardedServer::new(scheme(), 1.0, 2).unwrap();
+        for f in &frames {
+            durable.receive_sequenced(f.clone()).unwrap();
+            reference.receive_sequenced(f.clone());
+        }
+        durable.flush_wal().unwrap();
+        drop(durable);
+        let (recovered, _) =
+            DurableServer::recover(scheme(), 1.0, 2, &dir2, options, &obs).unwrap();
+        assert_eq!(recovered.records_logged(), 8);
+        assert_eq!(recovered.server().checkpoint(0), reference.checkpoint(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    /// A checkpoint must never claim records the log does not durably
+    /// hold: under Manual flushing, `checkpoint_now` (and thus
+    /// `finish_period`) flushes the WAL before publishing, so the
+    /// recovered checkpoint is always covered by the log prefix.
+    #[test]
+    fn checkpoint_flushes_buffered_records_first() {
+        let dir = temp_dir("ckpt-flush");
+        let obs = Obs::disabled();
+        let options = DurableOptions::log_only().with_flush(FlushPolicy::Manual);
+        let mut durable = DurableServer::create(scheme(), 1.0, 2, &dir, options, &obs).unwrap();
+        let mut reference = ShardedServer::new(scheme(), 1.0, 2).unwrap();
+        for f in [sequenced(1, 0, &[5]), sequenced(2, 0, &[6])] {
+            durable.receive_sequenced(f.clone()).unwrap();
+            reference.receive_sequenced(f);
+        }
+        durable.finish_period().unwrap();
+        reference.finish_period().unwrap();
+        drop(durable); // no explicit flush after the checkpoint
+        let (recovered, report) =
+            DurableServer::recover(scheme(), 1.0, 2, &dir, options, &obs).unwrap();
+        assert_eq!(report.checkpoint_records, 2, "checkpoint covered by log");
+        assert_eq!(recovered.server().upload_count(), 0);
         assert_eq!(recovered.server().checkpoint(0), reference.checkpoint(0));
         std::fs::remove_dir_all(&dir).unwrap();
     }

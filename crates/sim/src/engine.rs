@@ -757,10 +757,11 @@ pub fn run_network_period_sharded_threads_obs(
                 upload: rsu.upload(),
             })
             .collect();
-        // One wire frame for the whole period, round-tripped through the
-        // codec so the batch layout is exercised end to end.
+        // One wire frame for the whole period, ingested through the
+        // zero-copy wire path so the batch layout is exercised end to
+        // end.
         let wire = BatchUpload::new(frames)?.encode();
-        let _ = server.receive_batch(BatchUpload::decode(&wire)?);
+        let _ = server.receive_batch_wire(&wire)?;
     }
     Ok(ShardedNetworkRun { server, exchanges })
 }
@@ -1099,7 +1100,7 @@ pub fn run_network_period_durable_sharded_threads_obs(
             })
             .collect();
         let wire = BatchUpload::new(frames)?.encode();
-        let _ = server.receive_batch(BatchUpload::decode(&wire)?)?;
+        let _ = server.receive_batch_wire(&wire)?;
         if crash.is_some() && recovery.is_none() {
             drop(server);
             let (recovered, report) =

@@ -76,10 +76,12 @@ pub use faults::{
 pub use mac::MacAddress;
 pub use metrics::{CommunicationMetrics, FaultMetrics, LinkMetrics};
 pub use protocol::{
-    BatchUpload, BitReport, CheckpointSet, PeriodUpload, Query, SequencedUpload, ServerCheckpoint,
+    BatchUpload, BatchUploadRef, BitReport, CheckpointSet, PeriodUpload, PeriodUploadRef, Query,
+    SequencedUpload, SequencedUploadRef, ServerCheckpoint,
 };
 pub use rsu::SimRsu;
 pub use runner::{PairOutcome, PairRunner};
 pub use server::{CentralServer, OdMatrix, ReceiveOutcome};
 pub use shard::{shard_for, ShardedServer};
+pub use vcps_durable::FlushPolicy;
 pub use vehicle::SimVehicle;

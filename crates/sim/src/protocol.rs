@@ -503,6 +503,469 @@ impl BatchUpload {
     }
 }
 
+/// Reads one big-endian `u64` from an exactly-8-byte slice.
+fn be_u64(bytes: &[u8]) -> u64 {
+    u64::from_be_bytes(bytes.try_into().expect("8-byte slice"))
+}
+
+/// Mask selecting the in-range bits of a bit array's final 64-bit word.
+fn tail_mask(len: usize) -> u64 {
+    match len % 64 {
+        0 => u64::MAX,
+        tail => (1u64 << tail) - 1,
+    }
+}
+
+/// The payload section of a [`PeriodUploadRef`]: a borrowed slice of
+/// the wire frame, dense words or sparse indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UploadPayload<'a> {
+    /// Big-endian 64-bit words, exactly `bits_len.div_ceil(64)` of
+    /// them. Bits beyond `bits_len` in the final word may be set on a
+    /// hostile frame; accessors mask them, mirroring how
+    /// [`BitArray::from_words`] masks the tail on the owned path.
+    Dense(&'a [u8]),
+    /// Big-endian 64-bit set-bit indices, strictly increasing and
+    /// in-range (validated at decode).
+    Sparse(&'a [u8]),
+}
+
+/// A [`PeriodUpload`] parsed as a borrowed view over its wire frame —
+/// the zero-copy half of the ingest hot path (DESIGN.md §18).
+///
+/// [`decode_ref`](PeriodUploadRef::decode_ref) runs the *same*
+/// validation as [`PeriodUpload::decode`] — a frame is accepted by one
+/// iff it is accepted by the other — but allocates nothing: the dense
+/// word block or sparse index list stays a `&[u8]` into the caller's
+/// buffer, exposed through masking accessors. Materialize with
+/// [`to_owned_upload`](PeriodUploadRef::to_owned_upload) only where the
+/// server actually retains the upload (a fresh or conflicting receive);
+/// duplicate detection runs allocation-free via
+/// [`matches`](PeriodUploadRef::matches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodUploadRef<'a> {
+    rsu: RsuId,
+    counter: u64,
+    bits_len: usize,
+    payload: UploadPayload<'a>,
+}
+
+impl<'a> PeriodUploadRef<'a> {
+    /// Parses an upload frame (dense or sparse) into a borrowed view,
+    /// validating exactly what [`PeriodUpload::decode`] validates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] on truncation, a wrong
+    /// tag byte, an inconsistent word/index count, a zero or oversized
+    /// bit-array length, or a non-strictly-increasing / out-of-range
+    /// sparse index list — the same frames the owned decoder rejects.
+    pub fn decode_ref(wire: &'a [u8]) -> Result<Self, SimError> {
+        match wire.first() {
+            Some(&TAG_UPLOAD) => Self::decode_dense_ref(wire),
+            Some(&TAG_UPLOAD_SPARSE) => Self::decode_sparse_ref(wire),
+            _ => Err(SimError::MalformedMessage {
+                reason: "bad upload frame",
+            }),
+        }
+    }
+
+    fn decode_dense_ref(wire: &'a [u8]) -> Result<Self, SimError> {
+        if wire.len() < 1 + 8 * 3 || wire[0] != TAG_UPLOAD {
+            return Err(SimError::MalformedMessage {
+                reason: "bad upload frame",
+            });
+        }
+        let rsu = RsuId(be_u64(&wire[1..9]));
+        let counter = be_u64(&wire[9..17]);
+        let len = be_u64(&wire[17..25]) as usize;
+        if len > MAX_UPLOAD_BITS {
+            return Err(SimError::MalformedMessage {
+                reason: "invalid bit array length in upload",
+            });
+        }
+        let payload = &wire[25..];
+        if payload.len() != len.div_ceil(64) * 8 {
+            return Err(SimError::MalformedMessage {
+                reason: "upload word count mismatch",
+            });
+        }
+        // The owned path rejects zero-length arrays inside
+        // `BitArray::from_words`; the borrowed path must agree.
+        if len == 0 {
+            return Err(SimError::MalformedMessage {
+                reason: "invalid bit array in upload",
+            });
+        }
+        Ok(Self {
+            rsu,
+            counter,
+            bits_len: len,
+            payload: UploadPayload::Dense(payload),
+        })
+    }
+
+    fn decode_sparse_ref(wire: &'a [u8]) -> Result<Self, SimError> {
+        if wire.len() < 1 + 8 * 4 {
+            return Err(SimError::MalformedMessage {
+                reason: "truncated sparse upload",
+            });
+        }
+        let rsu = RsuId(be_u64(&wire[1..9]));
+        let counter = be_u64(&wire[9..17]);
+        let len = be_u64(&wire[17..25]) as usize;
+        let ones = be_u64(&wire[25..33]) as usize;
+        let payload = &wire[33..];
+        if !payload.len().is_multiple_of(8) || ones != payload.len() / 8 {
+            return Err(SimError::MalformedMessage {
+                reason: "sparse upload index count mismatch",
+            });
+        }
+        // `len == 0` folds into the same rejection as the owned path's
+        // failed `BitArray::try_new(0)`.
+        if len == 0 || len > MAX_UPLOAD_BITS || ones > len {
+            return Err(SimError::MalformedMessage {
+                reason: "invalid bit array length in upload",
+            });
+        }
+        let mut prev: Option<u64> = None;
+        for chunk in payload.chunks_exact(8) {
+            let index = be_u64(chunk);
+            if prev.is_some_and(|p| index <= p) {
+                return Err(SimError::MalformedMessage {
+                    reason: "sparse upload indices not strictly increasing",
+                });
+            }
+            prev = Some(index);
+            if index as usize >= len {
+                return Err(SimError::MalformedMessage {
+                    reason: "sparse upload index out of range",
+                });
+            }
+        }
+        Ok(Self {
+            rsu,
+            counter,
+            bits_len: len,
+            payload: UploadPayload::Sparse(payload),
+        })
+    }
+
+    /// The uploading RSU.
+    #[must_use]
+    pub fn rsu(&self) -> RsuId {
+        self.rsu
+    }
+
+    /// The passage counter `n_x`.
+    #[must_use]
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// The bit-array length in bits.
+    #[must_use]
+    pub fn bits_len(&self) -> usize {
+        self.bits_len
+    }
+
+    /// `true` when the frame carried the sparse (index-list) encoding.
+    #[must_use]
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.payload, UploadPayload::Sparse(_))
+    }
+
+    /// Number of set bits — O(1) for sparse frames, one popcount pass
+    /// over the borrowed words for dense frames. No allocation.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        match self.payload {
+            UploadPayload::Sparse(p) => p.len() / 8,
+            UploadPayload::Dense(_) => self
+                .dense_words()
+                .expect("dense payload")
+                .map(|w| w.count_ones() as usize)
+                .sum(),
+        }
+    }
+
+    /// The dense payload as 64-bit words with the out-of-range tail
+    /// masked (so they compare equal to [`BitArray::as_words`]), or
+    /// `None` for a sparse frame.
+    #[must_use]
+    pub fn dense_words(&self) -> Option<impl Iterator<Item = u64> + 'a> {
+        let UploadPayload::Dense(p) = self.payload else {
+            return None;
+        };
+        let last = p.len() / 8 - 1;
+        let mask = tail_mask(self.bits_len);
+        Some(p.chunks_exact(8).enumerate().map(move |(i, chunk)| {
+            let word = be_u64(chunk);
+            if i == last {
+                word & mask
+            } else {
+                word
+            }
+        }))
+    }
+
+    /// The sparse payload as strictly-increasing set-bit indices, or
+    /// `None` for a dense frame.
+    #[must_use]
+    pub fn sparse_indices(&self) -> Option<impl Iterator<Item = u64> + 'a> {
+        let UploadPayload::Sparse(p) = self.payload else {
+            return None;
+        };
+        Some(p.chunks_exact(8).map(be_u64))
+    }
+
+    /// Allocation-free equality against an owned upload — the
+    /// duplicate-detection comparison of the ingest hot path.
+    /// Equivalent to `self.to_owned_upload() == *owned` without
+    /// materializing anything.
+    #[must_use]
+    pub fn matches(&self, owned: &PeriodUpload) -> bool {
+        if self.rsu != owned.rsu
+            || self.counter != owned.counter
+            || self.bits_len != owned.bits.len()
+        {
+            return false;
+        }
+        match self.payload {
+            UploadPayload::Dense(_) => {
+                self.dense_words()
+                    .expect("dense payload")
+                    .eq(owned.bits.as_words().iter().copied())
+            }
+            UploadPayload::Sparse(p) => {
+                p.len() / 8 == owned.bits.count_ones()
+                    && self
+                        .sparse_indices()
+                        .expect("sparse payload")
+                        .eq(owned.bits.ones().map(|i| i as u64))
+            }
+        }
+    }
+
+    /// Materializes the owned upload (the only allocating operation on
+    /// the view). Infallible: every invariant the owned constructors
+    /// check was already validated at decode.
+    #[must_use]
+    pub fn to_owned_upload(&self) -> PeriodUpload {
+        let bits = match self.payload {
+            UploadPayload::Dense(_) => BitArray::from_words(
+                self.dense_words().expect("dense payload").collect(),
+                self.bits_len,
+            )
+            .expect("validated at decode"),
+            UploadPayload::Sparse(_) => {
+                let mut bits = BitArray::try_new(self.bits_len).expect("validated at decode");
+                for index in self.sparse_indices().expect("sparse payload") {
+                    bits.try_set(index as usize).expect("validated at decode");
+                }
+                bits
+            }
+        };
+        PeriodUpload {
+            rsu: self.rsu,
+            counter: self.counter,
+            bits,
+        }
+    }
+}
+
+/// A [`SequencedUpload`] parsed as a borrowed view over its wire frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequencedUploadRef<'a> {
+    seq: u64,
+    upload: PeriodUploadRef<'a>,
+}
+
+impl<'a> SequencedUploadRef<'a> {
+    /// Parses a sequenced upload into a borrowed view, validating
+    /// exactly what [`SequencedUpload::decode`] validates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] on truncation, a wrong
+    /// tag byte, or a malformed inner upload.
+    pub fn decode_ref(wire: &'a [u8]) -> Result<Self, SimError> {
+        if wire.len() < 1 + 8 || wire[0] != TAG_UPLOAD_SEQ {
+            return Err(SimError::MalformedMessage {
+                reason: "bad sequenced upload frame",
+            });
+        }
+        Ok(Self {
+            seq: be_u64(&wire[1..9]),
+            upload: PeriodUploadRef::decode_ref(&wire[9..])?,
+        })
+    }
+
+    /// The per-RSU sequence number.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The wrapped upload view.
+    #[must_use]
+    pub fn upload(&self) -> PeriodUploadRef<'a> {
+        self.upload
+    }
+
+    /// Materializes the owned sequenced upload.
+    #[must_use]
+    pub fn to_owned_upload(&self) -> SequencedUpload {
+        SequencedUpload {
+            seq: self.seq,
+            upload: self.upload.to_owned_upload(),
+        }
+    }
+}
+
+/// A [`BatchUpload`] parsed as a borrowed view: one pass of validation
+/// (headers, per-record checksums, inner frames, canonical `(rsu, seq)`
+/// order, no trailing bytes — byte-for-byte what
+/// [`BatchUpload::decode`] enforces) with zero heap allocation, then
+/// [`frames`](BatchUploadRef::frames) iterates the inner views straight
+/// off the wire buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchUploadRef<'a> {
+    /// The record section of the wire frame (everything after the tag
+    /// and count header), fully validated at construction.
+    records: &'a [u8],
+    count: usize,
+}
+
+impl<'a> BatchUploadRef<'a> {
+    /// Parses a batch frame into a borrowed view, validating exactly
+    /// what [`BatchUpload::decode`] validates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] on truncation, a wrong
+    /// tag byte, a frame count over the wire bound, a record length
+    /// exceeding the remaining bytes, a checksum mismatch, a malformed
+    /// inner frame, inner keys out of canonical order, or trailing
+    /// bytes.
+    pub fn decode_ref(wire: &'a [u8]) -> Result<Self, SimError> {
+        if wire.len() < 1 + 8 || wire[0] != TAG_BATCH {
+            return Err(SimError::MalformedMessage {
+                reason: "bad batch frame",
+            });
+        }
+        let count = be_u64(&wire[1..9]) as usize;
+        if count > MAX_BATCH_FRAMES {
+            return Err(SimError::MalformedMessage {
+                reason: "batch frame count over limit",
+            });
+        }
+        let records = &wire[9..];
+        let mut rest = records;
+        let mut prev: Option<(RsuId, u64)> = None;
+        for _ in 0..count {
+            if rest.len() < 16 {
+                return Err(SimError::MalformedMessage {
+                    reason: "truncated batch record header",
+                });
+            }
+            let frame_len = be_u64(&rest[..8]) as usize;
+            let checksum = be_u64(&rest[8..16]);
+            let body = &rest[16..];
+            // `frame_len` comes straight off the wire: compare against
+            // the remaining byte count (no multiplication, no overflow)
+            // before slicing.
+            if frame_len > body.len() {
+                return Err(SimError::MalformedMessage {
+                    reason: "batch record length exceeds frame",
+                });
+            }
+            let frame = &body[..frame_len];
+            if fnv1a_64(frame) != checksum {
+                return Err(SimError::MalformedMessage {
+                    reason: "batch record checksum mismatch",
+                });
+            }
+            let inner = SequencedUploadRef::decode_ref(frame)?;
+            let key = (inner.upload().rsu(), inner.seq());
+            if prev.is_some_and(|p| key <= p) {
+                return Err(SimError::MalformedMessage {
+                    reason: "batch records not strictly increasing",
+                });
+            }
+            prev = Some(key);
+            rest = &body[frame_len..];
+        }
+        if !rest.is_empty() {
+            return Err(SimError::MalformedMessage {
+                reason: "trailing bytes after batch",
+            });
+        }
+        Ok(Self { records, count })
+    }
+
+    /// Number of inner frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when the batch carries no frames.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the inner frames as borrowed views, in canonical
+    /// `(rsu, seq)` order, allocating nothing. Each step re-parses one
+    /// record from the validated buffer (checksums are not re-verified;
+    /// they already passed at decode).
+    #[must_use]
+    pub fn frames(&self) -> BatchFrames<'a> {
+        BatchFrames {
+            rest: self.records,
+            remaining: self.count,
+        }
+    }
+
+    /// Materializes the owned batch.
+    #[must_use]
+    pub fn to_owned_batch(&self) -> BatchUpload {
+        BatchUpload {
+            frames: self.frames().map(|f| f.to_owned_upload()).collect(),
+        }
+    }
+}
+
+/// Iterator over a validated [`BatchUploadRef`]'s inner frames.
+#[derive(Debug, Clone)]
+pub struct BatchFrames<'a> {
+    rest: &'a [u8],
+    remaining: usize,
+}
+
+impl<'a> Iterator for BatchFrames<'a> {
+    type Item = SequencedUploadRef<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let frame_len = be_u64(&self.rest[..8]) as usize;
+        let body = &self.rest[16..];
+        let frame = &body[..frame_len];
+        self.rest = &body[frame_len..];
+        Some(SequencedUploadRef::decode_ref(frame).expect("validated at batch decode"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for BatchFrames<'_> {}
+
 /// A serialized snapshot of one [`crate::CentralServer`]'s durable
 /// state (wire tag 7): the history smoothing factor, per-RSU historical
 /// averages, per-RSU accepted sequence numbers, and the accumulated
@@ -1086,6 +1549,188 @@ mod tests {
                 reason: "batch records not strictly increasing"
             })
         ));
+    }
+
+    #[test]
+    fn borrowed_views_agree_with_owned_decode_on_valid_frames() {
+        let mut bits = BitArray::new(1024);
+        for i in [0usize, 63, 64, 999] {
+            bits.set(i);
+        }
+        let upload = PeriodUpload {
+            rsu: RsuId(5),
+            counter: 77,
+            bits,
+        };
+        for wire in [upload.encode(), upload.encode_compact()] {
+            let view = PeriodUploadRef::decode_ref(&wire).unwrap();
+            assert_eq!(view.rsu(), upload.rsu);
+            assert_eq!(view.counter(), upload.counter);
+            assert_eq!(view.bits_len(), upload.bits.len());
+            assert_eq!(view.count_ones(), upload.bits.count_ones());
+            assert!(view.matches(&upload));
+            assert_eq!(view.to_owned_upload(), upload);
+        }
+        let dense_wire = upload.encode();
+        let dense = PeriodUploadRef::decode_ref(&dense_wire).unwrap();
+        assert!(!dense.is_sparse());
+        let words: Vec<u64> = dense.dense_words().unwrap().collect();
+        assert_eq!(words, upload.bits.as_words());
+        assert!(dense.sparse_indices().is_none());
+        let sparse_wire = upload.encode_compact();
+        let sparse = PeriodUploadRef::decode_ref(&sparse_wire).unwrap();
+        assert!(sparse.is_sparse());
+        let indices: Vec<u64> = sparse.sparse_indices().unwrap().collect();
+        assert_eq!(indices, vec![0, 63, 64, 999]);
+        assert!(sparse.dense_words().is_none());
+
+        // A differing counter, rsu, or payload must not match.
+        let mut other = upload.clone();
+        other.counter += 1;
+        assert!(!dense.matches(&other));
+        let mut other = upload.clone();
+        other.bits.set(1);
+        assert!(!dense.matches(&other));
+        assert!(!sparse.matches(&other));
+    }
+
+    /// A hostile dense frame with garbage bits beyond `len` in its
+    /// final word is *accepted* by the owned decoder (which masks the
+    /// tail inside `BitArray::from_words`); the borrowed view must
+    /// agree — accept, and mask in every accessor.
+    #[test]
+    fn borrowed_dense_masks_hostile_tail_bits_like_owned() {
+        let mut bits = BitArray::new(100);
+        bits.set(99);
+        let upload = PeriodUpload {
+            rsu: RsuId(2),
+            counter: 1,
+            bits,
+        };
+        let mut wire = upload.encode().to_vec();
+        // Set a bit at logical position 107 (> len) in the final word.
+        let last_word = wire.len() - 8;
+        let owned = PeriodUpload::decode(&wire).unwrap();
+        let tainted_word = be_u64(&wire[last_word..]) | (1 << 43);
+        wire[last_word..].copy_from_slice(&tainted_word.to_be_bytes());
+        let tainted = PeriodUpload::decode(&wire).unwrap();
+        assert_eq!(tainted, owned, "owned decode masks the tail");
+        let view = PeriodUploadRef::decode_ref(&wire).unwrap();
+        assert_eq!(view.count_ones(), 1);
+        assert_eq!(
+            view.dense_words().unwrap().collect::<Vec<u64>>(),
+            owned.bits.as_words()
+        );
+        assert!(view.matches(&owned));
+        assert_eq!(view.to_owned_upload(), owned);
+    }
+
+    /// Owned and borrowed decoders accept and reject exactly the same
+    /// frames across the module's rejection taxonomy.
+    #[test]
+    fn borrowed_views_reject_whatever_owned_rejects() {
+        let good = sequenced(3, 9, &[1, 7, 250]);
+        let upload_wires = [good.upload.encode(), good.upload.encode_compact()];
+        for wire in &upload_wires {
+            for cut in 0..wire.len() {
+                assert_eq!(
+                    PeriodUpload::decode(&wire[..cut]).is_ok(),
+                    PeriodUploadRef::decode_ref(&wire[..cut]).is_ok(),
+                    "truncation at {cut}"
+                );
+            }
+            let mut bad = wire.to_vec();
+            bad[0] = TAG_BATCH;
+            assert!(PeriodUploadRef::decode_ref(&bad).is_err());
+        }
+        // Zero-length arrays: rejected by both, dense and sparse.
+        for tag in [TAG_UPLOAD, TAG_UPLOAD_SPARSE] {
+            let mut wire = BytesMut::new();
+            wire.put_u8(tag);
+            wire.put_u64(1); // rsu
+            wire.put_u64(1); // counter
+            wire.put_u64(0); // zero bit length
+            if tag == TAG_UPLOAD_SPARSE {
+                wire.put_u64(0); // zero indices
+            }
+            let wire = wire.freeze();
+            assert!(PeriodUpload::decode(&wire).is_err());
+            assert!(PeriodUploadRef::decode_ref(&wire).is_err());
+        }
+        // Duplicated and out-of-range sparse indices.
+        let assemble_sparse = |indices: &[u64]| {
+            let mut wire = BytesMut::new();
+            wire.put_u8(TAG_UPLOAD_SPARSE);
+            wire.put_u64(1);
+            wire.put_u64(1);
+            wire.put_u64(64);
+            wire.put_u64(indices.len() as u64);
+            for &i in indices {
+                wire.put_u64(i);
+            }
+            wire.freeze()
+        };
+        for indices in [&[5u64, 5][..], &[9, 3], &[64], &[2, 70]] {
+            let wire = assemble_sparse(indices);
+            assert!(PeriodUpload::decode(&wire).is_err(), "{indices:?}");
+            assert!(PeriodUploadRef::decode_ref(&wire).is_err(), "{indices:?}");
+        }
+        assert!(PeriodUploadRef::decode_ref(&assemble_sparse(&[3, 8, 63])).is_ok());
+
+        // Batch taxonomy: truncation, checksum flip, duplicate record.
+        let batch = BatchUpload::new(vec![sequenced(1, 0, &[5]), good.clone()]).unwrap();
+        let wire = batch.encode();
+        assert!(BatchUploadRef::decode_ref(&wire).is_ok());
+        for cut in 0..wire.len() {
+            assert_eq!(
+                BatchUpload::decode(&wire[..cut]).is_ok(),
+                BatchUploadRef::decode_ref(&wire[..cut]).is_ok(),
+                "batch truncation at {cut}"
+            );
+        }
+        for byte in 0..wire.len() {
+            let mut bad = wire.to_vec();
+            bad[byte] ^= 0x10;
+            assert_eq!(
+                BatchUpload::decode(&bad).is_ok(),
+                BatchUploadRef::decode_ref(&bad).is_ok(),
+                "batch bit flip at byte {byte}"
+            );
+        }
+        let mut trailing = wire.to_vec();
+        trailing.push(0);
+        assert!(BatchUploadRef::decode_ref(&trailing).is_err());
+    }
+
+    #[test]
+    fn batch_frames_iterator_yields_canonical_views() {
+        let frames = vec![
+            sequenced(7, 0, &[1, 2]),
+            sequenced(3, 1, &[9]),
+            sequenced(3, 0, &[4, 200]),
+        ];
+        let batch = BatchUpload::new(frames).unwrap();
+        let wire = batch.encode();
+        let view = BatchUploadRef::decode_ref(&wire).unwrap();
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.frames().len(), 3);
+        let keys: Vec<(u64, u64)> = view
+            .frames()
+            .map(|f| (f.upload().rsu().0, f.seq()))
+            .collect();
+        assert_eq!(keys, [(3, 0), (3, 1), (7, 0)]);
+        for (borrowed, owned) in view.frames().zip(batch.frames()) {
+            assert_eq!(borrowed.seq(), owned.seq);
+            assert!(borrowed.upload().matches(&owned.upload));
+            assert_eq!(borrowed.to_owned_upload(), *owned);
+        }
+        assert_eq!(view.to_owned_batch(), batch);
+
+        let empty_wire = BatchUpload::new(Vec::new()).unwrap().encode();
+        let empty = BatchUploadRef::decode_ref(&empty_wire).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.frames().count(), 0);
     }
 
     fn checkpoint() -> ServerCheckpoint {

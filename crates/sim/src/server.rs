@@ -14,7 +14,7 @@ use vcps_core::estimator::{
 use vcps_core::{CoreError, DegradedEstimate, PairEstimate, RsuId, Scheme, VolumeHistory};
 use vcps_obs::{Level, Obs, Phase, Value};
 
-use crate::protocol::{PeriodUpload, SequencedUpload, ServerCheckpoint};
+use crate::protocol::{PeriodUpload, SequencedUpload, SequencedUploadRef, ServerCheckpoint};
 use crate::SimError;
 
 thread_local! {
@@ -654,6 +654,41 @@ impl CentralServer {
             _ => {
                 self.upload_seqs.insert(rsu, sequenced.seq);
                 self.uploads.insert(rsu, sequenced.upload);
+                self.refresh_caches_for(rsu);
+                ReceiveOutcome::Fresh
+            }
+        };
+        self.note_receive(outcome)
+    }
+
+    /// [`receive_sequenced`](Self::receive_sequenced) over a borrowed
+    /// wire view — the zero-copy ingest path (DESIGN.md §18).
+    ///
+    /// Verdict logic is identical; the difference is allocation
+    /// discipline: stale and duplicate frames (the retransmission
+    /// steady state) are classified without materializing anything —
+    /// duplicate detection compares the view against the stored upload
+    /// via [`crate::protocol::PeriodUploadRef::matches`] — and only a
+    /// fresh or conflicting frame pays
+    /// [`crate::protocol::PeriodUploadRef::to_owned_upload`].
+    pub fn receive_sequenced_ref(&mut self, frame: &SequencedUploadRef<'_>) -> ReceiveOutcome {
+        let rsu = frame.upload().rsu();
+        let outcome = match self.upload_seqs.get(&rsu).copied() {
+            Some(seen) if frame.seq() < seen => ReceiveOutcome::Stale,
+            Some(seen) if frame.seq() == seen => match self.uploads.get(&rsu) {
+                // Same sequence but the period already closed: the upload
+                // was folded into history, so a re-send carries nothing.
+                None => ReceiveOutcome::Stale,
+                Some(prev) if frame.upload().matches(prev) => ReceiveOutcome::Duplicate,
+                Some(_) => {
+                    self.uploads.insert(rsu, frame.upload().to_owned_upload());
+                    self.refresh_caches_for(rsu);
+                    ReceiveOutcome::Conflicting
+                }
+            },
+            _ => {
+                self.upload_seqs.insert(rsu, frame.seq());
+                self.uploads.insert(rsu, frame.upload().to_owned_upload());
                 self.refresh_caches_for(rsu);
                 ReceiveOutcome::Fresh
             }

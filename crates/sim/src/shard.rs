@@ -33,7 +33,9 @@ use vcps_core::{CoreError, PairEstimate, RsuId, Scheme};
 use vcps_hash::splitmix64;
 use vcps_obs::{Obs, Phase};
 
-use crate::protocol::{BatchUpload, CheckpointSet, PeriodUpload, SequencedUpload};
+use crate::protocol::{
+    BatchUpload, BatchUploadRef, CheckpointSet, PeriodUpload, SequencedUpload, SequencedUploadRef,
+};
 use crate::server::{
     od_effective_threads, pair_counts_prefetched, receive_counter_name, with_thread_scratch,
     RsuDecodeRef,
@@ -284,6 +286,53 @@ impl ShardedServer {
             .into_iter()
             .map(|f| self.receive_sequenced(f))
             .collect()
+    }
+
+    /// [`receive_sequenced`](Self::receive_sequenced) over a borrowed
+    /// wire view: routed to the owning shard's
+    /// [`CentralServer::receive_sequenced_ref`], so stale and duplicate
+    /// frames are classified without materializing anything.
+    pub fn receive_sequenced_ref(&mut self, frame: &SequencedUploadRef<'_>) -> ReceiveOutcome {
+        let rsu = frame.upload().rsu();
+        let shard = self.shard_of(rsu);
+        let outcome = self.shards[shard].receive_sequenced_ref(frame);
+        self.note_receive(rsu, outcome)
+    }
+
+    /// [`receive_batch`](Self::receive_batch) over an already-validated
+    /// borrowed batch view: inner frames are routed straight off the
+    /// wire buffer, with per-record heap allocation only where a fresh
+    /// or conflicting upload is actually retained (DESIGN.md §18).
+    ///
+    /// [`receive_batch`]: ShardedServer::receive_batch
+    pub fn receive_batch_ref(&mut self, batch: &BatchUploadRef<'_>) -> Vec<ReceiveOutcome> {
+        self.obs.inc("batch.frames");
+        self.obs.add("batch.uploads", batch.len() as u64);
+        batch
+            .frames()
+            .map(|frame| {
+                let rsu = frame.upload().rsu();
+                let shard = self.shard_of(rsu);
+                let outcome = self.shards[shard].receive_sequenced_ref(&frame);
+                self.note_receive(rsu, outcome)
+            })
+            .collect()
+    }
+
+    /// Decodes a batch wire frame as a borrowed view and ingests it —
+    /// the zero-copy form of `BatchUpload::decode` +
+    /// [`receive_batch`](Self::receive_batch). Outcomes and registry
+    /// counters are identical to the owned path; only the allocation
+    /// profile differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedMessage`] for exactly the frames
+    /// [`BatchUpload::decode`] rejects — nothing is ingested in that
+    /// case.
+    pub fn receive_batch_wire(&mut self, wire: &[u8]) -> Result<Vec<ReceiveOutcome>, SimError> {
+        let batch = BatchUploadRef::decode_ref(wire)?;
+        Ok(self.receive_batch_ref(&batch))
     }
 
     /// Ingests a whole period's uploads with one worker per shard:
@@ -649,6 +698,47 @@ mod tests {
             via_batch.estimate(RsuId(1), RsuId(2)).unwrap(),
             via_loop.estimate(RsuId(1), RsuId(2)).unwrap()
         );
+    }
+
+    /// The zero-copy wire path is outcome- and state-identical to the
+    /// owned batch path, including on retransmissions (duplicates) and
+    /// conflicting re-sends.
+    #[test]
+    fn receive_batch_wire_matches_owned_batch_path() {
+        let frames: Vec<SequencedUpload> = (0..10u64)
+            .map(|r| SequencedUpload {
+                seq: 3,
+                upload: upload(r, 64, &[r as usize], r + 1),
+            })
+            .collect();
+        let wire = BatchUpload::new(frames.clone()).unwrap().encode();
+        let conflicting = BatchUpload::new(vec![SequencedUpload {
+            seq: 3,
+            upload: upload(4, 64, &[63], 9),
+        }])
+        .unwrap()
+        .encode();
+        let (_, mut via_wire) = servers(4);
+        let (_, mut via_owned) = servers(4);
+        for batch_wire in [&wire, &wire, &conflicting] {
+            let wire_outcomes = via_wire.receive_batch_wire(batch_wire).unwrap();
+            let owned_outcomes = via_owned.receive_batch(BatchUpload::decode(batch_wire).unwrap());
+            assert_eq!(wire_outcomes, owned_outcomes);
+        }
+        assert_eq!(via_wire.upload_count(), via_owned.upload_count());
+        for r in 0..10u64 {
+            assert_eq!(via_wire.upload(RsuId(r)), via_owned.upload(RsuId(r)));
+        }
+        assert_eq!(
+            via_wire.estimate(RsuId(1), RsuId(2)).unwrap(),
+            via_owned.estimate(RsuId(1), RsuId(2)).unwrap()
+        );
+        // A malformed wire is rejected without ingesting anything.
+        let before = via_wire.upload_count();
+        assert!(via_wire
+            .receive_batch_wire(&wire[..wire.len() - 1])
+            .is_err());
+        assert_eq!(via_wire.upload_count(), before);
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Differential conformance for the zero-copy borrowed wire views
+//! (DESIGN.md §18).
+//!
+//! The contract is *accept parity*: a wire image is accepted by a
+//! borrowed decoder exactly when the owned decoder of the same frame
+//! type accepts it, and whenever both accept, every borrowed accessor
+//! agrees with the owned decode field for field. The suite checks this
+//! on every golden vector under `tests/data/`, on every prefix
+//! truncation of those vectors, on a single-bit-flip sweep, and under
+//! randomized mutation (truncation, byte corruption, batch frame
+//! reordering and duplication) — and the borrowed decoders must never
+//! panic on any input, hostile or not.
+
+use proptest::prelude::*;
+
+use vcps::durable::fnv1a_64;
+use vcps::sim::protocol::{
+    BatchUpload, BatchUploadRef, PeriodUpload, PeriodUploadRef, SequencedUpload, SequencedUploadRef,
+};
+use vcps::{BitArray, RsuId};
+
+fn data(name: &str) -> Vec<u8> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+const GOLDEN: [&str; 8] = [
+    "query.bin",
+    "report.bin",
+    "upload_dense.bin",
+    "upload_sparse.bin",
+    "sequenced.bin",
+    "batch.bin",
+    "ckpt_server.bin",
+    "ckpt_set.bin",
+];
+
+/// Owned/borrowed parity for one wire image against all three hot
+/// frame decoders. Rejection is fine — it must just be symmetric.
+fn check_parity(wire: &[u8]) {
+    check_period_parity(wire);
+    check_sequenced_parity(wire);
+    check_batch_parity(wire);
+}
+
+fn check_period_parity(wire: &[u8]) {
+    let owned = PeriodUpload::decode(wire);
+    let view = PeriodUploadRef::decode_ref(wire);
+    assert_eq!(
+        owned.is_ok(),
+        view.is_ok(),
+        "period accept parity on {} bytes (owned: {owned:?})",
+        wire.len()
+    );
+    if let (Ok(owned), Ok(view)) = (owned, view) {
+        assert_eq!(view.rsu(), owned.rsu);
+        assert_eq!(view.counter(), owned.counter);
+        assert_eq!(view.bits_len(), owned.bits.len());
+        assert_eq!(view.count_ones(), owned.bits.count_ones());
+        assert!(
+            view.matches(&owned),
+            "accepted view must match its owned twin"
+        );
+        assert_eq!(view.to_owned_upload(), owned);
+    }
+}
+
+fn check_sequenced_parity(wire: &[u8]) {
+    let owned = SequencedUpload::decode(wire);
+    let view = SequencedUploadRef::decode_ref(wire);
+    assert_eq!(
+        owned.is_ok(),
+        view.is_ok(),
+        "sequenced accept parity on {} bytes",
+        wire.len()
+    );
+    if let (Ok(owned), Ok(view)) = (owned, view) {
+        assert_eq!(view.seq(), owned.seq);
+        assert!(view.upload().matches(&owned.upload));
+        assert_eq!(view.to_owned_upload(), owned);
+    }
+}
+
+fn check_batch_parity(wire: &[u8]) {
+    let owned = BatchUpload::decode(wire);
+    let view = BatchUploadRef::decode_ref(wire);
+    assert_eq!(
+        owned.is_ok(),
+        view.is_ok(),
+        "batch accept parity on {} bytes",
+        wire.len()
+    );
+    if let (Ok(owned), Ok(view)) = (owned, view) {
+        assert_eq!(view.len(), owned.frames().len());
+        for (frame_view, frame) in view.frames().zip(owned.frames()) {
+            assert_eq!(frame_view.seq(), frame.seq);
+            assert!(frame_view.upload().matches(&frame.upload));
+        }
+        assert_eq!(view.to_owned_batch(), owned);
+    }
+}
+
+/// Assembles a batch wire image from frames *in the given order*, with
+/// valid per-record checksums — canonical when the order is, hostile
+/// (out-of-order / duplicate keys) when it is not. Lets the mutation
+/// tests probe the ordering validation without the owned encoder
+/// sorting the hostility away.
+fn raw_batch_wire(frames: &[SequencedUpload]) -> Vec<u8> {
+    let mut wire = vec![6u8]; // TAG_BATCH
+    wire.extend((frames.len() as u64).to_be_bytes());
+    for frame in frames {
+        let inner = frame.encode();
+        wire.extend((inner.len() as u64).to_be_bytes());
+        wire.extend(fnv1a_64(&inner).to_be_bytes());
+        wire.extend(inner.iter());
+    }
+    wire
+}
+
+#[test]
+fn golden_vectors_decode_identically_borrowed_and_owned() {
+    for name in GOLDEN {
+        check_parity(&data(name));
+    }
+    // The hot vectors must actually be accepted — an all-reject suite
+    // would satisfy parity vacuously.
+    assert!(PeriodUploadRef::decode_ref(&data("upload_dense.bin")).is_ok());
+    assert!(PeriodUploadRef::decode_ref(&data("upload_sparse.bin")).is_ok());
+    assert!(SequencedUploadRef::decode_ref(&data("sequenced.bin")).is_ok());
+    assert!(BatchUploadRef::decode_ref(&data("batch.bin")).is_ok());
+}
+
+/// Every prefix of every golden vector: truncation anywhere — inside
+/// the header, a length field, a checksum, or a payload — must reject
+/// on both sides or accept on both sides (only the full image accepts).
+#[test]
+fn golden_vector_truncations_never_split_the_decoders() {
+    for name in GOLDEN {
+        let wire = data(name);
+        for cut in 0..wire.len() {
+            check_parity(&wire[..cut]);
+        }
+    }
+}
+
+/// Exhaustive single-bit-flip sweep over the hot golden vectors: a
+/// flipped tag, length, checksum, index, or payload byte must leave
+/// the owned and borrowed decoders in agreement (both reject, or both
+/// accept the now-different-but-valid frame with equal fields).
+#[test]
+fn golden_vector_bit_flips_never_split_the_decoders() {
+    for name in [
+        "upload_dense.bin",
+        "upload_sparse.bin",
+        "sequenced.bin",
+        "batch.bin",
+    ] {
+        let wire = data(name);
+        for i in 0..wire.len() {
+            for bit in 0..8 {
+                let mut flipped = wire.clone();
+                flipped[i] ^= 1 << bit;
+                check_parity(&flipped);
+            }
+        }
+    }
+}
+
+fn arb_upload() -> impl Strategy<Value = PeriodUpload> {
+    (
+        1u64..1_000,
+        any::<u64>(),
+        1usize..=512,
+        prop::collection::vec(any::<u32>(), 0..64),
+    )
+        .prop_map(|(rsu, counter, len, raw)| {
+            let bits = BitArray::from_indices(len, raw.into_iter().map(|v| v as usize % len))
+                .expect("indices in range");
+            PeriodUpload {
+                rsu: RsuId(rsu),
+                counter,
+                bits,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_random_frames_never_split_the_decoders(
+        upload in arb_upload(),
+        seq in any::<u64>(),
+        cut_frac in 0.0f64..1.0,
+        sparse in any::<bool>(),
+    ) {
+        let period_wire = if sparse {
+            upload.encode_compact()
+        } else {
+            upload.encode()
+        };
+        let cut = (period_wire.len() as f64 * cut_frac) as usize;
+        check_parity(&period_wire[..cut]);
+        check_parity(&period_wire);
+
+        let sequenced = SequencedUpload { seq, upload };
+        let seq_wire = sequenced.encode();
+        let cut = (seq_wire.len() as f64 * cut_frac) as usize;
+        check_parity(&seq_wire[..cut]);
+        check_parity(&seq_wire);
+
+        let batch = BatchUpload::new(vec![sequenced]).expect("single frame");
+        let batch_wire = batch.encode();
+        let cut = (batch_wire.len() as f64 * cut_frac) as usize;
+        check_parity(&batch_wire[..cut]);
+        check_parity(&batch_wire);
+    }
+
+    #[test]
+    fn corrupted_random_frames_never_split_the_decoders(
+        upload in arb_upload(),
+        seq in any::<u64>(),
+        byte in any::<usize>(),
+        mask in 1u8..=255,
+        sparse in any::<bool>(),
+    ) {
+        let mut period_wire = if sparse {
+            upload.encode_compact().to_vec()
+        } else {
+            upload.encode().to_vec()
+        };
+        let i = byte % period_wire.len();
+        period_wire[i] ^= mask;
+        check_parity(&period_wire);
+
+        let batch = BatchUpload::new(vec![SequencedUpload { seq, upload }])
+            .expect("single frame");
+        let mut batch_wire = batch.encode().to_vec();
+        let i = byte % batch_wire.len();
+        batch_wire[i] ^= mask;
+        check_parity(&batch_wire);
+    }
+
+    #[test]
+    fn reordered_batch_frames_never_split_the_decoders(
+        a in arb_upload(),
+        b in arb_upload(),
+        seq_a in any::<u64>(),
+        seq_b in any::<u64>(),
+        order in 0usize..4,
+    ) {
+        let fa = SequencedUpload { seq: seq_a, upload: a };
+        let fb = SequencedUpload { seq: seq_b, upload: b };
+        // In-order, reversed, and duplicated-key layouts; every record
+        // carries a valid checksum, so only the (rsu, seq) ordering
+        // validation distinguishes them.
+        let frames = match order {
+            0 => vec![fa.clone(), fb.clone()],
+            1 => vec![fb.clone(), fa.clone()],
+            2 => vec![fa.clone(), fa.clone()],
+            _ => vec![fb.clone(), fb.clone()],
+        };
+        let wire = raw_batch_wire(&frames);
+        check_parity(&wire);
+
+        // The canonically sorted two-frame batch must be accepted by
+        // both decoders whenever its keys are distinct.
+        let key = |f: &SequencedUpload| (f.upload.rsu, f.seq);
+        if key(&fa) != key(&fb) {
+            let mut sorted = vec![fa, fb];
+            sorted.sort_by_key(key);
+            let wire = raw_batch_wire(&sorted);
+            prop_assert!(BatchUpload::decode(&wire).is_ok());
+            check_parity(&wire);
+        }
+    }
+}

@@ -15,6 +15,8 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use proptest::prelude::*;
+
 use vcps::hash::splitmix64;
 use vcps::obs::{Level, Obs};
 use vcps::roadnet::{Link, RoadNetwork, VehicleTrip};
@@ -25,7 +27,8 @@ use vcps::sim::engine::{
 };
 use vcps::sim::protocol::{PeriodUpload, SequencedUpload};
 use vcps::sim::{
-    DurableOptions, DurableServer, FaultPlan, LinkFaults, RetryPolicy, ServerCrash, ShardedServer,
+    DurableOptions, DurableServer, FaultPlan, FlushPolicy, LinkFaults, RetryPolicy, ServerCrash,
+    ShardedServer,
 };
 use vcps::{BitArray, RsuId, Scheme};
 
@@ -503,4 +506,121 @@ fn checkpoint_past_corrupted_log_is_ignored() {
         "recovered state must equal the surviving-prefix state"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Group-commit prefix durability (DESIGN.md §18): for any record
+    /// sequence, flush policy, and crash point, a crash loses at most
+    /// the buffered tail — the on-disk log is an exact *prefix* of the
+    /// appended frames with a **clean** tail (a lost buffered record is
+    /// absent, never torn), the policy bounds how long that lost tail
+    /// can be, and recovery replays the prefix into a state identical
+    /// to a never-crashed server fed the same prefix.
+    #[test]
+    fn group_commit_crash_recovers_exact_durable_prefix(
+        seed in any::<u64>(),
+        rsus in 2u64..6,
+        crash_at in any::<usize>(),
+        policy_kind in 0u8..4,
+        every_n in 1u64..6,
+        every_bytes in 1u64..2048,
+        flush_before_crash in any::<bool>(),
+    ) {
+        let policy = match policy_kind {
+            0 => FlushPolicy::PerRecord,
+            1 => FlushPolicy::EveryRecords(every_n),
+            2 => FlushPolicy::EveryBytes(every_bytes),
+            _ => FlushPolicy::Manual,
+        };
+        let frames = workload(rsus, seed);
+        let crash = crash_at % (frames.len() + 1);
+        let scheme = Scheme::variable(2, 3.0, 9).expect("valid scheme");
+        let dir = scratch("group-commit");
+
+        let mut durable = DurableServer::create(
+            scheme.clone(),
+            1.0,
+            2,
+            &dir,
+            DurableOptions::log_only().with_flush(policy),
+            &Obs::disabled(),
+        )
+        .expect("create durable server");
+        for frame in &frames[..crash] {
+            durable.receive_sequenced(frame.clone()).expect("ingest");
+        }
+        if flush_before_crash {
+            durable.flush_wal().expect("flush");
+        }
+        let wal_path = durable.wal_path().to_path_buf();
+        // Crash: drop deliberately does NOT flush, so the buffered
+        // tail vanishes with the process.
+        drop(durable);
+
+        let scan = vcps::durable::read_wal(&wal_path).expect("scan wal");
+        prop_assert!(
+            scan.tail_error.is_none(),
+            "losing the buffer must leave a clean tail, got {:?}",
+            scan.tail_error
+        );
+        let durable_records = scan.records.len();
+        prop_assert!(durable_records <= crash);
+        // The surviving records are byte-identical to the first
+        // `durable_records` appended frames — a prefix, never a
+        // reordering or a partial record.
+        for (record, frame) in scan.records.iter().zip(&frames[..crash]) {
+            let encoded = frame.encode();
+            prop_assert_eq!(&record[..], &encoded[..]);
+        }
+        // The policy bounds the lost tail.
+        if flush_before_crash {
+            prop_assert_eq!(durable_records, crash, "explicit flush makes everything durable");
+        } else {
+            match policy {
+                FlushPolicy::PerRecord => prop_assert_eq!(durable_records, crash),
+                FlushPolicy::EveryRecords(n) => {
+                    prop_assert_eq!(durable_records, crash - crash % n as usize)
+                }
+                FlushPolicy::EveryBytes(threshold) => {
+                    let buffered: u64 = frames[durable_records..crash]
+                        .iter()
+                        .map(|f| 16 + f.encode().len() as u64)
+                        .sum();
+                    prop_assert!(
+                        buffered < threshold,
+                        "an unflushed tail of {buffered} bytes contradicts threshold {threshold}"
+                    );
+                }
+                FlushPolicy::Manual => prop_assert_eq!(durable_records, 0),
+            }
+        }
+
+        let (recovered, report) = DurableServer::recover(
+            scheme.clone(),
+            1.0,
+            2,
+            &dir,
+            DurableOptions::log_only(),
+            &Obs::disabled(),
+        )
+        .expect("recovery");
+        prop_assert!(report.tail_error.is_none());
+        prop_assert_eq!(
+            report.checkpoint_records + report.replayed_records,
+            durable_records as u64
+        );
+
+        let mut prefix = ShardedServer::new(scheme, 1.0, 2).expect("prefix server");
+        for frame in frames.iter().take(durable_records) {
+            prefix.receive_sequenced(frame.clone());
+        }
+        prop_assert_eq!(
+            recovered.server().checkpoint(durable_records as u64),
+            prefix.checkpoint(durable_records as u64),
+            "recovered state must equal the durable-prefix state"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
