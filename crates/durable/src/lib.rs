@@ -224,8 +224,10 @@ fn io_err(op: &'static str, path: &Path, e: &std::io::Error) -> DurabilityError 
 /// Dropping the writer deliberately does **not** flush: a process
 /// crash is exactly the event group commit trades against, and the
 /// drop path models it — only records covered by a completed flush
-/// survive.
-#[derive(Debug)]
+/// survive. It must not be *silent*, though: a writer dropped with a
+/// non-empty buffer fires its [drop hook](WalWriter::set_drop_hook) so
+/// the owner can count the acknowledged-but-discarded records instead
+/// of discovering the gap at the next recovery.
 pub struct WalWriter {
     file: File,
     path: PathBuf,
@@ -238,6 +240,35 @@ pub struct WalWriter {
     /// Bytes have reached the file since the last fsync (so the next
     /// [`sync`](WalWriter::sync) must actually fsync).
     dirty: bool,
+    /// Called from `Drop` with `(buffered_records, buffered_bytes)`
+    /// when the writer dies holding unflushed records.
+    drop_hook: Option<Box<dyn FnMut(u64, u64) + Send + Sync>>,
+}
+
+impl fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalWriter")
+            .field("path", &self.path)
+            .field("len", &self.len)
+            .field("records", &self.records)
+            .field("policy", &self.policy)
+            .field("buffered_records", &self.buffered_records)
+            .field("flushes", &self.flushes)
+            .field("dirty", &self.dirty)
+            .field("drop_hook", &self.drop_hook.is_some())
+            .finish()
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        if self.buffered_records > 0 {
+            let (records, bytes) = (self.buffered_records, self.buf.len() as u64);
+            if let Some(hook) = self.drop_hook.as_mut() {
+                hook(records, bytes);
+            }
+        }
+    }
 }
 
 impl WalWriter {
@@ -271,6 +302,7 @@ impl WalWriter {
             buffered_records: 0,
             flushes: 0,
             dirty: true,
+            drop_hook: None,
         })
     }
 
@@ -305,6 +337,7 @@ impl WalWriter {
             buffered_records: 0,
             flushes: 0,
             dirty: true,
+            drop_hook: None,
         })
     }
 
@@ -327,6 +360,21 @@ impl WalWriter {
     #[must_use]
     pub fn flush_policy(&self) -> FlushPolicy {
         self.policy
+    }
+
+    /// Installs a hook invoked from `Drop` with
+    /// `(buffered_records, buffered_bytes)` when the writer is dropped
+    /// while still holding unflushed records. Those records were
+    /// accepted by [`append`](WalWriter::append) but never reached
+    /// stable storage, so dropping them is silent data loss from the
+    /// caller's perspective; the hook is the owner's chance to account
+    /// for the discarded tail (e.g. bump an observability counter)
+    /// instead of discovering the gap at the next recovery. The hook
+    /// does not fire when the buffer is empty, and it cannot rescue the
+    /// records — call [`sync`](WalWriter::sync) before dropping to keep
+    /// them.
+    pub fn set_drop_hook(&mut self, hook: impl FnMut(u64, u64) + Send + Sync + 'static) {
+        self.drop_hook = Some(Box::new(hook));
     }
 
     /// Appends one record to the group-commit buffer, flushing (file
@@ -695,6 +743,50 @@ mod tests {
         assert_eq!(scan.records, payloads);
         assert_eq!(scan.tail_error, None);
         assert_eq!(scan.valid_len, writer.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_hook_fires_only_when_records_are_buffered() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let dir = temp_dir("drophook");
+        let path = dir.join("frames.wal");
+        let dropped_records = Arc::new(AtomicU64::new(0));
+        let dropped_bytes = Arc::new(AtomicU64::new(0));
+
+        // Dropping with unflushed records fires the hook with the
+        // buffered tail's size.
+        let mut writer = WalWriter::create(&path)
+            .unwrap()
+            .with_flush_policy(FlushPolicy::Manual);
+        let (r, b) = (Arc::clone(&dropped_records), Arc::clone(&dropped_bytes));
+        writer.set_drop_hook(move |records, bytes| {
+            r.fetch_add(records, Ordering::SeqCst);
+            b.fetch_add(bytes, Ordering::SeqCst);
+        });
+        writer.append(b"lost-one").unwrap();
+        writer.append(b"lost-two").unwrap();
+        let expected_bytes = writer.buffered_bytes();
+        drop(writer);
+        assert_eq!(dropped_records.load(Ordering::SeqCst), 2);
+        assert_eq!(dropped_bytes.load(Ordering::SeqCst), expected_bytes);
+
+        // A synced writer drops silently: nothing was discarded.
+        let scan = read_wal(&path).unwrap();
+        let mut writer = WalWriter::resume(&path, &scan)
+            .unwrap()
+            .with_flush_policy(FlushPolicy::Manual);
+        let r = Arc::clone(&dropped_records);
+        writer.set_drop_hook(move |records, _| {
+            r.fetch_add(records, Ordering::SeqCst);
+        });
+        writer.append(b"kept").unwrap();
+        writer.sync().unwrap();
+        drop(writer);
+        assert_eq!(dropped_records.load(Ordering::SeqCst), 2);
+
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,190 @@
+//! A blocking client for `vcpsd` — request/response calls plus a
+//! pipelined ingest path for replay workloads.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use vcps_core::PairEstimate;
+
+use crate::wire::{
+    self, AckSummary, Response, WireMatrix, REQ_FINISH_PERIOD, REQ_PING, REQ_SHUTDOWN,
+};
+use crate::NetError;
+
+/// A connection to a running daemon.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    max_frame_bytes: u64,
+}
+
+impl NetClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
+        stream.set_nodelay(true).map_err(NetError::Io)?;
+        Ok(Self {
+            stream,
+            max_frame_bytes: u64::from(u32::MAX),
+        })
+    }
+
+    fn call(&mut self, payload: &[u8]) -> Result<Response, NetError> {
+        wire::write_frame(&mut self.stream, payload)?;
+        let resp = wire::read_frame(&mut self.stream, self.max_frame_bytes)?;
+        match Response::decode(&resp)? {
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            other => Ok(other),
+        }
+    }
+
+    /// Sends one upload wire frame (tags 3–6) and waits for its ack.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Server`] if the daemon rejected the frame, transport
+    /// errors otherwise.
+    pub fn ingest(&mut self, upload_wire: &[u8]) -> Result<AckSummary, NetError> {
+        match self.call(upload_wire)? {
+            Response::Ack(ack) => Ok(ack),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends every frame without waiting, collecting acks concurrently
+    /// on a reader thread — the pipelined replay path. The daemon's
+    /// `max_frames_in_flight` budget bounds how far ahead the sends can
+    /// run; beyond it this call is flow-controlled by TCP itself.
+    ///
+    /// # Errors
+    ///
+    /// The first transport or server error on either half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ack-reader thread panics.
+    pub fn ingest_pipelined<I>(&mut self, frames: I) -> Result<AckSummary, NetError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[u8]>,
+    {
+        let mut reader = self.stream.try_clone().map_err(NetError::Io)?;
+        let max_frame_bytes = self.max_frame_bytes;
+        let (count_tx, count_rx) = std::sync::mpsc::channel::<usize>();
+        let collector = std::thread::spawn(move || -> Result<AckSummary, NetError> {
+            let mut total = AckSummary::default();
+            let expected = count_rx.recv().unwrap_or(0);
+            for _ in 0..expected {
+                let payload = wire::read_frame(&mut reader, max_frame_bytes)?;
+                match Response::decode(&payload)? {
+                    Response::Ack(ack) => total.merge(&ack),
+                    Response::Error(msg) => return Err(NetError::Server(msg)),
+                    other => return Err(unexpected(&other)),
+                }
+            }
+            Ok(total)
+        });
+        let mut sent = 0usize;
+        let mut send_err = None;
+        for frame in frames {
+            if let Err(e) = wire::write_frame(&mut self.stream, frame.as_ref()) {
+                send_err = Some(e);
+                break;
+            }
+            sent += 1;
+        }
+        let _ = count_tx.send(sent);
+        let collected = collector.join().expect("ack reader panicked");
+        match send_err {
+            Some(e) => Err(e),
+            None => collected,
+        }
+    }
+
+    /// Queries the point-to-point volume of one RSU pair.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Server`] for unknown RSUs, transport errors
+    /// otherwise.
+    pub fn pair_query(&mut self, rsu_a: u64, rsu_b: u64) -> Result<PairEstimate, NetError> {
+        match self.call(&wire::encode_pair_query(rsu_a, rsu_b))? {
+            Response::Estimate(e) => Ok(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the full O–D matrix (`threads == 0` = daemon default).
+    ///
+    /// # Errors
+    ///
+    /// As [`pair_query`](Self::pair_query).
+    pub fn od_query(&mut self, threads: u64) -> Result<WireMatrix, NetError> {
+        match self.call(&wire::encode_od_query(threads))? {
+            Response::Matrix(m) => Ok(m),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ends the measurement period; returns `(rsu, next_period_bits)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`pair_query`](Self::pair_query).
+    pub fn finish_period(&mut self) -> Result<Vec<(u64, u64)>, NetError> {
+        match self.call(&[REQ_FINISH_PERIOD])? {
+            Response::Sizes(sizes) => Ok(sizes),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.call(&[REQ_PING])? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to drain, flush its WAL, and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        match self.call(&[REQ_SHUTDOWN])? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends a raw pre-framed payload and returns the decoded response
+    /// without interpreting it — the malformed-stream tests' entry
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Transport and codec errors.
+    pub fn call_raw(&mut self, payload: &[u8]) -> Result<Response, NetError> {
+        wire::write_frame(&mut self.stream, payload)?;
+        let resp = wire::read_frame(&mut self.stream, self.max_frame_bytes)?;
+        Response::decode(&resp)
+    }
+
+    /// The underlying stream, for tests that need byte-level control.
+    #[must_use]
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}
+
+fn unexpected(resp: &Response) -> NetError {
+    NetError::Server(format!("unexpected response: {resp:?}"))
+}

@@ -1,0 +1,153 @@
+//! Turns a [`SyntheticCity`] into the wire frames a fleet of RSUs would
+//! send — shared by the load-generator binary and the differential
+//! tests.
+//!
+//! RSUs are partitioned across connections by index (`j % connections`),
+//! which is what makes multi-connection replay *bit-identical* to the
+//! sequential monolith: dedup and sequencing state is per-RSU, each
+//! RSU's frames stay on one ordered connection, and cross-RSU
+//! interleavings commute.
+
+use vcps_core::{RsuId, RsuSketch, Scheme};
+use vcps_sim::synthetic::SyntheticCity;
+use vcps_sim::{BatchUpload, PeriodUpload, SequencedUpload};
+
+/// One period's upload for every RSU of the city, sized per the scheme.
+///
+/// # Panics
+///
+/// Panics if the scheme cannot size or hold the city (not reachable for
+/// power-of-two variable sizing and sane volumes).
+#[must_use]
+pub fn city_uploads(scheme: &Scheme, city: &SyntheticCity) -> Vec<PeriodUpload> {
+    let n = city.rsu_count();
+    let sizes: Vec<usize> = (0..n)
+        .map(|j| {
+            scheme
+                .array_size_for(city.volume(j) as f64)
+                .expect("city volume must be sizeable")
+        })
+        .collect();
+    let m_o = sizes.iter().copied().max().expect("at least one RSU");
+    let mut sketches: Vec<RsuSketch> = (0..n)
+        .map(|j| RsuSketch::new(RsuId(j as u64 + 1), sizes[j]).expect("valid size"))
+        .collect();
+    for (vehicle, visited) in city.vehicles() {
+        for &j in visited {
+            let rsu = RsuId(j as u64 + 1);
+            let index = scheme.report_index(vehicle, rsu, sizes[j], m_o);
+            sketches[j].record(index).expect("index in range");
+        }
+    }
+    sketches
+        .into_iter()
+        .map(|sketch| PeriodUpload {
+            rsu: sketch.id(),
+            counter: sketch.count(),
+            bits: sketch.bits().clone(),
+        })
+        .collect()
+}
+
+/// Builds the replay: `connections` independent streams, each carrying
+/// `periods` batch frames (tag 6) over its RSU partition. Re-sending
+/// the same content at ascending sequence numbers keeps the final
+/// server state identical to a single period while multiplying ingest
+/// volume — exactly what a throughput bench wants.
+#[must_use]
+pub fn city_replay_frames(
+    scheme: &Scheme,
+    city: &SyntheticCity,
+    periods: u64,
+    connections: usize,
+) -> Vec<Vec<Vec<u8>>> {
+    assert!(connections > 0, "need at least one connection");
+    assert!(periods > 0, "need at least one period");
+    let uploads = city_uploads(scheme, city);
+    (0..connections)
+        .map(|c| {
+            let partition: Vec<&PeriodUpload> = uploads
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| j % connections == c)
+                .map(|(_, u)| u)
+                .collect();
+            (0..periods)
+                .filter(|_| !partition.is_empty())
+                .map(|seq| {
+                    let frames: Vec<SequencedUpload> = partition
+                        .iter()
+                        .map(|&u| SequencedUpload {
+                            seq,
+                            upload: u.clone(),
+                        })
+                        .collect();
+                    BatchUpload::new(frames)
+                        .expect("ascending RSU ids within a partition")
+                        .encode()
+                        .to_vec()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Flattens per-connection streams into the canonical sequential order
+/// (period-major, connection-minor) the in-process reference server
+/// ingests — any serialization the daemon's lock actually picked yields
+/// the same state, so comparing against this one order suffices.
+#[must_use]
+pub fn reference_order(frames_by_connection: &[Vec<Vec<u8>>]) -> Vec<&[u8]> {
+    let max_len = frames_by_connection.iter().map(Vec::len).max().unwrap_or(0);
+    let mut ordered = Vec::new();
+    for period in 0..max_len {
+        for stream in frames_by_connection {
+            if let Some(frame) = stream.get(period) {
+                ordered.push(frame.as_slice());
+            }
+        }
+    }
+    ordered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_partitions_cover_every_rsu_exactly_once() {
+        let scheme = Scheme::variable(2, 3.0, 7).unwrap();
+        let city = SyntheticCity::generate(&[0.3, 0.5, 0.2, 0.4, 0.6], 2_000, 11);
+        let streams = city_replay_frames(&scheme, &city, 2, 2);
+        assert_eq!(streams.len(), 2);
+        let mut rsus_seen = Vec::new();
+        for stream in &streams {
+            assert_eq!(stream.len(), 2, "one batch per period per connection");
+            let batch = BatchUpload::decode(&stream[0]).unwrap();
+            for f in batch.frames() {
+                rsus_seen.push(f.upload.rsu.0);
+            }
+        }
+        rsus_seen.sort_unstable();
+        assert_eq!(rsus_seen, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reference_order_is_period_major() {
+        let streams = vec![
+            vec![vec![1u8], vec![3u8]],
+            vec![vec![2u8], vec![4u8], vec![5u8]],
+        ];
+        let flat: Vec<u8> = reference_order(&streams).iter().map(|f| f[0]).collect();
+        assert_eq!(flat, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn counters_match_ground_truth_volumes() {
+        let scheme = Scheme::variable(2, 3.0, 3).unwrap();
+        let city = SyntheticCity::generate(&[0.4, 0.1], 1_000, 5);
+        let uploads = city_uploads(&scheme, &city);
+        assert_eq!(uploads[0].counter, city.volume(0));
+        assert_eq!(uploads[1].counter, city.volume(1));
+    }
+}

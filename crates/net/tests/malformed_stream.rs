@@ -1,0 +1,211 @@
+//! Hostile-stream suite for the daemon's framing layer: every
+//! malformed, truncated, or stalled input must produce a typed error
+//! and a clean teardown — never a panic, never an allocation sized by
+//! the attacker, and never a wedged daemon.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use vcps_core::Scheme;
+use vcps_net::wire::{read_frame, Response};
+use vcps_net::{ConnectionLimits, Daemon, DaemonConfig, DaemonHandle, NetClient};
+use vcps_sim::{PeriodUpload, SequencedUpload};
+
+fn scheme() -> Scheme {
+    Scheme::variable(2, 3.0, 23).unwrap()
+}
+
+fn spawn_daemon(limits: ConnectionLimits) -> (SocketAddr, DaemonHandle) {
+    let mut config = DaemonConfig::new(scheme());
+    config.limits = limits;
+    let daemon = Daemon::bind("127.0.0.1:0", config).unwrap();
+    let addr = daemon.local_addr();
+    (addr, daemon.spawn())
+}
+
+fn tight_limits() -> ConnectionLimits {
+    ConnectionLimits {
+        max_frame_bytes: 1 << 16,
+        read_timeout: Duration::from_millis(300),
+        ..ConnectionLimits::default()
+    }
+}
+
+fn shutdown(addr: SocketAddr, handle: DaemonHandle) {
+    let mut client = NetClient::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// The daemon must still serve fresh connections — the liveness probe
+/// every scenario ends with.
+fn assert_alive(addr: SocketAddr) {
+    let mut client = NetClient::connect(addr).unwrap();
+    client.ping().expect("daemon must survive a hostile peer");
+}
+
+fn upload_frame(rsu: u64, seq: u64) -> Vec<u8> {
+    let bits = vcps_core::BitArray::from_indices(256, [3usize, 77, 130]).unwrap();
+    SequencedUpload {
+        seq,
+        upload: PeriodUpload {
+            rsu: vcps_core::RsuId(rsu),
+            counter: 3,
+            bits,
+        },
+    }
+    .encode()
+    .to_vec()
+}
+
+#[test]
+fn oversized_length_prefix_is_refused_before_allocation() {
+    let (addr, handle) = spawn_daemon(tight_limits());
+    let mut raw = TcpStream::connect(addr).unwrap();
+    // Claim 4 GiB - 1. If the daemon allocated what the prefix claims,
+    // this test would OOM the suite; instead it must answer with an
+    // error frame and close.
+    raw.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    let response = read_frame(&mut raw, 1 << 20).unwrap();
+    match Response::decode(&response).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("exceeds"), "unexpected reason: {msg}"),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // The connection is closed after a framing error.
+    let mut buf = [0u8; 1];
+    assert_eq!(raw.read(&mut buf).unwrap_or(0), 0, "connection must close");
+    assert_alive(addr);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn truncated_mid_frame_disconnect_tears_down_cleanly() {
+    let (addr, handle) = spawn_daemon(tight_limits());
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&100u32.to_be_bytes()).unwrap();
+        raw.write_all(&[6u8; 10]).unwrap();
+        // Drop mid-frame: the daemon sees EOF with 90 bytes missing.
+    }
+    assert_alive(addr);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn zero_length_frame_is_malformed() {
+    let (addr, handle) = spawn_daemon(tight_limits());
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&0u32.to_be_bytes()).unwrap();
+    let response = read_frame(&mut raw, 1 << 20).unwrap();
+    match Response::decode(&response).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("zero-length"), "unexpected reason: {msg}"),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    assert_alive(addr);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn interleaved_tags_answer_in_order_and_survive_unknowns() {
+    let (addr, handle) = spawn_daemon(tight_limits());
+    let mut client = NetClient::connect(addr).unwrap();
+
+    // A sequenced upload, answered with an ack.
+    match client.call_raw(&upload_frame(1, 0)).unwrap() {
+        Response::Ack(ack) => assert_eq!(ack.fresh, 1),
+        other => panic!("expected ack, got {other:?}"),
+    }
+    // A ping interleaved between uploads.
+    client.ping().unwrap();
+    // An unknown tag: typed error, connection stays usable.
+    match client.call_raw(&[99u8, 1, 2, 3]).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("unknown frame tag 99"), "got: {msg}"),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // A storage tag (checkpoints never arrive over a client socket).
+    match client.call_raw(&[7u8]).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("not addressed"), "got: {msg}"),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // A malformed upload payload: rejected below the framing layer,
+    // connection still in sync.
+    let mut bad_upload = upload_frame(2, 0);
+    let last = bad_upload.len() - 1;
+    bad_upload.truncate(last);
+    match client.call_raw(&bad_upload).unwrap() {
+        Response::Error(_) => {}
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // Another valid upload proves the stream never desynchronized.
+    match client.call_raw(&upload_frame(2, 0)).unwrap() {
+        Response::Ack(ack) => assert_eq!(ack.fresh, 1),
+        other => panic!("expected ack, got {other:?}"),
+    }
+    shutdown(addr, handle);
+}
+
+#[test]
+fn slow_loris_partial_frame_is_dropped_within_the_timeout() {
+    let (addr, handle) = spawn_daemon(tight_limits());
+    let started = Instant::now();
+    let mut raw = TcpStream::connect(addr).unwrap();
+    // Start a frame, then stall: two prefix bytes and silence.
+    raw.write_all(&[0u8, 0]).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // The daemon must drop the connection once the 300 ms progress
+    // window lapses — an error frame is best-effort, the close is not.
+    let mut remainder = Vec::new();
+    let _ = raw.read_to_end(&mut remainder);
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "stalled connection must be dropped by the read timeout, not held"
+    );
+    if !remainder.is_empty() {
+        let payload = read_frame(&mut remainder.as_slice(), 1 << 20).unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("progress"), "got: {msg}"),
+            other => panic!("expected timeout error frame, got {other:?}"),
+        }
+    }
+    assert_alive(addr);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn idle_connections_are_not_slow_loris_victims() {
+    let (addr, handle) = spawn_daemon(tight_limits());
+    let mut client = NetClient::connect(addr).unwrap();
+    client.ping().unwrap();
+    // Idle well past the 300 ms progress window: between frames the
+    // daemon must wait indefinitely.
+    std::thread::sleep(Duration::from_millis(900));
+    client.ping().expect("idle connection must stay open");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn byte_rate_budget_throttles_without_dropping() {
+    let (addr, handle) = spawn_daemon(ConnectionLimits {
+        max_bytes_per_sec: Some(4_096),
+        ..tight_limits()
+    });
+    let mut client = NetClient::connect(addr).unwrap();
+    // ~8 KiB of uploads against a 4 KiB/s budget: every frame must
+    // still be acked — throttling delays, it never rejects.
+    let frames: Vec<Vec<u8>> = (0..100).map(|i| upload_frame(i + 1, 0)).collect();
+    let total_bytes: usize = frames.iter().map(|f| f.len() + 4).sum();
+    assert!(
+        total_bytes > 6_000,
+        "workload must exceed the first-second burst"
+    );
+    let started = Instant::now();
+    let ack = client.ingest_pipelined(&frames).unwrap();
+    assert_eq!(ack.frames, 100);
+    assert_eq!(ack.fresh, 100);
+    assert!(
+        started.elapsed() > Duration::from_millis(200),
+        "an over-budget replay should have been visibly throttled"
+    );
+    shutdown(addr, handle);
+}

@@ -38,7 +38,7 @@ use std::path::{Path, PathBuf};
 
 use vcps_core::CoreError;
 use vcps_durable::{read_wal, CheckpointStore, DurabilityError, FlushPolicy, WalWriter};
-use vcps_obs::{Obs, Phase};
+use vcps_obs::{Level, Obs, Phase, Value};
 
 use crate::protocol::{BatchUpload, BatchUploadRef, CheckpointSet, SequencedUpload};
 use crate::{ReceiveOutcome, ShardedServer, SimError};
@@ -139,6 +139,26 @@ pub struct DurableServer {
 }
 
 impl DurableServer {
+    /// Arms the WAL writer's drop hook: a writer dropped while still
+    /// holding group-commit records has silently discarded
+    /// acknowledged-but-unflushed frames, which must show up in the
+    /// deployment's counters rather than only at the next recovery.
+    fn install_drop_accounting(wal: &mut WalWriter, obs: &Obs) {
+        let obs = obs.clone();
+        wal.set_drop_hook(move |records, bytes| {
+            obs.add("wal.dropped_buffered_records", records);
+            obs.add("wal.dropped_buffered_bytes", bytes);
+            obs.event(
+                Level::Warn,
+                "wal.dropped_buffered_records",
+                &[
+                    ("records", Value::U64(records)),
+                    ("bytes", Value::U64(bytes)),
+                ],
+            );
+        });
+    }
+
     /// Starts a fresh durable server in `dir` (created if needed): a
     /// new WAL (truncating any previous one) and an empty deployment.
     /// Use [`recover`](Self::recover) to resume from existing state
@@ -161,7 +181,8 @@ impl DurableServer {
         // Opening the checkpoint store first creates `dir` itself (the
         // store's directory is nested inside it).
         let store = CheckpointStore::open(dir.join(CHECKPOINT_DIR))?;
-        let wal = WalWriter::create(dir.join(WAL_FILE))?.with_flush_policy(options.flush);
+        let mut wal = WalWriter::create(dir.join(WAL_FILE))?.with_flush_policy(options.flush);
+        Self::install_drop_accounting(&mut wal, obs);
         let inner = ShardedServer::new(scheme, history_alpha, shard_count)?.with_obs(obs.clone());
         Ok(Self {
             inner,
@@ -206,7 +227,7 @@ impl DurableServer {
         let _timer = obs.phase(Phase::WalRecover);
         let store = CheckpointStore::open(dir.join(CHECKPOINT_DIR))?;
         let wal_path = dir.join(WAL_FILE);
-        let (records, tail_error, truncated_bytes, wal) = if wal_path.exists() {
+        let (records, tail_error, truncated_bytes, mut wal) = if wal_path.exists() {
             let file_len = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
             let scan = read_wal(&wal_path)?;
             let truncated = file_len.saturating_sub(scan.valid_len);
@@ -220,6 +241,7 @@ impl DurableServer {
                 WalWriter::create(&wal_path)?.with_flush_policy(options.flush),
             )
         };
+        Self::install_drop_accounting(&mut wal, obs);
         let total = records.len() as u64;
         // A checkpoint is only usable if the surviving log prefix
         // covers it: state is trusted exactly as far as the log that
@@ -620,6 +642,54 @@ mod tests {
         )
         .is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropping_with_buffered_records_is_counted() {
+        let dir = temp_dir("drop-counted");
+        let obs = Obs::enabled(Level::Info);
+        let mut durable = DurableServer::create(
+            scheme(),
+            1.0,
+            2,
+            &dir,
+            DurableOptions::log_only().with_flush(FlushPolicy::Manual),
+            &obs,
+        )
+        .unwrap();
+        durable
+            .receive_sequenced(sequenced(1, 0, &[3, 77]))
+            .unwrap();
+        durable.receive_sequenced(sequenced(2, 0, &[9])).unwrap();
+        // Simulated crash: two acknowledged frames never hit disk.
+        drop(durable);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["wal.dropped_buffered_records"], 2);
+        assert!(snap.counters["wal.dropped_buffered_bytes"] > 0);
+
+        // An explicit flush before drop leaves the counters untouched.
+        let dir2 = temp_dir("drop-flushed");
+        let obs2 = Obs::enabled(Level::Info);
+        let mut durable = DurableServer::create(
+            scheme(),
+            1.0,
+            2,
+            &dir2,
+            DurableOptions::log_only().with_flush(FlushPolicy::Manual),
+            &obs2,
+        )
+        .unwrap();
+        durable
+            .receive_sequenced(sequenced(1, 0, &[3, 77]))
+            .unwrap();
+        durable.flush_wal().unwrap();
+        drop(durable);
+        assert!(!obs2
+            .snapshot()
+            .counters
+            .contains_key("wal.dropped_buffered_records"));
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
     }
 
     #[test]

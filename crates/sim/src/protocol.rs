@@ -29,7 +29,36 @@ use crate::{MacAddress, SimError};
 /// the heaviest workload in the paper (500k vehicles, f̄ = 30) stays
 /// below 2^24 bits, so 2^32 (512 MiB dense) is generous while keeping
 /// a malicious frame from demanding an absurd allocation.
-const MAX_UPLOAD_BITS: usize = 1 << 32;
+///
+/// Deliberately a `u64`, not a `usize`: the length field arrives as a
+/// `u64` and must be bounds-checked *in that width* before any cast —
+/// `1usize << 32` would wrap to 0 on a 32-bit target (rejecting every
+/// frame), and casting a hostile length to `usize` first would let
+/// `(1 << 32) + 64` masquerade as 64 there. Decoders compare against
+/// this bound and only then convert via `upload_len_to_usize`.
+const MAX_UPLOAD_BITS: u64 = 1 << 32;
+
+/// The bound must mean 2^32 on every target; under the old
+/// `usize`-typed constant this assertion is exactly what a 32-bit
+/// build would have failed.
+const _: () = assert!(MAX_UPLOAD_BITS == 4_294_967_296);
+
+/// Validates a wire-claimed bit-array length against
+/// [`MAX_UPLOAD_BITS`] (in `u64`, pre-cast) and converts it to `usize`,
+/// rejecting zero-length claims uniformly across the dense/sparse and
+/// owned/borrowed decoders.
+fn upload_len_to_usize(len: u64) -> Result<usize, SimError> {
+    if len == 0 || len > MAX_UPLOAD_BITS {
+        return Err(SimError::MalformedMessage {
+            reason: "invalid bit array length in upload",
+        });
+    }
+    // In-range on every 64-bit target; on a 32-bit target a length
+    // above usize::MAX cannot be materialized, so it is malformed too.
+    usize::try_from(len).map_err(|_| SimError::MalformedMessage {
+        reason: "invalid bit array length in upload",
+    })
+}
 
 /// Upper bound on the inner-frame count a decoded [`BatchUpload`] may
 /// claim, mirroring [`MAX_UPLOAD_BITS`]: one frame per RSU per period
@@ -233,12 +262,7 @@ impl PeriodUpload {
         wire.advance(1);
         let rsu = RsuId(wire.get_u64());
         let counter = wire.get_u64();
-        let len = wire.get_u64() as usize;
-        if len > MAX_UPLOAD_BITS {
-            return Err(SimError::MalformedMessage {
-                reason: "invalid bit array length in upload",
-            });
-        }
+        let len = upload_len_to_usize(wire.get_u64())?;
         let expected_words = len.div_ceil(64);
         if wire.len() != expected_words * 8 {
             return Err(SimError::MalformedMessage {
@@ -264,20 +288,22 @@ impl PeriodUpload {
         wire.advance(1);
         let rsu = RsuId(wire.get_u64());
         let counter = wire.get_u64();
-        let len = wire.get_u64() as usize;
+        let raw_len = wire.get_u64();
         let ones = wire.get_u64() as usize;
         // Both `len` and `ones` come straight off the wire: compare
         // against the remaining byte count without multiplying (which
-        // overflows on hostile `ones`), and bound `len` before the
-        // backing allocation (a sparse frame never makes sense for an
-        // array shorter than its own index list, and a 33-byte frame
-        // must not be able to request a multi-terabyte array).
+        // overflows on hostile `ones`), and bound `len` in u64 before
+        // the cast and the backing allocation (a sparse frame never
+        // makes sense for an array shorter than its own index list, and
+        // a 33-byte frame must not be able to request a multi-terabyte
+        // array).
         if !wire.len().is_multiple_of(8) || ones != wire.len() / 8 {
             return Err(SimError::MalformedMessage {
                 reason: "sparse upload index count mismatch",
             });
         }
-        if len > MAX_UPLOAD_BITS || ones > len {
+        let len = upload_len_to_usize(raw_len)?;
+        if ones > len {
             return Err(SimError::MalformedMessage {
                 reason: "invalid bit array length in upload",
             });
@@ -578,23 +604,14 @@ impl<'a> PeriodUploadRef<'a> {
         }
         let rsu = RsuId(be_u64(&wire[1..9]));
         let counter = be_u64(&wire[9..17]);
-        let len = be_u64(&wire[17..25]) as usize;
-        if len > MAX_UPLOAD_BITS {
-            return Err(SimError::MalformedMessage {
-                reason: "invalid bit array length in upload",
-            });
-        }
+        // Zero and oversized length claims are rejected by the same
+        // `upload_len_to_usize` guard the owned decoder runs, before
+        // the claim participates in any size arithmetic.
+        let len = upload_len_to_usize(be_u64(&wire[17..25]))?;
         let payload = &wire[25..];
         if payload.len() != len.div_ceil(64) * 8 {
             return Err(SimError::MalformedMessage {
                 reason: "upload word count mismatch",
-            });
-        }
-        // The owned path rejects zero-length arrays inside
-        // `BitArray::from_words`; the borrowed path must agree.
-        if len == 0 {
-            return Err(SimError::MalformedMessage {
-                reason: "invalid bit array in upload",
             });
         }
         Ok(Self {
@@ -613,7 +630,7 @@ impl<'a> PeriodUploadRef<'a> {
         }
         let rsu = RsuId(be_u64(&wire[1..9]));
         let counter = be_u64(&wire[9..17]);
-        let len = be_u64(&wire[17..25]) as usize;
+        let raw_len = be_u64(&wire[17..25]);
         let ones = be_u64(&wire[25..33]) as usize;
         let payload = &wire[33..];
         if !payload.len().is_multiple_of(8) || ones != payload.len() / 8 {
@@ -621,9 +638,10 @@ impl<'a> PeriodUploadRef<'a> {
                 reason: "sparse upload index count mismatch",
             });
         }
-        // `len == 0` folds into the same rejection as the owned path's
-        // failed `BitArray::try_new(0)`.
-        if len == 0 || len > MAX_UPLOAD_BITS || ones > len {
+        // Zero and oversized length claims fall to the same
+        // `upload_len_to_usize` guard the owned decoder runs.
+        let len = upload_len_to_usize(raw_len)?;
+        if ones > len {
             return Err(SimError::MalformedMessage {
                 reason: "invalid bit array length in upload",
             });
@@ -1417,6 +1435,90 @@ mod tests {
         wire.put_u64(1); // counter
         wire.put_u64(u64::MAX); // absurd bit length
         assert!(PeriodUpload::decode(&wire.freeze()).is_err());
+    }
+
+    /// The length bound is compared in `u64` *before* any cast: a claim
+    /// just past 2^32 — which truncates to a small, plausible value on
+    /// a 32-bit `usize` — must be rejected on every target, by all four
+    /// decoder variants. (Under the old `usize`-typed bound, a 32-bit
+    /// build computed `1 << 32 == 0` and rejected every frame instead.)
+    #[test]
+    fn upload_length_bound_is_checked_pre_cast() {
+        let dense = |claim: u64| {
+            let mut wire = BytesMut::new();
+            wire.put_u8(TAG_UPLOAD);
+            wire.put_u64(1); // rsu
+            wire.put_u64(1); // counter
+            wire.put_u64(claim);
+            wire.put_u64(0); // one payload word, as a truncated claim implies
+            wire.freeze()
+        };
+        let sparse = |claim: u64| {
+            let mut wire = BytesMut::new();
+            wire.put_u8(TAG_UPLOAD_SPARSE);
+            wire.put_u64(1); // rsu
+            wire.put_u64(1); // counter
+            wire.put_u64(claim);
+            wire.put_u64(1); // one index
+            wire.put_u64(3);
+            wire.freeze()
+        };
+        // (1 << 32) + 64 as a 32-bit usize would be 64 — consistent
+        // with both assembled payloads. The u64 comparison rejects it.
+        for claim in [MAX_UPLOAD_BITS + 64, 1 << 40, u64::MAX] {
+            for wire in [dense(claim), sparse(claim)] {
+                assert!(
+                    matches!(
+                        PeriodUpload::decode(&wire),
+                        Err(SimError::MalformedMessage {
+                            reason: "invalid bit array length in upload"
+                        })
+                    ),
+                    "owned, claim {claim}"
+                );
+                assert!(
+                    matches!(
+                        PeriodUploadRef::decode_ref(&wire),
+                        Err(SimError::MalformedMessage {
+                            reason: "invalid bit array length in upload"
+                        })
+                    ),
+                    "borrowed, claim {claim}"
+                );
+            }
+        }
+    }
+
+    /// Zero-length claims are rejected with the *same* typed reason by
+    /// dense/sparse × owned/borrowed — the unified `upload_len_to_usize`
+    /// guard, rather than four divergent downstream failures.
+    #[test]
+    fn zero_length_rejection_is_unified_across_decoders() {
+        for tag in [TAG_UPLOAD, TAG_UPLOAD_SPARSE] {
+            let mut wire = BytesMut::new();
+            wire.put_u8(tag);
+            wire.put_u64(1); // rsu
+            wire.put_u64(1); // counter
+            wire.put_u64(0); // zero bit length
+            if tag == TAG_UPLOAD_SPARSE {
+                wire.put_u64(0); // zero indices
+            }
+            let wire = wire.freeze();
+            for verdict in [
+                PeriodUpload::decode(&wire).map(|_| ()),
+                PeriodUploadRef::decode_ref(&wire).map(|_| ()),
+            ] {
+                assert!(
+                    matches!(
+                        verdict,
+                        Err(SimError::MalformedMessage {
+                            reason: "invalid bit array length in upload"
+                        })
+                    ),
+                    "tag {tag}: {verdict:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,9 +15,10 @@ use std::path::PathBuf;
 
 use vcps::sim::pki::TrustedAuthority;
 use vcps::sim::protocol::{
-    BatchUpload, BitReport, CheckpointSet, PeriodUpload, Query, SequencedUpload, ServerCheckpoint,
+    BatchUpload, BitReport, CheckpointSet, PeriodUpload, PeriodUploadRef, Query, SequencedUpload,
+    ServerCheckpoint,
 };
-use vcps::sim::{MacAddress, SimRsu};
+use vcps::sim::{MacAddress, SimError, SimRsu};
 use vcps::{BitArray, RsuId};
 
 fn data_path(name: &str) -> PathBuf {
@@ -128,6 +129,47 @@ fn vectors() -> Vec<(&'static str, Vec<u8>)> {
     ]
 }
 
+/// Builds an upload header by hand — these frames are unrepresentable
+/// through the encoders (the types cannot hold a zero-length or
+/// 2^32-bit array), so the error vectors are raw bytes.
+fn err_upload_header(tag: u8, rsu: u64, len: u64, ones: Option<u64>) -> Vec<u8> {
+    let mut v = vec![tag];
+    v.extend_from_slice(&rsu.to_be_bytes());
+    v.extend_from_slice(&0u64.to_be_bytes()); // counter
+    v.extend_from_slice(&len.to_be_bytes());
+    if let Some(o) = ones {
+        v.extend_from_slice(&o.to_be_bytes());
+    }
+    v
+}
+
+/// Error-path vectors: `(file name, frozen malformed bytes)`. Every
+/// frame here claims an out-of-bounds bit array length — zero, or past
+/// the 2^32 `MAX_UPLOAD_BITS` cap — and must be rejected identically by
+/// the dense and sparse decoders, owned and borrowed alike, *before*
+/// any allocation sized from the hostile length field.
+fn error_vectors() -> Vec<(&'static str, Vec<u8>)> {
+    const OVER_CAP: u64 = (1 << 32) + 64;
+    vec![
+        (
+            "err_upload_dense_zero.bin",
+            err_upload_header(3, 7, 0, None),
+        ),
+        (
+            "err_upload_sparse_zero.bin",
+            err_upload_header(4, 9, 0, Some(0)),
+        ),
+        (
+            "err_upload_dense_overlong.bin",
+            err_upload_header(3, 7, OVER_CAP, None),
+        ),
+        (
+            "err_upload_sparse_overlong.bin",
+            err_upload_header(4, 9, OVER_CAP, Some(0)),
+        ),
+    ]
+}
+
 #[test]
 fn golden_vectors_freeze_the_wire_format() {
     for (name, encoded) in vectors() {
@@ -185,6 +227,31 @@ fn golden_vectors_decode_and_round_trip() {
 }
 
 #[test]
+fn golden_error_vectors_reject_with_the_frozen_reason() {
+    for (name, bytes) in error_vectors() {
+        let frozen = std::fs::read(data_path(name)).unwrap_or_else(|e| {
+            panic!("missing golden vector {name}: {e} (run the ignored `regenerate` test once)")
+        });
+        assert_eq!(
+            bytes, frozen,
+            "{name}: error vector construction diverged from the frozen bytes"
+        );
+        let owned = PeriodUpload::decode(&frozen);
+        let borrowed = PeriodUploadRef::decode_ref(&frozen);
+        for (path, result) in [("owned", owned.err()), ("borrowed", borrowed.err())] {
+            match result {
+                Some(SimError::MalformedMessage { reason }) => assert_eq!(
+                    reason, "invalid bit array length in upload",
+                    "{name} ({path}): rejection reason drifted — the \
+                     zero-length / over-cap check is no longer unified"
+                ),
+                other => panic!("{name} ({path}): expected MalformedMessage, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
 fn golden_vectors_cover_every_protocol_tag() {
     let tags: Vec<u8> = vectors().iter().map(|(_, bytes)| bytes[0]).collect();
     assert_eq!(
@@ -201,7 +268,7 @@ fn golden_vectors_cover_every_protocol_tag() {
 fn regenerate() {
     let dir = data_path("");
     std::fs::create_dir_all(&dir).expect("create tests/data");
-    for (name, encoded) in vectors() {
+    for (name, encoded) in vectors().into_iter().chain(error_vectors()) {
         std::fs::write(data_path(name), &encoded).expect("write golden vector");
         println!("wrote {name} ({} bytes)", encoded.len());
     }
