@@ -26,6 +26,14 @@
 //!   checkpoints. The slowdown columns price what crash recovery costs
 //!   per upload; fsync latency dominates, so absolute rates are
 //!   filesystem-dependent.
+//! * `BENCH_metro.json` — metropolis-scale continuous estimation
+//!   (DESIGN.md §20): a 1024-RSU gravity-model grid streamed through
+//!   the sharded batch-ingest path for two diurnal periods with a
+//!   sliding O–D window. Rows compare ingest at 1 vs 4 shards and the
+//!   all-pairs O–D matrix at 1 vs all threads (on a single-core box
+//!   the thread rows degenerate to ≈ 1.0, as for `BENCH_shard.json`);
+//!   scalars report per-period estimation accuracy against exact
+//!   per-vehicle ground truth and the process peak RSS.
 //!
 //! Timing is hand-rolled (median of repeated wall-clock samples) so the
 //! artifacts do not depend on any benchmark framework; the JSON is
@@ -40,7 +48,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use vcps_bench::{
-    ingest_mutex_parallel, ingest_workload, od_server, pairwise_dense_baseline,
+    ingest_mutex_parallel, ingest_workload, od_server, pairwise_dense_baseline, peak_rss_bytes,
     shard_ingest_workload,
 };
 use vcps_bitarray::{combined_zero_count, combined_zero_count_adaptive, select_pair_kernel};
@@ -48,8 +56,12 @@ use vcps_core::{RsuId, Scheme};
 use vcps_sim::concurrent::{
     default_threads, ingest_parallel, ingest_parallel_obs, MutexRsu, SharedRsu,
 };
+use vcps_sim::engine::PeriodSettings;
 use vcps_sim::pki::TrustedAuthority;
-use vcps_sim::{BatchUpload, BatchUploadRef, CentralServer, PeriodUpload, ShardedServer};
+use vcps_sim::{
+    build_metro, run_metro_sharded_threads, BatchUpload, BatchUploadRef, CentralServer,
+    MetroConfig, PeriodUpload, ShardedServer,
+};
 
 const ARRAY_BITS: usize = 1 << 20;
 
@@ -746,6 +758,159 @@ fn bench_wal(samples: usize) -> String {
     )
 }
 
+/// Metropolis-scale continuous estimation (DESIGN.md §20): a 1024-RSU
+/// gravity-model grid, two diurnal periods, sliding O–D window, all
+/// uploads through the sharded batch-ingest path. Every mode closure
+/// executes a complete metro run (departures → encode → ingest → O–D
+/// matrix) but returns only the driver's internal clock for its hot
+/// region, so the interleaved-minimum sampler prices ingest and O–D
+/// latency without the untimed simulation work around them. Accuracy
+/// is scored per period against exact per-vehicle ground truth: period
+/// 0's arrays are sized from exact seeded history while period 1's
+/// come from the EWMA forecast of the off-peak period, so the gap
+/// between the two rows prices history misprediction under the diurnal
+/// demand swing — the failure mode the degraded-estimate fallback and
+/// sliding window exist to absorb.
+fn bench_metro(samples: usize) -> String {
+    const METRO_RSUS: usize = 1024;
+    const METRO_PERIODS: usize = 2;
+    const METRO_TRIPS: f64 = 40_000.0;
+    const TRUTH_FLOOR: f64 = 50.0;
+    const METRO_SEED: u64 = 0x0003_E760;
+
+    let workload = build_metro(&MetroConfig {
+        rsus: METRO_RSUS,
+        periods: METRO_PERIODS,
+        total_trips: METRO_TRIPS,
+        seed: METRO_SEED,
+        ..MetroConfig::default()
+    });
+    let nodes = workload.net.node_count();
+    let link_times = workload.net.free_flow_times();
+    let scheme = Scheme::variable(2, 3.0, METRO_SEED).expect("valid scheme");
+    let settings = PeriodSettings {
+        seed: METRO_SEED,
+        ..PeriodSettings::default()
+    };
+    let obs = vcps_obs::Obs::disabled();
+    let threads = default_threads();
+
+    let run = |shards: usize, threads: usize| {
+        run_metro_sharded_threads(
+            &scheme,
+            &workload.net,
+            &link_times,
+            &workload.periods,
+            &workload.initial_history,
+            &settings,
+            shards,
+            METRO_PERIODS, // window: hold every period for per-period scoring
+            threads,
+            &obs,
+        )
+        .expect("metro run")
+    };
+
+    // One reference run supplies the accuracy scalars; the window holds
+    // one O–D matrix per period, oldest first.
+    let reference = run(4, threads);
+    let uploads = reference.uploads_delivered;
+    let mut accuracy_rows = String::new();
+    for (period, matrix) in reference.window.iter().enumerate() {
+        let truth = &workload.truth[period];
+        let mut scored = 0usize;
+        let mut total_error = 0.0;
+        let mut degraded = 0usize;
+        for (a, b, estimate) in matrix.iter_pairs() {
+            if estimate.is_degraded() {
+                degraded += 1;
+            }
+            let t = truth[a.0 as usize * nodes + b.0 as usize];
+            if t >= TRUTH_FLOOR {
+                scored += 1;
+                total_error += (estimate.n_c() - t).abs() / t;
+            }
+        }
+        let mre = total_error / scored.max(1) as f64;
+        if period > 0 {
+            accuracy_rows.push_str(",\n");
+        }
+        let _ = write!(
+            accuracy_rows,
+            "    {{\"period\": {period}, \"pairs\": {scored}, \
+             \"mean_relative_error\": {mre:.4}, \"degraded_entries\": {degraded}}}",
+        );
+        println!(
+            "metro   period {period} accuracy      {scored:>6} pairs   mre {mre:.4}   \
+             {degraded} degraded"
+        );
+    }
+
+    let rounds = samples.div_ceil(2).max(2);
+    let mode_specs: [(&str, usize, usize, bool); 4] = [
+        ("ingest_shards_1", 1, threads, true),
+        ("ingest_shards_4", 4, threads, true),
+        ("od_threads_1", 4, 1, false),
+        ("od_threads_all", 4, threads, false),
+    ];
+    let mut modes: Vec<Box<dyn FnMut() -> u128 + '_>> = mode_specs
+        .iter()
+        .map(|&(_, shards, threads, ingest)| {
+            let run = &run;
+            Box::new(move || {
+                let outcome = run(shards, threads);
+                if ingest {
+                    outcome.ingest_ns
+                } else {
+                    outcome.od_ns
+                }
+            }) as Box<dyn FnMut() -> u128 + '_>
+        })
+        .collect();
+    let mins = interleaved_min_ns(rounds, &mut modes);
+    drop(modes);
+
+    let pairs_total = METRO_PERIODS * nodes * (nodes - 1) / 2;
+    let mut rows = String::new();
+    for (i, &(mode, shards, mode_threads, ingest)) in mode_specs.iter().enumerate() {
+        let ns = mins[i];
+        let rate = if ingest {
+            uploads as f64 * 1e9 / ns as f64
+        } else {
+            pairs_total as f64 * 1e9 / ns as f64
+        };
+        let unit = if ingest {
+            "uploads_per_s"
+        } else {
+            "pairs_per_s"
+        };
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"mode\": \"{mode}\", \"shards\": {shards}, \"threads\": {mode_threads}, \
+             \"ns\": {ns}, \"{unit}\": {rate:.0}}}",
+        );
+        println!("metro   {mode:<16} {ns:>12} ns   {rate:>12.0} {unit}");
+    }
+
+    let uploads_per_sec = uploads as f64 * 1e9 / mins[1] as f64;
+    let rss = peak_rss_bytes().map_or("null".to_string(), |b| b.to_string());
+    format!(
+        "{{\n  \"workload\": {{\"rsus\": {METRO_RSUS}, \"layout\": \"grid\", \
+         \"periods\": {METRO_PERIODS}, \"trips\": {METRO_TRIPS}, \
+         \"vehicles\": {}, \"window\": {METRO_PERIODS}, \"uploads\": {uploads}, \
+         \"truth_floor\": {TRUTH_FLOOR}, \"scheme_s\": 2, \"load_factor\": 3.0, \
+         \"samples\": {samples}, \"rounds\": {rounds}}},\n  \
+         \"accuracy\": [\n{accuracy_rows}\n  ],\n  \
+         \"results\": [\n{rows}\n  ],\n  \
+         \"uploads_per_sec\": {uploads_per_sec:.0},\n  \
+         \"peak_rss_bytes\": {rss}\n}}\n",
+        workload.total_vehicles(),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let (out, reports, samples) = match parse_args(&args) {
@@ -762,19 +927,23 @@ fn main() {
     let obs = bench_obs(reports, samples);
     let shard = bench_shard(samples);
     let wal = bench_wal(samples);
+    let metro = bench_metro(samples);
     let ingest_path = format!("{out}/BENCH_ingest.json");
     let decode_path = format!("{out}/BENCH_decode.json");
     let odmatrix_path = format!("{out}/BENCH_odmatrix.json");
     let obs_path = format!("{out}/BENCH_obs.json");
     let shard_path = format!("{out}/BENCH_shard.json");
     let wal_path = format!("{out}/BENCH_wal.json");
+    let metro_path = format!("{out}/BENCH_metro.json");
     std::fs::write(&ingest_path, ingest).expect("write BENCH_ingest.json");
     std::fs::write(&decode_path, decode).expect("write BENCH_decode.json");
     std::fs::write(&odmatrix_path, odmatrix).expect("write BENCH_odmatrix.json");
     std::fs::write(&obs_path, obs).expect("write BENCH_obs.json");
     std::fs::write(&shard_path, shard).expect("write BENCH_shard.json");
     std::fs::write(&wal_path, wal).expect("write BENCH_wal.json");
+    std::fs::write(&metro_path, metro).expect("write BENCH_metro.json");
     println!(
-        "wrote {ingest_path}, {decode_path}, {odmatrix_path}, {obs_path}, {shard_path}, and {wal_path}"
+        "wrote {ingest_path}, {decode_path}, {odmatrix_path}, {obs_path}, {shard_path}, \
+         {wal_path}, and {metro_path}"
     );
 }

@@ -205,6 +205,18 @@ pub fn pairwise_dense_baseline(server: &CentralServer, rsus: &[RsuId]) -> Vec<Es
     out
 }
 
+/// Peak resident set size of this process in bytes, read from procfs
+/// (`VmHWM` in `/proc/self/status` — the high-water mark, in kB there).
+/// Returns `None` where procfs is unavailable (non-Linux platforms), so
+/// artifact generators can report `null` instead of failing.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 pub mod calibrate {
     //! Empirical calibration of the kernel-selection cost model.
     //!

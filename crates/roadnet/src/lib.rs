@@ -63,7 +63,10 @@ mod vehicle;
 
 pub use error::RoadNetError;
 pub use frank_wolfe::{frank_wolfe, FrankWolfeResult};
-pub use generate::{gravity_trips, grid_network, GridSpec};
+pub use generate::{
+    diurnal_profile, gravity_demand, gravity_trips, grid_network, metro_marginals,
+    ring_radial_network, GridSpec, RingRadialSpec,
+};
 pub use graph::{Link, RoadNetwork};
 pub use shortest_path::{shortest_path, ShortestPaths};
 pub use trips::TripTable;

@@ -304,7 +304,7 @@ pub fn run_network_period_threads_obs(
 /// in time order and folding the reports straight into the lock-free
 /// RSUs. Returns the exchange count.
 #[allow(clippy::too_many_arguments)]
-fn drive_arrivals<F>(
+pub(crate) fn drive_arrivals<F>(
     scheme: &Scheme,
     authority: &TrustedAuthority,
     rsus: &[SharedRsu],
@@ -557,7 +557,7 @@ pub fn run_network_period_faulty_threads_obs(
 /// Fault decisions are keyed per (vehicle, stop), so the outcome is
 /// independent of worker scheduling; counter merging is commutative.
 #[allow(clippy::too_many_arguments)]
-fn drive_arrivals_faulty<F>(
+pub(crate) fn drive_arrivals_faulty<F>(
     scheme: &Scheme,
     authority: &TrustedAuthority,
     rsus: &[SharedRsu],

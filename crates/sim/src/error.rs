@@ -28,6 +28,11 @@ pub enum SimError {
     /// A durable-storage operation (WAL append, checkpoint publish,
     /// recovery scan) failed.
     Durability(DurabilityError),
+    /// A sliding-window O–D query was made before any period had
+    /// completed — there is no matrix to answer from (the window
+    /// analogue of [`SimError::MissingUpload`]: a typed refusal, never
+    /// a NaN).
+    EmptyWindow,
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +49,9 @@ impl fmt::Display for SimError {
                 write!(f, "no period upload received from {rsu}")
             }
             SimError::Durability(e) => write!(f, "durability error: {e}"),
+            SimError::EmptyWindow => {
+                write!(f, "sliding window holds no completed period")
+            }
         }
     }
 }

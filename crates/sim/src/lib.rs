@@ -58,6 +58,7 @@ mod error;
 pub mod faults;
 mod mac;
 pub mod metrics;
+pub mod metro;
 pub mod pki;
 pub mod protocol;
 mod rsu;
@@ -75,6 +76,11 @@ pub use faults::{
 };
 pub use mac::MacAddress;
 pub use metrics::{CommunicationMetrics, FaultMetrics, LinkMetrics};
+pub use metro::{
+    build_metro, pair_truth, point_truth, run_metro_faulty_monolith_threads,
+    run_metro_faulty_sharded_threads, run_metro_monolith_threads, run_metro_sharded_threads,
+    MetroConfig, MetroLayout, MetroRun, MetroWorkload, SlidingWindow, WindowEstimate,
+};
 pub use protocol::{
     BatchUpload, BatchUploadRef, BitReport, CheckpointSet, PeriodUpload, PeriodUploadRef, Query,
     SequencedUpload, SequencedUploadRef, ServerCheckpoint,

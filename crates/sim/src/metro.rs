@@ -1,0 +1,1029 @@
+//! The metropolis-scale continuous-estimation scenario (DESIGN.md §20).
+//!
+//! Everything before this module measures one period over one small
+//! network. A deployed system looks different: thousands of RSUs, a
+//! 24-hour demand curve, millions of vehicle reports per period pouring
+//! into a sharded server, and consumers reading a *sliding window* of
+//! O–D matrices that must stay total even while RSUs crash mid-window.
+//! This module composes the existing machinery into that workload:
+//!
+//! * [`build_metro`] synthesizes the city: a grid or ring–radial road
+//!   network ([`vcps_roadnet::grid_network`] /
+//!   [`vcps_roadnet::ring_radial_network`]), doubly-constrained
+//!   gravity demand with dead zones
+//!   ([`vcps_roadnet::gravity_demand`]), a double-peaked diurnal
+//!   profile ([`vcps_roadnet::diurnal_profile`]), MSA equilibrium
+//!   assignment, and per-vehicle route expansion — plus exact ground
+//!   truth ([`pair_truth`]) for accuracy reporting.
+//! * [`run_metro_sharded_threads`] / [`run_metro_monolith_threads`]
+//!   (and their `faulty` variants) drive the continuous multi-period
+//!   loop through either server shape. Both backends run the *same*
+//!   generic driver — same authority, departures, identities, frames,
+//!   sequence numbers, and channel keys — so a sharded metro run is
+//!   bit-identical to the monolithic one by construction, and
+//!   `tests/metro_differential.rs` pins it.
+//! * [`SlidingWindow`] aggregates the last `W` periods' O–D matrices.
+//!   Per-period entries keep the [`CentralServer::estimate_or_degraded`]
+//!   semantics — a period in which an RSU crashed contributes its
+//!   history-backed degraded estimate, never a hole — and an empty
+//!   window is a typed [`SimError::EmptyWindow`], never a NaN.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use vcps_core::{PairEstimate, RsuId, Scheme, VehicleIdentity};
+use vcps_hash::splitmix64;
+use vcps_obs::{Obs, Phase};
+use vcps_roadnet::assignment::{all_or_nothing, msa_equilibrium};
+use vcps_roadnet::{
+    diurnal_profile, expand_vehicle_trips, gravity_demand, grid_network, metro_marginals,
+    ring_radial_network, GridSpec, RingRadialSpec, RoadNetwork, VehicleTrip,
+};
+
+use crate::concurrent::SharedRsu;
+use crate::engine::{drive_arrivals, drive_arrivals_faulty, simulate_arrivals, PeriodSettings};
+use crate::faults::{self, FaultPlan, RetryPolicy, SequencedSink};
+use crate::metrics::FaultMetrics;
+use crate::pki::TrustedAuthority;
+use crate::protocol::{BatchUpload, Query, SequencedUpload};
+use crate::{CentralServer, OdMatrix, ShardedServer, SimError, SimVehicle};
+
+/// How the synthesized metropolis lays out its road network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetroLayout {
+    /// A `w × h` Manhattan grid (4-neighbor, bidirectional).
+    Grid,
+    /// A CBD-centered ring–radial city (rings × spokes around node 0).
+    RingRadial,
+}
+
+/// Parameters for [`build_metro`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetroConfig {
+    /// Target RSU count; the generated network has at least this many
+    /// nodes (rounded up to fill the layout).
+    pub rsus: usize,
+    /// Measurement periods in the day (the diurnal profile is sampled
+    /// at each period's midpoint).
+    pub periods: usize,
+    /// Base (daily-average) trip-table total per period; each period's
+    /// demand is this scaled by its diurnal multiplier.
+    pub total_trips: f64,
+    /// Demand units per expanded vehicle (`1.0` = one vehicle per
+    /// trip-table unit; larger subsamples).
+    pub vehicles_per_unit: f64,
+    /// MSA user-equilibrium iterations per period.
+    pub msa_iterations: usize,
+    /// Fraction of zones with zero population (no trip ends at all).
+    pub zero_zone_fraction: f64,
+    /// Network layout.
+    pub layout: MetroLayout,
+    /// Master seed (network attributes, marginals, deterrence).
+    pub seed: u64,
+}
+
+impl Default for MetroConfig {
+    fn default() -> Self {
+        Self {
+            rsus: 256,
+            periods: 4,
+            total_trips: 20_000.0,
+            vehicles_per_unit: 1.0,
+            msa_iterations: 4,
+            zero_zone_fraction: 0.1,
+            layout: MetroLayout::Grid,
+            seed: 0,
+        }
+    }
+}
+
+/// A synthesized metropolis workload: the network, one vehicle
+/// population per period, exact per-period ground truth, and the
+/// initial volume history that sizes period 0's arrays.
+#[derive(Debug, Clone)]
+pub struct MetroWorkload {
+    /// The generated road network (every node hosts an RSU).
+    pub net: RoadNetwork,
+    /// Expanded vehicle routes per period.
+    pub periods: Vec<Vec<VehicleTrip>>,
+    /// Per-period pair ground truth from [`pair_truth`] (row-major
+    /// `n × n`, symmetric): the exact vehicle count passing both nodes —
+    /// the `n_c` the scheme estimates.
+    pub truth: Vec<Vec<f64>>,
+    /// The diurnal multipliers used per period.
+    pub profile: Vec<f64>,
+    /// MSA relative gap reached in each period's assignment.
+    pub relative_gaps: Vec<f64>,
+    /// Initial per-node volume history (period 0's vehicle counts — the
+    /// "planning estimate" that seeds array sizing).
+    pub initial_history: Vec<f64>,
+}
+
+impl MetroWorkload {
+    /// Total expanded vehicles across all periods.
+    #[must_use]
+    pub fn total_vehicles(&self) -> usize {
+        self.periods.iter().map(Vec::len).sum()
+    }
+}
+
+/// Exact per-node ground truth for a vehicle population: how many
+/// vehicles pass each node (the paper's `n_x`).
+#[must_use]
+pub fn point_truth(trips: &[VehicleTrip], nodes: usize) -> Vec<f64> {
+    let mut out = vec![0.0; nodes];
+    let mut seen = Vec::new();
+    for trip in trips {
+        seen.clear();
+        seen.extend_from_slice(&trip.route);
+        seen.sort_unstable();
+        seen.dedup();
+        for &node in &seen {
+            out[node] += 1.0;
+        }
+    }
+    out
+}
+
+/// Exact pair ground truth for a vehicle population: `truth[a·n + b]`
+/// is the number of vehicles whose route visits both `a` and `b` — the
+/// point-to-point volume `n_c` the masking scheme estimates. Row-major,
+/// symmetric, zero diagonal.
+#[must_use]
+pub fn pair_truth(trips: &[VehicleTrip], nodes: usize) -> Vec<f64> {
+    let mut out = vec![0.0; nodes * nodes];
+    let mut seen = Vec::new();
+    for trip in trips {
+        seen.clear();
+        seen.extend_from_slice(&trip.route);
+        seen.sort_unstable();
+        seen.dedup();
+        for (i, &a) in seen.iter().enumerate() {
+            for &b in &seen[i + 1..] {
+                out[a * nodes + b] += 1.0;
+                out[b * nodes + a] += 1.0;
+            }
+        }
+    }
+    out
+}
+
+/// Synthesizes a complete metropolis workload from a [`MetroConfig`]:
+/// network, gravity demand with dead zones, diurnal scaling, MSA
+/// assignment, vehicle expansion, and exact ground truth per period.
+///
+/// Deterministic for a fixed config; independent of thread count (the
+/// synthesis pipeline is single-threaded pure computation).
+///
+/// # Panics
+///
+/// Panics if the config is degenerate (`rsus < 2`, `periods == 0`,
+/// non-positive `total_trips` or `vehicles_per_unit`).
+#[must_use]
+pub fn build_metro(config: &MetroConfig) -> MetroWorkload {
+    assert!(config.rsus >= 2, "need at least two RSUs");
+    assert!(config.periods >= 1, "need at least one period");
+    assert!(config.total_trips > 0.0, "need positive demand");
+    assert!(
+        config.vehicles_per_unit > 0.0,
+        "vehicles_per_unit must be positive"
+    );
+    let net = match config.layout {
+        MetroLayout::Grid => {
+            let width = (config.rsus as f64).sqrt().ceil() as usize;
+            let height = config.rsus.div_ceil(width);
+            grid_network(
+                &GridSpec {
+                    width,
+                    height,
+                    ..GridSpec::default()
+                },
+                config.seed,
+            )
+        }
+        MetroLayout::RingRadial => {
+            let spokes = ((config.rsus as f64).sqrt().round() as usize).max(3);
+            let rings = (config.rsus - 1).div_ceil(spokes).max(1);
+            ring_radial_network(
+                &RingRadialSpec {
+                    rings,
+                    spokes,
+                    ..RingRadialSpec::default()
+                },
+                config.seed,
+            )
+        }
+    };
+    let n = net.node_count();
+    let (productions, attractions) = metro_marginals(
+        n,
+        config.total_trips,
+        config.zero_zone_fraction,
+        (1.0, 80.0),
+        config.seed,
+    );
+    let base = gravity_demand(&productions, &attractions, config.seed);
+    let profile = diurnal_profile(config.periods);
+
+    let mut periods = Vec::with_capacity(config.periods);
+    let mut truth = Vec::with_capacity(config.periods);
+    let mut relative_gaps = Vec::with_capacity(config.periods);
+    for &multiplier in &profile {
+        let scaled = base.scaled(multiplier);
+        let equilibrium = msa_equilibrium(&net, &scaled, config.msa_iterations.max(1));
+        let assignment = all_or_nothing(&net, &scaled, &equilibrium.link_times);
+        let vehicles = expand_vehicle_trips(&assignment, &scaled, config.vehicles_per_unit);
+        truth.push(pair_truth(&vehicles, n));
+        relative_gaps.push(equilibrium.relative_gap);
+        periods.push(vehicles);
+    }
+    let initial_history = point_truth(&periods[0], n);
+    MetroWorkload {
+        net,
+        periods,
+        truth,
+        profile,
+        relative_gaps,
+        initial_history,
+    }
+}
+
+/// A window-aggregated pair answer (see [`SlidingWindow::average`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowEstimate {
+    /// Mean `n̂_c` over the window periods that cover the pair.
+    pub n_c: f64,
+    /// How many window periods covered the pair.
+    pub periods: usize,
+    /// How many of those answered with a history-backed degraded
+    /// estimate (RSU crashed or its upload never arrived that period).
+    pub degraded_periods: usize,
+    /// The newest covering period's full answer, provenance intact.
+    pub latest: PairEstimate,
+}
+
+/// The last `W` periods' O–D matrices, aggregated for consumers that
+/// want a smoother signal than a single period (adaptive signal
+/// control, congestion pricing).
+///
+/// Window entries are exactly the per-period
+/// [`CentralServer::estimate_or_degraded`] answers: a period in which
+/// an RSU crashed contributes its degraded history-backed estimate
+/// (flagged via [`WindowEstimate::degraded_periods`]) rather than
+/// disappearing, so the aggregate degrades exactly as gracefully as
+/// each period does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingWindow {
+    window: usize,
+    matrices: VecDeque<OdMatrix>,
+}
+
+impl SlidingWindow {
+    /// An empty window retaining at most `window` period matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one period");
+        Self {
+            window,
+            matrices: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// The configured capacity `W`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.window
+    }
+
+    /// Completed periods currently held (`min(pushed, W)`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// `true` before the first period completes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.matrices.is_empty()
+    }
+
+    /// Appends a completed period's matrix, evicting the oldest when
+    /// the window is full.
+    pub fn push(&mut self, matrix: OdMatrix) {
+        if self.matrices.len() == self.window {
+            self.matrices.pop_front();
+        }
+        self.matrices.push_back(matrix);
+    }
+
+    /// The newest period's matrix, if any period has completed.
+    #[must_use]
+    pub fn latest(&self) -> Option<&OdMatrix> {
+        self.matrices.back()
+    }
+
+    /// The held matrices, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &OdMatrix> {
+        self.matrices.iter()
+    }
+
+    /// The window-averaged answer for a pair: the mean `n̂_c` over every
+    /// held period that covers the pair, with the newest covering
+    /// period's full [`PairEstimate`] attached. With a window of 1 this
+    /// is exactly the single-period estimate.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyWindow`] if no period has completed yet;
+    /// * [`SimError::MissingUpload`] if no held matrix covers the pair
+    ///   (the server has never heard of one of the RSUs).
+    pub fn average(&self, a: RsuId, b: RsuId) -> Result<WindowEstimate, SimError> {
+        if self.matrices.is_empty() {
+            return Err(SimError::EmptyWindow);
+        }
+        let mut sum = 0.0;
+        let mut periods = 0usize;
+        let mut degraded_periods = 0usize;
+        let mut latest = None;
+        for matrix in &self.matrices {
+            if let Some(estimate) = matrix.get(a, b) {
+                sum += estimate.n_c();
+                periods += 1;
+                if estimate.is_degraded() {
+                    degraded_periods += 1;
+                }
+                latest = Some(*estimate);
+            }
+        }
+        match latest {
+            Some(latest) => Ok(WindowEstimate {
+                n_c: sum / periods as f64,
+                periods,
+                degraded_periods,
+                latest,
+            }),
+            None => {
+                let known = self
+                    .latest()
+                    .map(|m| m.rsus().binary_search(&a).is_ok())
+                    .unwrap_or(false);
+                Err(SimError::MissingUpload {
+                    rsu: if known { b } else { a },
+                })
+            }
+        }
+    }
+}
+
+/// The outcome of a continuous multi-period metro run through one
+/// server backend (monolithic [`CentralServer`] or sharded
+/// [`ShardedServer`] — the driver is the same generic code, so the two
+/// shapes are bit-identical for identical inputs).
+#[derive(Debug, Clone)]
+pub struct MetroRun<S> {
+    /// The server after the final period's
+    /// [`finish_period`](CentralServer::finish_period).
+    pub server: S,
+    /// The sliding window over the last `W` periods' O–D matrices.
+    pub window: SlidingWindow,
+    /// Array sizes in force during each period, per node.
+    pub sizes_per_period: Vec<Vec<usize>>,
+    /// Query/answer exchanges per period.
+    pub exchanges_per_period: Vec<usize>,
+    /// Fault counters per period (empty for ideal-channel runs).
+    pub faults_per_period: Vec<FaultMetrics>,
+    /// RSUs whose upload was abandoned, per period (empty for ideal
+    /// runs).
+    pub undelivered_per_period: Vec<Vec<RsuId>>,
+    /// Upload frames delivered to the server across all periods.
+    pub uploads_delivered: usize,
+    /// Wall-clock nanoseconds spent ingesting uploads (all periods).
+    pub ingest_ns: u128,
+    /// Wall-clock nanoseconds spent computing O–D matrices (all
+    /// periods).
+    pub od_ns: u128,
+}
+
+/// What the generic metro driver needs from a server backend beyond
+/// the [`SequencedSink`] the faulty upload path already shares. Both
+/// shapes route ideal-channel periods through their native bulk path:
+/// the monolith frame by frame, the sharded server as one
+/// [`BatchUpload`] wire frame through the zero-copy
+/// [`ShardedServer::receive_batch_wire`] ingest.
+trait MetroBackend: SequencedSink {
+    fn seed(&mut self, rsu: RsuId, average: f64);
+    fn finish(&mut self) -> Result<BTreeMap<RsuId, usize>, SimError>;
+    fn od(&self, threads: usize) -> Result<OdMatrix, SimError>;
+    fn ingest_ideal(&mut self, frames: Vec<SequencedUpload>) -> Result<usize, SimError>;
+}
+
+impl MetroBackend for CentralServer {
+    fn seed(&mut self, rsu: RsuId, average: f64) {
+        self.seed_history(rsu, average);
+    }
+
+    fn finish(&mut self) -> Result<BTreeMap<RsuId, usize>, SimError> {
+        self.finish_period()
+    }
+
+    fn od(&self, threads: usize) -> Result<OdMatrix, SimError> {
+        self.od_matrix_threads(threads)
+    }
+
+    fn ingest_ideal(&mut self, frames: Vec<SequencedUpload>) -> Result<usize, SimError> {
+        let count = frames.len();
+        for frame in frames {
+            self.receive_sequenced(frame);
+        }
+        Ok(count)
+    }
+}
+
+impl MetroBackend for ShardedServer {
+    fn seed(&mut self, rsu: RsuId, average: f64) {
+        self.seed_history(rsu, average);
+    }
+
+    fn finish(&mut self) -> Result<BTreeMap<RsuId, usize>, SimError> {
+        self.finish_period()
+    }
+
+    fn od(&self, threads: usize) -> Result<OdMatrix, SimError> {
+        self.od_matrix_threads(threads)
+    }
+
+    fn ingest_ideal(&mut self, frames: Vec<SequencedUpload>) -> Result<usize, SimError> {
+        let count = frames.len();
+        let wire = BatchUpload::new(frames)?.encode();
+        self.receive_batch_wire(&wire)?;
+        Ok(count)
+    }
+}
+
+/// The continuous loop both backends share. Everything that feeds the
+/// servers — authority, array sizes, departures, vehicle identities,
+/// upload frames, sequence numbers (the period index), channel keys —
+/// is derived identically to [`crate::engine::run_periods_threads`] /
+/// [`run_periods_faulty_threads`](crate::engine::run_periods_faulty_threads),
+/// so the two shapes cannot diverge and multi-period EWMA sizing
+/// matches the engine's.
+#[allow(clippy::too_many_arguments)]
+fn run_metro_with<S: MetroBackend>(
+    mut server: S,
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    periods: &[Vec<VehicleTrip>],
+    initial_history: &[f64],
+    settings: &PeriodSettings,
+    faulting: Option<(&FaultPlan, &RetryPolicy)>,
+    window: usize,
+    threads: usize,
+    obs: &Obs,
+) -> Result<MetroRun<S>, SimError> {
+    let PeriodSettings {
+        period_length,
+        seed,
+        ..
+    } = *settings;
+    assert!(!periods.is_empty(), "need at least one period");
+    assert_eq!(
+        initial_history.len(),
+        net.node_count(),
+        "one history volume per node"
+    );
+    if let Some((plan, policy)) = faulting {
+        plan.validate()?;
+        policy.validate()?;
+    }
+    let lost_windows = faulting.map(|(plan, _)| plan.lost_windows(net.node_count()));
+
+    for (node, &avg) in initial_history.iter().enumerate() {
+        server.seed(RsuId(node as u64), avg);
+    }
+    let mut sizes = server.finish()?;
+    let mut window = SlidingWindow::new(window);
+    let mut sizes_per_period = Vec::with_capacity(periods.len());
+    let mut exchanges_per_period = Vec::with_capacity(periods.len());
+    let mut faults_per_period = Vec::new();
+    let mut undelivered_per_period = Vec::new();
+    let mut uploads_delivered = 0usize;
+    let mut ingest_ns = 0u128;
+    let mut od_ns = 0u128;
+
+    for (p, trips) in periods.iter().enumerate() {
+        let authority = TrustedAuthority::new(seed ^ 0x0CA0_17E5 ^ p as u64);
+        let mut rsus = Vec::with_capacity(net.node_count());
+        let mut m_o = 0usize;
+        for node in 0..net.node_count() {
+            let id = RsuId(node as u64);
+            let m = sizes.get(&id).copied().unwrap_or(2).max(2);
+            m_o = m_o.max(m);
+            rsus.push(SharedRsu::new(id, m, &authority)?);
+        }
+        let queries: Vec<Query> = rsus.iter().map(SharedRsu::query).collect();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ (p as u64) << 32);
+        let departures: Vec<f64> = trips
+            .iter()
+            .map(|_| rng.random_range(0.0..period_length.max(f64::MIN_POSITIVE)))
+            .collect();
+        let arrivals = simulate_arrivals(net, link_times, trips, &departures);
+        if let Some(last) = arrivals.last() {
+            obs.set_sim_time(last.time);
+        }
+        let make_vehicle = |t: &VehicleTrip| {
+            SimVehicle::new(
+                VehicleIdentity::from_raw(t.id, splitmix64(seed ^ t.id)),
+                splitmix64(t.id ^ 0xACE0_FBA5E ^ p as u64),
+            )
+        };
+
+        let exchanges = match (faulting, &lost_windows) {
+            (Some((plan, _)), Some(lost)) => {
+                let report_channel = plan.report_channel(p as u64);
+                let (exchanges, mut faults) = {
+                    let _encode = obs.phase(Phase::Encode);
+                    drive_arrivals_faulty(
+                        scheme,
+                        &authority,
+                        &rsus,
+                        &queries,
+                        trips,
+                        &arrivals,
+                        make_vehicle,
+                        m_o,
+                        threads,
+                        &report_channel,
+                        lost,
+                    )?
+                };
+                faults.crashes = plan.crashes.len() as u64;
+                faults_per_period.push(faults);
+                exchanges
+            }
+            _ => {
+                let _encode = obs.phase(Phase::Encode);
+                drive_arrivals(
+                    scheme,
+                    &authority,
+                    &rsus,
+                    &queries,
+                    trips,
+                    &arrivals,
+                    make_vehicle,
+                    m_o,
+                    threads,
+                )?
+            }
+        };
+        obs.add("engine.exchanges", exchanges as u64);
+        sizes_per_period.push(queries.iter().map(|q| q.array_size as usize).collect());
+        exchanges_per_period.push(exchanges);
+
+        let ingest_started = Instant::now();
+        match faulting {
+            Some((plan, policy)) => {
+                let upload_channel = plan.upload_channel(p as u64);
+                let faults = faults_per_period.last_mut().expect("pushed above");
+                let mut undelivered = Vec::new();
+                for rsu in &rsus {
+                    let upload = rsu.upload();
+                    let delivery = faults::upload_with_retry(
+                        &upload,
+                        p as u64,
+                        &upload_channel,
+                        &mut server,
+                        policy,
+                        faults,
+                    );
+                    if delivery.delivered {
+                        uploads_delivered += 1;
+                    } else {
+                        undelivered.push(upload.rsu);
+                    }
+                }
+                faults.record_into(obs);
+                obs.add("engine.undelivered", undelivered.len() as u64);
+                undelivered_per_period.push(undelivered);
+            }
+            None => {
+                let frames: Vec<SequencedUpload> = rsus
+                    .iter()
+                    .map(|rsu| SequencedUpload {
+                        seq: p as u64,
+                        upload: rsu.upload(),
+                    })
+                    .collect();
+                let _receive = obs.phase(Phase::Receive);
+                uploads_delivered += server.ingest_ideal(frames)?;
+            }
+        }
+        ingest_ns += ingest_started.elapsed().as_nanos();
+
+        let od_started = Instant::now();
+        let matrix = server.od(threads)?;
+        od_ns += od_started.elapsed().as_nanos();
+        window.push(matrix);
+        obs.inc("metro.periods");
+        obs.add("metro.window.held", window.len() as u64);
+
+        sizes = server.finish()?;
+    }
+    obs.add("metro.uploads.delivered", uploads_delivered as u64);
+    Ok(MetroRun {
+        server,
+        window,
+        sizes_per_period,
+        exchanges_per_period,
+        faults_per_period,
+        undelivered_per_period,
+        uploads_delivered,
+        ingest_ns,
+        od_ns,
+    })
+}
+
+/// Runs the continuous metro loop through a monolithic
+/// [`CentralServer`] — the reference shape the sharded run must match
+/// bit for bit.
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures.
+///
+/// # Panics
+///
+/// Panics if `initial_history.len() != net.node_count()`, `periods` is
+/// empty, `window == 0`, or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_metro_monolith_threads(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    periods: &[Vec<VehicleTrip>],
+    initial_history: &[f64],
+    settings: &PeriodSettings,
+    window: usize,
+    threads: usize,
+    obs: &Obs,
+) -> Result<MetroRun<CentralServer>, SimError> {
+    let server = CentralServer::new(scheme.clone(), settings.history_alpha)?.with_obs(obs.clone());
+    run_metro_with(
+        server,
+        scheme,
+        net,
+        link_times,
+        periods,
+        initial_history,
+        settings,
+        None,
+        window,
+        threads,
+        obs,
+    )
+}
+
+/// Runs the continuous metro loop through a [`ShardedServer`]: each
+/// period's uploads travel as one [`BatchUpload`] wire frame into the
+/// zero-copy batch ingest, hash-partitioned over `shards` receiver
+/// shards.
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures (including a zero
+/// `shards`).
+///
+/// # Panics
+///
+/// As [`run_metro_monolith_threads`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_metro_sharded_threads(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    periods: &[Vec<VehicleTrip>],
+    initial_history: &[f64],
+    settings: &PeriodSettings,
+    shards: usize,
+    window: usize,
+    threads: usize,
+    obs: &Obs,
+) -> Result<MetroRun<ShardedServer>, SimError> {
+    let server =
+        ShardedServer::new(scheme.clone(), settings.history_alpha, shards)?.with_obs(obs.clone());
+    run_metro_with(
+        server,
+        scheme,
+        net,
+        link_times,
+        periods,
+        initial_history,
+        settings,
+        None,
+        window,
+        threads,
+        obs,
+    )
+}
+
+/// [`run_metro_monolith_threads`] under seeded fault injection: each
+/// period re-rolls its channels (the period index salts them), uploads
+/// retry through [`faults::upload_with_retry`] with the period index as
+/// sequence number, and crash windows recur every period.
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures, and invalid fault plans.
+///
+/// # Panics
+///
+/// As [`run_metro_monolith_threads`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_metro_faulty_monolith_threads(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    periods: &[Vec<VehicleTrip>],
+    initial_history: &[f64],
+    settings: &PeriodSettings,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    window: usize,
+    threads: usize,
+    obs: &Obs,
+) -> Result<MetroRun<CentralServer>, SimError> {
+    let server = CentralServer::new(scheme.clone(), settings.history_alpha)?.with_obs(obs.clone());
+    run_metro_with(
+        server,
+        scheme,
+        net,
+        link_times,
+        periods,
+        initial_history,
+        settings,
+        Some((plan, policy)),
+        window,
+        threads,
+        obs,
+    )
+}
+
+/// [`run_metro_sharded_threads`] under seeded fault injection — the
+/// same frames, channel keys, and retry decisions as the faulty
+/// monolith run, delivered into the sharded sink.
+///
+/// # Errors
+///
+/// Propagates sizing and protocol failures, invalid fault plans, and a
+/// zero `shards`.
+///
+/// # Panics
+///
+/// As [`run_metro_monolith_threads`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_metro_faulty_sharded_threads(
+    scheme: &Scheme,
+    net: &RoadNetwork,
+    link_times: &[f64],
+    periods: &[Vec<VehicleTrip>],
+    initial_history: &[f64],
+    settings: &PeriodSettings,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    shards: usize,
+    window: usize,
+    threads: usize,
+    obs: &Obs,
+) -> Result<MetroRun<ShardedServer>, SimError> {
+    let server =
+        ShardedServer::new(scheme.clone(), settings.history_alpha, shards)?.with_obs(obs.clone());
+    run_metro_with(
+        server,
+        scheme,
+        net,
+        link_times,
+        periods,
+        initial_history,
+        settings,
+        Some((plan, policy)),
+        window,
+        threads,
+        obs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::LinkFaults;
+
+    fn tiny_config() -> MetroConfig {
+        MetroConfig {
+            rsus: 16,
+            periods: 3,
+            total_trips: 600.0,
+            msa_iterations: 2,
+            seed: 11,
+            ..MetroConfig::default()
+        }
+    }
+
+    fn tiny_run(window: usize) -> MetroRun<CentralServer> {
+        let workload = build_metro(&tiny_config());
+        let scheme = Scheme::variable(2, 3.0, 5).expect("valid scheme");
+        let settings = PeriodSettings {
+            seed: 11,
+            ..PeriodSettings::default()
+        };
+        run_metro_monolith_threads(
+            &scheme,
+            &workload.net,
+            &workload.net.free_flow_times(),
+            &workload.periods,
+            &workload.initial_history,
+            &settings,
+            window,
+            1,
+            &Obs::disabled(),
+        )
+        .expect("metro run")
+    }
+
+    #[test]
+    fn build_metro_is_deterministic_and_sized() {
+        let config = tiny_config();
+        let a = build_metro(&config);
+        let b = build_metro(&config);
+        assert!(a.net.node_count() >= config.rsus);
+        assert_eq!(a.periods.len(), 3);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.periods, b.periods);
+        assert_eq!(a.truth, b.truth);
+        // The diurnal profile actually varies demand across periods.
+        assert!(a.periods.iter().map(Vec::len).max() > a.periods.iter().map(Vec::len).min());
+    }
+
+    #[test]
+    fn ring_radial_layout_builds_too() {
+        let workload = build_metro(&MetroConfig {
+            layout: MetroLayout::RingRadial,
+            ..tiny_config()
+        });
+        assert!(workload.net.node_count() >= 16);
+        assert!(workload.total_vehicles() > 0);
+    }
+
+    #[test]
+    fn pair_truth_counts_route_overlaps() {
+        let trips = vec![
+            VehicleTrip {
+                id: 0,
+                origin: 0,
+                dest: 2,
+                route: vec![0, 1, 2],
+            },
+            VehicleTrip {
+                id: 1,
+                origin: 1,
+                dest: 2,
+                route: vec![1, 2],
+            },
+        ];
+        let truth = pair_truth(&trips, 3);
+        assert_eq!(truth[3 + 2], 2.0); // both vehicles pass 1 and 2
+        assert_eq!(truth[2 * 3 + 1], 2.0); // symmetric
+        assert_eq!(truth[2], 1.0); // only vehicle 0 passes 0 and 2
+        assert_eq!(truth[0], 0.0); // zero diagonal
+        assert_eq!(point_truth(&trips, 3), vec![1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_window_is_a_typed_error() {
+        let window = SlidingWindow::new(3);
+        assert_eq!(
+            window.average(RsuId(0), RsuId(1)),
+            Err(SimError::EmptyWindow)
+        );
+    }
+
+    #[test]
+    fn window_of_one_equals_single_period_estimate() {
+        let run = tiny_run(1);
+        assert_eq!(run.window.len(), 1);
+        let matrix = run.window.latest().expect("one period held");
+        let n = matrix.len() as u64;
+        let mut compared = 0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (a, b) = (RsuId(a), RsuId(b));
+                let Some(expected) = matrix.get(a, b) else {
+                    continue;
+                };
+                let averaged = run.window.average(a, b).expect("covered pair");
+                assert_eq!(averaged.n_c, expected.n_c());
+                assert_eq!(averaged.latest, *expected);
+                assert_eq!(averaged.periods, 1);
+                compared += 1;
+            }
+        }
+        assert!(compared > 0, "window covered no pairs");
+    }
+
+    #[test]
+    fn window_average_is_mean_of_held_periods() {
+        let run = tiny_run(2);
+        assert_eq!(run.window.len(), 2);
+        let held: Vec<&OdMatrix> = run.window.iter().collect();
+        let (a, b) = (RsuId(0), RsuId(1));
+        let expected: f64 = held
+            .iter()
+            .filter_map(|m| m.get(a, b))
+            .map(|e| e.n_c())
+            .sum::<f64>()
+            / held.iter().filter(|m| m.get(a, b).is_some()).count() as f64;
+        let averaged = run.window.average(a, b).expect("covered pair");
+        assert_eq!(averaged.n_c, expected);
+    }
+
+    #[test]
+    fn window_evicts_oldest_beyond_capacity() {
+        let run_full = tiny_run(3);
+        let run_capped = tiny_run(2);
+        assert_eq!(run_full.window.len(), 3);
+        assert_eq!(run_capped.window.len(), 2);
+        // The capped window holds exactly the last two of the full run's
+        // three matrices.
+        let full: Vec<&OdMatrix> = run_full.window.iter().collect();
+        let capped: Vec<&OdMatrix> = run_capped.window.iter().collect();
+        assert_eq!(capped, vec![full[1], full[2]]);
+    }
+
+    #[test]
+    fn unknown_rsu_is_missing_upload_not_nan() {
+        let run = tiny_run(2);
+        let ghost = RsuId(9_999);
+        assert_eq!(
+            run.window.average(ghost, RsuId(0)),
+            Err(SimError::MissingUpload { rsu: ghost })
+        );
+        assert_eq!(
+            run.window.average(RsuId(0), ghost),
+            Err(SimError::MissingUpload { rsu: ghost })
+        );
+    }
+
+    #[test]
+    fn faulty_run_degrades_instead_of_failing() {
+        let workload = build_metro(&tiny_config());
+        let scheme = Scheme::variable(2, 3.0, 5).expect("valid scheme");
+        let settings = PeriodSettings {
+            seed: 11,
+            ..PeriodSettings::default()
+        };
+        let plan = FaultPlan::new(77).with_upload_link(LinkFaults::none().with_drop(0.95));
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let run = run_metro_faulty_monolith_threads(
+            &scheme,
+            &workload.net,
+            &workload.net.free_flow_times(),
+            &workload.periods,
+            &workload.initial_history,
+            &settings,
+            &plan,
+            &policy,
+            3,
+            1,
+            &Obs::disabled(),
+        )
+        .expect("faulty metro run");
+        let lost: usize = run.undelivered_per_period.iter().map(Vec::len).sum();
+        assert!(lost > 0, "a 95% drop rate should lose uploads");
+        // Every pair still answers, some of them degraded.
+        let latest = run.window.latest().expect("periods completed");
+        let mut degraded = 0;
+        for a in 0..workload.net.node_count() as u64 {
+            for b in (a + 1)..workload.net.node_count() as u64 {
+                if let Some(estimate) = latest.get(RsuId(a), RsuId(b)) {
+                    if estimate.is_degraded() {
+                        degraded += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            degraded > 0,
+            "lost uploads should surface as degraded answers"
+        );
+    }
+}
